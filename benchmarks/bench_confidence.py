@@ -1,0 +1,89 @@
+"""Section 7 — probabilistic confidence computation: exact vs Monte-Carlo.
+
+The paper's closing section sketches probabilistic U-relations (a P column
+on W) and notes that confidence computation is inherently hard, motivating
+approximation.  This benchmark compares the exact variable-elimination
+computation against Monte-Carlo estimation on query results, and checks the
+estimator's accuracy.
+"""
+
+import pytest
+
+from repro.bench import Table, format_seconds, median_time
+from repro.core import (
+    execute_query,
+    monte_carlo_confidence,
+    tuple_confidences,
+)
+from repro.tpch import q2_inner
+
+from benchmarks.conftest import BASE_SCALE, write_result
+from repro.ugen import generate_uncertain
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return generate_uncertain(
+        scale=BASE_SCALE, x=0.05, z=0.25, seed=21, tables=["lineitem"]
+    )
+
+
+@pytest.fixture(scope="module")
+def result(bundle):
+    return execute_query(q2_inner(), bundle.udb)
+
+
+def test_exact_confidence(benchmark, bundle, result):
+    confs = benchmark.pedantic(
+        lambda: tuple_confidences(result, bundle.udb.world_table, method="exact"),
+        rounds=3,
+        iterations=1,
+    )
+    assert all(0.0 <= p <= 1.0 + 1e-9 for p in confs.values())
+
+
+def test_monte_carlo_confidence(benchmark, bundle, result):
+    confs = benchmark.pedantic(
+        lambda: tuple_confidences(
+            result, bundle.udb.world_table, method="monte-carlo", samples=500
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert all(0.0 <= p <= 1.0 for p in confs.values())
+
+
+def test_confidence_accuracy_table(benchmark, bundle, result):
+    """Monte-Carlo error vs sample count, against the exact values."""
+
+    def build():
+        exact = tuple_confidences(result, bundle.udb.world_table, method="exact")
+        table = Table(
+            ["samples", "max abs error", "mean abs error", "time"],
+            title="Monte-Carlo confidence accuracy (Section 7)",
+        )
+        errors = {}
+        for samples in (100, 1000, 5000):
+            elapsed, estimates = median_time(
+                lambda: tuple_confidences(
+                    result,
+                    bundle.udb.world_table,
+                    method="monte-carlo",
+                    samples=samples,
+                    seed=5,
+                ),
+                1,
+            )
+            diffs = [abs(estimates[k] - exact[k]) for k in exact]
+            max_err = max(diffs) if diffs else 0.0
+            mean_err = sum(diffs) / len(diffs) if diffs else 0.0
+            errors[samples] = max_err
+            table.add(samples, round(max_err, 4), round(mean_err, 4),
+                      format_seconds(elapsed))
+        write_result("confidence_accuracy.txt", table.render())
+        return errors
+
+    errors = benchmark.pedantic(build, rounds=1, iterations=1)
+    # more samples -> tighter estimates (allow noise at tiny error levels)
+    assert errors[5000] <= errors[100] + 0.05
+    assert errors[5000] < 0.15

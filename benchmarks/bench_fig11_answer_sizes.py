@@ -1,0 +1,64 @@
+"""Figure 11 — query answer sizes vs uncertainty ratio, per correlation.
+
+The paper plots, for scale 1 and each z in {0.1, 0.25, 0.5}, the answer
+sizes of Q1-Q3 against the uncertainty ratio x (log-log).  Shape claims:
+answer sizes increase with x and (marginally) with z.
+"""
+
+import pytest
+
+from repro.bench import Table
+from repro.core import execute_query
+from repro.tpch import ALL_QUERIES
+
+from benchmarks.conftest import (
+    CORRELATIONS,
+    SCALES,
+    UNCERTAINTIES,
+    uncertain_db,
+    write_result,
+)
+
+LARGEST = SCALES[-1]
+
+
+def test_fig11_answer_sizes_table(benchmark):
+    """Regenerate the three Figure 11 series (answer size vs x, per z)."""
+
+    def build():
+        table = Table(
+            ["query", "z", "x", "answer tuples"],
+            title=f"Figure 11 analogue: answer sizes at scale {LARGEST}",
+        )
+        sizes = {}
+        for label, wrapped, _inner in ALL_QUERIES:
+            for z in CORRELATIONS:
+                for x in UNCERTAINTIES:
+                    bundle = uncertain_db(LARGEST, x, z)
+                    answer = execute_query(wrapped(), bundle.udb)
+                    sizes[(label, z, x)] = len(answer)
+                    table.add(label, z, x, len(answer))
+        write_result("fig11_answer_sizes.txt", table.render())
+        return sizes
+
+    sizes = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    # shape: answers grow with x (for the selective queries Q1/Q2)
+    for label in ("Q1", "Q2"):
+        for z in CORRELATIONS:
+            assert sizes[(label, z, 0.1)] >= sizes[(label, z, 0.001)]
+    # Q2 strictly grows (its filters touch three uncertain attributes)
+    for z in CORRELATIONS:
+        assert sizes[("Q2", z, 0.1)] > sizes[("Q2", z, 0.001)]
+
+
+@pytest.mark.parametrize("x", UNCERTAINTIES)
+def test_fig11_q2_answer_computation(benchmark, x):
+    """Time Q2 end-to-end per uncertainty ratio (the Figure 11 workload)."""
+    from repro.tpch import q2
+
+    bundle = uncertain_db(LARGEST, x, 0.25)
+    answer = benchmark.pedantic(
+        lambda: execute_query(q2(), bundle.udb), rounds=3, iterations=1
+    )
+    assert len(answer) > 0

@@ -1,0 +1,75 @@
+"""Figure 12 — query evaluation time vs scale, uncertainty, correlation.
+
+The paper's nine log-log diagrams (3 queries x 3 correlation ratios, one
+line per uncertainty ratio) show evaluation time growing roughly linearly
+with the scale factor and the uncertainty ratio, moderately with the
+correlation ratio.
+
+The pytest-benchmark cases time each query at the grid midpoint per
+uncertainty ratio; the report regenerates the full 3x3x3 series with
+median-of-3 wall-clock timings (the paper uses the median of 4 runs).
+"""
+
+import pytest
+
+from repro.bench import Table, format_seconds, median_time
+from repro.core import execute_query
+from repro.tpch import ALL_QUERIES, q1, q2, q3
+
+from benchmarks.conftest import (
+    BASE_SCALE,
+    CORRELATIONS,
+    SCALES,
+    UNCERTAINTIES,
+    uncertain_db,
+    write_result,
+)
+
+QUERIES = {"Q1": q1, "Q2": q2, "Q3": q3}
+
+
+def test_fig12_time_series_table(benchmark):
+    """Regenerate the Figure 12 series: time(s, x, z) for Q1-Q3."""
+
+    def build():
+        table = Table(
+            ["query", "z", "x", "scale", "median time", "answer tuples"],
+            title="Figure 12 analogue: query evaluation time",
+        )
+        times = {}
+        for label, builder in QUERIES.items():
+            for z in CORRELATIONS:
+                for x in UNCERTAINTIES:
+                    for scale in SCALES:
+                        bundle = uncertain_db(scale, x, z)
+                        elapsed, answer = median_time(
+                            lambda: execute_query(builder(), bundle.udb),
+                            repeats=3,
+                        )
+                        times[(label, z, x, scale)] = elapsed
+                        table.add(
+                            label, z, x, scale, format_seconds(elapsed), len(answer)
+                        )
+        write_result("fig12_query_times.txt", table.render())
+        return times
+
+    times = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    # shape: evaluation time grows with scale (roughly linearly, allow slack)
+    for label in QUERIES:
+        for z in CORRELATIONS:
+            small = times[(label, z, 0.01, SCALES[0])]
+            large = times[(label, z, 0.01, SCALES[-1])]
+            assert large >= small * 0.8  # monotone up to noise
+            assert large <= small * 100  # far from quadratic blow-up
+
+
+@pytest.mark.parametrize("label", ["Q1", "Q2", "Q3"])
+@pytest.mark.parametrize("x", UNCERTAINTIES)
+def test_fig12_query(benchmark, label, x):
+    """Per-query timing at the grid midpoint (one line point of Figure 12)."""
+    bundle = uncertain_db(BASE_SCALE, x, 0.25)
+    builder = QUERIES[label]
+    benchmark.pedantic(
+        lambda: execute_query(builder(), bundle.udb), rounds=3, iterations=1
+    )

@@ -1,0 +1,68 @@
+"""Figure 13 — the optimized physical plan of Q2's rewriting.
+
+The paper shows PostgreSQL's EXPLAIN output for the translated Q2: merge
+joins over the lineitem partitions on the tuple-id columns, with the ψ
+conditions as join filters and the selections pushed into the partition
+scans.  This benchmark produces our engine's plan for the same rewriting
+(with the merge-join planner profile for visual parity), saves it, and
+asserts the structural properties the paper's plan exhibits.
+"""
+
+import re
+
+from repro.core.translate import translate
+from repro.relational import explain, optimize
+from repro.relational.planner import plan_physical
+from repro.tpch import q2_inner
+
+from benchmarks.conftest import BASE_SCALE, uncertain_db, write_result
+
+
+def test_fig13_q2_plan(benchmark):
+    """Produce and validate the Q2 plan (Figure 13 analogue)."""
+    bundle = uncertain_db(BASE_SCALE, 0.1, 0.1)
+
+    def build():
+        translated = translate(q2_inner(), bundle.udb)
+        logical = optimize(translated.plan)
+        physical = plan_physical(logical, prefer_merge_join=True)
+        return explain(physical)
+
+    text = benchmark.pedantic(build, rounds=3, iterations=1)
+    write_result("fig13_q2_plan.txt", text)
+
+    # the paper's plan joins the lineitem partitions with merge joins ...
+    assert text.count("Merge Join") >= 3
+    # ... on the tuple-id columns (Q2 aliases lineitem as "l") ...
+    assert "Merge Cond: (tid_l = tid_l__r)" in text
+    # ... with the psi condition as a join filter (var mismatch OR rng equal)
+    assert re.search(r"Join Filter: .*<>.*OR.*=", text)
+    # ... and the selections pushed down into the partition scans
+    assert "Seq Scan on u_lineitem_shipdate" in text
+    assert "Seq Scan on u_lineitem_discount" in text
+    assert "Seq Scan on u_lineitem_quantity" in text
+    assert "Seq Scan on u_lineitem_extendedprice" in text
+
+
+def test_fig13_translation_is_parsimonious(benchmark):
+    """Section 1's parsimonious-translation claim, counted on Q2:
+    one selection per predicate group, merges become joins, nothing else."""
+    bundle = uncertain_db(BASE_SCALE, 0.1, 0.1)
+
+    def count_ops():
+        from repro.relational.algebra import Join, Plan, Select
+
+        translated = translate(q2_inner(), bundle.udb)
+
+        def count(node: Plan, kind) -> int:
+            return int(isinstance(node, kind)) + sum(
+                count(c, kind) for c in node.children
+            )
+
+        return count(translated.plan, Join), count(translated.plan, Select)
+
+    joins, selects = benchmark.pedantic(count_ops, rounds=3, iterations=1)
+    # Q2 touches 4 lineitem attributes -> 3 merges -> exactly 3 joins
+    assert joins == 3
+    # the WHERE clause stays a single selection on the merged partitions
+    assert selects == 1

@@ -1,0 +1,165 @@
+"""Figure 14 — attribute-level vs tuple-level U-relations vs ULDBs.
+
+The paper evaluates queries (without the poss operator and without
+erroneous-tuple removal or confidence computation) on three representations
+of the same world-set and finds: attribute-level U-relations several times
+faster than tuple-level U-relations, and an order of magnitude faster than
+ULDBs; tuple-level representations explode in size as parameters grow.
+
+We reproduce the comparison with a customer-orders join workload (a Q1-style
+query over the two uncertain relations) at small scales — the ULDB join is
+quadratic in x-tuples, exactly the cost profile the paper measures.
+
+The paper reaches the blow-up regime through scale (15M tuple-level rows vs
+80K per partition at s=0.01, x=0.1); at our Python-feasible scales the same
+regime is reached by raising x: at x=0.05 the representations are on par,
+at x=0.15 tuple-level and ULDBs have exploded and attribute-level wins by
+an order of magnitude — the crossover Figure 14 demonstrates.
+"""
+
+import pytest
+
+from repro.bench import Table, format_seconds, median_time
+from repro.core import UDatabase, execute_query
+from repro.core.query import Rel, UJoin, UProject, USelect
+from repro.relational import col, lit
+from repro.relational.types import Date
+from repro.ugen import generate_uncertain, tuple_level_size, tuple_level_udatabase
+from repro.uldb import join as uldb_join
+from repro.uldb import select as uldb_select
+from repro.uldb import udatabase_to_uldb
+
+from benchmarks.conftest import BASE_SCALE, write_result
+
+SCALE = BASE_SCALE * 0.5
+TABLES = ["customer", "orders"]
+SETTINGS = [(SCALE, 0.05), (SCALE, 0.15)]
+
+
+def workload():
+    """Q1's customer-orders core: BUILDING customers' recent orders."""
+    customer = USelect(Rel("customer", "c"), col("c.mktsegment").eq(lit("BUILDING")))
+    orders = USelect(Rel("orders", "o"), col("o.orderdate") > lit(Date("1995-03-15")))
+    return UProject(
+        UJoin(customer, orders, col("c.custkey").eq(col("o.custkey"))),
+        ["o.orderkey", "o.orderdate"],
+    )
+
+
+def _bundle(scale, x):
+    return generate_uncertain(scale=scale, x=x, z=0.1, seed=42, tables=TABLES)
+
+
+def _run_attribute_level(udb: UDatabase):
+    return execute_query(workload(), udb)
+
+
+def _run_tuple_level(tl_udb: UDatabase):
+    return execute_query(workload(), tl_udb)
+
+
+def _run_uldb(uldb):
+    customer = uldb_select(
+        uldb, uldb.get("customer"), col("mktsegment").eq(lit("BUILDING"))
+    )
+    orders = uldb_select(
+        uldb, uldb.get("orders"), col("orderdate") > lit(Date("1995-03-15"))
+    )
+    # no minimization, matching the paper's Figure 14 protocol
+    return uldb_join(
+        uldb, customer, orders, col("l.custkey").eq(col("r.custkey")),
+        minimize_result=False,
+    )
+
+
+def test_fig14_comparison_table(benchmark):
+    """The Figure 14 bars: per-representation evaluation time and size."""
+
+    def build():
+        table = Table(
+            ["setting", "representation", "size (rows/alts)", "median time"],
+            title="Figure 14 analogue: representation comparison",
+        )
+        results = {}
+        for scale, x in SETTINGS:
+            bundle = _bundle(scale, x)
+            label = f"s={scale:g},x={x}"
+
+            attr_rows = sum(
+                len(p)
+                for name in bundle.udb.relation_names()
+                for p in bundle.udb.partitions(name)
+            )
+            t_attr, _ = median_time(lambda: _run_attribute_level(bundle.udb), 3)
+            table.add(label, "attribute-level U-rel", attr_rows, format_seconds(t_attr))
+
+            tl_udb = tuple_level_udatabase(bundle.udb)
+            tl_rows = sum(
+                len(p)
+                for name in tl_udb.relation_names()
+                for p in tl_udb.partitions(name)
+            )
+            t_tuple, _ = median_time(lambda: _run_tuple_level(tl_udb), 3)
+            table.add(label, "tuple-level U-rel", tl_rows, format_seconds(t_tuple))
+
+            uldb = udatabase_to_uldb(bundle.udb)
+            alts = sum(
+                uldb.get(n).alternative_count() for n in ("customer", "orders")
+            )
+            t_uldb, _ = median_time(lambda: _run_uldb(uldb), 1)
+            table.add(label, "ULDB (Trio-style)", alts, format_seconds(t_uldb))
+
+            results[(scale, x)] = (t_attr, t_tuple, t_uldb, attr_rows, tl_rows)
+        write_result("fig14_representations.txt", table.render())
+        return results
+
+    results = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    # shape claims of Figure 14 / Section 6, in the blow-up regime (x=0.15):
+    t_attr, t_tuple, t_uldb, attr_rows, tl_rows = results[(SCALE, 0.15)]
+    assert t_attr < t_tuple, "attribute-level must beat tuple-level"
+    assert t_attr * 5 < t_uldb, "attribute-level must beat the ULDB clearly"
+    assert tl_rows > attr_rows, "tuple-level representation must have exploded"
+
+
+def test_fig14_tuple_level_blowup_growth(benchmark):
+    """Tuple-level size grows super-linearly in x (the 15M-vs-80K effect)."""
+
+    def measure():
+        sizes = {}
+        for x in (0.01, 0.05, 0.15):
+            bundle = _bundle(SCALE, x)
+            attr = sum(
+                len(p)
+                for n in bundle.udb.relation_names()
+                for p in bundle.udb.partitions(n)
+            )
+            tl = sum(
+                tuple_level_size(bundle.udb, n)
+                for n in bundle.udb.relation_names()
+            )
+            sizes[x] = (attr, tl)
+        return sizes
+
+    sizes = benchmark.pedantic(measure, rounds=1, iterations=1)
+    attr_growth = sizes[0.15][0] / sizes[0.01][0]
+    tl_growth = sizes[0.15][1] / sizes[0.01][1]
+    assert tl_growth > 2 * attr_growth  # tuple level grows much faster
+
+
+@pytest.mark.parametrize(
+    "representation", ["attribute-level", "tuple-level", "uldb"]
+)
+def test_fig14_single_setting(benchmark, representation):
+    """Individually timed bars at (s, x=0.01) for the benchmark report."""
+    bundle = _bundle(SCALE, 0.15)
+    if representation == "attribute-level":
+        benchmark.pedantic(
+            lambda: _run_attribute_level(bundle.udb), rounds=3, iterations=1
+        )
+    elif representation == "tuple-level":
+        tl_udb = tuple_level_udatabase(bundle.udb)
+        benchmark.pedantic(lambda: _run_tuple_level(tl_udb), rounds=3, iterations=1)
+    else:
+        uldb = udatabase_to_uldb(bundle.udb)
+        benchmark.pedantic(lambda: _run_uldb(uldb), rounds=1, iterations=1)

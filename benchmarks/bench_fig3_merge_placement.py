@@ -1,0 +1,95 @@
+"""Figure 3 / Figure 10 — merge placement ablation (plans P1 vs P2/P3).
+
+Example 3.4 discusses three plans for a select-join query over vertically
+decomposed relations: the naive P1 reconstructs relations before anything
+else; P2/P3 push the merge above selections/joins (late materialization).
+Figure 10 shows the optimized merge-late plan for Q1.
+
+This ablation times the Q1 core under both translation strategies and
+asserts the paper's conclusion: naive early merging is the worst plan.
+"""
+
+import pytest
+
+from repro.bench import Table, format_seconds, median_time
+from repro.core.equivalences import translate_early, translate_late
+from repro.core.query import Rel, UJoin, UProject, USelect
+from repro.relational import col, lit
+from repro.relational.planner import run as run_plan
+from repro.relational.types import Date
+
+from benchmarks.conftest import BASE_SCALE, uncertain_db, write_result
+
+
+def q1_core():
+    """Q1 without lineitem (two-relation core; keeps the ablation fast)."""
+    customer = USelect(Rel("customer", "c"), col("c.mktsegment").eq(lit("BUILDING")))
+    orders = USelect(Rel("orders", "o"), col("o.orderdate") > lit(Date("1995-03-15")))
+    return UProject(
+        UJoin(customer, orders, col("c.custkey").eq(col("o.custkey"))),
+        ["o.orderkey", "o.orderdate", "o.shippriority"],
+    )
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return uncertain_db(BASE_SCALE, 0.01, 0.25)
+
+
+def _execute(translated):
+    return run_plan(translated.plan)
+
+
+def test_fig3_placement_comparison(benchmark, bundle):
+    """Compare P1 (merge-early) against the default late strategy."""
+
+    def build():
+        late = translate_late(q1_core(), bundle.udb)
+        early = translate_early(q1_core(), bundle.udb)
+        t_late, late_result = median_time(lambda: _execute(late), 3)
+        t_early, early_result = median_time(lambda: _execute(early), 3)
+        table = Table(
+            ["plan", "strategy", "median time", "result rows"],
+            title="Figure 3 analogue: merge placement",
+        )
+        table.add("P1", "merge everything first (early)", format_seconds(t_early),
+                  len(early_result))
+        table.add("P2/P3", "merge needed partitions late", format_seconds(t_late),
+                  len(late_result))
+        write_result("fig3_merge_placement.txt", table.render())
+        return t_late, t_early, late_result, early_result
+
+    t_late, t_early, late_result, early_result = benchmark.pedantic(
+        build, rounds=1, iterations=1
+    )
+
+    # correctness: both strategies agree on the possible answers
+    late_rows = set(late_result.project(["o.orderkey", "o.orderdate"]).distinct().rows)
+    early_rows = set(early_result.project(["o.orderkey", "o.orderdate"]).distinct().rows)
+    assert late_rows == early_rows
+    # the paper's conclusion: P1 is clearly the least efficient
+    assert t_late <= t_early
+
+
+def test_fig3_late_strategy(benchmark, bundle):
+    translated = translate_late(q1_core(), bundle.udb)
+    benchmark.pedantic(lambda: _execute(translated), rounds=3, iterations=1)
+
+
+def test_fig3_early_strategy(benchmark, bundle):
+    translated = translate_early(q1_core(), bundle.udb)
+    benchmark.pedantic(lambda: _execute(translated), rounds=3, iterations=1)
+
+
+def test_fig3_plan_shapes_differ(bundle):
+    """The early plan scans all partitions; the late plan scans a subset."""
+    from repro.relational.algebra import Scan
+
+    def count_scans(plan):
+        return int(isinstance(plan, Scan)) + sum(
+            count_scans(c) for c in plan.children
+        )
+
+    late = translate_late(q1_core(), bundle.udb)
+    early = translate_early(q1_core(), bundle.udb)
+    assert count_scans(late.plan) < count_scans(early.plan)

@@ -1,0 +1,144 @@
+"""Figures 6-7 / Theorems 5.2 & 5.6 — succinctness separations.
+
+Example 5.1's ring-correlated world-set (t_i.A always equals
+t_{(i+1) mod n}.B) separates the representations:
+
+* U-relations: 2n tuples per partition (Figure 6b),
+* after sigma_{A=B}(R): still 2n representation tuples (Figure 7b), while
+  the WSD of the same answer needs one component with 2^n local worlds
+  (Figure 7a) — normalization realizes exactly that blow-up,
+* or-sets (k independent binary attributes of one tuple): U-relations 2k
+  rows, ULDB 2^k alternatives (Theorem 5.6).
+
+The benchmark measures representation sizes over growing n and asserts the
+exponential-vs-linear separation.
+"""
+
+import pytest
+
+from repro.bench import Table
+from repro.core import (
+    Descriptor,
+    UDatabase,
+    UProject,
+    URelation,
+    USelect,
+    WorldTable,
+    execute_query,
+)
+from repro.core.normalization import normalize_urelations
+from repro.core.query import Rel
+from repro.core.urelation import tid_column
+from repro.relational import col
+from repro.uldb import udatabase_to_uldb
+from repro.wsd import udatabase_to_wsd
+
+from benchmarks.conftest import write_result
+
+
+def ring_database(n: int) -> UDatabase:
+    """Example 5.1 / Figure 6(b)."""
+    world = WorldTable({f"c{i}": ["w1", "w2"] for i in range(n)})
+    a_triples, b_triples = [], []
+    for i in range(n):
+        a_triples.append((Descriptor({f"c{i}": "w1"}), f"t{i}", (1,)))
+        a_triples.append((Descriptor({f"c{i}": "w2"}), f"t{i}", (0,)))
+        j = (i + 1) % n
+        b_triples.append((Descriptor({f"c{i}": "w1"}), f"t{j}", (1,)))
+        b_triples.append((Descriptor({f"c{i}": "w2"}), f"t{j}", (0,)))
+    udb = UDatabase(world)
+    udb.add_relation(
+        "r",
+        ["A", "B"],
+        [
+            URelation.build(a_triples, tid_column("r"), ["A"]),
+            URelation.build(b_triples, tid_column("r"), ["B"]),
+        ],
+    )
+    return udb
+
+
+def or_set_database(k: int) -> UDatabase:
+    """Theorem 5.6's or-set case: k independent binary fields, one tuple."""
+    world = WorldTable({f"v{i}": [1, 2] for i in range(k)})
+    parts = []
+    for i in range(k):
+        parts.append(
+            URelation.build(
+                [
+                    (Descriptor({f"v{i}": 1}), "t", (0,)),
+                    (Descriptor({f"v{i}": 2}), "t", (1,)),
+                ],
+                tid_column("r"),
+                [f"a{i}"],
+            )
+        )
+    udb = UDatabase(world)
+    udb.add_relation("r", [f"a{i}" for i in range(k)], parts)
+    return udb
+
+
+def test_fig6_7_table(benchmark):
+    """Sizes over n for the ring world-set and the sigma_{A=B} answer."""
+
+    def build():
+        table = Table(
+            ["n", "U-rel rows", "answer rows", "WSD cells", "answer WSD lworlds"],
+            title="Figures 6-7 analogue: U-relations vs WSDs on the ring world-set",
+        )
+        records = {}
+        for n in (2, 4, 6, 8, 10):
+            udb = ring_database(n)
+            u_rows = sum(len(p) for p in udb.partitions("r"))
+            wsd = udatabase_to_wsd(udb)
+            query = UProject(USelect(Rel("r"), col("A").eq(col("B"))), ["A", "B"])
+            answer = execute_query(query, udb)
+            _, answer_world = normalize_urelations([answer], udb.world_table)
+            lworlds = answer_world.max_domain_size()
+            records[n] = (u_rows, len(answer), wsd.size_cells(), lworlds)
+            table.add(n, u_rows, len(answer), wsd.size_cells(), lworlds)
+        write_result("fig6_7_succinctness.txt", table.render())
+        return records
+
+    records = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    for n, (u_rows, answer_rows, _cells, lworlds) in records.items():
+        assert u_rows == 4 * n          # 2n per partition (Figure 6b)
+        assert answer_rows == 2 * n     # linear answer (Figure 7b)
+        assert lworlds == 2 ** n        # exponential WSD (Figure 7a)
+
+
+def test_theorem_5_6_uldb_blowup(benchmark):
+    """Or-set separation: ULDB alternatives are exponential in the arity."""
+
+    def build():
+        table = Table(
+            ["k", "U-rel rows", "ULDB alternatives"],
+            title="Theorem 5.6 analogue: U-relations vs ULDBs on or-set relations",
+        )
+        records = {}
+        for k in (2, 4, 6, 8, 10):
+            udb = or_set_database(k)
+            u_rows = sum(len(p) for p in udb.partitions("r"))
+            uldb = udatabase_to_uldb(udb)
+            alts = uldb.get("r").alternative_count()
+            records[k] = (u_rows, alts)
+            table.add(k, u_rows, alts)
+        write_result("thm5_6_uldb_blowup.txt", table.render())
+        return records
+
+    records = benchmark.pedantic(build, rounds=1, iterations=1)
+    for k, (u_rows, alts) in records.items():
+        assert u_rows == 2 * k
+        assert alts == 2 ** k
+
+
+def test_psi_join_stays_linear(benchmark):
+    """Timing: the U-relational sigma_{A=B} answer is computed without
+    expanding worlds (polynomial; Example 5.3's point)."""
+    udb = ring_database(12)
+    query = UProject(USelect(Rel("r"), col("A").eq(col("B"))), ["A", "B"])
+    answer = benchmark.pedantic(
+        lambda: execute_query(query, udb), rounds=3, iterations=1
+    )
+    assert len(answer) == 24

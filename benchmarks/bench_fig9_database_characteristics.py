@@ -1,0 +1,96 @@
+"""Figure 9 — database characteristics over the (scale, z, x) grid.
+
+The paper's Figure 9 reports, per parameter setting: the number of
+represented worlds (astronomically large, e.g. 10^857), the maximum number
+of local worlds in a component (the largest variable domain), and the
+database size.  The claim: worlds grow exponentially in x and s while the
+representation grows linearly.
+
+This benchmark regenerates the table on the scaled-down grid and asserts
+the two shape claims, plus it times the generator itself.
+"""
+
+import math
+
+import pytest
+
+from repro.bench import Table
+from repro.ugen import generate_uncertain
+
+from benchmarks.conftest import (
+    BASE_SCALE,
+    CORRELATIONS,
+    SCALES,
+    UNCERTAINTIES,
+    uncertain_db,
+    write_result,
+)
+
+
+def test_fig9_characteristics_table(benchmark):
+    """Regenerate the Figure 9 table (worlds, local worlds, size)."""
+
+    def build():
+        table = Table(
+            ["scale", "z", "x", "log10(worlds)", "max lworlds", "repr rows", "ratio"],
+            title="Figure 9 analogue: U-relational database characteristics",
+        )
+        rows = []
+        for scale in SCALES:
+            for z in CORRELATIONS:
+                for x in [0.0] + UNCERTAINTIES:
+                    bundle = (
+                        uncertain_db(scale, x, z)
+                        if x > 0
+                        else generate_uncertain(scale=scale, x=0.0, z=z, seed=42)
+                    )
+                    record = (
+                        scale,
+                        z,
+                        x,
+                        round(bundle.log10_worlds(), 1),
+                        bundle.max_local_worlds(),
+                        bundle.representation_rows(),
+                        round(bundle.size_ratio(), 2),
+                    )
+                    rows.append(record)
+                    table.add(*record)
+        write_result("fig9_characteristics.txt", table.render())
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    # shape assertion 1: worlds grow exponentially in x, size linearly
+    by_key = {(s, z, x): r for (s, z, x, *r) in rows}
+    for scale in SCALES:
+        for z in CORRELATIONS:
+            lo = by_key[(scale, z, 0.001)]
+            hi = by_key[(scale, z, 0.1)]
+            assert hi[0] > 10 * lo[0]          # log10 worlds: >10x more digits
+            assert hi[2] < 50 * lo[2]           # rows: far from exponential
+
+    # shape assertion 2: size grows roughly linearly with scale
+    for z in CORRELATIONS:
+        small = by_key[(SCALES[0], z, 0.01)]
+        large = by_key[(SCALES[-1], z, 0.01)]
+        factor = SCALES[-1] / SCALES[0]
+        assert large[2] / small[2] == pytest.approx(factor, rel=0.5)
+
+
+def test_fig9_generation_speed(benchmark):
+    """Time one generator run at the grid midpoint."""
+    result = benchmark.pedantic(
+        lambda: generate_uncertain(scale=BASE_SCALE, x=0.01, z=0.25, seed=1),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.representation_rows() > 0
+
+
+def test_fig9_worlds_exceed_paper_scale_when_extrapolated():
+    """Sanity: the paper's 10^(8*10^6) world counts are reachable — the
+    world count is exponential in uncertain fields, which scale linearly."""
+    small = uncertain_db(SCALES[0], 0.1, 0.25)
+    large = uncertain_db(SCALES[-1], 0.1, 0.25)
+    ratio = large.log10_worlds() / max(small.log10_worlds(), 1e-9)
+    assert ratio == pytest.approx(SCALES[-1] / SCALES[0], rel=0.6)

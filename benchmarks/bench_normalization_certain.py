@@ -1,0 +1,97 @@
+"""Section 4 supporting benchmarks — normalization and certain answers.
+
+No paper figure covers these directly, but Section 4 calls normalization
+"an expensive operation per se" and certain answers "a conceptually simple
+algorithm ... using relational algebra only" on normalized tuple-level
+representations.  These benchmarks quantify both on query results of
+growing descriptor width.
+"""
+
+import pytest
+
+from repro.bench import Table, format_seconds, median_time
+from repro.core import (
+    certain_answers,
+    execute_query,
+    normalize_urelations,
+)
+from repro.core.query import Rel, UProject, USelect
+from repro.relational import col, lit
+from repro.relational.types import Date
+from repro.tpch import q2_inner
+
+from benchmarks.conftest import BASE_SCALE, uncertain_db, write_result
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return uncertain_db(BASE_SCALE, 0.01, 0.25)
+
+
+@pytest.fixture(scope="module")
+def q2_result(bundle):
+    """Q2's result: a U-relation with descriptors up to width 4."""
+    return execute_query(q2_inner(), bundle.udb)
+
+
+def test_normalization_of_query_result(benchmark, bundle, q2_result):
+    """Algorithm 1 on a real query result."""
+    normalized_list, world = benchmark.pedantic(
+        lambda: normalize_urelations([q2_result], bundle.udb.world_table),
+        rounds=3,
+        iterations=1,
+    )
+    (normalized,) = normalized_list
+    assert normalized.d_width == 1
+    # normalization may expand rows (completions of partial descriptors)
+    assert len(normalized) >= len(q2_result)
+
+
+def test_certain_answers_on_query_result(benchmark, bundle, q2_result):
+    """The Lemma 4.3 relational-algebra certain-answer query."""
+    answer = benchmark.pedantic(
+        lambda: certain_answers(q2_result, bundle.udb.world_table),
+        rounds=3,
+        iterations=1,
+    )
+    possible = {v for _d, _t, v in q2_result}
+    assert set(answer.rows) <= possible
+
+
+def test_normalization_growth_table(benchmark, bundle):
+    """Report: result size before/after normalization per query."""
+
+    def build():
+        table = Table(
+            ["query", "rows before", "max d-width", "rows after", "time"],
+            title="Normalization cost on query results (Section 4)",
+        )
+        queries = {
+            "pi_extendedprice(lineitem)": UProject(
+                Rel("lineitem", "l"), ["l.extendedprice"]
+            ),
+            "sigma+pi (Q2 inner)": q2_inner(),
+            "sigma_orderdate(orders)": UProject(
+                USelect(
+                    Rel("orders", "o"),
+                    col("o.orderdate") > lit(Date("1995-03-15")),
+                ),
+                ["o.orderkey", "o.orderdate"],
+            ),
+        }
+        out = {}
+        for label, query in queries.items():
+            result = execute_query(query, bundle.udb)
+            width = max((len(d) for d, _, _ in result), default=1)
+            elapsed, (normalized_list, _) = median_time(
+                lambda: normalize_urelations([result], bundle.udb.world_table), 3
+            )
+            (normalized,) = normalized_list
+            table.add(label, len(result), width, len(normalized), format_seconds(elapsed))
+            out[label] = (len(result), len(normalized))
+        write_result("normalization_growth.txt", table.render())
+        return out
+
+    out = benchmark.pedantic(build, rounds=1, iterations=1)
+    for _label, (before, after) in out.items():
+        assert after >= before * 0.5  # sanity: no pathological shrink

@@ -1,0 +1,55 @@
+"""Shared fixtures for the benchmark suite.
+
+Scale note (see DESIGN.md): the paper's grid runs TPC-H scales 0.01-1 on a
+3 GHz machine with PostgreSQL; pure-Python row processing is ~10^3x slower,
+so the benchmarks run a proportionally smaller grid (scales 0.0005-0.002 by
+default).  The *shapes* — linear growth in s and x, exponential world
+counts vs linear representation size, attribute-level beating tuple-level
+beating ULDBs — are what the suite reproduces and what EXPERIMENTS.md
+records.  Set ``REPRO_BENCH_SCALE`` to raise the base scale.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.ugen import UncertainTPCH, generate_uncertain
+
+#: Base scale of the benchmark grid (multiplied into every paper scale).
+BASE_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.001"))
+
+#: The benchmark grid, shaped like the paper's (Figure 9): relative scales
+#: mirror the paper's 0.01 / 0.05 / 0.1 ratios.
+SCALES = [BASE_SCALE * f for f in (0.5, 1.0, 2.0)]
+CORRELATIONS = [0.1, 0.25, 0.5]
+UNCERTAINTIES = [0.001, 0.01, 0.1]
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+_cache: Dict[Tuple, UncertainTPCH] = {}
+
+
+def uncertain_db(scale: float, x: float, z: float, seed: int = 42) -> UncertainTPCH:
+    """Generate (and cache) one uncertain TPC-H instance."""
+    key = (round(scale, 6), x, z, seed)
+    if key not in _cache:
+        _cache[key] = generate_uncertain(scale=scale, x=x, z=z, seed=seed)
+    return _cache[key]
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist a paper-style table under benchmarks/results/ and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[saved to {path}]")
+
+
+@pytest.fixture(scope="session")
+def default_db() -> UncertainTPCH:
+    """The midpoint configuration used by single-config benchmarks."""
+    return uncertain_db(BASE_SCALE, 0.01, 0.25)

@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""What-if revenue analysis with uncertain aggregates.
+
+The paper defers aggregation to future work; this example shows the
+extension implemented in :mod:`repro.core.aggregates` on a realistic
+scenario: a sales pipeline where deal amounts and closing outcomes are
+uncertain, and an analyst wants expected revenue, best/worst cases, and
+the revenue distribution.
+
+Run:  python examples/aggregation_whatif.py
+"""
+
+from repro import (
+    Descriptor,
+    Rel,
+    UDatabase,
+    URelation,
+    USelect,
+    WorldTable,
+    execute_query,
+)
+from repro.core.aggregates import (
+    aggregate_distribution,
+    count_bounds,
+    expected_count,
+    expected_sum,
+    sum_bounds,
+)
+from repro.relational import col, lit
+
+
+def build_pipeline() -> UDatabase:
+    """Five deals; three have uncertain outcomes, one an uncertain amount."""
+    world = WorldTable(
+        {
+            "deal_beta": [1, 2],       # closes (1) or slips (2)
+            "deal_gamma": [1, 2],      # closes or slips
+            "deal_delta": [1, 2, 3],   # closes big / closes small / slips
+            "amount_eps": [1, 2],      # contract value still in negotiation
+        },
+        probabilities={
+            "deal_beta": [0.7, 0.3],
+            "deal_gamma": [0.4, 0.6],
+            "deal_delta": [0.3, 0.5, 0.2],
+            "amount_eps": [0.5, 0.5],
+        },
+    )
+    certain = Descriptor()
+    triples = [
+        (certain, 1, ("alpha", "closed", 120_000)),
+        (Descriptor(deal_beta=1), 2, ("beta", "closed", 80_000)),
+        (Descriptor(deal_beta=2), 2, ("beta", "slipped", 0)),
+        (Descriptor(deal_gamma=1), 3, ("gamma", "closed", 150_000)),
+        (Descriptor(deal_gamma=2), 3, ("gamma", "slipped", 0)),
+        (Descriptor(deal_delta=1), 4, ("delta", "closed", 200_000)),
+        (Descriptor(deal_delta=2), 4, ("delta", "closed", 90_000)),
+        (Descriptor(deal_delta=3), 4, ("delta", "slipped", 0)),
+        (Descriptor(amount_eps=1), 5, ("epsilon", "closed", 60_000)),
+        (Descriptor(amount_eps=2), 5, ("epsilon", "closed", 75_000)),
+    ]
+    deals = URelation.build(
+        triples, tid_name="tid_deals", value_names=["deal", "status", "amount"]
+    )
+    udb = UDatabase(world)
+    udb.add_relation("deals", ["deal", "status", "amount"], [deals])
+    return udb
+
+
+def main() -> None:
+    udb = build_pipeline()
+    print(f"pipeline: {udb}")
+    print(f"scenarios (worlds): {udb.world_count()}\n")
+
+    closed = USelect(Rel("deals"), col("status").eq(lit("closed")))
+    result = execute_query(closed, udb)
+    world = udb.world_table
+
+    # ------------------------------------------------------------------
+    # exact expected aggregates (linearity of expectation — no enumeration)
+    # ------------------------------------------------------------------
+    revenue = expected_sum(result, "amount", world)
+    deals = expected_count(result, world)
+    print(f"expected closed deals:   {deals:.2f}")
+    print(f"expected revenue:        ${revenue:,.0f}")
+
+    lo_count, hi_count = count_bounds(result, world)
+    lo_rev, hi_rev = sum_bounds(result, "amount", world)
+    print(f"closed-deal range:       {lo_count} .. {hi_count}")
+    print(f"revenue range:           ${lo_rev:,.0f} .. ${hi_rev:,.0f}\n")
+
+    # ------------------------------------------------------------------
+    # the full revenue distribution (Monte-Carlo over scenarios)
+    # ------------------------------------------------------------------
+    def total_revenue(rows):
+        return sum(row[2] for row in rows)
+
+    distribution = aggregate_distribution(
+        result, world, aggregate=total_revenue, samples=20_000, seed=11
+    )
+    print("revenue distribution (top outcomes):")
+    top = sorted(distribution.items(), key=lambda kv: -kv[1])[:8]
+    for value, probability in top:
+        bar = "#" * int(probability * 60)
+        print(f"  ${value:>9,.0f}  {probability:6.1%}  {bar}")
+
+    at_risk = sum(p for v, p in distribution.items() if v < 300_000)
+    print(f"\nP(revenue < $300k) ≈ {at_risk:.1%}")
+
+
+if __name__ == "__main__":
+    main()

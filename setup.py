@@ -1,0 +1,8 @@
+"""Setup shim: enables ``python setup.py develop`` in environments without
+the ``wheel`` package (modern ``pip install -e .`` needs to build a wheel).
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

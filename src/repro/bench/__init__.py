@@ -1,0 +1,5 @@
+"""``repro.bench`` — shared benchmark harness utilities."""
+
+from .harness import Table, format_seconds, geometric_series, median_time, timed
+
+__all__ = ["Table", "timed", "median_time", "geometric_series", "format_seconds"]

@@ -1,0 +1,99 @@
+"""Benchmark harness utilities: timing, parameter grids, table output.
+
+The benchmarks print the same rows/series the paper's figures report
+(Figures 9, 11, 12, 14); these helpers keep the per-benchmark code small
+and the output format uniform.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["timed", "median_time", "Table", "geometric_series", "format_seconds"]
+
+
+def timed(fn: Callable[[], Any]) -> Tuple[float, Any]:
+    """Run a thunk once, returning (elapsed seconds, result)."""
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def median_time(fn: Callable[[], Any], repeats: int = 3) -> Tuple[float, Any]:
+    """Median elapsed time over ``repeats`` runs (the paper uses 4 runs)."""
+    times: List[float] = []
+    result: Any = None
+    for _ in range(max(repeats, 1)):
+        elapsed, result = timed(fn)
+        times.append(elapsed)
+    times.sort()
+    return times[len(times) // 2], result
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-scaled time rendering for report tables."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds:.2f}s"
+
+
+def geometric_series(start: float, stop: float, points: int) -> List[float]:
+    """``points`` geometrically spaced values from ``start`` to ``stop``."""
+    if points <= 1:
+        return [start]
+    ratio = (stop / start) ** (1 / (points - 1))
+    return [start * ratio ** i for i in range(points)]
+
+
+class Table:
+    """Accumulates rows and renders an aligned ASCII table.
+
+    >>> t = Table(["x", "time"])
+    >>> t.add(0.01, "12ms")
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, columns: Sequence[str], title: Optional[str] = None):
+        self.columns = list(columns)
+        self.title = title
+        self.rows: List[List[str]] = []
+
+    def add(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        self.rows.append([_cell(v) for v in values])
+
+    def render(self) -> str:
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in self.rows))
+            if self.rows
+            else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        lines = []
+        if self.title:
+            lines.append(self.title)
+            lines.append("=" * len(self.title))
+        lines.append("  ".join(c.ljust(w) for c, w in zip(self.columns, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        print(self.render())
+        print()
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value != 0 and (abs(value) >= 1e6 or abs(value) < 1e-3):
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,194 @@
+"""World-set descriptors (ws-descriptors).
+
+A ws-descriptor is a partial valuation of world-table variables — a
+conjunction of assignments ``{x -> 1, y -> 2}`` describing the set of
+possible worlds whose total valuations extend it (Section 2 of the paper).
+
+Descriptors live in two forms:
+
+* the *logical* form used by the Python API: an immutable mapping
+  (:class:`Descriptor`), and
+* the *relational encoding* used inside U-relations: ``2k`` columns
+  ``c1, w1, ..., ck, wk`` holding (variable, value) pairs, padded by
+  repeating an existing pair (Definition 2.2 allows repetition).
+
+The empty descriptor denotes the full world-set; relationally it is padded
+with the reserved trivial variable :data:`TOP_VARIABLE`, which every world
+table defines with the singleton domain ``{0}`` (the paper's "new variable
+with a singleton domain" shortcut).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "Descriptor",
+    "TOP_VARIABLE",
+    "TOP_VALUE",
+    "consistent",
+    "encode_descriptor",
+    "decode_descriptor",
+    "descriptor_columns",
+]
+
+#: Reserved trivial variable used to pad empty descriptors.  Every
+#: :class:`~repro.core.worldtable.WorldTable` defines it with domain ``{0}``.
+TOP_VARIABLE = "_t"
+TOP_VALUE = 0
+
+
+class Descriptor:
+    """An immutable partial valuation ``variable -> domain value``."""
+
+    __slots__ = ("_items",)
+
+    def __init__(self, assignments: Optional[Mapping[str, Any]] = None, **kwargs: Any):
+        merged: Dict[str, Any] = dict(assignments or {})
+        merged.update(kwargs)
+        merged.pop(TOP_VARIABLE, None)  # the trivial variable carries no information
+        self._items: Tuple[Tuple[str, Any], ...] = tuple(sorted(merged.items()))
+
+    # ------------------------------------------------------------------
+    # mapping-ish protocol
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[Tuple[str, Any]]) -> "Descriptor":
+        """Build a descriptor from (variable, value) pairs.
+
+        Raises :class:`ValueError` if the same variable is given two
+        different values (an internally inconsistent descriptor).
+        """
+        mapping: Dict[str, Any] = {}
+        for var, val in pairs:
+            if var in mapping and mapping[var] != val:
+                raise ValueError(
+                    f"inconsistent descriptor: {var} -> {mapping[var]} and {var} -> {val}"
+                )
+            mapping[var] = val
+        return cls(mapping)
+
+    @property
+    def empty(self) -> bool:
+        return not self._items
+
+    def items(self) -> Tuple[Tuple[str, Any], ...]:
+        return self._items
+
+    def variables(self) -> Tuple[str, ...]:
+        return tuple(var for var, _ in self._items)
+
+    def __getitem__(self, var: str) -> Any:
+        for v, val in self._items:
+            if v == var:
+                return val
+        raise KeyError(var)
+
+    def get(self, var: str, default: Any = None) -> Any:
+        for v, val in self._items:
+            if v == var:
+                return val
+        return default
+
+    def __contains__(self, var: str) -> bool:
+        return any(v == var for v, _ in self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.variables())
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Descriptor) and self._items == other._items
+
+    def __hash__(self) -> int:
+        return hash(self._items)
+
+    def __repr__(self) -> str:
+        if not self._items:
+            return "{}"
+        return "{" + ", ".join(f"{v}->{val}" for v, val in self._items) + "}"
+
+    # ------------------------------------------------------------------
+    # descriptor algebra
+    # ------------------------------------------------------------------
+    def consistent_with(self, other: "Descriptor") -> bool:
+        """The ψ test: no variable maps to two different values."""
+        mine = dict(self._items)
+        for var, val in other._items:
+            if var in mine and mine[var] != val:
+                return False
+        return True
+
+    def union(self, other: "Descriptor") -> "Descriptor":
+        """The combined descriptor (caller must ensure consistency)."""
+        if not self.consistent_with(other):
+            raise ValueError(f"inconsistent descriptors: {self!r} vs {other!r}")
+        merged = dict(self._items)
+        merged.update(other._items)
+        return Descriptor(merged)
+
+    def extended_by(self, valuation: Mapping[str, Any]) -> bool:
+        """Whether a total valuation extends this descriptor (footnote 2)."""
+        for var, val in self._items:
+            if valuation.get(var) != val:
+                return False
+        return True
+
+
+def consistent(left: Descriptor, right: Descriptor) -> bool:
+    """Module-level alias for :meth:`Descriptor.consistent_with`."""
+    return left.consistent_with(right)
+
+
+# ----------------------------------------------------------------------
+# relational encoding
+# ----------------------------------------------------------------------
+def descriptor_columns(width: int, start: int = 1) -> List[str]:
+    """Column names of a width-``width`` relational descriptor encoding.
+
+    ``descriptor_columns(2)`` -> ``['c1', 'w1', 'c2', 'w2']``.
+    """
+    names: List[str] = []
+    for i in range(start, start + width):
+        names.append(f"c{i}")
+        names.append(f"w{i}")
+    return names
+
+
+def encode_descriptor(descriptor: Descriptor, width: int) -> Tuple[Any, ...]:
+    """Encode a descriptor as a flat ``(c1, w1, ..., ck, wk)`` tuple.
+
+    Descriptors shorter than ``width`` are padded by repeating the first
+    pair; the empty descriptor is padded with the trivial variable.
+    """
+    items = list(descriptor.items())
+    if len(items) > width:
+        raise ValueError(
+            f"descriptor {descriptor!r} has {len(items)} pairs, exceeds width {width}"
+        )
+    if not items:
+        items = [(TOP_VARIABLE, TOP_VALUE)]
+    pad = items[0]
+    out: List[Any] = []
+    for i in range(width):
+        var, val = items[i] if i < len(items) else pad
+        out.append(var)
+        out.append(val)
+    return tuple(out)
+
+
+def decode_descriptor(encoded: Tuple[Any, ...]) -> Descriptor:
+    """Decode a flat ``(c1, w1, ..., ck, wk)`` tuple back to a descriptor.
+
+    Repeated pads and the trivial variable disappear; inconsistent encodings
+    raise :class:`ValueError` (they cannot arise from valid U-relations).
+    """
+    pairs = []
+    for i in range(0, len(encoded), 2):
+        var, val = encoded[i], encoded[i + 1]
+        if var == TOP_VARIABLE:
+            continue
+        pairs.append((var, val))
+    return Descriptor.from_pairs(pairs)

@@ -1,0 +1,184 @@
+"""Algebraic equivalences for the merge operator (Figure 2) and the
+early/late materialization strategies of Figure 3.
+
+The six Figure 2 rules:
+
+1. ``merge(pi_X(R), pi_{A-X}(R)) = R``            (merge inverts partitioning)
+2. ``merge(R, S) = merge(S, R)``                  (commutativity)
+3. ``merge(merge(R, S), T) = merge(R, merge(S, T))`` (associativity)
+4. ``sigma_phi(merge(R, S)) = merge(sigma_phi(R), S)`` when phi only
+   references ``sch(R)``                          (selection pushdown)
+5. ``merge(R, S) join_phi T = merge(R join_phi T, S)`` when phi references
+   only ``sch(R) + sch(T)``                       (join pull-out)
+6. ``pi_X(merge(R, S)) = merge(pi_{X∩A}(R), pi_{X∩B}(S))`` (projection split)
+
+This module provides them as *rewrites on logical query trees* (used by the
+Figure 3 merge-placement ablation and verified semantically by the test
+suite) plus the two translation strategies the experiments compare:
+
+* :func:`translate_late` — the default: partitions are merged in as late as
+  possible and only when needed (late materialization; plans P2/P3),
+* :func:`translate_early` — the naive plan P1: every relation is fully
+  reconstructed from all its partitions before any other operation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from ..relational.expressions import columns_of
+from .query import Poss, Rel, UJoin, UMerge, UProject, UQuery, USelect, UUnion
+from .translate import Translated, _Translator
+from .udatabase import UDatabase
+
+__all__ = [
+    "translate_late",
+    "translate_early",
+    "rule2_commute",
+    "rule3_reassociate",
+    "rule4_selection_into_merge",
+    "rule5_join_into_merge",
+    "rule6_projection_into_merge",
+    "apply_merge_rules",
+]
+
+
+# ----------------------------------------------------------------------
+# translation strategies (Figure 3 / Figure 14)
+# ----------------------------------------------------------------------
+def translate_late(query: UQuery, udb: UDatabase) -> Translated:
+    """Default strategy: minimal partition cover, merged as needed."""
+    translator = _Translator(udb)
+    needed = set(translator.attributes_of(query))
+    return translator.translate(query, needed)
+
+
+def translate_early(query: UQuery, udb: UDatabase) -> Translated:
+    """Naive plan P1: reconstruct every relation fully before querying."""
+    translator = _Translator(udb, merge_all=True)
+    return translator.translate(query, None)
+
+
+# ----------------------------------------------------------------------
+# Figure 2 rewrites (single-step, return None when not applicable)
+# ----------------------------------------------------------------------
+def rule2_commute(query: UQuery) -> Optional[UQuery]:
+    """merge(R, S) -> merge(S, R)."""
+    if isinstance(query, UMerge):
+        return UMerge(query.right, query.left)
+    return None
+
+
+def rule3_reassociate(query: UQuery) -> Optional[UQuery]:
+    """merge(merge(R, S), T) -> merge(R, merge(S, T))."""
+    if isinstance(query, UMerge) and isinstance(query.left, UMerge):
+        inner = query.left
+        return UMerge(inner.left, UMerge(inner.right, query.right))
+    return None
+
+
+def rule4_selection_into_merge(query: UQuery) -> Optional[UQuery]:
+    """sigma_phi(merge(R, S)) -> merge(sigma_phi(R), S) when phi covers R."""
+    if not (isinstance(query, USelect) and isinstance(query.child, UMerge)):
+        return None
+    merge = query.child
+    refs = columns_of(query.predicate)
+    if _covers(merge.left, refs):
+        return UMerge(USelect(merge.left, query.predicate), merge.right)
+    if _covers(merge.right, refs):
+        return UMerge(merge.left, USelect(merge.right, query.predicate))
+    return None
+
+
+def rule5_join_into_merge(query: UQuery) -> Optional[UQuery]:
+    """merge(R, S) join_phi T -> merge(R join_phi T, S) when phi covers R+T."""
+    if not isinstance(query, UJoin):
+        return None
+    refs = columns_of(query.predicate)
+    if isinstance(query.left, UMerge):
+        merge, other = query.left, query.right
+        if _covers_pair(merge.left, other, refs):
+            return UMerge(UJoin(merge.left, other, query.predicate), merge.right)
+    if isinstance(query.right, UMerge):
+        merge, other = query.right, query.left
+        if _covers_pair(other, merge.left, refs):
+            return UMerge(UJoin(other, merge.left, query.predicate), merge.right)
+    return None
+
+
+def rule6_projection_into_merge(query: UQuery) -> Optional[UQuery]:
+    """pi_X(merge(R, S)) -> merge(pi_{X∩A}(R), pi_{X∩B}(S))."""
+    if not (isinstance(query, UProject) and isinstance(query.child, UMerge)):
+        return None
+    merge = query.child
+    left_attrs = set(merge.left.attributes)
+    right_attrs = set(merge.right.attributes)
+    left_keep = [a for a in query.attributes if a in left_attrs]
+    right_keep = [a for a in query.attributes if a in right_attrs and a not in left_attrs]
+    if not left_keep or not (left_keep or right_keep):
+        return None
+    left = UProject(merge.left, left_keep) if left_keep != list(merge.left.attributes) else merge.left
+    if right_keep:
+        right = (
+            UProject(merge.right, right_keep)
+            if right_keep != list(merge.right.attributes)
+            else merge.right
+        )
+        return UMerge(left, right)
+    return left if len(left_keep) == len(query.attributes) else None
+
+
+def apply_merge_rules(query: UQuery) -> UQuery:
+    """Exhaustively push selections and projections into merges (rules 4+6).
+
+    This is the classical heuristic of Section 3: filter partitions before
+    reconstructing tuples, so merges process fewer and narrower tuples.
+    """
+    changed = True
+    while changed:
+        query, changed = _rewrite_once(query)
+    return query
+
+
+def _rewrite_once(query: UQuery):
+    for rule in (rule4_selection_into_merge, rule6_projection_into_merge):
+        rewritten = rule(query)
+        if rewritten is not None:
+            return rewritten, True
+    new_children = []
+    changed = False
+    for child in query.children:
+        new_child, child_changed = _rewrite_once(child)
+        new_children.append(new_child)
+        changed = changed or child_changed
+    if not changed:
+        return query, False
+    return _rebuild(query, new_children), True
+
+
+def _rebuild(query: UQuery, children) -> UQuery:
+    if isinstance(query, USelect):
+        return USelect(children[0], query.predicate)
+    if isinstance(query, UProject):
+        return UProject(children[0], query.attributes)
+    if isinstance(query, UJoin):
+        return UJoin(children[0], children[1], query.predicate)
+    if isinstance(query, UMerge):
+        return UMerge(children[0], children[1])
+    if isinstance(query, UUnion):
+        return UUnion(children[0], children[1])
+    if isinstance(query, Poss):
+        return Poss(children[0])
+    return query
+
+
+def _covers(query: UQuery, refs) -> bool:
+    attrs = set(query.attributes)
+    bases = {a.split(".", 1)[-1] for a in attrs}
+    return all(r in attrs or r.split(".", 1)[-1] in bases for r in refs)
+
+
+def _covers_pair(a: UQuery, b: UQuery, refs) -> bool:
+    attrs = set(a.attributes) | set(b.attributes)
+    bases = {x.split(".", 1)[-1] for x in attrs}
+    return all(r in attrs or r.split(".", 1)[-1] in bases for r in refs)

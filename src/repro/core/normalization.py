@@ -1,0 +1,188 @@
+"""Normalization of ws-descriptors (Algorithm 1, Section 4).
+
+A U-relational database is *normalized* when every ws-descriptor has size
+one.  Algorithm 1 achieves this by:
+
+1. building the co-occurrence graph over variables (two variables are
+   connected when they appear together in some ws-descriptor),
+2. computing its connected components,
+3. replacing each component ``G_i = {c_1..c_m}`` by a single fresh variable
+   ``g_i`` whose domain is the product of the member domains, and
+4. expanding each tuple whose descriptor fixes only part of its component:
+   one output tuple per completion of the unfixed variables (the paper's
+   inner loop over ``W``), with the combined assignment injectively encoded
+   as the new domain value (we use the tuple of member values, ordered by
+   variable name — an injective ``f``).
+
+Theorem 4.2: the result is a normalized, reduced U-relational database
+representing the same world-set.  The normalized form corresponds exactly
+to a world-set decomposition (Section 5) and is what the certain-answer
+computation of Lemma 4.3 operates on.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from ..relational.relation import Relation
+from ..relational.schema import Schema
+from .descriptor import TOP_VARIABLE, Descriptor, descriptor_columns, encode_descriptor
+from .udatabase import UDatabase
+from .urelation import URelation
+from .worldtable import WorldTable
+
+__all__ = [
+    "normalize_udatabase",
+    "normalize_urelations",
+    "variable_components",
+    "component_name",
+    "is_normalized",
+]
+
+
+def variable_components(
+    urelations: Iterable[URelation], world_table: WorldTable
+) -> List[FrozenSet[str]]:
+    """Connected components of the variable co-occurrence graph.
+
+    Variables never co-occurring with others form singleton components; all
+    world-table variables are covered so domains stay representable.
+    """
+    parent: Dict[str, str] = {}
+
+    def find(x: str) -> str:
+        while parent.setdefault(x, x) != x:
+            parent[x] = parent[parent[x]]  # path halving
+            x = parent[x]
+        return x
+
+    def union(a: str, b: str) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[ra] = rb
+
+    for var in world_table.variables():
+        find(var)
+    for urel in urelations:
+        for descriptor, _tids, _values in urel:
+            variables = descriptor.variables()
+            for a, b in zip(variables, variables[1:]):
+                union(a, b)
+    groups: Dict[str, Set[str]] = {}
+    for var in list(parent):
+        groups.setdefault(find(var), set()).add(var)
+    return sorted((frozenset(g) for g in groups.values()), key=lambda g: sorted(g))
+
+
+def component_name(component: FrozenSet[str]) -> str:
+    """Deterministic name of the fused variable for a component."""
+    members = sorted(component)
+    if len(members) == 1:
+        return members[0]
+    return "+".join(members)
+
+
+def normalize_urelations(
+    urelations: Sequence[URelation], world_table: WorldTable
+) -> Tuple[List[URelation], WorldTable]:
+    """Algorithm 1 applied to a list of U-relations sharing a world table."""
+    components = variable_components(urelations, world_table)
+    component_of: Dict[str, FrozenSet[str]] = {}
+    for comp in components:
+        for var in comp:
+            component_of[var] = comp
+
+    # new world table: one variable per component, domain = member products;
+    # probabilities multiply across independent members (Section 7 extension)
+    new_world = WorldTable()
+    for comp in components:
+        members = sorted(comp)
+        if len(members) == 1:
+            var = members[0]
+            domain = world_table.domain(var)
+            probs = [world_table.probability(var, v) for v in domain]
+            new_world.add_variable(var, domain, probs)
+            continue
+        domain = list(
+            itertools.product(*(world_table.domain(m) for m in members))
+        )
+        probs = [
+            _product(
+                world_table.probability(m, v) for m, v in zip(members, combo)
+            )
+            for combo in domain
+        ]
+        new_world.add_variable(component_name(comp), domain, probs)
+
+    out: List[URelation] = []
+    for urel in urelations:
+        schema = Schema(
+            descriptor_columns(1) + list(urel.tid_names) + list(urel.value_names)
+        )
+        rows = []
+        for descriptor, tids, values in urel:
+            if descriptor.empty:
+                rows.append(
+                    encode_descriptor(Descriptor(), 1) + tids + values
+                )
+                continue
+            comp = component_of[descriptor.variables()[0]]
+            members = sorted(comp)
+            if len(members) == 1:
+                var = members[0]
+                rows.append(
+                    encode_descriptor(Descriptor({var: descriptor[var]}), 1)
+                    + tids
+                    + values
+                )
+                continue
+            fixed = {v: descriptor[v] for v in descriptor.variables()}
+            free = [m for m in members if m not in fixed]
+            for combo in itertools.product(*(world_table.domain(m) for m in free)):
+                assignment = dict(fixed)
+                assignment.update(zip(free, combo))
+                value = tuple(assignment[m] for m in members)
+                rows.append(
+                    encode_descriptor(
+                        Descriptor({component_name(comp): value}), 1
+                    )
+                    + tids
+                    + values
+                )
+        out.append(URelation(Relation(schema, rows), 1, urel.tid_names, urel.value_names))
+    return out, new_world
+
+
+def normalize_udatabase(udb: UDatabase) -> UDatabase:
+    """Normalize every U-relation of a database (shared component analysis)."""
+    all_parts: List[URelation] = []
+    layout: List[Tuple[str, int]] = []
+    for name in udb.relation_names():
+        parts = udb.partitions(name)
+        layout.append((name, len(parts)))
+        all_parts.extend(parts)
+    normalized, new_world = normalize_urelations(all_parts, udb.world_table)
+    out = UDatabase(new_world)
+    cursor = 0
+    for name, count in layout:
+        schema = udb.logical_schema(name)
+        out.add_relation(name, schema.attributes, normalized[cursor : cursor + count])
+        cursor += count
+    return out
+
+
+def _product(values: Iterable[float]) -> float:
+    out = 1.0
+    for v in values:
+        out *= v
+    return out
+
+
+def is_normalized(urelations: Iterable[URelation]) -> bool:
+    """True when every ws-descriptor has size at most one."""
+    for urel in urelations:
+        for descriptor, _tids, _values in urel:
+            if len(descriptor) > 1:
+                return False
+    return True

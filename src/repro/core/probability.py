@@ -1,0 +1,139 @@
+"""Probabilistic U-relations (Section 7).
+
+The probabilistic extension adds a probability column ``P`` to the world
+table such that each variable's probabilities sum to one; variables are
+independent.  Positive relational algebra evaluation is *unchanged* — only
+confidence computation is new:
+
+    conf(t) = P( union of the world-sets of t's ws-descriptors )
+
+Confidence computation is #P-hard in general (the paper cites [10]), so we
+provide:
+
+* :func:`exact_confidence` — exact by variable elimination over the
+  (usually few) variables a tuple's descriptors touch: enumerate the joint
+  assignments of the touched variables and add up the probabilities of
+  assignments satisfying at least one descriptor,
+* :func:`monte_carlo_confidence` — naive Monte-Carlo estimation by sampling
+  total valuations of the touched variables, and
+* :func:`tuple_confidences` — confidences for every possible tuple of a
+  query-result U-relation (grouping rows by value tuple).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..relational.relation import Relation
+from ..relational.schema import Schema
+from .descriptor import Descriptor
+from .urelation import URelation
+from .worldtable import WorldTable
+
+__all__ = [
+    "exact_confidence",
+    "monte_carlo_confidence",
+    "tuple_confidences",
+    "confidence_relation",
+]
+
+
+def exact_confidence(descriptors: Sequence[Descriptor], world_table: WorldTable) -> float:
+    """Exact probability of the union of descriptor world-sets.
+
+    Complexity is exponential only in the number of *distinct variables
+    touched by the descriptors*, not in the world-table size — exactly the
+    locality normalization exploits (Section 7 notes normalization matters
+    for confidence computation).
+    """
+    descriptors = [d for d in descriptors]
+    if not descriptors:
+        return 0.0
+    if any(d.empty for d in descriptors):
+        return 1.0
+    touched = sorted({var for d in descriptors for var in d.variables()})
+    domains = [world_table.domain(v) for v in touched]
+    total = 0.0
+    for combo in itertools.product(*domains):
+        assignment = dict(zip(touched, combo))
+        if any(d.extended_by({**assignment, "_t": 0}) for d in descriptors):
+            p = 1.0
+            for var, value in assignment.items():
+                p *= world_table.probability(var, value)
+            total += p
+    return total
+
+
+def monte_carlo_confidence(
+    descriptors: Sequence[Descriptor],
+    world_table: WorldTable,
+    samples: int = 10_000,
+    seed: int = 0,
+) -> float:
+    """Monte-Carlo estimate of the union probability.
+
+    Samples assignments of the touched variables only; the estimator is
+    unbiased with standard error ``sqrt(p(1-p)/samples)``.
+    """
+    descriptors = [d for d in descriptors]
+    if not descriptors:
+        return 0.0
+    if any(d.empty for d in descriptors):
+        return 1.0
+    touched = sorted({var for d in descriptors for var in d.variables()})
+    rng = random.Random(seed)
+    hits = 0
+    for _ in range(samples):
+        assignment = {"_t": 0}
+        for var in touched:
+            domain = world_table.domain(var)
+            weights = [world_table.probability(var, v) for v in domain]
+            assignment[var] = rng.choices(domain, weights=weights, k=1)[0]
+        if any(d.extended_by(assignment) for d in descriptors):
+            hits += 1
+    return hits / samples
+
+
+def tuple_confidences(
+    result: URelation,
+    world_table: WorldTable,
+    method: str = "exact",
+    samples: int = 10_000,
+    seed: int = 0,
+) -> Dict[Tuple[Any, ...], float]:
+    """Confidence of every possible value tuple of a result U-relation."""
+    groups: Dict[Tuple[Any, ...], List[Descriptor]] = {}
+    for descriptor, _tids, values in result:
+        groups.setdefault(values, []).append(descriptor)
+    out: Dict[Tuple[Any, ...], float] = {}
+    for values, descriptors in groups.items():
+        if method == "exact":
+            out[values] = exact_confidence(descriptors, world_table)
+        elif method == "monte-carlo":
+            out[values] = monte_carlo_confidence(
+                descriptors, world_table, samples=samples, seed=seed
+            )
+        else:
+            raise ValueError(f"unknown method {method!r}; use 'exact' or 'monte-carlo'")
+    return out
+
+
+def confidence_relation(
+    result: URelation,
+    world_table: WorldTable,
+    method: str = "exact",
+    samples: int = 10_000,
+    seed: int = 0,
+) -> Relation:
+    """Possible tuples with a trailing ``conf`` column, sorted by confidence."""
+    confidences = tuple_confidences(
+        result, world_table, method=method, samples=samples, seed=seed
+    )
+    schema = Schema(list(result.value_names) + ["conf"])
+    rows = sorted(
+        (values + (conf,) for values, conf in confidences.items()),
+        key=lambda row: (-row[-1], tuple(map(repr, row[:-1]))),
+    )
+    return Relation(schema, rows)

@@ -1,0 +1,300 @@
+"""Logical-level query algebra over uncertain relations.
+
+Users write positive relational algebra extended with ``poss`` against the
+*logical* schema (the uncertain relations), exactly as in the paper:
+
+    poss( project( select( join(Rel("customer", "c"), Rel("orders", "o"),
+                                 pred), pred2), ["o.orderdate"]) )
+
+Query nodes:
+
+* :class:`Rel` — a logical relation reference (optionally aliased; aliasing
+  is required for self-joins so tuple-id columns stay disjoint),
+* :class:`USelect` — σ with a predicate over logical value attributes,
+* :class:`UProject` — π onto logical attributes,
+* :class:`UJoin` — ⋈ with a predicate over both sides' attributes,
+* :class:`UUnion` — ∪ of union-compatible subqueries,
+* :class:`UMerge` — explicit merge of two partitions of the same relation
+  (normally inserted automatically by the translator),
+* :class:`Poss` — the "possible" operation closing the world semantics,
+* :class:`Certain` — certain answers (Section 4; evaluated via the
+  normalization + Lemma 4.3 pipeline in :mod:`repro.core.certain`).
+
+Each node computes its logical output attributes eagerly, and
+:func:`evaluate_in_world` provides the per-world semantics used as the
+correctness oracle by the tests (``poss(Q) = U_worlds Q(world)``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..relational.expressions import Expression, columns_of
+from ..relational.relation import Relation
+from ..relational.schema import Schema
+
+__all__ = [
+    "UQuery",
+    "Rel",
+    "USelect",
+    "UProject",
+    "UJoin",
+    "UUnion",
+    "UMerge",
+    "Poss",
+    "Certain",
+    "evaluate_in_world",
+]
+
+
+class UQuery:
+    """Base class for logical-level query nodes."""
+
+    attributes: Tuple[str, ...]
+
+    @property
+    def children(self) -> Tuple["UQuery", ...]:
+        return ()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({', '.join(self.attributes)})"
+
+
+class Rel(UQuery):
+    """A logical relation reference, optionally under an alias.
+
+    Attributes are not known until the query is bound to a
+    :class:`~repro.core.udatabase.UDatabase`; the translator fills them in.
+    For building predicates, reference attributes as ``alias.attr`` when an
+    alias is given, else by bare name.
+    """
+
+    def __init__(self, name: str, alias: Optional[str] = None):
+        self.name = name
+        self.alias = alias
+        self.attributes = ()  # resolved against a UDatabase at translation time
+
+    def qualified(self, attribute: str) -> str:
+        """The reference for one of this relation's attributes."""
+        if self.alias:
+            return f"{self.alias}.{attribute}"
+        return attribute
+
+    def __repr__(self) -> str:
+        if self.alias:
+            return f"Rel({self.name} AS {self.alias})"
+        return f"Rel({self.name})"
+
+
+class USelect(UQuery):
+    """σ_predicate over logical value attributes."""
+
+    def __init__(self, child: UQuery, predicate: Expression):
+        self.child = child
+        self.predicate = predicate
+        self.attributes = child.attributes
+
+    @property
+    def children(self) -> Tuple[UQuery, ...]:
+        return (self.child,)
+
+
+class UProject(UQuery):
+    """π onto a list of logical attributes."""
+
+    def __init__(self, child: UQuery, attributes: Sequence[str]):
+        self.child = child
+        self.attributes = tuple(attributes)
+
+    @property
+    def children(self) -> Tuple[UQuery, ...]:
+        return (self.child,)
+
+
+class UJoin(UQuery):
+    """Inner join of two subqueries with a predicate over value attributes."""
+
+    def __init__(self, left: UQuery, right: UQuery, predicate: Expression):
+        self.left = left
+        self.right = right
+        self.predicate = predicate
+        self.attributes = left.attributes + right.attributes
+
+    @property
+    def children(self) -> Tuple[UQuery, ...]:
+        return (self.left, self.right)
+
+
+class UUnion(UQuery):
+    """Union of two union-compatible subqueries (attribute names from left)."""
+
+    def __init__(self, left: UQuery, right: UQuery):
+        self.left = left
+        self.right = right
+        self.attributes = left.attributes
+
+    @property
+    def children(self) -> Tuple[UQuery, ...]:
+        return (self.left, self.right)
+
+
+class UMerge(UQuery):
+    """Explicit merge of two vertical partitions of the same relation.
+
+    Normally the translator inserts merges automatically; the node exists so
+    the Figure 2 equivalences and the Figure 3 plan ablation can construct
+    specific merge placements by hand.
+    """
+
+    def __init__(self, left: UQuery, right: UQuery):
+        self.left = left
+        self.right = right
+        self.attributes = tuple(
+            list(left.attributes)
+            + [a for a in right.attributes if a not in set(left.attributes)]
+        )
+
+    @property
+    def children(self) -> Tuple[UQuery, ...]:
+        return (self.left, self.right)
+
+
+class Poss(UQuery):
+    """The ``possible`` operation: all tuples occurring in some world."""
+
+    def __init__(self, child: UQuery):
+        self.child = child
+        self.attributes = child.attributes
+
+    @property
+    def children(self) -> Tuple[UQuery, ...]:
+        return (self.child,)
+
+
+class Certain(UQuery):
+    """Certain answers: tuples occurring in *every* world (Section 4)."""
+
+    def __init__(self, child: UQuery):
+        self.child = child
+        self.attributes = child.attributes
+
+    @property
+    def children(self) -> Tuple[UQuery, ...]:
+        return (self.child,)
+
+
+# ----------------------------------------------------------------------
+# per-world (oracle) semantics
+# ----------------------------------------------------------------------
+def evaluate_in_world(query: UQuery, instances: Mapping[str, Relation]) -> Relation:
+    """Evaluate a query in a single world (set semantics).
+
+    ``instances`` maps logical relation names to their one-world instances.
+    ``Poss``/``Certain`` are world-set operations and cannot be evaluated
+    inside a single world; callers strip them first.
+    """
+    if isinstance(query, (Poss, Certain)):
+        raise ValueError("poss/certain are world-set level operations")
+    result = _eval(query, instances)
+    return result.distinct()
+
+
+def _eval(query: UQuery, instances: Mapping[str, Relation]) -> Relation:
+    if isinstance(query, Rel):
+        relation = instances[query.name]
+        if query.alias:
+            return relation.qualify(query.alias)
+        return relation
+    if isinstance(query, USelect):
+        child = _eval(query.child, instances)
+        bound = query.predicate.bind(child.schema)
+        return child.select(bound)
+    if isinstance(query, UProject):
+        return _eval(query.child, instances).project(list(query.attributes))
+    if isinstance(query, UJoin):
+        left = _eval(query.left, instances)
+        right = _eval(query.right, instances)
+        product = left.product(right)
+        bound = query.predicate.bind(product.schema)
+        return product.select(bound)
+    if isinstance(query, UUnion):
+        left = _eval(query.left, instances)
+        right = _eval(query.right, instances)
+        return left.union(Relation(left.schema, right.rows))
+    if isinstance(query, UMerge):
+        # merge inverts vertical partitioning: it recombines fields of the
+        # *same logical tuples*.  At the instance level this tuple identity
+        # is only available through the underlying relation, so the merge is
+        # evaluated as the equivalent plain query over it (Figure 2, rule 1):
+        #     merge(pi_X(sigma_f(R)), pi_Y(sigma_g(R)))
+        #         = pi_{X u Y}(sigma_{f and g}(R))
+        rewritten = _merge_as_plain_query(query)
+        return _eval(rewritten, instances)
+    raise TypeError(f"cannot evaluate query node {type(query).__name__}")
+
+
+def _merge_as_plain_query(merge: "UMerge") -> UQuery:
+    """Rewrite a merge tree into an equivalent Rel/USelect/UProject query."""
+    from ..relational.expressions import conjunction
+
+    def analyze(node: UQuery):
+        """-> (Rel, [predicates], attributes or None for 'all')."""
+        if isinstance(node, Rel):
+            return node, [], None
+        if isinstance(node, USelect):
+            rel, preds, attrs = analyze(node.child)
+            return rel, preds + [node.predicate], attrs
+        if isinstance(node, UProject):
+            rel, preds, _ = analyze(node.child)
+            return rel, preds, list(node.attributes)
+        if isinstance(node, UMerge):
+            lrel, lpreds, lattrs = analyze(node.left)
+            rrel, rpreds, rattrs = analyze(node.right)
+            if lrel.name != rrel.name or lrel.alias != rrel.alias:
+                raise ValueError(
+                    "merge operands must be partitions of the same relation; "
+                    f"got {lrel!r} and {rrel!r}"
+                )
+            if lattrs is None or rattrs is None:
+                attrs = None
+            else:
+                attrs = lattrs + [a for a in rattrs if a not in set(lattrs)]
+            return lrel, lpreds + rpreds, attrs
+        raise ValueError(
+            f"cannot evaluate merge over {type(node).__name__} in the "
+            "per-world oracle (supported: Rel, USelect, UProject, UMerge)"
+        )
+
+    rel, preds, attrs = analyze(merge)
+    query: UQuery = rel
+    if preds:
+        query = USelect(query, conjunction(preds))
+    if attrs is not None:
+        query = UProject(query, attrs)
+    return query
+
+
+def query_relations(query: UQuery) -> List[Rel]:
+    """All Rel leaves of a query tree (in left-to-right order)."""
+    if isinstance(query, Rel):
+        return [query]
+    out: List[Rel] = []
+    for child in query.children:
+        out.extend(query_relations(child))
+    return out
+
+
+def referenced_attributes(query: UQuery) -> Set[str]:
+    """Attribute references appearing anywhere in a query tree."""
+    refs: Set[str] = set()
+
+    def walk(node: UQuery) -> None:
+        if isinstance(node, (USelect, UJoin)):
+            refs.update(columns_of(node.predicate))
+        if isinstance(node, UProject):
+            refs.update(node.attributes)
+        for child in node.children:
+            walk(child)
+
+    walk(query)
+    return refs

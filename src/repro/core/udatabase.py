@@ -1,0 +1,226 @@
+"""U-relational databases: world table + vertical partitions per relation.
+
+A :class:`UDatabase` holds, for every logical relation ``R[A1..An]``, a list
+of U-relations whose value columns jointly cover ``A1..An`` (Definition 2.2
+— overlap is allowed), plus the shared world table ``W``.
+
+This module also implements the *semantics*: instantiating the possible
+world of a total valuation (Section 2), enumerating all worlds (the
+brute-force oracle the test suite checks query translation against), and
+the validity condition (no contradictory values for a tuple field in any
+world).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from ..relational.database import Database
+from ..relational.relation import Relation
+from ..relational.schema import Schema
+from .descriptor import Descriptor
+from .urelation import URelation, tid_column
+from .worldtable import WorldTable
+
+__all__ = ["UDatabase", "LogicalSchema"]
+
+
+class LogicalSchema:
+    """The logical (uncertain) schema of one relation: name + attributes."""
+
+    def __init__(self, name: str, attributes: Sequence[str]):
+        self.name = name
+        self.attributes: Tuple[str, ...] = tuple(attributes)
+
+    def __repr__(self) -> str:
+        return f"{self.name}({', '.join(self.attributes)})"
+
+
+class UDatabase:
+    """A U-relational database (Definition 2.2)."""
+
+    def __init__(self, world_table: Optional[WorldTable] = None):
+        self.world_table = world_table or WorldTable()
+        self._partitions: Dict[str, List[URelation]] = {}
+        self._schemas: Dict[str, LogicalSchema] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_relation(
+        self, name: str, attributes: Sequence[str], partitions: Iterable[URelation]
+    ) -> None:
+        """Register a logical relation with its vertical partitions.
+
+        The partitions' value columns must jointly cover ``attributes``.
+        """
+        partitions = list(partitions)
+        covered = set()
+        for part in partitions:
+            if list(part.tid_names) != [tid_column(name)]:
+                raise ValueError(
+                    f"partition of {name!r} must have tid column {tid_column(name)!r}, "
+                    f"got {list(part.tid_names)}"
+                )
+            covered.update(part.value_names)
+        missing = set(attributes) - covered
+        if missing:
+            raise ValueError(f"partitions of {name!r} do not cover attributes {sorted(missing)}")
+        extra = covered - set(attributes)
+        if extra:
+            raise ValueError(f"partitions of {name!r} carry unknown attributes {sorted(extra)}")
+        self._schemas[name] = LogicalSchema(name, attributes)
+        self._partitions[name] = partitions
+
+    @classmethod
+    def from_certain(
+        cls, relations: Mapping[str, Relation], world_table: Optional[WorldTable] = None
+    ) -> "UDatabase":
+        """Wrap certain one-world relations as trivial U-relations."""
+        db = cls(world_table)
+        for name, relation in relations.items():
+            attrs = relation.schema.names
+            partition = URelation.from_certain_rows(relation.rows, tid_column(name), attrs)
+            db.add_relation(name, attrs, [partition])
+        return db
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def relation_names(self) -> List[str]:
+        return sorted(self._schemas)
+
+    def logical_schema(self, name: str) -> LogicalSchema:
+        try:
+            return self._schemas[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown logical relation {name!r}; have {sorted(self._schemas)}"
+            ) from None
+
+    def partitions(self, name: str) -> List[URelation]:
+        self.logical_schema(name)
+        return list(self._partitions[name])
+
+    def world_count(self) -> int:
+        return self.world_table.world_count()
+
+    def total_representation_rows(self) -> int:
+        """Rows across all U-relations plus the world table."""
+        total = len(self.world_table.relation())
+        for parts in self._partitions.values():
+            total += sum(len(p) for p in parts)
+        return total
+
+    def to_database(self) -> Database:
+        """Expose the representation as plain named relations (plus ``w``).
+
+        Partition naming follows the paper's experiments: ``u_<rel>_<attrs>``.
+        """
+        db = Database()
+        for name, parts in sorted(self._partitions.items()):
+            for part in parts:
+                label = f"u_{name}_" + "_".join(part.value_names)
+                db.create(label, part.relation, replace=True)
+        db.create("w", self.world_table.relation(), replace=True)
+        return db
+
+    def __repr__(self) -> str:
+        rels = ", ".join(
+            f"{name}[{len(parts)} parts]" for name, parts in sorted(self._partitions.items())
+        )
+        return f"UDatabase({rels}; {self.world_table!r})"
+
+    # ------------------------------------------------------------------
+    # semantics: possible worlds
+    # ------------------------------------------------------------------
+    def instantiate(self, valuation: Mapping[str, Any], name: str) -> Relation:
+        """The instance of logical relation ``name`` in one world.
+
+        Per Section 2: for every partition tuple whose descriptor the
+        valuation extends, assign its values to the fields of the tuple id;
+        tuples left partial are removed; the world's relation is a set.
+        """
+        schema = self.logical_schema(name)
+        attr_pos = {a: i for i, a in enumerate(schema.attributes)}
+        fields: Dict[Any, List[Any]] = {}
+        assigned: Dict[Any, set] = {}
+        for part in self._partitions[name]:
+            for descriptor, tids, values in part:
+                if not descriptor.extended_by(valuation):
+                    continue
+                (tid,) = tids
+                row = fields.setdefault(tid, [None] * len(schema.attributes))
+                got = assigned.setdefault(tid, set())
+                for attr, value in zip(part.value_names, values):
+                    pos = attr_pos[attr]
+                    if attr in got and row[pos] != value:
+                        raise ValueError(
+                            f"invalid U-database: field {name}.{attr} of tuple {tid!r} "
+                            f"takes both {row[pos]!r} and {value!r} in one world"
+                        )
+                    row[pos] = value
+                    got.add(attr)
+        complete = [
+            tuple(row)
+            for tid, row in fields.items()
+            if len(assigned[tid]) == len(schema.attributes)
+        ]
+        return Relation(Schema(schema.attributes), complete).distinct()
+
+    def worlds(self) -> Iterator[Tuple[Dict[str, Any], Dict[str, Relation]]]:
+        """Enumerate (valuation, {relation name -> instance}) for all worlds.
+
+        Exponential — this is the brute-force oracle for tests and for tiny
+        illustrative examples, not a query processing path.
+        """
+        for valuation in self.world_table.valuations():
+            instances = {
+                name: self.instantiate(valuation, name) for name in self._schemas
+            }
+            yield valuation, instances
+
+    def world_relations(self, valuation: Mapping[str, Any]) -> Dict[str, Relation]:
+        """All relation instances of one world."""
+        return {name: self.instantiate(valuation, name) for name in self._schemas}
+
+    # ------------------------------------------------------------------
+    # validity (Definition 2.2 / Example 2.3)
+    # ------------------------------------------------------------------
+    def is_valid(self) -> bool:
+        """Check that no world assigns two values to the same tuple field.
+
+        Pairwise check over partitions sharing value attributes: tuples with
+        the same tuple id and consistent descriptors must agree on shared
+        attributes.
+        """
+        for name, parts in self._partitions.items():
+            for i, left in enumerate(parts):
+                for right in parts[i:]:
+                    shared = set(left.value_names) & set(right.value_names)
+                    if not shared:
+                        continue
+                    if not _partitions_agree(left, right, shared, same=left is right):
+                        return False
+        return True
+
+
+def _partitions_agree(
+    left: URelation, right: URelation, shared: set, same: bool
+) -> bool:
+    left_pos = [left.value_names.index(a) for a in sorted(shared)]
+    right_pos = [right.value_names.index(a) for a in sorted(shared)]
+    by_tid: Dict[Any, List[Tuple[Descriptor, Tuple[Any, ...]]]] = {}
+    for descriptor, tids, values in right:
+        by_tid.setdefault(tids[0], []).append(
+            (descriptor, tuple(values[i] for i in right_pos))
+        )
+    for descriptor, tids, values in left:
+        mine = tuple(values[i] for i in left_pos)
+        for other_descriptor, other_values in by_tid.get(tids[0], ()):
+            if same and descriptor == other_descriptor and mine == other_values:
+                continue  # the same physical tuple
+            if descriptor.consistent_with(other_descriptor) and mine != other_values:
+                return False
+    return True

@@ -1,0 +1,116 @@
+"""``repro.relational`` — the in-memory relational engine substrate.
+
+This package is a stand-in for the off-the-shelf RDBMS (PostgreSQL 8.2) the
+paper runs on: typed schemas, relational algebra (logical plans), a rewrite
+optimizer with selection pushdown / join ordering / column pruning, physical
+operators (hash, merge, and nested-loop joins), and PostgreSQL-style EXPLAIN
+output.
+
+Quick tour::
+
+    from repro.relational import Database, Relation, Scan, Select, col, lit
+
+    db = Database()
+    db.create("r", Relation(["a", "b"], [(1, "x"), (2, "y")]))
+    result = db.run(Select(db.scan("r"), col("a") > lit(1)))
+"""
+
+from .algebra import (
+    Difference,
+    Distinct,
+    Extend,
+    Join,
+    Plan,
+    Product,
+    Project,
+    ProjectAs,
+    Rename,
+    Scan,
+    Select,
+    SemiJoin,
+    Union,
+)
+from .csvio import read_csv, write_csv
+from .database import Database
+from .explain import explain, explain_logical
+from .expressions import (
+    And,
+    Between,
+    Col,
+    Comparison,
+    Expression,
+    InList,
+    IsNull,
+    Lit,
+    Not,
+    Or,
+    col,
+    conjunction,
+    disjunction,
+    lit,
+)
+from .optimizer import estimate_rows, optimize
+from .planner import Planner, plan_physical, run
+from .physical import execute
+from .relation import Relation
+from .schema import (
+    AmbiguousColumnError,
+    Attribute,
+    Schema,
+    SchemaError,
+    UnknownColumnError,
+)
+from .types import DataType, Date
+
+__all__ = [
+    # schema / data
+    "Attribute",
+    "Schema",
+    "Relation",
+    "Database",
+    "DataType",
+    "Date",
+    "SchemaError",
+    "UnknownColumnError",
+    "AmbiguousColumnError",
+    # expressions
+    "Expression",
+    "Col",
+    "Lit",
+    "Comparison",
+    "And",
+    "Or",
+    "Not",
+    "Between",
+    "InList",
+    "IsNull",
+    "col",
+    "lit",
+    "conjunction",
+    "disjunction",
+    # algebra
+    "Plan",
+    "Scan",
+    "Select",
+    "Project",
+    "ProjectAs",
+    "Extend",
+    "Join",
+    "SemiJoin",
+    "Product",
+    "Union",
+    "Difference",
+    "Distinct",
+    "Rename",
+    # execution
+    "optimize",
+    "estimate_rows",
+    "Planner",
+    "plan_physical",
+    "run",
+    "execute",
+    "explain",
+    "explain_logical",
+    "read_csv",
+    "write_csv",
+]

@@ -1,0 +1,107 @@
+"""A named-relation catalog with a query entry point.
+
+:class:`Database` is the substrate's "RDBMS instance": a mapping from table
+names to :class:`~repro.relational.relation.Relation` values plus
+convenience methods for building scans, running logical plans, and printing
+EXPLAIN output.  The U-relations layer stores its representation relations
+(vertical partitions and the world table) in one of these.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from .algebra import Plan, Scan
+from .explain import explain as _explain
+from .optimizer import optimize
+from .planner import Planner
+from .physical import execute
+from .relation import Relation
+
+__all__ = ["Database"]
+
+
+class Database:
+    """An in-memory database: a catalog of named relations."""
+
+    def __init__(self, relations: Optional[Dict[str, Relation]] = None):
+        self._relations: Dict[str, Relation] = dict(relations or {})
+
+    # ------------------------------------------------------------------
+    # catalog management
+    # ------------------------------------------------------------------
+    def create(self, name: str, relation: Relation, replace: bool = False) -> None:
+        """Register a relation under a name."""
+        if name in self._relations and not replace:
+            raise KeyError(f"relation {name!r} already exists")
+        self._relations[name] = relation
+
+    def drop(self, name: str) -> None:
+        """Remove a relation from the catalog."""
+        del self._relations[name]
+
+    def get(self, name: str) -> Relation:
+        """Look up a relation by name."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise KeyError(
+                f"relation {name!r} not found; have {sorted(self._relations)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._relations)
+
+    def names(self):
+        """All relation names, sorted."""
+        return sorted(self._relations)
+
+    def total_rows(self) -> int:
+        """Sum of row counts over all catalog relations."""
+        return sum(len(r) for r in self._relations.values())
+
+    def size_bytes(self) -> int:
+        """Approximate in-memory payload size (for the Figure 9 analogue)."""
+        import sys
+
+        total = 0
+        for relation in self._relations.values():
+            for row in relation.rows:
+                total += sys.getsizeof(row)
+                for value in row:
+                    total += sys.getsizeof(value)
+        return total
+
+    # ------------------------------------------------------------------
+    # query execution
+    # ------------------------------------------------------------------
+    def scan(self, name: str, alias: Optional[str] = None) -> Scan:
+        """A Scan plan node over a catalog relation."""
+        return Scan(self.get(name), name=name, alias=alias)
+
+    def run(
+        self,
+        plan: Plan,
+        optimize_first: bool = True,
+        prefer_merge_join: bool = False,
+    ) -> Relation:
+        """Optimize, compile, and execute a logical plan."""
+        if optimize_first:
+            plan = optimize(plan)
+        physical = Planner(prefer_merge_join=prefer_merge_join).compile(plan)
+        return execute(physical)
+
+    def explain(
+        self,
+        plan: Plan,
+        optimize_first: bool = True,
+        prefer_merge_join: bool = False,
+    ) -> str:
+        """EXPLAIN output for a logical plan (after optimization)."""
+        if optimize_first:
+            plan = optimize(plan)
+        physical = Planner(prefer_merge_join=prefer_merge_join).compile(plan)
+        return _explain(physical)

@@ -1,0 +1,59 @@
+"""EXPLAIN-style plan rendering.
+
+Produces indented plan trees in the visual style of PostgreSQL's
+``EXPLAIN`` statement, which the paper shows in Figure 13 for the rewriting
+of query Q2.  Works for both logical and physical plans.
+
+Example output::
+
+    Hash Join  (rows=224865665)
+      Hash Cond: (u_l_shipdate.tid = u_l_quantity.tid)
+      Join Filter: ((u_l_quantity.c1 <> u_l_shipdate.c1) OR ...)
+      ->  Seq Scan on u_l_shipdate  (rows=2088896)
+            Filter: ((l_shipdate > '1994-01-01') AND ...)
+      ->  Seq Scan on u_l_quantity  (rows=2362101)
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from .algebra import Plan
+from .physical import PhysicalPlan
+
+__all__ = ["explain", "explain_logical"]
+
+
+def explain(plan: Union[PhysicalPlan, Plan]) -> str:
+    """Render a plan tree as an indented EXPLAIN string."""
+    if isinstance(plan, Plan):
+        return explain_logical(plan)
+    lines: List[str] = []
+    _render_physical(plan, lines, depth=0, arrow=False)
+    return "\n".join(lines)
+
+
+def _render_physical(node: PhysicalPlan, lines: List[str], depth: int, arrow: bool) -> None:
+    indent = "  " * depth
+    prefix = f"{indent}->  " if arrow else indent
+    rows = int(node.estimated_rows)
+    lines.append(f"{prefix}{node.explain_label()}  (rows={rows})")
+    detail_indent = "  " * depth + ("      " if arrow else "  ")
+    for detail in node.explain_details():
+        lines.append(f"{detail_indent}{detail}")
+    for child in node.children:
+        _render_physical(child, lines, depth + (2 if arrow else 1), arrow=True)
+
+
+def explain_logical(plan: Plan) -> str:
+    """Render a logical plan tree (operator labels, no cost estimates)."""
+    lines: List[str] = []
+
+    def render(node: Plan, depth: int) -> None:
+        indent = "  " * depth
+        lines.append(f"{indent}{node.node_label()}")
+        for child in node.children:
+            render(child, depth + 1)
+
+    render(plan, 0)
+    return "\n".join(lines)

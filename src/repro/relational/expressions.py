@@ -1,0 +1,487 @@
+"""Scalar expression AST for selection and join predicates.
+
+Expressions are built with a small combinator API::
+
+    from repro.relational.expressions import col, lit
+    pred = (col("o.orderdate") > lit(Date("1995-03-15"))) & col("c.custkey").eq(col("o.custkey"))
+
+An expression is *bound* against a :class:`~repro.relational.schema.Schema`
+once, producing a fast closure over row tuples.  Binding resolves column
+references to positions, so evaluation does no name lookups.
+
+NULL handling: any comparison involving ``None`` is ``False`` (the engine
+approximates SQL's three-valued logic by "unknown is false", which is the
+behaviour observable through WHERE clauses).
+
+The optimizer relies on the analysis helpers at the bottom of this module:
+:func:`split_conjuncts`, :func:`columns_of`, :func:`equijoin_pairs`.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from .schema import Schema
+from .types import format_value
+
+__all__ = [
+    "Expression",
+    "Col",
+    "Lit",
+    "Comparison",
+    "And",
+    "Or",
+    "Not",
+    "Arithmetic",
+    "IsNull",
+    "InList",
+    "Between",
+    "col",
+    "lit",
+    "conjunction",
+    "disjunction",
+    "TRUE",
+    "FALSE",
+    "split_conjuncts",
+    "columns_of",
+    "equijoin_pairs",
+]
+
+RowPredicate = Callable[[Tuple[Any, ...]], Any]
+
+
+class Expression:
+    """Base class for scalar expressions over rows."""
+
+    def bind(self, schema: Schema) -> RowPredicate:
+        """Compile into a function of a row tuple.  Overridden by subclasses."""
+        raise NotImplementedError
+
+    def columns(self) -> FrozenSet[str]:
+        """Column references (as written) occurring in this expression."""
+        raise NotImplementedError
+
+    # -- combinators ----------------------------------------------------
+    def __and__(self, other: "Expression") -> "Expression":
+        return And(self, other)
+
+    def __or__(self, other: "Expression") -> "Expression":
+        return Or(self, other)
+
+    def __invert__(self) -> "Expression":
+        return Not(self)
+
+    def eq(self, other: "Expression") -> "Comparison":
+        return Comparison("=", self, other)
+
+    def ne(self, other: "Expression") -> "Comparison":
+        return Comparison("<>", self, other)
+
+    def __lt__(self, other: "Expression") -> "Comparison":
+        return Comparison("<", self, other)
+
+    def __le__(self, other: "Expression") -> "Comparison":
+        return Comparison("<=", self, other)
+
+    def __gt__(self, other: "Expression") -> "Comparison":
+        return Comparison(">", self, other)
+
+    def __ge__(self, other: "Expression") -> "Comparison":
+        return Comparison(">=", self, other)
+
+    def __add__(self, other: "Expression") -> "Arithmetic":
+        return Arithmetic("+", self, other)
+
+    def __sub__(self, other: "Expression") -> "Arithmetic":
+        return Arithmetic("-", self, other)
+
+    def __mul__(self, other: "Expression") -> "Arithmetic":
+        return Arithmetic("*", self, other)
+
+    def is_null(self) -> "IsNull":
+        return IsNull(self)
+
+    def in_list(self, values: Iterable[Any]) -> "InList":
+        return InList(self, values)
+
+    def between(self, low: Any, high: Any) -> "Between":
+        return Between(self, low, high)
+
+
+class Col(Expression):
+    """A column reference by (possibly qualified) name."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def bind(self, schema: Schema) -> RowPredicate:
+        i = schema.resolve(self.name)
+        return lambda row: row[i]
+
+    def columns(self) -> FrozenSet[str]:
+        return frozenset([self.name])
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class Lit(Expression):
+    """A literal constant."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def bind(self, schema: Schema) -> RowPredicate:
+        value = self.value
+        return lambda row: value
+
+    def columns(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def __repr__(self) -> str:
+        if isinstance(self.value, str):
+            return f"'{self.value}'"
+        return format_value(self.value)
+
+
+_COMPARATORS = {
+    "=": operator.eq,
+    "<>": operator.ne,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+class Comparison(Expression):
+    """A binary comparison; NULL on either side yields ``False``."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expression, right: Expression):
+        if op not in _COMPARATORS:
+            raise ValueError(f"unknown comparison operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def bind(self, schema: Schema) -> RowPredicate:
+        fn = _COMPARATORS[self.op]
+        left = self.left.bind(schema)
+        right = self.right.bind(schema)
+
+        def evaluate(row: Tuple[Any, ...]) -> bool:
+            lv = left(row)
+            rv = right(row)
+            if lv is None or rv is None:
+                return False
+            return fn(lv, rv)
+
+        return evaluate
+
+    def columns(self) -> FrozenSet[str]:
+        return self.left.columns() | self.right.columns()
+
+    def flipped(self) -> "Comparison":
+        """The same comparison with operands swapped (``a < b`` -> ``b > a``)."""
+        flip = {"=": "=", "<>": "<>", "!=": "<>", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+        return Comparison(flip[self.op], self.right, self.left)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+class And(Expression):
+    """Logical conjunction (n-ary, flattened)."""
+
+    __slots__ = ("operands",)
+
+    def __init__(self, *operands: Expression):
+        flat: List[Expression] = []
+        for op in operands:
+            if isinstance(op, And):
+                flat.extend(op.operands)
+            else:
+                flat.append(op)
+        self.operands = tuple(flat)
+
+    def bind(self, schema: Schema) -> RowPredicate:
+        bound = [op.bind(schema) for op in self.operands]
+
+        def evaluate(row: Tuple[Any, ...]) -> bool:
+            return all(b(row) for b in bound)
+
+        return evaluate
+
+    def columns(self) -> FrozenSet[str]:
+        out: FrozenSet[str] = frozenset()
+        for op in self.operands:
+            out |= op.columns()
+        return out
+
+    def __repr__(self) -> str:
+        return "(" + " AND ".join(repr(op) for op in self.operands) + ")"
+
+
+class Or(Expression):
+    """Logical disjunction (n-ary, flattened)."""
+
+    __slots__ = ("operands",)
+
+    def __init__(self, *operands: Expression):
+        flat: List[Expression] = []
+        for op in operands:
+            if isinstance(op, Or):
+                flat.extend(op.operands)
+            else:
+                flat.append(op)
+        self.operands = tuple(flat)
+
+    def bind(self, schema: Schema) -> RowPredicate:
+        bound = [op.bind(schema) for op in self.operands]
+
+        def evaluate(row: Tuple[Any, ...]) -> bool:
+            return any(b(row) for b in bound)
+
+        return evaluate
+
+    def columns(self) -> FrozenSet[str]:
+        out: FrozenSet[str] = frozenset()
+        for op in self.operands:
+            out |= op.columns()
+        return out
+
+    def __repr__(self) -> str:
+        return "(" + " OR ".join(repr(op) for op in self.operands) + ")"
+
+
+class Not(Expression):
+    """Logical negation."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: Expression):
+        self.operand = operand
+
+    def bind(self, schema: Schema) -> RowPredicate:
+        bound = self.operand.bind(schema)
+        return lambda row: not bound(row)
+
+    def columns(self) -> FrozenSet[str]:
+        return self.operand.columns()
+
+    def __repr__(self) -> str:
+        return f"(NOT {self.operand!r})"
+
+
+_ARITHMETIC = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "/": operator.truediv,
+}
+
+
+class Arithmetic(Expression):
+    """A binary arithmetic expression; NULL-propagating."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expression, right: Expression):
+        if op not in _ARITHMETIC:
+            raise ValueError(f"unknown arithmetic operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def bind(self, schema: Schema) -> RowPredicate:
+        fn = _ARITHMETIC[self.op]
+        left = self.left.bind(schema)
+        right = self.right.bind(schema)
+
+        def evaluate(row: Tuple[Any, ...]) -> Any:
+            lv = left(row)
+            rv = right(row)
+            if lv is None or rv is None:
+                return None
+            return fn(lv, rv)
+
+        return evaluate
+
+    def columns(self) -> FrozenSet[str]:
+        return self.left.columns() | self.right.columns()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+class IsNull(Expression):
+    """SQL ``IS NULL`` test."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: Expression):
+        self.operand = operand
+
+    def bind(self, schema: Schema) -> RowPredicate:
+        bound = self.operand.bind(schema)
+        return lambda row: bound(row) is None
+
+    def columns(self) -> FrozenSet[str]:
+        return self.operand.columns()
+
+    def __repr__(self) -> str:
+        return f"({self.operand!r} IS NULL)"
+
+
+class InList(Expression):
+    """SQL ``IN (v1, v2, ...)`` against a literal list."""
+
+    __slots__ = ("operand", "values")
+
+    def __init__(self, operand: Expression, values: Iterable[Any]):
+        self.operand = operand
+        self.values = frozenset(values)
+
+    def bind(self, schema: Schema) -> RowPredicate:
+        bound = self.operand.bind(schema)
+        values = self.values
+        return lambda row: bound(row) in values
+
+    def columns(self) -> FrozenSet[str]:
+        return self.operand.columns()
+
+    def __repr__(self) -> str:
+        vals = ", ".join(sorted(format_value(v) for v in self.values))
+        return f"({self.operand!r} IN ({vals}))"
+
+
+class Between(Expression):
+    """SQL ``BETWEEN low AND high`` (inclusive), NULL-rejecting."""
+
+    __slots__ = ("operand", "low", "high")
+
+    def __init__(self, operand: Expression, low: Any, high: Any):
+        self.operand = operand
+        self.low = low if isinstance(low, Expression) else Lit(low)
+        self.high = high if isinstance(high, Expression) else Lit(high)
+
+    def bind(self, schema: Schema) -> RowPredicate:
+        bound = self.operand.bind(schema)
+        low = self.low.bind(schema)
+        high = self.high.bind(schema)
+
+        def evaluate(row: Tuple[Any, ...]) -> bool:
+            v = bound(row)
+            if v is None:
+                return False
+            return low(row) <= v <= high(row)
+
+        return evaluate
+
+    def columns(self) -> FrozenSet[str]:
+        return self.operand.columns() | self.low.columns() | self.high.columns()
+
+    def __repr__(self) -> str:
+        return f"({self.operand!r} BETWEEN {self.low!r} AND {self.high!r})"
+
+
+# ----------------------------------------------------------------------
+# convenience constructors
+# ----------------------------------------------------------------------
+def col(name: str) -> Col:
+    """Shorthand for :class:`Col`."""
+    return Col(name)
+
+
+def lit(value: Any) -> Lit:
+    """Shorthand for :class:`Lit`."""
+    return Lit(value)
+
+
+TRUE: Expression = Comparison("=", Lit(1), Lit(1))
+FALSE: Expression = Comparison("=", Lit(1), Lit(0))
+
+
+def conjunction(parts: Sequence[Expression]) -> Expression:
+    """AND together a sequence of expressions (empty -> TRUE)."""
+    parts = [p for p in parts if p is not None]
+    if not parts:
+        return TRUE
+    if len(parts) == 1:
+        return parts[0]
+    return And(*parts)
+
+
+def disjunction(parts: Sequence[Expression]) -> Expression:
+    """OR together a sequence of expressions (empty -> FALSE)."""
+    parts = [p for p in parts if p is not None]
+    if not parts:
+        return FALSE
+    if len(parts) == 1:
+        return parts[0]
+    return Or(*parts)
+
+
+# ----------------------------------------------------------------------
+# analysis helpers used by the optimizer
+# ----------------------------------------------------------------------
+def split_conjuncts(expression: Expression) -> List[Expression]:
+    """Flatten nested ANDs into a list of conjuncts."""
+    if isinstance(expression, And):
+        out: List[Expression] = []
+        for op in expression.operands:
+            out.extend(split_conjuncts(op))
+        return out
+    return [expression]
+
+
+def columns_of(expression: Expression) -> FrozenSet[str]:
+    """All column references in an expression."""
+    return expression.columns()
+
+
+def equijoin_pairs(
+    expression: Expression, left: Schema, right: Schema
+) -> Tuple[List[Tuple[str, str]], List[Expression]]:
+    """Split a join predicate into hashable equi-pairs and a residual.
+
+    Returns ``(pairs, residual)`` where each pair ``(l, r)`` is an equality
+    between a column of ``left`` and a column of ``right``, and ``residual``
+    holds every other conjunct.  Used by the planner to pick hash joins.
+    """
+    pairs: List[Tuple[str, str]] = []
+    residual: List[Expression] = []
+    for conjunct in split_conjuncts(expression):
+        pair = _as_equi_pair(conjunct, left, right)
+        if pair is not None:
+            pairs.append(pair)
+        else:
+            residual.append(conjunct)
+    return pairs, residual
+
+
+def _as_equi_pair(
+    conjunct: Expression, left: Schema, right: Schema
+) -> Optional[Tuple[str, str]]:
+    if not isinstance(conjunct, Comparison) or conjunct.op != "=":
+        return None
+    if not isinstance(conjunct.left, Col) or not isinstance(conjunct.right, Col):
+        return None
+    a, b = conjunct.left.name, conjunct.right.name
+    left_has_a = left.has(a)
+    right_has_a = right.has(a)
+    left_has_b = left.has(b)
+    right_has_b = right.has(b)
+    if left_has_a and right_has_b and not right_has_a and not left_has_b:
+        return (a, b)
+    if left_has_b and right_has_a and not right_has_b and not left_has_a:
+        return (b, a)
+    return None

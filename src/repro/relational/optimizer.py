@@ -1,0 +1,477 @@
+"""Logical plan optimizer.
+
+Implements the classical rewrites the paper relies on PostgreSQL for:
+
+1. **Conjunct splitting + selection pushdown** — σ over AND splits into
+   cascaded selections, each pushed as far toward the leaves as its column
+   references allow (through projections, renames, distinct, and into the
+   matching side of joins/products).
+2. **Product-to-join conversion** — a selection over a cartesian product
+   whose conjuncts span both sides becomes a join predicate.
+3. **Greedy selectivity-based join ordering** — cascades of joins/products
+   are flattened into a join graph and re-assembled left-deep, choosing at
+   each step the input that minimizes the estimated intermediate result,
+   avoiding cross products when any connected choice exists.  This is the
+   "standard selectivity-based cost measure" behaviour that Section 3 of the
+   paper reports works well for translated U-relation queries.
+4. **Column pruning** — projections are inserted above join inputs so that
+   only columns needed upstream flow through the pipeline (the paper's
+   plan P3 of Figure 3 projects away value attributes early).
+
+The entry point is :func:`optimize`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .algebra import (
+    Difference,
+    Distinct,
+    Extend,
+    Join,
+    Plan,
+    Product,
+    Project,
+    ProjectAs,
+    Rename,
+    Scan,
+    Select,
+    Union,
+)
+from .expressions import (
+    Expression,
+    columns_of,
+    conjunction,
+    equijoin_pairs,
+    split_conjuncts,
+)
+from .statistics import (
+    DEFAULT_SELECTIVITY,
+    ColumnStats,
+    TableStats,
+    join_cardinality,
+    selectivity,
+)
+
+__all__ = ["optimize", "push_selections", "order_joins", "prune_columns", "estimate_rows"]
+
+
+def optimize(plan: Plan) -> Plan:
+    """Full rewrite pipeline: pushdown, join ordering, column pruning."""
+    original_names = plan.schema.names
+    plan = push_selections(plan)
+    plan = order_joins(plan)
+    plan = push_selections(plan)  # join reordering can expose new pushdowns
+    plan = prune_columns(plan, set(original_names))
+    if plan.schema.names != original_names:
+        plan = Project(plan, original_names)
+    return plan
+
+
+# ======================================================================
+# selection pushdown
+# ======================================================================
+def push_selections(plan: Plan) -> Plan:
+    """Split conjunctions and push selections toward the leaves."""
+    plan = plan.with_children([push_selections(c) for c in plan.children])
+    if isinstance(plan, Select):
+        conjuncts = split_conjuncts(plan.predicate)
+        return _push_conjuncts(plan.child, conjuncts)
+    return plan
+
+
+def _push_conjuncts(child: Plan, conjuncts: Sequence[Expression]) -> Plan:
+    """Push each conjunct into ``child`` where possible; wrap the rest."""
+    remaining: List[Expression] = []
+    for conjunct in conjuncts:
+        pushed = _push_one(child, conjunct)
+        if pushed is None:
+            remaining.append(conjunct)
+        else:
+            child = pushed
+    if remaining:
+        return Select(child, conjunction(remaining))
+    return child
+
+
+def _push_one(plan: Plan, conjunct: Expression) -> Optional[Plan]:
+    """Try to push one conjunct below ``plan``; return new plan or None."""
+    refs = columns_of(conjunct)
+
+    if isinstance(plan, Select):
+        inner = _push_one(plan.child, conjunct)
+        if inner is not None:
+            return Select(inner, plan.predicate)
+        return Select(plan.child, conjunction([plan.predicate, conjunct]))
+
+    if isinstance(plan, Project):
+        if all(plan.child.schema.has(r) for r in refs):
+            return Project(_push_into(plan.child, conjunct), plan.columns)
+        return None
+
+    if isinstance(plan, ProjectAs):
+        mapping = {new: ref for ref, new in plan.items}
+        if all(r in mapping for r in refs):
+            translated = _substitute_columns(conjunct, mapping)
+            return ProjectAs(_push_into(plan.child, translated), plan.items)
+        return None
+
+    if isinstance(plan, Distinct):
+        return Distinct(_push_into(plan.child, conjunct))
+
+    if isinstance(plan, Rename):
+        inverse = {new: old for old, new in plan.mapping.items()}
+        if any(r in inverse or _base_in(inverse, r) for r in refs):
+            # renamed columns appear in the predicate: keep it above the rename
+            return None
+        if all(plan.child.schema.has(r) for r in refs):
+            return Rename(_push_into(plan.child, conjunct), plan.mapping)
+        return None
+
+    if isinstance(plan, (Join, Product)):
+        left, right = plan.children
+        left_covers = all(left.schema.has(r) for r in refs)
+        right_covers = all(right.schema.has(r) for r in refs)
+        if left_covers and not right_covers:
+            return plan.with_children([_push_into(left, conjunct), right])
+        if right_covers and not left_covers:
+            return plan.with_children([left, _push_into(right, conjunct)])
+        if left_covers and right_covers:
+            # ambiguous (same base name on both sides) — keep above
+            return None
+        # spans both sides: merge into the join predicate
+        if isinstance(plan, Join):
+            return Join(left, right, conjunction([plan.predicate, conjunct]))
+        return Join(left, right, conjunct)
+
+    if isinstance(plan, Union):
+        left, right = plan.children
+        if all(plan.schema.has(r) for r in refs):
+            # union uses the left schema's names; translate positionally
+            try:
+                right_conjunct = _translate_positionally(conjunct, plan, right)
+            except Exception:
+                return None
+            return Union(_push_into(left, conjunct), _push_into(right, right_conjunct))
+        return None
+
+    return None
+
+
+def _push_into(plan: Plan, conjunct: Expression) -> Plan:
+    """Push a conjunct into a plan, wrapping with Select if it won't go lower."""
+    pushed = _push_one(plan, conjunct)
+    if pushed is not None:
+        return pushed
+    return Select(plan, conjunct)
+
+
+def _base_in(mapping: Dict[str, str], reference: str) -> bool:
+    base = reference.split(".", 1)[-1]
+    return any(key.split(".", 1)[-1] == base for key in mapping)
+
+
+def _translate_positionally(conjunct: Expression, union_plan: Plan, right: Plan) -> Expression:
+    """Rewrite column refs of a conjunct from the union's (left) names to the
+    right child's names by position."""
+    from .expressions import Col
+
+    left_names = union_plan.schema.names
+    right_names = right.schema.names
+    position = {name: i for i, name in enumerate(left_names)}
+
+    def rewrite(expr: Expression) -> Expression:
+        if isinstance(expr, Col):
+            idx = position.get(expr.name)
+            if idx is None:
+                idx = position[left_names[union_plan.schema.resolve(expr.name)]]
+            return Col(right_names[idx])
+        clone = expr.__class__.__new__(expr.__class__)
+        for slot in _iter_slots(expr):
+            value = getattr(expr, slot)
+            if isinstance(value, Expression):
+                value = rewrite(value)
+            elif isinstance(value, tuple) and value and isinstance(value[0], Expression):
+                value = tuple(rewrite(v) for v in value)
+            object.__setattr__(clone, slot, value)
+        return clone
+
+    return rewrite(conjunct)
+
+
+def _substitute_columns(conjunct: Expression, mapping: Dict[str, str]) -> Expression:
+    """Rewrite column references through an output-name -> input-ref mapping."""
+    from .expressions import Col
+
+    def rewrite(expr: Expression) -> Expression:
+        if isinstance(expr, Col):
+            return Col(mapping.get(expr.name, expr.name))
+        clone = expr.__class__.__new__(expr.__class__)
+        for slot in _iter_slots(expr):
+            value = getattr(expr, slot)
+            if isinstance(value, Expression):
+                value = rewrite(value)
+            elif isinstance(value, tuple) and value and isinstance(value[0], Expression):
+                value = tuple(rewrite(v) for v in value)
+            object.__setattr__(clone, slot, value)
+        return clone
+
+    return rewrite(conjunct)
+
+
+def _iter_slots(expr: Expression):
+    for klass in type(expr).__mro__:
+        for slot in getattr(klass, "__slots__", ()):
+            yield slot
+
+
+# ======================================================================
+# cardinality estimation
+# ======================================================================
+_stats_cache: Dict[int, TableStats] = {}
+
+
+def _table_stats(scan: Scan) -> TableStats:
+    key = id(scan.relation)
+    stats = _stats_cache.get(key)
+    if stats is None or stats.relation is not scan.relation:
+        stats = TableStats(scan.relation)
+        _stats_cache[key] = stats
+    return stats
+
+
+def _column_stats(plan: Plan, reference: str) -> Optional[ColumnStats]:
+    """Find stats for a column by descending to the base scan that carries it."""
+    if isinstance(plan, Scan):
+        if plan.schema.has(reference):
+            idx = plan.schema.resolve(reference)
+            return _table_stats(plan).column(plan.relation.schema.names[idx])
+        return None
+    if isinstance(plan, Rename):
+        inverse = {new: old for old, new in plan.mapping.items()}
+        mapped = inverse.get(reference, reference)
+        return _column_stats(plan.child, mapped)
+    for child in plan.children:
+        if child.schema.has(reference):
+            return _column_stats(child, reference)
+    return None
+
+
+def estimate_rows(plan: Plan) -> float:
+    """Estimated output cardinality of a logical plan."""
+    if isinstance(plan, Scan):
+        return float(len(plan.relation))
+    if isinstance(plan, Select):
+        stats = _leaf_stats(plan.child)
+        return max(estimate_rows(plan.child) * selectivity(plan.predicate, stats), 0.1)
+    if isinstance(plan, (Project, ProjectAs, Rename, Extend)):
+        return estimate_rows(plan.children[0])
+    if isinstance(plan, Distinct):
+        return max(estimate_rows(plan.children[0]) * 0.9, 0.1)
+    if isinstance(plan, Join):
+        return _estimate_join(plan)
+    if isinstance(plan, Product):
+        left, right = plan.children
+        return estimate_rows(left) * estimate_rows(right)
+    if isinstance(plan, Union):
+        left, right = plan.children
+        return estimate_rows(left) + estimate_rows(right)
+    if isinstance(plan, Difference):
+        return estimate_rows(plan.children[0])
+    from .algebra import SemiJoin as _SemiJoin
+
+    if isinstance(plan, _SemiJoin):
+        return max(estimate_rows(plan.children[0]) * 0.5, 0.1)
+    return 1000.0
+
+
+def _estimate_join(plan: Join) -> float:
+    left, right = plan.children
+    left_rows = estimate_rows(left)
+    right_rows = estimate_rows(right)
+    pairs, residual = equijoin_pairs(plan.predicate, left.schema, right.schema)
+    if pairs:
+        best = left_rows * right_rows
+        for l, r in pairs:
+            cardinality = join_cardinality(
+                left_rows, right_rows, _column_stats(left, l), _column_stats(right, r)
+            )
+            best = min(best, cardinality)
+        for res in residual:
+            best *= DEFAULT_SELECTIVITY if not _is_psi_shaped(res) else 0.9
+        return max(best, 0.1)
+    return max(left_rows * right_rows * DEFAULT_SELECTIVITY, 0.1)
+
+
+def _is_psi_shaped(expression: Expression) -> bool:
+    """Heuristic: ψ-conditions (Var mismatch OR Rng equal) are barely selective."""
+    from .expressions import Or
+
+    return isinstance(expression, Or)
+
+
+def _leaf_stats(plan: Plan) -> Optional[TableStats]:
+    if isinstance(plan, Scan):
+        return _table_stats(plan)
+    if isinstance(plan, (Select, Project, Rename, Distinct)):
+        return _leaf_stats(plan.children[0])
+    return None
+
+
+# ======================================================================
+# join ordering
+# ======================================================================
+def order_joins(plan: Plan) -> Plan:
+    """Flatten join cascades and re-assemble them greedily by cardinality."""
+    plan = plan.with_children([order_joins(c) for c in plan.children])
+    if not isinstance(plan, (Join, Product)):
+        return plan
+
+    leaves, predicates = _flatten_joins(plan)
+    if len(leaves) <= 2:
+        return plan
+    ordered = _greedy_order(leaves, predicates)
+    return ordered
+
+
+def _flatten_joins(plan: Plan) -> Tuple[List[Plan], List[Expression]]:
+    """Collect the leaf inputs and all join conjuncts of a join/product tree."""
+    leaves: List[Plan] = []
+    predicates: List[Expression] = []
+
+    def walk(node: Plan) -> None:
+        if isinstance(node, Join):
+            predicates.extend(split_conjuncts(node.predicate))
+            walk(node.left)
+            walk(node.right)
+        elif isinstance(node, Product):
+            walk(node.left)
+            walk(node.right)
+        else:
+            leaves.append(node)
+
+    walk(plan)
+    return leaves, predicates
+
+
+def _greedy_order(leaves: List[Plan], predicates: List[Expression]) -> Plan:
+    """Left-deep greedy join ordering avoiding cross products when possible."""
+    unused = list(predicates)
+    remaining = list(leaves)
+
+    def applicable(schema_names: Set[str], extra: Plan) -> List[Expression]:
+        combined = schema_names | set(extra.schema.names)
+        picked = []
+        for p in unused:
+            if all(_resolvable(combined, r) for r in columns_of(p)):
+                picked.append(p)
+        return picked
+
+    # seed with the smallest leaf
+    remaining.sort(key=estimate_rows)
+    current = remaining.pop(0)
+
+    while remaining:
+        best_idx: Optional[int] = None
+        best_cost = float("inf")
+        best_connected = False
+        for i, candidate in enumerate(remaining):
+            preds = applicable(set(current.schema.names), candidate)
+            connected = bool(preds)
+            trial = (
+                Join(current, candidate, conjunction(preds))
+                if preds
+                else Product(current, candidate)
+            )
+            cost = estimate_rows(trial)
+            if (connected, -cost) > (best_connected, -best_cost):
+                best_idx, best_cost, best_connected = i, cost, connected
+        candidate = remaining.pop(best_idx)
+        preds = applicable(set(current.schema.names), candidate)
+        if preds:
+            for p in preds:
+                unused.remove(p)
+            current = Join(current, candidate, conjunction(preds))
+        else:
+            current = Product(current, candidate)
+
+    if unused:
+        current = Select(current, conjunction(unused))
+    return current
+
+
+def _resolvable(names: Set[str], reference: str) -> bool:
+    if reference in names:
+        return True
+    base = reference.split(".", 1)[-1]
+    matches = [n for n in names if n.split(".", 1)[-1] == base]
+    return len(matches) == 1 and "." not in reference
+
+
+# ======================================================================
+# column pruning
+# ======================================================================
+def prune_columns(plan: Plan, required: Set[str]) -> Plan:
+    """Insert projections so only upstream-needed columns flow through."""
+    if isinstance(plan, Project):
+        child_required = set()
+        for c in plan.columns:
+            child_required.add(plan.child.schema.names[plan.child.schema.resolve(c)])
+        return Project(prune_columns(plan.child, child_required), plan.columns)
+
+    if isinstance(plan, ProjectAs):
+        child_required = set()
+        for ref, _new in plan.items:
+            child_required.add(plan.child.schema.names[plan.child.schema.resolve(ref)])
+        return ProjectAs(prune_columns(plan.child, child_required), plan.items)
+
+    if isinstance(plan, Select):
+        child_required = set(required)
+        for r in columns_of(plan.predicate):
+            child_required.add(plan.child.schema.names[plan.child.schema.resolve(r)])
+        return Select(prune_columns(plan.child, child_required), plan.predicate)
+
+    if isinstance(plan, (Join, Product)):
+        left, right = plan.children
+        needed = set(required)
+        if isinstance(plan, Join):
+            for r in columns_of(plan.predicate):
+                needed.add(plan.schema.names[plan.schema.resolve(r)])
+        left_req = {n for n in needed if n in set(left.schema.names)}
+        right_req = {n for n in needed if n in set(right.schema.names)}
+        new_left = _maybe_project(prune_columns(left, left_req), left_req)
+        new_right = _maybe_project(prune_columns(right, right_req), right_req)
+        return plan.with_children([new_left, new_right])
+
+    if isinstance(plan, (Distinct, Union, Difference)):
+        # these need all columns positionally / semantically
+        return plan.with_children(
+            [prune_columns(c, set(c.schema.names)) for c in plan.children]
+        )
+
+    if isinstance(plan, Rename):
+        inverse = {new: old for old, new in plan.mapping.items()}
+        child_required = set()
+        for name in required:
+            old = inverse.get(name, name)
+            if plan.child.schema.has(old):
+                child_required.add(plan.child.schema.names[plan.child.schema.resolve(old)])
+        child_required |= {
+            plan.child.schema.names[plan.child.schema.resolve(o)] for o in plan.mapping
+        }
+        return Rename(prune_columns(plan.child, child_required), plan.mapping)
+
+    return plan
+
+
+def _maybe_project(plan: Plan, required: Set[str]) -> Plan:
+    names = plan.schema.names
+    keep = [n for n in names if n in required]
+    if not keep:
+        keep = names[:1]  # must keep at least one column
+    if len(keep) == len(names):
+        return plan
+    if isinstance(plan, Project):
+        return Project(plan.child, [plan.columns[names.index(k)] for k in keep])
+    return Project(plan, keep)

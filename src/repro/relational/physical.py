@@ -1,0 +1,594 @@
+"""Physical operators and plan execution.
+
+Physical plans mirror the logical nodes but carry concrete algorithms:
+
+* ``SeqScan``        — iterate a base relation
+* ``Filter``         — predicate filter
+* ``Projection``     — positional projection
+* ``HashJoin``       — build/probe equi-join with residual filter
+* ``MergeJoin``      — sort-merge equi-join with residual filter
+* ``NestedLoopJoin`` — general-predicate join (also cross product)
+* ``HashDistinct``   — duplicate elimination
+* ``Append``         — bag union
+* ``Except``         — set difference
+* ``Sort``           — explicit sort (used under MergeJoin)
+* ``Materialize``    — caches child output (inner of nested loops)
+
+Each operator implements ``rows()`` returning an iterator of tuples and
+``schema``.  ``execute`` materializes a physical plan into a
+:class:`~repro.relational.relation.Relation`.  Operators also expose
+``explain_label`` and estimated cardinality for EXPLAIN output.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .expressions import Expression
+from .relation import Relation, _sort_key
+from .schema import Schema
+
+__all__ = [
+    "PhysicalPlan",
+    "SeqScan",
+    "Filter",
+    "Projection",
+    "ProjectionAs",
+    "ExtendOp",
+    "HashJoin",
+    "MergeJoin",
+    "NestedLoopJoin",
+    "SemiJoinOp",
+    "HashDistinct",
+    "Append",
+    "Except",
+    "Sort",
+    "Materialize",
+    "execute",
+]
+
+Row = Tuple[Any, ...]
+
+
+class PhysicalPlan:
+    """Base class for physical operators."""
+
+    schema: Schema
+    estimated_rows: float = 0.0
+
+    @property
+    def children(self) -> Tuple["PhysicalPlan", ...]:
+        return ()
+
+    def rows(self) -> Iterator[Row]:
+        raise NotImplementedError
+
+    def explain_label(self) -> str:
+        return type(self).__name__
+
+    def explain_details(self) -> List[str]:
+        """Extra indented lines under the node header in EXPLAIN output."""
+        return []
+
+
+class SeqScan(PhysicalPlan):
+    """Sequential scan over a materialized base relation."""
+
+    def __init__(self, relation: Relation, name: str = "relation", alias: Optional[str] = None):
+        self.relation = relation
+        self.name = name
+        self.alias = alias
+        self.schema = relation.schema.qualify(alias) if alias else relation.schema
+        self.estimated_rows = float(len(relation))
+
+    def rows(self) -> Iterator[Row]:
+        return iter(self.relation.rows)
+
+    def explain_label(self) -> str:
+        if self.alias:
+            return f"Seq Scan on {self.name} {self.alias}"
+        return f"Seq Scan on {self.name}"
+
+
+class Filter(PhysicalPlan):
+    """Row filter by a bound predicate."""
+
+    def __init__(self, child: PhysicalPlan, predicate: Expression):
+        self.child = child
+        self.predicate = predicate
+        self._bound = predicate.bind(child.schema)
+        self.schema = child.schema
+        self.estimated_rows = child.estimated_rows
+
+    @property
+    def children(self) -> Tuple[PhysicalPlan, ...]:
+        return (self.child,)
+
+    def rows(self) -> Iterator[Row]:
+        bound = self._bound
+        for row in self.child.rows():
+            if bound(row):
+                yield row
+
+    def explain_label(self) -> str:
+        return "Filter"
+
+    def explain_details(self) -> List[str]:
+        return [f"Filter: {self.predicate!r}"]
+
+
+class Projection(PhysicalPlan):
+    """Positional projection (bag semantics)."""
+
+    def __init__(self, child: PhysicalPlan, columns: Sequence[str]):
+        self.child = child
+        self.columns = list(columns)
+        self.positions = child.schema.positions(self.columns)
+        self.schema = child.schema.project(self.columns)
+        self.estimated_rows = child.estimated_rows
+
+    @property
+    def children(self) -> Tuple[PhysicalPlan, ...]:
+        return (self.child,)
+
+    def rows(self) -> Iterator[Row]:
+        positions = self.positions
+        for row in self.child.rows():
+            yield tuple(row[i] for i in positions)
+
+    def explain_label(self) -> str:
+        return "Project"
+
+    def explain_details(self) -> List[str]:
+        return [f"Output: {', '.join(self.columns)}"]
+
+
+class ProjectionAs(PhysicalPlan):
+    """Generalized projection with duplication and renaming."""
+
+    def __init__(self, child: PhysicalPlan, items: Sequence[Tuple[str, str]]):
+        self.child = child
+        self.items = list(items)
+        self.positions = [child.schema.resolve(ref) for ref, _ in self.items]
+        attrs = []
+        for (ref, new), pos in zip(self.items, self.positions):
+            attrs.append(child.schema[pos].renamed(new))
+        self.schema = Schema(attrs)
+        self.estimated_rows = child.estimated_rows
+
+    @property
+    def children(self) -> Tuple[PhysicalPlan, ...]:
+        return (self.child,)
+
+    def rows(self) -> Iterator[Row]:
+        positions = self.positions
+        for row in self.child.rows():
+            yield tuple(row[i] for i in positions)
+
+    def explain_label(self) -> str:
+        return "Project"
+
+    def explain_details(self) -> List[str]:
+        return ["Output: " + ", ".join(f"{ref} AS {new}" for ref, new in self.items)]
+
+
+class ExtendOp(PhysicalPlan):
+    """Extended projection: pass-through plus computed columns."""
+
+    def __init__(self, child: PhysicalPlan, items: Sequence[Tuple[str, Expression]]):
+        self.child = child
+        self.items = list(items)
+        self._bound = [expr.bind(child.schema) for _, expr in self.items]
+        attrs = list(child.schema.attributes)
+        for name, _expr in self.items:
+            attrs.append(child.schema.attributes[0].renamed(name))
+        self.schema = Schema(attrs)
+        self.estimated_rows = child.estimated_rows
+
+    @property
+    def children(self) -> Tuple[PhysicalPlan, ...]:
+        return (self.child,)
+
+    def rows(self) -> Iterator[Row]:
+        bound = self._bound
+        for row in self.child.rows():
+            yield row + tuple(fn(row) for fn in bound)
+
+    def explain_label(self) -> str:
+        return "Extend"
+
+    def explain_details(self) -> List[str]:
+        return ["Output: *, " + ", ".join(f"{expr!r} AS {name}" for name, expr in self.items)]
+
+
+class HashJoin(PhysicalPlan):
+    """Equi-join: hash-build on the right input, probe with the left.
+
+    ``pairs`` is a list of ``(left_col, right_col)`` equalities; an optional
+    ``residual`` predicate (over the concatenated schema) filters join
+    candidates — this is where the U-relations ψ-condition typically lands.
+    """
+
+    def __init__(
+        self,
+        left: PhysicalPlan,
+        right: PhysicalPlan,
+        pairs: Sequence[Tuple[str, str]],
+        residual: Optional[Expression] = None,
+    ):
+        if not pairs:
+            raise ValueError("HashJoin requires at least one equi-pair")
+        self.left = left
+        self.right = right
+        self.pairs = list(pairs)
+        self.residual = residual
+        self.schema = left.schema.concat(right.schema)
+        self.left_positions = [left.schema.resolve(l) for l, _ in self.pairs]
+        self.right_positions = [right.schema.resolve(r) for _, r in self.pairs]
+        self._bound_residual = residual.bind(self.schema) if residual is not None else None
+        self.estimated_rows = max(left.estimated_rows, right.estimated_rows)
+
+    @property
+    def children(self) -> Tuple[PhysicalPlan, ...]:
+        return (self.left, self.right)
+
+    def rows(self) -> Iterator[Row]:
+        table: Dict[Tuple[Any, ...], List[Row]] = {}
+        right_positions = self.right_positions
+        for row in self.right.rows():
+            key = tuple(row[i] for i in right_positions)
+            if any(v is None for v in key):
+                continue  # NULLs never join
+            table.setdefault(key, []).append(row)
+        left_positions = self.left_positions
+        residual = self._bound_residual
+        for lrow in self.left.rows():
+            key = tuple(lrow[i] for i in left_positions)
+            if any(v is None for v in key):
+                continue
+            for rrow in table.get(key, ()):
+                out = lrow + rrow
+                if residual is None or residual(out):
+                    yield out
+
+    def explain_label(self) -> str:
+        return "Hash Join"
+
+    def explain_details(self) -> List[str]:
+        cond = " AND ".join(f"({l} = {r})" for l, r in self.pairs)
+        details = [f"Hash Cond: {cond}"]
+        if self.residual is not None:
+            details.append(f"Join Filter: {self.residual!r}")
+        return details
+
+
+class SemiJoinOp(PhysicalPlan):
+    """Left semijoin: keeps left rows with at least one right partner.
+
+    When the predicate contains equi-pairs (the α tuple-id condition of the
+    reduction program always does), the right side is hashed on them and
+    only the matching bucket is scanned for the residual (ψ) check;
+    otherwise the operator degrades to a nested loop.
+    """
+
+    def __init__(self, left: PhysicalPlan, right: PhysicalPlan, predicate: Expression):
+        from .expressions import conjunction, equijoin_pairs
+
+        self.left = left
+        self.right = Materialize(right)
+        self.predicate = predicate
+        self.schema = left.schema
+        self.pairs, residual_list = equijoin_pairs(
+            predicate, left.schema, right.schema
+        )
+        self.residual = conjunction(residual_list) if residual_list else None
+        self._bound_residual = (
+            self.residual.bind(left.schema.concat(right.schema))
+            if self.residual is not None
+            else None
+        )
+        self._bound_full = predicate.bind(left.schema.concat(right.schema))
+        self.left_positions = [left.schema.resolve(l) for l, _ in self.pairs]
+        self.right_positions = [right.schema.resolve(r) for _, r in self.pairs]
+        self.estimated_rows = left.estimated_rows
+
+    @property
+    def children(self) -> Tuple[PhysicalPlan, ...]:
+        return (self.left, self.right)
+
+    def rows(self) -> Iterator[Row]:
+        if self.pairs:
+            yield from self._hash_rows()
+        else:
+            yield from self._loop_rows()
+
+    def _hash_rows(self) -> Iterator[Row]:
+        table: Dict[Tuple[Any, ...], List[Row]] = {}
+        right_positions = self.right_positions
+        for rrow in self.right.rows():
+            key = tuple(rrow[i] for i in right_positions)
+            if any(v is None for v in key):
+                continue
+            table.setdefault(key, []).append(rrow)
+        left_positions = self.left_positions
+        residual = self._bound_residual
+        for lrow in self.left.rows():
+            key = tuple(lrow[i] for i in left_positions)
+            if any(v is None for v in key):
+                continue
+            bucket = table.get(key)
+            if not bucket:
+                continue
+            if residual is None:
+                yield lrow
+                continue
+            for rrow in bucket:
+                if residual(lrow + rrow):
+                    yield lrow
+                    break
+
+    def _loop_rows(self) -> Iterator[Row]:
+        bound = self._bound_full
+        for lrow in self.left.rows():
+            for rrow in self.right.rows():
+                if bound(lrow + rrow):
+                    yield lrow
+                    break
+
+    def explain_label(self) -> str:
+        return "Hash Semi Join" if self.pairs else "Semi Join"
+
+    def explain_details(self) -> List[str]:
+        details = []
+        if self.pairs:
+            cond = " AND ".join(f"({l} = {r})" for l, r in self.pairs)
+            details.append(f"Hash Cond: {cond}")
+        if self.residual is not None or not self.pairs:
+            details.append(f"Join Filter: {(self.residual or self.predicate)!r}")
+        return details
+
+
+class Sort(PhysicalPlan):
+    """Full sort of the child output by the given key columns."""
+
+    def __init__(self, child: PhysicalPlan, keys: Sequence[str]):
+        self.child = child
+        self.keys = list(keys)
+        self.positions = child.schema.positions(self.keys)
+        self.schema = child.schema
+        self.estimated_rows = child.estimated_rows
+
+    @property
+    def children(self) -> Tuple[PhysicalPlan, ...]:
+        return (self.child,)
+
+    def rows(self) -> Iterator[Row]:
+        positions = self.positions
+
+        def key(row: Row):
+            return _sort_key(tuple(row[i] for i in positions))
+
+        return iter(sorted(self.child.rows(), key=key))
+
+    def explain_label(self) -> str:
+        return "Sort"
+
+    def explain_details(self) -> List[str]:
+        return [f"Sort Key: {', '.join(self.keys)}"]
+
+
+class MergeJoin(PhysicalPlan):
+    """Sort-merge equi-join (inputs are sorted internally).
+
+    Kept primarily for plan-shape parity with the PostgreSQL plans shown in
+    the paper (Figure 13 uses merge joins on tuple-id columns).
+    """
+
+    def __init__(
+        self,
+        left: PhysicalPlan,
+        right: PhysicalPlan,
+        pairs: Sequence[Tuple[str, str]],
+        residual: Optional[Expression] = None,
+    ):
+        if not pairs:
+            raise ValueError("MergeJoin requires at least one equi-pair")
+        self.left = Sort(left, [l for l, _ in pairs])
+        self.right = Sort(right, [r for _, r in pairs])
+        self.pairs = list(pairs)
+        self.residual = residual
+        self.schema = left.schema.concat(right.schema)
+        self.left_positions = [left.schema.resolve(l) for l, _ in pairs]
+        self.right_positions = [right.schema.resolve(r) for _, r in pairs]
+        self._bound_residual = residual.bind(self.schema) if residual is not None else None
+        self.estimated_rows = max(left.estimated_rows, right.estimated_rows)
+
+    @property
+    def children(self) -> Tuple[PhysicalPlan, ...]:
+        return (self.left, self.right)
+
+    def rows(self) -> Iterator[Row]:
+        left_rows = list(self.left.rows())
+        right_rows = list(self.right.rows())
+        lpos, rpos = self.left_positions, self.right_positions
+        residual = self._bound_residual
+
+        def lkey(row: Row):
+            return _sort_key(tuple(row[i] for i in lpos))
+
+        def rkey(row: Row):
+            return _sort_key(tuple(row[i] for i in rpos))
+
+        i = j = 0
+        n, m = len(left_rows), len(right_rows)
+        while i < n and j < m:
+            lk, rk = lkey(left_rows[i]), rkey(right_rows[j])
+            if lk < rk:
+                i += 1
+            elif lk > rk:
+                j += 1
+            else:
+                # gather the equal-key groups on both sides
+                i2 = i
+                while i2 < n and lkey(left_rows[i2]) == lk:
+                    i2 += 1
+                j2 = j
+                while j2 < m and rkey(right_rows[j2]) == rk:
+                    j2 += 1
+                if not any(
+                    v is None for v in (left_rows[i][p] for p in lpos)
+                ):  # NULL keys never join
+                    for lrow in left_rows[i:i2]:
+                        for rrow in right_rows[j:j2]:
+                            out = lrow + rrow
+                            if residual is None or residual(out):
+                                yield out
+                i, j = i2, j2
+
+    def explain_label(self) -> str:
+        return "Merge Join"
+
+    def explain_details(self) -> List[str]:
+        cond = " AND ".join(f"({l} = {r})" for l, r in self.pairs)
+        details = [f"Merge Cond: {cond}"]
+        if self.residual is not None:
+            details.append(f"Join Filter: {self.residual!r}")
+        return details
+
+
+class Materialize(PhysicalPlan):
+    """Materializes (and caches) the child output for repeated scans."""
+
+    def __init__(self, child: PhysicalPlan):
+        self.child = child
+        self.schema = child.schema
+        self.estimated_rows = child.estimated_rows
+        self._cache: Optional[List[Row]] = None
+
+    @property
+    def children(self) -> Tuple[PhysicalPlan, ...]:
+        return (self.child,)
+
+    def rows(self) -> Iterator[Row]:
+        if self._cache is None:
+            self._cache = list(self.child.rows())
+        return iter(self._cache)
+
+    def explain_label(self) -> str:
+        return "Materialize"
+
+
+class NestedLoopJoin(PhysicalPlan):
+    """Nested-loop join with an arbitrary predicate (or cross product)."""
+
+    def __init__(
+        self,
+        left: PhysicalPlan,
+        right: PhysicalPlan,
+        predicate: Optional[Expression] = None,
+    ):
+        self.left = left
+        self.right = Materialize(right)
+        self.predicate = predicate
+        self.schema = left.schema.concat(right.schema)
+        self._bound = predicate.bind(self.schema) if predicate is not None else None
+        self.estimated_rows = left.estimated_rows * max(right.estimated_rows, 1.0)
+
+    @property
+    def children(self) -> Tuple[PhysicalPlan, ...]:
+        return (self.left, self.right)
+
+    def rows(self) -> Iterator[Row]:
+        bound = self._bound
+        for lrow in self.left.rows():
+            for rrow in self.right.rows():
+                out = lrow + rrow
+                if bound is None or bound(out):
+                    yield out
+
+    def explain_label(self) -> str:
+        return "Nested Loop"
+
+    def explain_details(self) -> List[str]:
+        if self.predicate is not None:
+            return [f"Join Filter: {self.predicate!r}"]
+        return []
+
+
+class HashDistinct(PhysicalPlan):
+    """Duplicate elimination preserving first-seen order."""
+
+    def __init__(self, child: PhysicalPlan):
+        self.child = child
+        self.schema = child.schema
+        self.estimated_rows = child.estimated_rows
+
+    @property
+    def children(self) -> Tuple[PhysicalPlan, ...]:
+        return (self.child,)
+
+    def rows(self) -> Iterator[Row]:
+        seen = set()
+        for row in self.child.rows():
+            if row not in seen:
+                seen.add(row)
+                yield row
+
+    def explain_label(self) -> str:
+        return "HashAggregate"
+
+    def explain_details(self) -> List[str]:
+        return ["Group Key: all output columns (distinct)"]
+
+
+class Append(PhysicalPlan):
+    """Bag union of two inputs (schema from the left)."""
+
+    def __init__(self, left: PhysicalPlan, right: PhysicalPlan):
+        self.left = left
+        self.right = right
+        self.schema = left.schema
+        self.estimated_rows = left.estimated_rows + right.estimated_rows
+
+    @property
+    def children(self) -> Tuple[PhysicalPlan, ...]:
+        return (self.left, self.right)
+
+    def rows(self) -> Iterator[Row]:
+        for row in self.left.rows():
+            yield row
+        for row in self.right.rows():
+            yield row
+
+    def explain_label(self) -> str:
+        return "Append"
+
+
+class Except(PhysicalPlan):
+    """Set difference left − right (distinct output)."""
+
+    def __init__(self, left: PhysicalPlan, right: PhysicalPlan):
+        self.left = left
+        self.right = right
+        self.schema = left.schema
+        self.estimated_rows = left.estimated_rows
+
+    @property
+    def children(self) -> Tuple[PhysicalPlan, ...]:
+        return (self.left, self.right)
+
+    def rows(self) -> Iterator[Row]:
+        gone = set(self.right.rows())
+        seen = set()
+        for row in self.left.rows():
+            if row not in gone and row not in seen:
+                seen.add(row)
+                yield row
+
+    def explain_label(self) -> str:
+        return "SetOp Except"
+
+
+def execute(plan: PhysicalPlan) -> Relation:
+    """Run a physical plan to completion and materialize the result."""
+    return Relation(plan.schema, plan.rows())

@@ -1,0 +1,145 @@
+"""Logical-to-physical plan compilation.
+
+The planner walks an (ideally optimized) logical plan and selects physical
+algorithms:
+
+* ``Join`` with equi-pairs -> :class:`HashJoin` (or :class:`MergeJoin` when
+  the planner is configured with ``prefer_merge_join=True``, to mirror the
+  PostgreSQL plans of the paper's Figure 13),
+* ``Join`` without equi-pairs and ``Product`` -> :class:`NestedLoopJoin`,
+* everything else maps one-to-one.
+
+Cardinality estimates from the optimizer are attached to the physical nodes
+so EXPLAIN can print them (cosmetically matching the paper's plan figure).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .algebra import (
+    Difference,
+    Distinct,
+    Extend,
+    Join,
+    Plan,
+    Product,
+    Project,
+    ProjectAs,
+    Rename,
+    Scan,
+    Select,
+    SemiJoin,
+    Union,
+)
+from .expressions import conjunction, equijoin_pairs
+from .optimizer import estimate_rows
+from .physical import (
+    Append,
+    Except,
+    ExtendOp,
+    Filter,
+    HashDistinct,
+    HashJoin,
+    MergeJoin,
+    NestedLoopJoin,
+    PhysicalPlan,
+    Projection,
+    ProjectionAs,
+    SemiJoinOp,
+    SeqScan,
+)
+from .relation import Relation
+
+__all__ = ["Planner", "plan_physical", "run"]
+
+
+class Planner:
+    """Compiles logical plans to physical plans."""
+
+    def __init__(self, prefer_merge_join: bool = False):
+        self.prefer_merge_join = prefer_merge_join
+
+    def compile(self, plan: Plan) -> PhysicalPlan:
+        """Compile a logical plan tree into a physical operator tree."""
+        physical = self._compile(plan)
+        return physical
+
+    # ------------------------------------------------------------------
+    def _compile(self, plan: Plan) -> PhysicalPlan:
+        if isinstance(plan, Scan):
+            node: PhysicalPlan = SeqScan(plan.relation, plan.name, plan.alias)
+        elif isinstance(plan, Select):
+            node = Filter(self._compile(plan.child), plan.predicate)
+        elif isinstance(plan, Project):
+            node = Projection(self._compile(plan.child), plan.columns)
+        elif isinstance(plan, ProjectAs):
+            node = ProjectionAs(self._compile(plan.child), plan.items)
+        elif isinstance(plan, Extend):
+            node = ExtendOp(self._compile(plan.child), plan.items)
+        elif isinstance(plan, Join):
+            node = self._compile_join(plan)
+        elif isinstance(plan, SemiJoin):
+            node = SemiJoinOp(
+                self._compile(plan.left), self._compile(plan.right), plan.predicate
+            )
+        elif isinstance(plan, Product):
+            node = NestedLoopJoin(self._compile(plan.left), self._compile(plan.right), None)
+        elif isinstance(plan, Union):
+            node = Append(self._compile(plan.left), self._compile(plan.right))
+        elif isinstance(plan, Difference):
+            node = Except(self._compile(plan.left), self._compile(plan.right))
+        elif isinstance(plan, Distinct):
+            node = HashDistinct(self._compile(plan.child))
+        elif isinstance(plan, Rename):
+            node = _RenameOp(self._compile(plan.child), plan)
+        else:
+            raise TypeError(f"cannot compile logical node {type(plan).__name__}")
+        node.estimated_rows = estimate_rows(plan)
+        return node
+
+    def _compile_join(self, plan: Join) -> PhysicalPlan:
+        left = self._compile(plan.left)
+        right = self._compile(plan.right)
+        pairs, residual_list = equijoin_pairs(plan.predicate, plan.left.schema, plan.right.schema)
+        residual = conjunction(residual_list) if residual_list else None
+        if pairs:
+            if self.prefer_merge_join:
+                return MergeJoin(left, right, pairs, residual)
+            return HashJoin(left, right, pairs, residual)
+        return NestedLoopJoin(left, right, plan.predicate)
+
+
+class _RenameOp(PhysicalPlan):
+    """Physical rename: rows pass through, only the schema changes."""
+
+    def __init__(self, child: PhysicalPlan, logical: Rename):
+        self.child = child
+        self.schema = child.schema.rename(logical.mapping)
+        self.mapping = logical.mapping
+        self.estimated_rows = child.estimated_rows
+
+    @property
+    def children(self):
+        return (self.child,)
+
+    def rows(self):
+        return self.child.rows()
+
+    def explain_label(self) -> str:
+        return "Rename"
+
+
+def plan_physical(plan: Plan, prefer_merge_join: bool = False) -> PhysicalPlan:
+    """Compile a logical plan with a default-configured planner."""
+    return Planner(prefer_merge_join=prefer_merge_join).compile(plan)
+
+
+def run(plan: Plan, optimize_first: bool = True, prefer_merge_join: bool = False) -> Relation:
+    """Optimize, compile, and execute a logical plan."""
+    from .optimizer import optimize
+    from .physical import execute
+
+    if optimize_first:
+        plan = optimize(plan)
+    return execute(plan_physical(plan, prefer_merge_join=prefer_merge_join))

@@ -1,0 +1,208 @@
+"""Relations: a schema plus a list of row tuples.
+
+Rows are plain Python tuples; a :class:`Relation` is cheap to construct and
+behaves like a value (equality is set-of-rows equality under the same
+schema).  Physical operators produce row iterators; :func:`Relation.from_rows`
+materializes them.
+
+The engine implements *bag* semantics internally (duplicates are kept unless
+a ``Distinct`` is applied), matching what the paper's translation produces on
+a SQL engine; convenience set-style helpers are provided for tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .schema import Attribute, Schema, SchemaError
+from .types import DataType, format_value, infer_type
+
+__all__ = ["Relation"]
+
+
+class Relation:
+    """An in-memory relation: immutable schema + list of row tuples."""
+
+    __slots__ = ("schema", "rows")
+
+    def __init__(self, schema, rows: Optional[Iterable[Sequence[Any]]] = None):
+        if not isinstance(schema, Schema):
+            schema = Schema(schema)
+        self.schema: Schema = schema
+        self.rows: List[Tuple[Any, ...]] = []
+        if rows is not None:
+            width = len(schema)
+            for row in rows:
+                row_t = tuple(row)
+                if len(row_t) != width:
+                    raise SchemaError(
+                        f"row arity {len(row_t)} does not match schema arity {width}: {row_t!r}"
+                    )
+                self.rows.append(row_t)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rows(cls, schema, rows: Iterable[Sequence[Any]]) -> "Relation":
+        """Materialize an iterator of rows under a schema."""
+        return cls(schema, rows)
+
+    @classmethod
+    def from_dicts(cls, schema, dicts: Iterable[Dict[str, Any]]) -> "Relation":
+        """Build a relation from dictionaries keyed by attribute name."""
+        if not isinstance(schema, Schema):
+            schema = Schema(schema)
+        names = schema.names
+        return cls(schema, (tuple(d.get(n) for n in names) for d in dicts))
+
+    @classmethod
+    def empty(cls, schema) -> "Relation":
+        """An empty relation over the given schema."""
+        return cls(schema, [])
+
+    # ------------------------------------------------------------------
+    # container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Tuple[Any, ...]]:
+        return iter(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def __eq__(self, other: object) -> bool:
+        """Bag equality under identical schemas (order-insensitive)."""
+        if not isinstance(other, Relation):
+            return NotImplemented
+        if self.schema.names != other.schema.names:
+            return False
+        return sorted(self.rows, key=_sort_key) == sorted(other.rows, key=_sort_key)
+
+    def __repr__(self) -> str:
+        return f"Relation({self.schema.names}, {len(self.rows)} rows)"
+
+    # ------------------------------------------------------------------
+    # basic derived relations (convenience layer used by tests/examples;
+    # query processing goes through algebra + physical operators)
+    # ------------------------------------------------------------------
+    def column(self, reference: str) -> List[Any]:
+        """All values of one column, in row order."""
+        i = self.schema.resolve(reference)
+        return [row[i] for row in self.rows]
+
+    def project(self, references: Sequence[str]) -> "Relation":
+        """Projection (bag semantics, preserves duplicates)."""
+        positions = self.schema.positions(references)
+        new_schema = self.schema.project(references)
+        return Relation(new_schema, (tuple(row[i] for i in positions) for row in self.rows))
+
+    def select(self, predicate: Callable[[Tuple[Any, ...]], bool]) -> "Relation":
+        """Selection by an arbitrary row predicate."""
+        return Relation(self.schema, (row for row in self.rows if predicate(row)))
+
+    def distinct(self) -> "Relation":
+        """Duplicate elimination, preserving first-occurrence order."""
+        seen = set()
+        out = []
+        for row in self.rows:
+            if row not in seen:
+                seen.add(row)
+                out.append(row)
+        return Relation(self.schema, out)
+
+    def union(self, other: "Relation") -> "Relation":
+        """Bag union; arities must match (names taken from ``self``)."""
+        if len(self.schema) != len(other.schema):
+            raise SchemaError(
+                f"union arity mismatch: {len(self.schema)} vs {len(other.schema)}"
+            )
+        return Relation(self.schema, self.rows + other.rows)
+
+    def difference(self, other: "Relation") -> "Relation":
+        """Set difference (duplicates in ``self`` collapse to membership test)."""
+        if len(self.schema) != len(other.schema):
+            raise SchemaError(
+                f"difference arity mismatch: {len(self.schema)} vs {len(other.schema)}"
+            )
+        gone = set(other.rows)
+        return Relation(self.schema, (row for row in self.rows if row not in gone))
+
+    def product(self, other: "Relation") -> "Relation":
+        """Cartesian product (schemas concatenated)."""
+        new_schema = self.schema.concat(other.schema)
+        return Relation(
+            new_schema, (left + right for left in self.rows for right in other.rows)
+        )
+
+    def rename(self, mapping: Dict[str, str]) -> "Relation":
+        """Rename attributes (rows unchanged)."""
+        return Relation(self.schema.rename(mapping), self.rows)
+
+    def qualify(self, alias: str) -> "Relation":
+        """Re-qualify all attributes under an alias (for self-joins)."""
+        return Relation(self.schema.qualify(alias), self.rows)
+
+    def sorted(self, references: Optional[Sequence[str]] = None) -> "Relation":
+        """Rows sorted by the given columns (or all columns)."""
+        if references is None:
+            key = _sort_key
+        else:
+            positions = self.schema.positions(references)
+
+            def key(row: Tuple[Any, ...]):
+                return _sort_key(tuple(row[i] for i in positions))
+
+        return Relation(self.schema, sorted(self.rows, key=key))
+
+    def as_set(self) -> frozenset:
+        """The rows as a frozenset (for set-semantics assertions in tests)."""
+        return frozenset(self.rows)
+
+    # ------------------------------------------------------------------
+    # inspection / output
+    # ------------------------------------------------------------------
+    def infer_types(self) -> List[DataType]:
+        """Per-column types inferred from *all* non-null values.
+
+        INT and FLOAT mix promotes to FLOAT; any other mix yields
+        :data:`DataType.ANY` (which serializers treat as unsupported rather
+        than silently corrupting values).
+        """
+        out: List[DataType] = []
+        for i in range(len(self.schema)):
+            seen = {infer_type(row[i]) for row in self.rows if row[i] is not None}
+            if not seen:
+                out.append(DataType.ANY)
+            elif len(seen) == 1:
+                out.append(seen.pop())
+            elif seen == {DataType.INT, DataType.FLOAT}:
+                out.append(DataType.FLOAT)
+            else:
+                out.append(DataType.ANY)
+        return out
+
+    def pretty(self, limit: int = 20) -> str:
+        """Render an ASCII table of up to ``limit`` rows."""
+        names = self.schema.names
+        shown = self.rows[:limit]
+        cells = [[format_value(v) for v in row] for row in shown]
+        widths = [
+            max(len(names[i]), *(len(c[i]) for c in cells)) if cells else len(names[i])
+            for i in range(len(names))
+        ]
+        sep = "-+-".join("-" * w for w in widths)
+        header = " | ".join(n.ljust(w) for n, w in zip(names, widths))
+        lines = [header, sep]
+        for row_cells in cells:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row_cells, widths)))
+        if len(self.rows) > limit:
+            lines.append(f"... ({len(self.rows)} rows total)")
+        return "\n".join(lines)
+
+
+def _sort_key(row: Tuple[Any, ...]) -> Tuple:
+    """Total order over heterogeneous rows (None first, then by type name)."""
+    return tuple((value is not None, type(value).__name__, value) for value in row)

@@ -1,0 +1,207 @@
+"""Schemas: ordered lists of (possibly qualified) attribute names.
+
+Attribute names may be *qualified* with a relation alias, e.g.
+``"o.orderkey"``.  Name resolution follows SQL rules: an unqualified
+reference ``orderkey`` resolves against a schema containing
+``o.orderkey`` as long as exactly one attribute has that base name;
+ambiguity raises :class:`AmbiguousColumnError`.
+
+Schemas are immutable; operations (concat, project, rename) return new
+instances.  Positional access is what the physical operators use — name
+resolution happens once, when expressions are bound.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .types import DataType
+
+__all__ = [
+    "Attribute",
+    "Schema",
+    "SchemaError",
+    "UnknownColumnError",
+    "AmbiguousColumnError",
+    "split_qualified",
+]
+
+
+class SchemaError(ValueError):
+    """Base class for schema construction / resolution errors."""
+
+
+class UnknownColumnError(SchemaError):
+    """Raised when a column reference matches no attribute."""
+
+
+class AmbiguousColumnError(SchemaError):
+    """Raised when an unqualified reference matches several attributes."""
+
+
+def split_qualified(name: str) -> Tuple[Optional[str], str]:
+    """Split ``"alias.base"`` into ``(alias, base)``; unqualified -> ``(None, name)``."""
+    if "." in name:
+        alias, base = name.split(".", 1)
+        return alias, base
+    return None, name
+
+
+class Attribute:
+    """A single schema attribute: a name, optional qualifier, and a type."""
+
+    __slots__ = ("qualifier", "base", "dtype")
+
+    def __init__(self, name: str, dtype: DataType = DataType.ANY):
+        qualifier, base = split_qualified(name)
+        self.qualifier = qualifier
+        self.base = base
+        self.dtype = dtype
+
+    @property
+    def name(self) -> str:
+        """The full (qualified if applicable) attribute name."""
+        if self.qualifier is None:
+            return self.base
+        return f"{self.qualifier}.{self.base}"
+
+    def with_qualifier(self, qualifier: Optional[str]) -> "Attribute":
+        """A copy of this attribute under a new (or no) qualifier."""
+        attr = Attribute(self.base, self.dtype)
+        attr.qualifier = qualifier
+        return attr
+
+    def renamed(self, new_name: str) -> "Attribute":
+        """A copy of this attribute with a completely new name."""
+        return Attribute(new_name, self.dtype)
+
+    def matches(self, reference: str) -> bool:
+        """Whether a column reference (qualified or not) refers to this attribute."""
+        ref_qualifier, ref_base = split_qualified(reference)
+        if ref_qualifier is None:
+            return ref_base == self.base
+        return ref_qualifier == self.qualifier and ref_base == self.base
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Attribute)
+            and self.qualifier == other.qualifier
+            and self.base == other.base
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.qualifier, self.base))
+
+    def __repr__(self) -> str:
+        return f"Attribute({self.name!r}, {self.dtype.value})"
+
+
+class Schema:
+    """An ordered, immutable sequence of :class:`Attribute` objects."""
+
+    __slots__ = ("attributes", "_index")
+
+    def __init__(self, attributes: Iterable):
+        attrs: List[Attribute] = []
+        for item in attributes:
+            if isinstance(item, Attribute):
+                attrs.append(item)
+            elif isinstance(item, tuple):
+                attrs.append(Attribute(item[0], item[1]))
+            else:
+                attrs.append(Attribute(str(item)))
+        self.attributes: Tuple[Attribute, ...] = tuple(attrs)
+        names = [a.name for a in self.attributes]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise SchemaError(f"duplicate attribute names in schema: {dupes}")
+        self._index: Dict[str, int] = {a.name: i for i, a in enumerate(self.attributes)}
+
+    # ------------------------------------------------------------------
+    # basic container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self.attributes)
+
+    def __getitem__(self, i: int) -> Attribute:
+        return self.attributes[i]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Schema) and self.attributes == other.attributes
+
+    def __hash__(self) -> int:
+        return hash(self.attributes)
+
+    def __repr__(self) -> str:
+        return "Schema(" + ", ".join(a.name for a in self.attributes) + ")"
+
+    @property
+    def names(self) -> List[str]:
+        """Full attribute names in order."""
+        return [a.name for a in self.attributes]
+
+    # ------------------------------------------------------------------
+    # name resolution
+    # ------------------------------------------------------------------
+    def resolve(self, reference: str) -> int:
+        """Return the position of the attribute a reference denotes.
+
+        Exact (qualified) matches win; otherwise the reference is matched
+        against base names, and must be unambiguous.
+        """
+        if reference in self._index:
+            return self._index[reference]
+        matches = [i for i, a in enumerate(self.attributes) if a.matches(reference)]
+        if not matches:
+            raise UnknownColumnError(
+                f"column {reference!r} not found in schema {self.names}"
+            )
+        if len(matches) > 1:
+            raise AmbiguousColumnError(
+                f"column {reference!r} is ambiguous in schema {self.names}"
+            )
+        return matches[0]
+
+    def has(self, reference: str) -> bool:
+        """Whether a reference resolves (unambiguously) in this schema."""
+        try:
+            self.resolve(reference)
+            return True
+        except SchemaError:
+            return False
+
+    def positions(self, references: Sequence[str]) -> List[int]:
+        """Resolve a list of references to positions (in the given order)."""
+        return [self.resolve(r) for r in references]
+
+    # ------------------------------------------------------------------
+    # construction of derived schemas
+    # ------------------------------------------------------------------
+    def concat(self, other: "Schema") -> "Schema":
+        """Schema of a product/join: attributes of ``self`` then ``other``."""
+        return Schema(self.attributes + other.attributes)
+
+    def project(self, references: Sequence[str]) -> "Schema":
+        """Schema restricted (and reordered) to the referenced attributes."""
+        return Schema([self.attributes[i] for i in self.positions(references)])
+
+    def rename(self, mapping: Dict[str, str]) -> "Schema":
+        """Rename attributes; keys are resolved references, values new names."""
+        positions = {self.resolve(old): new for old, new in mapping.items()}
+        return Schema(
+            [
+                a.renamed(positions[i]) if i in positions else a
+                for i, a in enumerate(self.attributes)
+            ]
+        )
+
+    def qualify(self, alias: str) -> "Schema":
+        """Re-qualify *all* attributes under a single alias (SQL ``AS``)."""
+        return Schema([a.with_qualifier(alias) for a in self.attributes])
+
+    def unqualify(self) -> "Schema":
+        """Drop all qualifiers (used when materializing named results)."""
+        return Schema([a.with_qualifier(None) for a in self.attributes])

@@ -1,0 +1,193 @@
+"""Cardinality and selectivity estimation.
+
+A deliberately simple, PostgreSQL-flavoured cost model:
+
+* equality against a literal: ``1 / ndistinct`` of the column,
+* range predicates against a literal: fraction of the (min, max) interval,
+* equi-joins: ``|L| * |R| / max(ndistinct_L, ndistinct_R)``,
+* unknown predicates: a fixed default selectivity.
+
+Statistics are computed lazily per relation and cached.  The estimates only
+need to be good enough to order joins sensibly, which (as the paper reports
+for PostgreSQL) is what makes translated U-relation queries run well.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Any, Dict, Optional, Tuple
+
+from .expressions import (
+    And,
+    Between,
+    Col,
+    Comparison,
+    Expression,
+    InList,
+    IsNull,
+    Lit,
+    Not,
+    Or,
+)
+from .relation import Relation
+
+__all__ = ["ColumnStats", "TableStats", "selectivity", "DEFAULT_SELECTIVITY"]
+
+DEFAULT_SELECTIVITY = 0.33
+EQUALITY_DEFAULT = 0.05
+RANGE_DEFAULT = 0.3
+
+
+class ColumnStats:
+    """Distinct count and min/max for one column."""
+
+    __slots__ = ("ndistinct", "minimum", "maximum", "null_fraction")
+
+    def __init__(self, values) -> None:
+        non_null = [v for v in values if v is not None]
+        total = max(len(values), 1)
+        self.null_fraction = 1.0 - len(non_null) / total
+        self.ndistinct = max(len(set(non_null)), 1)
+        comparable = [v for v in non_null if _is_orderable(v)]
+        self.minimum = min(comparable) if comparable else None
+        self.maximum = max(comparable) if comparable else None
+
+    def eq_selectivity(self) -> float:
+        return 1.0 / self.ndistinct
+
+    def range_selectivity(self, op: str, literal: Any) -> float:
+        """Estimate the fraction of values satisfying ``col op literal``."""
+        if self.minimum is None or self.maximum is None:
+            return RANGE_DEFAULT
+        lo, hi = _as_number(self.minimum), _as_number(self.maximum)
+        v = _as_number(literal)
+        if lo is None or hi is None or v is None or hi <= lo:
+            return RANGE_DEFAULT
+        frac_below = min(max((v - lo) / (hi - lo), 0.0), 1.0)
+        if op in ("<", "<="):
+            return max(frac_below, 1e-6)
+        if op in (">", ">="):
+            return max(1.0 - frac_below, 1e-6)
+        return RANGE_DEFAULT
+
+
+class TableStats:
+    """Lazily computed per-column statistics for a relation."""
+
+    def __init__(self, relation: Relation):
+        self.relation = relation
+        self.row_count = len(relation)
+        self._columns: Dict[str, ColumnStats] = {}
+
+    def column(self, reference: str) -> Optional[ColumnStats]:
+        """Stats for one column, or ``None`` if the reference is unknown."""
+        if reference in self._columns:
+            return self._columns[reference]
+        if not self.relation.schema.has(reference):
+            return None
+        i = self.relation.schema.resolve(reference)
+        stats = ColumnStats([row[i] for row in self.relation.rows])
+        self._columns[reference] = stats
+        return stats
+
+
+def selectivity(
+    predicate: Expression, stats: Optional[TableStats] = None
+) -> float:
+    """Estimated fraction of rows satisfying ``predicate``."""
+    if isinstance(predicate, And):
+        out = 1.0
+        for part in predicate.operands:
+            out *= selectivity(part, stats)
+        return out
+    if isinstance(predicate, Or):
+        miss = 1.0
+        for part in predicate.operands:
+            miss *= 1.0 - selectivity(part, stats)
+        return 1.0 - miss
+    if isinstance(predicate, Not):
+        return max(1.0 - selectivity(predicate.operand, stats), 1e-6)
+    if isinstance(predicate, Comparison):
+        return _comparison_selectivity(predicate, stats)
+    if isinstance(predicate, Between):
+        low = Comparison(">=", predicate.operand, predicate.low)
+        high = Comparison("<=", predicate.operand, predicate.high)
+        return selectivity(low, stats) * selectivity(high, stats)
+    if isinstance(predicate, InList):
+        base = _column_eq_selectivity(predicate.operand, stats)
+        return min(base * max(len(predicate.values), 1), 1.0)
+    if isinstance(predicate, IsNull):
+        col_stats = _stats_for(predicate.operand, stats)
+        if col_stats is not None:
+            return max(col_stats.null_fraction, 1e-6)
+        return 0.01
+    return DEFAULT_SELECTIVITY
+
+
+def join_cardinality(
+    left_rows: float,
+    right_rows: float,
+    left_stats: Optional[ColumnStats],
+    right_stats: Optional[ColumnStats],
+) -> float:
+    """Estimated output rows of an equi-join."""
+    nd_left = left_stats.ndistinct if left_stats else max(left_rows, 1.0)
+    nd_right = right_stats.ndistinct if right_stats else max(right_rows, 1.0)
+    return left_rows * right_rows / max(nd_left, nd_right, 1.0)
+
+
+# ----------------------------------------------------------------------
+# internals
+# ----------------------------------------------------------------------
+def _comparison_selectivity(cmp: Comparison, stats: Optional[TableStats]) -> float:
+    column, literal = _column_vs_literal(cmp)
+    if column is None:
+        if cmp.op == "=":
+            return EQUALITY_DEFAULT
+        if cmp.op in ("<>", "!="):
+            return 1.0 - EQUALITY_DEFAULT
+        return RANGE_DEFAULT
+    col_stats = stats.column(column.name) if stats else None
+    if cmp.op == "=":
+        return col_stats.eq_selectivity() if col_stats else EQUALITY_DEFAULT
+    if cmp.op in ("<>", "!="):
+        base = col_stats.eq_selectivity() if col_stats else EQUALITY_DEFAULT
+        return max(1.0 - base, 1e-6)
+    if col_stats is not None and literal is not None:
+        return col_stats.range_selectivity(cmp.op, literal)
+    return RANGE_DEFAULT
+
+
+def _column_vs_literal(cmp: Comparison) -> Tuple[Optional[Col], Any]:
+    if isinstance(cmp.left, Col) and isinstance(cmp.right, Lit):
+        return cmp.left, cmp.right.value
+    if isinstance(cmp.right, Col) and isinstance(cmp.left, Lit):
+        return cmp.right, cmp.left.value
+    return None, None
+
+
+def _column_eq_selectivity(expr: Expression, stats: Optional[TableStats]) -> float:
+    col_stats = _stats_for(expr, stats)
+    if col_stats is not None:
+        return col_stats.eq_selectivity()
+    return EQUALITY_DEFAULT
+
+
+def _stats_for(expr: Expression, stats: Optional[TableStats]) -> Optional[ColumnStats]:
+    if isinstance(expr, Col) and stats is not None:
+        return stats.column(expr.name)
+    return None
+
+
+def _is_orderable(value: Any) -> bool:
+    return isinstance(value, (int, float, datetime.date)) and not isinstance(value, bool)
+
+
+def _as_number(value: Any) -> Optional[float]:
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, datetime.date):
+        return float(value.toordinal())
+    return None

@@ -1,0 +1,38 @@
+"""``repro.sql`` — a SQL front-end for uncertain queries.
+
+Parses the SQL dialect of the paper's Figure 8 — positive
+select-project-join queries wrapped in ``possible (...)`` (or
+``certain (...)``) — into logical query trees, and executes them against a
+:class:`~repro.core.udatabase.UDatabase`::
+
+    from repro.sql import execute_sql
+
+    answer = execute_sql(
+        \"\"\"possible (select o.orderkey from customer c, orders o
+                       where c.mktsegment = 'BUILDING'
+                         and c.custkey = o.custkey
+                         and o.orderdate > '1995-03-15')\"\"\",
+        udb,
+    )
+
+This is the paper's "ease of use" claim made concrete: the SQL surface,
+the Figure 4 translation, and the relational optimizer compose without any
+uncertainty-specific operators in the engine.
+"""
+
+from ..core.translate import execute_query
+from ..core.udatabase import UDatabase
+from .lexer import SqlSyntaxError, tokenize
+from .parser import parse
+
+__all__ = ["parse", "execute_sql", "tokenize", "SqlSyntaxError"]
+
+
+def execute_sql(sql: str, udb: UDatabase, optimize: bool = True):
+    """Parse and run a SQL query against a U-relational database.
+
+    Returns a plain :class:`~repro.relational.relation.Relation` for
+    ``possible``/``certain`` statements, a
+    :class:`~repro.core.urelation.URelation` otherwise.
+    """
+    return execute_query(parse(sql), udb, optimize=optimize)

@@ -1,0 +1,91 @@
+"""Tokenizer for the SQL subset understood by :mod:`repro.sql`.
+
+Handles keywords (case-insensitive), identifiers (optionally dotted),
+numeric literals, single-quoted string literals (with ``''`` escaping),
+and the operator/punctuation set used by select-project-join queries.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, List, NamedTuple, Optional
+
+__all__ = ["Token", "TokenKind", "tokenize", "SqlSyntaxError"]
+
+
+class SqlSyntaxError(ValueError):
+    """Raised on malformed SQL input (with position information)."""
+
+
+class TokenKind:
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OP = "op"
+    PUNCT = "punct"
+    END = "end"
+
+
+KEYWORDS = {
+    "select", "from", "where", "and", "or", "not", "between", "in", "is",
+    "null", "as", "possible", "certain", "union", "date", "distinct",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>\d+\.\d+|\.\d+|\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*(\.[A-Za-z_][A-Za-z_0-9]*)?)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<op><>|<=|>=|!=|=|<|>)
+  | (?P<punct>[(),.*])
+    """,
+    re.VERBOSE,
+)
+
+
+class Token(NamedTuple):
+    kind: str
+    text: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == TokenKind.KEYWORD and self.text == word
+
+    def __repr__(self) -> str:
+        return f"{self.kind}:{self.text}"
+
+
+def tokenize(sql: str) -> List[Token]:
+    """Tokenize a SQL string; raises :class:`SqlSyntaxError` on junk."""
+    tokens: List[Token] = []
+    position = 0
+    while position < len(sql):
+        match = _TOKEN_RE.match(sql, position)
+        if match is None:
+            raise SqlSyntaxError(
+                f"unexpected character {sql[position]!r} at position {position}"
+            )
+        position = match.end()
+        if match.lastgroup == "ws":
+            continue
+        text = match.group()
+        if match.lastgroup == "number":
+            tokens.append(Token(TokenKind.NUMBER, text, match.start()))
+        elif match.lastgroup == "ident":
+            lowered = text.lower()
+            if lowered in KEYWORDS:
+                tokens.append(Token(TokenKind.KEYWORD, lowered, match.start()))
+            else:
+                tokens.append(Token(TokenKind.IDENT, text, match.start()))
+        elif match.lastgroup == "string":
+            body = text[1:-1].replace("''", "'")
+            tokens.append(Token(TokenKind.STRING, body, match.start()))
+        elif match.lastgroup == "op":
+            normalized = "<>" if text == "!=" else text
+            tokens.append(Token(TokenKind.OP, normalized, match.start()))
+        else:
+            tokens.append(Token(TokenKind.PUNCT, text, match.start()))
+    tokens.append(Token(TokenKind.END, "", len(sql)))
+    return tokens

@@ -1,0 +1,278 @@
+"""Recursive-descent parser: SQL text -> logical query trees.
+
+The supported subset is the language of the paper's Figure 8 (positive
+select-project-join queries with ``possible``), plus ``certain`` and
+``union``:
+
+    statement  := [POSSIBLE | CERTAIN] '(' select ')'
+                | select
+    select     := SELECT [DISTINCT] targets FROM tables [WHERE condition]
+                  [UNION select]
+    targets    := '*' | column (',' column)*
+    tables     := name [alias] (',' name [alias])*
+    condition  := disjunction of conjunctions of predicates
+    predicate  := operand (= | <> | < | <= | > | >=) operand
+                | operand BETWEEN literal AND literal
+                | operand [NOT] IN '(' literal (',' literal)* ')'
+                | operand IS [NOT] NULL
+                | NOT predicate | '(' condition ')'
+    operand    := column | literal
+    literal    := number | 'text' | DATE 'YYYY-MM-DD'
+
+String literals shaped like ISO dates are parsed as dates (the paper
+writes ``o.orderdate > '1995-03-15'``).
+
+The FROM list becomes a left-deep chain of :class:`UJoin` nodes with a
+trivially-true predicate; the WHERE clause sits above as one
+:class:`USelect` — the optimizer then pushes conjuncts into the joins and
+scans, exactly the division of labour the paper relies on PostgreSQL for.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, List, Optional, Tuple
+
+from ..core.query import Certain, Poss, Rel, UJoin, UProject, UQuery, USelect, UUnion
+from ..relational.expressions import (
+    Between,
+    Comparison,
+    Expression,
+    InList,
+    IsNull,
+    Not,
+    TRUE,
+    col,
+    conjunction,
+    disjunction,
+    lit,
+)
+from ..relational.types import Date
+from .lexer import SqlSyntaxError, Token, TokenKind, tokenize
+
+__all__ = ["parse", "SqlSyntaxError"]
+
+_DATE_RE = re.compile(r"^\d{4}-\d{2}-\d{2}$")
+
+
+def parse(sql: str) -> UQuery:
+    """Parse a SQL string into a logical :class:`UQuery` tree."""
+    parser = _Parser(tokenize(sql))
+    query = parser.statement()
+    parser.expect_end()
+    return query
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.index = 0
+
+    # ------------------------------------------------------------------
+    # token utilities
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.current
+        self.index += 1
+        return token
+
+    def accept_keyword(self, word: str) -> bool:
+        if self.current.is_keyword(word):
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, word: str) -> None:
+        if not self.accept_keyword(word):
+            raise SqlSyntaxError(
+                f"expected {word.upper()!r} but found {self.current.text!r} "
+                f"at position {self.current.position}"
+            )
+
+    def accept_punct(self, text: str) -> bool:
+        if self.current.kind == TokenKind.PUNCT and self.current.text == text:
+            self.advance()
+            return True
+        return False
+
+    def expect_punct(self, text: str) -> None:
+        if not self.accept_punct(text):
+            raise SqlSyntaxError(
+                f"expected {text!r} but found {self.current.text!r} "
+                f"at position {self.current.position}"
+            )
+
+    def expect_end(self) -> None:
+        if self.current.kind != TokenKind.END:
+            raise SqlSyntaxError(
+                f"unexpected trailing input {self.current.text!r} "
+                f"at position {self.current.position}"
+            )
+
+    # ------------------------------------------------------------------
+    # grammar
+    # ------------------------------------------------------------------
+    def statement(self) -> UQuery:
+        if self.accept_keyword("possible"):
+            return Poss(self._wrapped_select())
+        if self.accept_keyword("certain"):
+            return Certain(self._wrapped_select())
+        return self.select()
+
+    def _wrapped_select(self) -> UQuery:
+        parenthesized = self.accept_punct("(")
+        query = self.select()
+        if parenthesized:
+            self.expect_punct(")")
+        return query
+
+    def select(self) -> UQuery:
+        self.expect_keyword("select")
+        self.accept_keyword("distinct")  # distinct is implied by poss/certain
+        targets = self._targets()
+        self.expect_keyword("from")
+        source = self._tables()
+        if self.accept_keyword("where"):
+            source = USelect(source, self._condition())
+        if targets is not None:
+            source = UProject(source, targets)
+        if self.accept_keyword("union"):
+            return UUnion(source, self.select())
+        return source
+
+    def _targets(self) -> Optional[List[str]]:
+        if self.accept_punct("*"):
+            return None
+        names = [self._column_name()]
+        while self.accept_punct(","):
+            names.append(self._column_name())
+        return names
+
+    def _column_name(self) -> str:
+        token = self.current
+        if token.kind != TokenKind.IDENT:
+            raise SqlSyntaxError(
+                f"expected a column name, found {token.text!r} "
+                f"at position {token.position}"
+            )
+        self.advance()
+        return token.text
+
+    def _tables(self) -> UQuery:
+        source = self._table()
+        while self.accept_punct(","):
+            source = UJoin(source, self._table(), TRUE)
+        return source
+
+    def _table(self) -> Rel:
+        token = self.current
+        if token.kind != TokenKind.IDENT:
+            raise SqlSyntaxError(
+                f"expected a table name, found {token.text!r} "
+                f"at position {token.position}"
+            )
+        self.advance()
+        alias: Optional[str] = None
+        self.accept_keyword("as")
+        if self.current.kind == TokenKind.IDENT and "." not in self.current.text:
+            alias = self.advance().text
+        return Rel(token.text, alias)
+
+    # -- conditions -----------------------------------------------------
+    def _condition(self) -> Expression:
+        parts = [self._conjunction()]
+        while self.accept_keyword("or"):
+            parts.append(self._conjunction())
+        return disjunction(parts)
+
+    def _conjunction(self) -> Expression:
+        parts = [self._predicate()]
+        while self.accept_keyword("and"):
+            parts.append(self._predicate())
+        return conjunction(parts)
+
+    def _predicate(self) -> Expression:
+        if self.accept_keyword("not"):
+            return Not(self._predicate())
+        if self.accept_punct("("):
+            inner = self._condition()
+            self.expect_punct(")")
+            return inner
+        operand = self._operand()
+        token = self.current
+        if token.kind == TokenKind.OP:
+            self.advance()
+            right = self._operand()
+            return Comparison(token.text, operand, right)
+        if token.is_keyword("between"):
+            self.advance()
+            low = self._literal()
+            self.expect_keyword("and")
+            high = self._literal()
+            return Between(operand, low, high)
+        if token.is_keyword("not"):
+            self.advance()
+            self.expect_keyword("in")
+            return Not(self._in_list(operand))
+        if token.is_keyword("in"):
+            self.advance()
+            return self._in_list(operand)
+        if token.is_keyword("is"):
+            self.advance()
+            negated = self.accept_keyword("not")
+            self.expect_keyword("null")
+            test: Expression = IsNull(operand)
+            return Not(test) if negated else test
+        raise SqlSyntaxError(
+            f"expected a comparison, found {token.text!r} at position {token.position}"
+        )
+
+    def _in_list(self, operand: Expression) -> InList:
+        self.expect_punct("(")
+        values = [self._literal_value()]
+        while self.accept_punct(","):
+            values.append(self._literal_value())
+        self.expect_punct(")")
+        return InList(operand, values)
+
+    def _operand(self) -> Expression:
+        token = self.current
+        if token.kind == TokenKind.IDENT:
+            self.advance()
+            return col(token.text)
+        return self._literal()
+
+    def _literal(self) -> Expression:
+        return lit(self._literal_value())
+
+    def _literal_value(self) -> Any:
+        token = self.current
+        if token.is_keyword("date"):
+            self.advance()
+            text = self.current
+            if text.kind != TokenKind.STRING:
+                raise SqlSyntaxError(
+                    f"expected a date string after DATE at position {text.position}"
+                )
+            self.advance()
+            return Date(text.text)
+        if token.kind == TokenKind.STRING:
+            self.advance()
+            if _DATE_RE.match(token.text):
+                return Date(token.text)
+            return token.text
+        if token.kind == TokenKind.NUMBER:
+            self.advance()
+            if "." in token.text:
+                return float(token.text)
+            return int(token.text)
+        if token.is_keyword("null"):
+            self.advance()
+            return None
+        raise SqlSyntaxError(
+            f"expected a literal, found {token.text!r} at position {token.position}"
+        )

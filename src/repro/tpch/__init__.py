@@ -1,0 +1,27 @@
+"""``repro.tpch`` — TPC-H substrate: population generator and workload.
+
+A deterministic Python clone of the TPC-H dbgen population generator
+(revision 2.6 word lists and distributions) plus the paper's three
+experiment queries (Figure 8) as logical query trees.
+"""
+
+from .dbgen import END_DATE, START_DATE, generate, generate_table
+from .queries import ALL_QUERIES, q1, q1_inner, q2, q2_inner, q3, q3_inner
+from .schema import TABLE_CARDINALITY, TPCH_SCHEMAS, base_cardinality
+
+__all__ = [
+    "generate",
+    "generate_table",
+    "START_DATE",
+    "END_DATE",
+    "TPCH_SCHEMAS",
+    "TABLE_CARDINALITY",
+    "base_cardinality",
+    "q1",
+    "q2",
+    "q3",
+    "q1_inner",
+    "q2_inner",
+    "q3_inner",
+    "ALL_QUERIES",
+]

@@ -1,0 +1,293 @@
+"""A deterministic TPC-H population generator (dbgen clone).
+
+Generates the eight TPC-H tables at a given scale factor with the value
+distributions that drive the selectivities of the paper's queries:
+
+* uniform order dates over 1992-01-01 .. 1998-08-02,
+* ship dates 1..121 days after the order date,
+* discounts 0.00..0.10, quantities 1..50, five market segments,
+* part prices derived from the part key (so ``extendedprice`` follows the
+  spec's formula), 25 nations over 5 regions.
+
+Everything is seeded (``seed`` parameter) and reproducible.  The paper
+extends dbgen 2.6 to emit uncertain databases; our equivalent extension
+lives in :mod:`repro.ugen`, which post-processes these certain tables.
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+from typing import Dict, List, Optional, Tuple
+
+from ..relational.relation import Relation
+from ..relational.schema import Schema
+from . import dictionaries as words
+from .schema import TPCH_SCHEMAS, base_cardinality
+
+__all__ = ["generate", "generate_table", "START_DATE", "END_DATE"]
+
+START_DATE = datetime.date(1992, 1, 1)
+END_DATE = datetime.date(1998, 8, 2)
+_DATE_RANGE = (END_DATE - START_DATE).days
+CURRENT_DATE = datetime.date(1995, 6, 17)  # the spec's "current date"
+
+
+def _comment(rng: random.Random, min_words: int = 4, max_words: int = 9) -> str:
+    count = rng.randint(min_words, max_words)
+    parts = []
+    for i in range(count):
+        pool = (
+            words.COMMENT_ADVERBS,
+            words.COMMENT_ADJECTIVES,
+            words.COMMENT_NOUNS,
+            words.COMMENT_VERBS,
+        )[i % 4]
+        parts.append(rng.choice(pool))
+    return " ".join(parts)
+
+
+def _phone(rng: random.Random, nationkey: int) -> str:
+    return (
+        f"{10 + nationkey}-{rng.randint(100, 999)}-"
+        f"{rng.randint(100, 999)}-{rng.randint(1000, 9999)}"
+    )
+
+
+def _address(rng: random.Random) -> str:
+    length = rng.randint(10, 40)
+    alphabet = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 ,"
+    return "".join(rng.choice(alphabet) for _ in range(length)).strip()
+
+
+def _retail_price(partkey: int) -> float:
+    """The spec's price formula: 90000 + ((pk/10) % 20001) + 100*(pk % 1000), /100."""
+    return (90000 + (partkey // 10) % 20001 + 100 * (partkey % 1000)) / 100.0
+
+
+def generate_region() -> Relation:
+    rng = random.Random(4201)
+    rows = [
+        (key, name, _comment(rng)) for key, name in enumerate(words.REGIONS)
+    ]
+    return Relation(Schema(TPCH_SCHEMAS["region"]), rows)
+
+
+def generate_nation() -> Relation:
+    rng = random.Random(4202)
+    rows = [
+        (key, name, regionkey, _comment(rng))
+        for key, (name, regionkey) in enumerate(words.NATIONS)
+    ]
+    return Relation(Schema(TPCH_SCHEMAS["nation"]), rows)
+
+
+def generate_supplier(scale: float, seed: int) -> Relation:
+    rng = random.Random(seed * 7919 + 1)
+    count = base_cardinality("supplier", scale)
+    rows = []
+    for suppkey in range(1, count + 1):
+        nationkey = rng.randrange(len(words.NATIONS))
+        rows.append(
+            (
+                suppkey,
+                f"Supplier#{suppkey:09d}",
+                _address(rng),
+                nationkey,
+                _phone(rng, nationkey),
+                round(rng.uniform(-999.99, 9999.99), 2),
+                _comment(rng),
+            )
+        )
+    return Relation(Schema(TPCH_SCHEMAS["supplier"]), rows)
+
+
+def generate_part(scale: float, seed: int) -> Relation:
+    rng = random.Random(seed * 7919 + 2)
+    count = base_cardinality("part", scale)
+    rows = []
+    for partkey in range(1, count + 1):
+        name = " ".join(rng.sample(words.PART_NAME_WORDS, 5))
+        mfgr_id = rng.randint(1, 5)
+        brand = f"Brand#{mfgr_id}{rng.randint(1, 5)}"
+        ptype = (
+            f"{rng.choice(words.TYPE_SYLLABLE_1)} "
+            f"{rng.choice(words.TYPE_SYLLABLE_2)} "
+            f"{rng.choice(words.TYPE_SYLLABLE_3)}"
+        )
+        container = (
+            f"{rng.choice(words.CONTAINER_SYLLABLE_1)} "
+            f"{rng.choice(words.CONTAINER_SYLLABLE_2)}"
+        )
+        rows.append(
+            (
+                partkey,
+                name,
+                f"Manufacturer#{mfgr_id}",
+                brand,
+                ptype,
+                rng.randint(1, 50),
+                container,
+                _retail_price(partkey),
+                _comment(rng),
+            )
+        )
+    return Relation(Schema(TPCH_SCHEMAS["part"]), rows)
+
+
+def generate_partsupp(scale: float, seed: int) -> Relation:
+    rng = random.Random(seed * 7919 + 3)
+    part_count = base_cardinality("part", scale)
+    supp_count = base_cardinality("supplier", scale)
+    rows = []
+    for partkey in range(1, part_count + 1):
+        for i in range(4):
+            suppkey = (partkey + i * (supp_count // 4 + 1)) % supp_count + 1
+            rows.append(
+                (
+                    partkey,
+                    suppkey,
+                    rng.randint(1, 9999),
+                    round(rng.uniform(1.00, 1000.00), 2),
+                    _comment(rng),
+                )
+            )
+    return Relation(Schema(TPCH_SCHEMAS["partsupp"]), rows)
+
+
+def generate_customer(scale: float, seed: int) -> Relation:
+    rng = random.Random(seed * 7919 + 4)
+    count = base_cardinality("customer", scale)
+    rows = []
+    for custkey in range(1, count + 1):
+        nationkey = rng.randrange(len(words.NATIONS))
+        rows.append(
+            (
+                custkey,
+                f"Customer#{custkey:09d}",
+                _address(rng),
+                nationkey,
+                _phone(rng, nationkey),
+                round(rng.uniform(-999.99, 9999.99), 2),
+                rng.choice(words.SEGMENTS),
+                _comment(rng),
+            )
+        )
+    return Relation(Schema(TPCH_SCHEMAS["customer"]), rows)
+
+
+def generate_orders_and_lineitem(
+    scale: float, seed: int, part_count: int, supp_count: int, cust_count: int
+) -> Tuple[Relation, Relation]:
+    rng = random.Random(seed * 7919 + 5)
+    order_count = base_cardinality("orders", scale)
+    order_rows = []
+    line_rows = []
+    for orderkey in range(1, order_count + 1):
+        custkey = rng.randint(1, cust_count)
+        orderdate = START_DATE + datetime.timedelta(days=rng.randint(0, _DATE_RANGE - 151))
+        line_count = rng.randint(1, 7)
+        total = 0.0
+        all_filled = True
+        any_filled = False
+        for linenumber in range(1, line_count + 1):
+            partkey = rng.randint(1, part_count)
+            suppkey = (partkey + rng.randint(0, 3) * (supp_count // 4 + 1)) % supp_count + 1
+            quantity = rng.randint(1, 50)
+            extendedprice = round(quantity * _retail_price(partkey), 2)
+            discount = round(rng.uniform(0.0, 0.10), 2)
+            tax = round(rng.uniform(0.0, 0.08), 2)
+            shipdate = orderdate + datetime.timedelta(days=rng.randint(1, 121))
+            commitdate = orderdate + datetime.timedelta(days=rng.randint(30, 90))
+            receiptdate = shipdate + datetime.timedelta(days=rng.randint(1, 30))
+            if receiptdate <= CURRENT_DATE:
+                returnflag = rng.choice(["R", "A"])
+            else:
+                returnflag = "N"
+            linestatus = "F" if shipdate <= CURRENT_DATE else "O"
+            all_filled = all_filled and linestatus == "F"
+            any_filled = any_filled or linestatus == "F"
+            total += extendedprice * (1 + tax) * (1 - discount)
+            line_rows.append(
+                (
+                    orderkey, partkey, suppkey, linenumber, quantity,
+                    extendedprice, discount, tax, returnflag, linestatus,
+                    shipdate, commitdate, receiptdate,
+                    rng.choice(words.SHIP_INSTRUCTIONS),
+                    rng.choice(words.SHIP_MODES),
+                    _comment(rng),
+                )
+            )
+        if all_filled:
+            status = "F"
+        elif any_filled:
+            status = "P"
+        else:
+            status = "O"
+        order_rows.append(
+            (
+                orderkey,
+                custkey,
+                status,
+                round(total, 2),
+                orderdate,
+                rng.choice(words.PRIORITIES),
+                f"Clerk#{rng.randint(1, max(int(1000 * scale), 1)):09d}",
+                0,
+                _comment(rng),
+            )
+        )
+    orders = Relation(Schema(TPCH_SCHEMAS["orders"]), order_rows)
+    lineitem = Relation(Schema(TPCH_SCHEMAS["lineitem"]), line_rows)
+    return orders, lineitem
+
+
+def generate(scale: float = 0.001, seed: int = 42) -> Dict[str, Relation]:
+    """Generate all eight TPC-H tables at a scale factor.
+
+    Returns a dict mapping table names to relations.  ``scale=0.001`` means
+    150 customers, 1500 orders, ~6000 lineitems — the "one world" database
+    the uncertainty generator of :mod:`repro.ugen` post-processes.
+    """
+    part = generate_part(scale, seed)
+    supplier = generate_supplier(scale, seed)
+    customer = generate_customer(scale, seed)
+    orders, lineitem = generate_orders_and_lineitem(
+        scale, seed, part_count=len(part), supp_count=len(supplier),
+        cust_count=len(customer),
+    )
+    return {
+        "region": generate_region(),
+        "nation": generate_nation(),
+        "supplier": supplier,
+        "part": part,
+        "partsupp": generate_partsupp(scale, seed),
+        "customer": customer,
+        "orders": orders,
+        "lineitem": lineitem,
+    }
+
+
+def generate_table(name: str, scale: float = 0.001, seed: int = 42) -> Relation:
+    """Generate a single table (regenerates its dependencies as needed)."""
+    if name == "region":
+        return generate_region()
+    if name == "nation":
+        return generate_nation()
+    if name == "supplier":
+        return generate_supplier(scale, seed)
+    if name == "part":
+        return generate_part(scale, seed)
+    if name == "partsupp":
+        return generate_partsupp(scale, seed)
+    if name == "customer":
+        return generate_customer(scale, seed)
+    if name in ("orders", "lineitem"):
+        part_count = base_cardinality("part", scale)
+        supp_count = base_cardinality("supplier", scale)
+        cust_count = base_cardinality("customer", scale)
+        orders, lineitem = generate_orders_and_lineitem(
+            scale, seed, part_count, supp_count, cust_count
+        )
+        return orders if name == "orders" else lineitem
+    raise KeyError(f"unknown TPC-H table {name!r}")

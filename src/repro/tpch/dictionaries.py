@@ -1,0 +1,141 @@
+"""TPC-H dictionaries (specification rev. 2.6, Section 4.2.3).
+
+Word lists and fixed tables used by the population generator: nations with
+their region assignments, market segments, order priorities, ship modes and
+instructions, part naming components, and the comment-text grammar word
+pools.  The lists follow the TPC-H specification so the generated value
+distributions (and hence the selectivities of Q1-Q3 of the paper's Figure
+8) match dbgen's.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+__all__ = [
+    "REGIONS",
+    "NATIONS",
+    "SEGMENTS",
+    "PRIORITIES",
+    "SHIP_MODES",
+    "SHIP_INSTRUCTIONS",
+    "PART_NAME_WORDS",
+    "TYPE_SYLLABLE_1",
+    "TYPE_SYLLABLE_2",
+    "TYPE_SYLLABLE_3",
+    "CONTAINER_SYLLABLE_1",
+    "CONTAINER_SYLLABLE_2",
+    "COMMENT_NOUNS",
+    "COMMENT_VERBS",
+    "COMMENT_ADJECTIVES",
+    "COMMENT_ADVERBS",
+]
+
+#: The five TPC-H regions, by region key.
+REGIONS: List[str] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+
+#: The 25 TPC-H nations as (name, region key) — nation key is the index.
+NATIONS: List[Tuple[str, int]] = [
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("CHINA", 2),
+    ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+]
+
+#: Customer market segments (c_mktsegment).
+SEGMENTS: List[str] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+]
+
+#: Order priorities (o_orderpriority).
+PRIORITIES: List[str] = [
+    "1-URGENT",
+    "2-HIGH",
+    "3-MEDIUM",
+    "4-NOT SPECIFIED",
+    "5-LOW",
+]
+
+#: Lineitem ship modes (l_shipmode).
+SHIP_MODES: List[str] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]
+
+#: Lineitem ship instructions (l_shipinstruct).
+SHIP_INSTRUCTIONS: List[str] = [
+    "DELIVER IN PERSON",
+    "COLLECT COD",
+    "NONE",
+    "TAKE BACK RETURN",
+]
+
+#: Colour words for part names (p_name is 5 of these).
+PART_NAME_WORDS: List[str] = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+    "blanched", "blue", "blush", "brown", "burlywood", "burnished", "chartreuse",
+    "chiffon", "chocolate", "coral", "cornflower", "cornsilk", "cream", "cyan",
+    "dark", "deep", "dim", "dodger", "drab", "firebrick", "floral", "forest",
+    "frosted", "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew",
+    "hot", "indian", "ivory", "khaki", "lace", "lavender", "lawn", "lemon",
+    "light", "lime", "linen", "magenta", "maroon", "medium", "metallic",
+    "midnight", "mint", "misty", "moccasin", "navajo", "navy", "olive", "orange",
+    "orchid", "pale", "papaya", "peach", "peru", "pink", "plum", "powder",
+    "puff", "purple", "red", "rose", "rosy", "royal", "saddle", "salmon",
+    "sandy", "seashell", "sienna", "sky", "slate", "smoke", "snow", "spring",
+    "steel", "tan", "thistle", "tomato", "turquoise", "violet", "wheat",
+    "white", "yellow",
+]
+
+#: Part type syllables (p_type = s1 + " " + s2 + " " + s3).
+TYPE_SYLLABLE_1: List[str] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"]
+TYPE_SYLLABLE_2: List[str] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"]
+TYPE_SYLLABLE_3: List[str] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"]
+
+#: Part container syllables (p_container = s1 + " " + s2).
+CONTAINER_SYLLABLE_1: List[str] = ["SM", "LG", "MED", "JUMBO", "WRAP"]
+CONTAINER_SYLLABLE_2: List[str] = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"]
+
+#: Comment grammar pools (abridged from the spec's text generation tables).
+COMMENT_NOUNS: List[str] = [
+    "packages", "requests", "accounts", "deposits", "foxes", "ideas", "theodolites",
+    "pinto beans", "instructions", "dependencies", "excuses", "platelets", "asymptotes",
+    "courts", "dolphins", "multipliers", "sauternes", "warthogs", "frets", "dinos",
+]
+COMMENT_VERBS: List[str] = [
+    "sleep", "wake", "are", "cajole", "haggle", "nag", "use", "boost", "affix",
+    "detect", "integrate", "maintain", "nod", "was", "lose", "sublate", "solve",
+    "thrash", "promise", "engage",
+]
+COMMENT_ADJECTIVES: List[str] = [
+    "furious", "sly", "careful", "blithe", "quick", "fluffy", "slow", "quiet",
+    "ruthless", "thin", "close", "dogged", "daring", "brave", "stealthy",
+    "permanent", "enticing", "idle", "busy", "regular",
+]
+COMMENT_ADVERBS: List[str] = [
+    "sometimes", "always", "never", "furiously", "slyly", "carefully", "blithely",
+    "quickly", "fluffily", "slowly", "quietly", "ruthlessly", "thinly", "closely",
+    "doggedly", "daringly", "bravely", "stealthily", "permanently", "enticingly",
+]

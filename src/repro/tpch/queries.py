@@ -1,0 +1,102 @@
+"""The paper's experiment queries Q1, Q2, Q3 (Figure 8).
+
+De-aggregated versions of TPC-H Q3, Q6, and Q7, each wrapped in the
+``possible`` operator, built as logical query trees over the uncertain
+TPC-H schema:
+
+Q1: possible(select o.orderkey, o.orderdate, o.shippriority
+             from customer c, orders o, lineitem l
+             where c.mktsegment = 'BUILDING' and c.custkey = o.custkey
+               and o.orderkey = l.orderkey
+               and o.orderdate > '1995-03-15' and l.shipdate < '1995-03-17')
+
+Q2: possible(select extendedprice from lineitem
+             where shipdate between '1994-01-01' and '1996-01-01'
+               and discount between 0.05 and 0.08 and quantity < 24)
+
+Q3: possible(select n1.name, n2.name
+             from supplier s, lineitem l, orders o, customer c,
+                  nation n1, nation n2
+             where n2.name = 'IRAQ' and n1.name = 'GERMANY'
+               and c.nationkey = n2.nationkey and s.suppkey = l.suppkey
+               and o.orderkey = l.orderkey and c.custkey = o.custkey
+               and s.nationkey = n1.nationkey)
+
+Each builder also has an ``inner`` variant (without ``possible``) used by
+the Figure 14 comparison, which benchmarks the queries without the poss
+operator and without erroneous-tuple removal.
+"""
+
+from __future__ import annotations
+
+from ..relational.expressions import col, lit
+from ..relational.types import Date
+from ..core.query import Poss, Rel, UJoin, UProject, UQuery, USelect
+
+__all__ = ["q1", "q2", "q3", "q1_inner", "q2_inner", "q3_inner", "ALL_QUERIES"]
+
+
+def q1_inner() -> UQuery:
+    """Q1 without the ``possible`` wrapper."""
+    customer = USelect(
+        Rel("customer", "c"), col("c.mktsegment").eq(lit("BUILDING"))
+    )
+    orders = USelect(
+        Rel("orders", "o"), col("o.orderdate") > lit(Date("1995-03-15"))
+    )
+    lineitem = USelect(
+        Rel("lineitem", "l"), col("l.shipdate") < lit(Date("1995-03-17"))
+    )
+    co = UJoin(customer, orders, col("c.custkey").eq(col("o.custkey")))
+    col_join = UJoin(co, lineitem, col("o.orderkey").eq(col("l.orderkey")))
+    return UProject(col_join, ["o.orderkey", "o.orderdate", "o.shippriority"])
+
+
+def q1() -> UQuery:
+    """Q1 of Figure 8 (de-aggregated TPC-H Q3)."""
+    return Poss(q1_inner())
+
+
+def q2_inner() -> UQuery:
+    """Q2 without the ``possible`` wrapper."""
+    lineitem = USelect(
+        Rel("lineitem", "l"),
+        col("l.shipdate").between(Date("1994-01-01"), Date("1996-01-01"))
+        & col("l.discount").between(0.05, 0.08)
+        & (col("l.quantity") < lit(24)),
+    )
+    return UProject(lineitem, ["l.extendedprice"])
+
+
+def q2() -> UQuery:
+    """Q2 of Figure 8 (de-aggregated TPC-H Q6)."""
+    return Poss(q2_inner())
+
+
+def q3_inner() -> UQuery:
+    """Q3 without the ``possible`` wrapper."""
+    n1 = USelect(Rel("nation", "n1"), col("n1.name").eq(lit("GERMANY")))
+    n2 = USelect(Rel("nation", "n2"), col("n2.name").eq(lit("IRAQ")))
+    supplier = Rel("supplier", "s")
+    lineitem = Rel("lineitem", "l")
+    orders = Rel("orders", "o")
+    customer = Rel("customer", "c")
+    sl = UJoin(supplier, lineitem, col("s.suppkey").eq(col("l.suppkey")))
+    slo = UJoin(sl, orders, col("o.orderkey").eq(col("l.orderkey")))
+    sloc = UJoin(slo, customer, col("c.custkey").eq(col("o.custkey")))
+    with_n1 = UJoin(sloc, n1, col("s.nationkey").eq(col("n1.nationkey")))
+    with_n2 = UJoin(with_n1, n2, col("c.nationkey").eq(col("n2.nationkey")))
+    return UProject(with_n2, ["n1.name", "n2.name"])
+
+
+def q3() -> UQuery:
+    """Q3 of Figure 8 (de-aggregated TPC-H Q7)."""
+    return Poss(q3_inner())
+
+
+#: (label, possible-wrapped builder, inner builder) for harness loops.
+ALL_QUERIES = [
+    ("Q1", q1, q1_inner),
+    ("Q2", q2, q2_inner),
+    ("Q3", q3, q3_inner),
+]

@@ -1,0 +1,59 @@
+"""TPC-H logical schemas (the eight tables, attribute order as in the spec).
+
+Attribute names drop the spec's per-table prefixes (``l_``, ``o_``, ...);
+queries qualify them through relation aliases instead, matching the paper's
+query formulations (``c.mktsegment``, ``o.orderdate``, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+__all__ = ["TPCH_SCHEMAS", "TABLE_CARDINALITY", "base_cardinality"]
+
+#: Attribute lists per table (order matters: dbgen emits rows in this order).
+TPCH_SCHEMAS: Dict[str, List[str]] = {
+    "region": ["regionkey", "name", "comment"],
+    "nation": ["nationkey", "name", "regionkey", "comment"],
+    "supplier": ["suppkey", "name", "address", "nationkey", "phone", "acctbal", "comment"],
+    "part": [
+        "partkey", "name", "mfgr", "brand", "type", "size", "container",
+        "retailprice", "comment",
+    ],
+    "partsupp": ["partkey", "suppkey", "availqty", "supplycost", "comment"],
+    "customer": [
+        "custkey", "name", "address", "nationkey", "phone", "acctbal",
+        "mktsegment", "comment",
+    ],
+    "orders": [
+        "orderkey", "custkey", "orderstatus", "totalprice", "orderdate",
+        "orderpriority", "clerk", "shippriority", "comment",
+    ],
+    "lineitem": [
+        "orderkey", "partkey", "suppkey", "linenumber", "quantity",
+        "extendedprice", "discount", "tax", "returnflag", "linestatus",
+        "shipdate", "commitdate", "receiptdate", "shipinstruct", "shipmode",
+        "comment",
+    ],
+}
+
+#: Base cardinalities at scale factor 1 (lineitem is ~4 per order).
+TABLE_CARDINALITY: Dict[str, int] = {
+    "region": 5,
+    "nation": 25,
+    "supplier": 10_000,
+    "part": 200_000,
+    "partsupp": 800_000,
+    "customer": 150_000,
+    "orders": 1_500_000,
+    # lineitem cardinality is derived (1..7 per order, ~4 on average)
+}
+
+
+def base_cardinality(table: str, scale: float) -> int:
+    """Row count of a table at a scale factor (region/nation are fixed)."""
+    if table in ("region", "nation"):
+        return TABLE_CARDINALITY[table]
+    if table == "lineitem":
+        raise ValueError("lineitem cardinality is derived from orders")
+    return max(int(round(TABLE_CARDINALITY[table] * scale)), 1)

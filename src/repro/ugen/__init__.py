@@ -1,0 +1,24 @@
+"""``repro.ugen`` — the uncertain TPC-H data generator of Section 6.
+
+Post-processes certain TPC-H tables into attribute-level U-relational
+databases with the paper's parameters (scale ``s``, uncertainty ratio
+``x``, correlation ratio ``z`` via a Zipf allocation of dependent-field
+counts, max alternatives ``m = 8``, survival probability ``p = 0.25``), and
+converts attribute-level databases to tuple-level ones for the Figure 14
+comparison.
+"""
+
+from .generator import KEY_ATTRIBUTES, UncertainTPCH, generate_uncertain
+from .tuplelevel import tuple_level_relation, tuple_level_size, tuple_level_udatabase
+from .zipf import MAX_DFC, dfc_allocation
+
+__all__ = [
+    "generate_uncertain",
+    "UncertainTPCH",
+    "KEY_ATTRIBUTES",
+    "dfc_allocation",
+    "MAX_DFC",
+    "tuple_level_relation",
+    "tuple_level_udatabase",
+    "tuple_level_size",
+]

@@ -1,0 +1,31 @@
+"""``repro.uldb`` — ULDBs: databases with uncertainty and lineage (Trio).
+
+The tuple-level baseline of Section 5 and Figure 14: x-tuples with
+alternatives and conjunctive lineage, select-project-join evaluation with
+lineage propagation (and the erroneous tuples it admits), data minimization
+via transitive lineage closure, and the Lemma 5.5 / Example 5.4
+conversions to and from U-relational databases.
+"""
+
+from .convert import ABSENT, udatabase_to_uldb, uldb_to_udatabase
+from .lineage import erroneous_alternatives, minimize, well_formed
+from .query import join, possible_tuples, project, select
+from .uldb import ULDB, Alternative, AltRef, ULDBRelation, XTuple
+
+__all__ = [
+    "ULDB",
+    "ULDBRelation",
+    "XTuple",
+    "Alternative",
+    "AltRef",
+    "select",
+    "project",
+    "join",
+    "possible_tuples",
+    "minimize",
+    "erroneous_alternatives",
+    "well_formed",
+    "udatabase_to_uldb",
+    "uldb_to_udatabase",
+    "ABSENT",
+]

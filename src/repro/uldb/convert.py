@@ -1,0 +1,203 @@
+"""Conversions between ULDBs and U-relational databases (Section 5).
+
+* :func:`uldb_to_udatabase` — Lemma 5.5: the *linear* embedding.  Every
+  x-tuple ``t`` becomes a variable ``c_t`` with one domain value per
+  alternative (plus an "absent" value for optional x-tuples); every
+  alternative becomes one tuple-level U-relation tuple whose ws-descriptor
+  fixes ``c_t`` and the choices demanded by the alternative's (transitively
+  closed) lineage.
+
+* :func:`udatabase_to_uldb` — the reverse direction, which is worst-case
+  *exponential in the arity* (Theorem 5.6 / Example 5.4): for every logical
+  tuple id, all consistent combinations of its partitions' values must be
+  enumerated as alternatives.  Cross-x-tuple dependencies are expressed
+  with lineage to per-variable *selector* x-tuples (one alternative per
+  domain value, stored in auxiliary ``_var_<x>`` relations), the standard
+  Trio encoding of shared choices.  The data relations' alternative counts
+  are the representation-size measure used by the Figure 14 comparison.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.descriptor import Descriptor
+from ..core.udatabase import UDatabase
+from ..core.urelation import URelation, tid_column
+from ..core.worldtable import WorldTable
+from .uldb import ULDB, Alternative, AltRef, ULDBRelation, XTuple
+
+__all__ = ["uldb_to_udatabase", "udatabase_to_uldb", "ABSENT"]
+
+#: Extra domain value representing "the optional x-tuple is absent".
+ABSENT = "absent"
+
+
+def _variable_for(relation_name: str, tid: Any) -> str:
+    return f"c[{relation_name}:{tid!r}]"
+
+
+def uldb_to_udatabase(db: ULDB, skip_selectors: bool = True) -> UDatabase:
+    """Lemma 5.5: translate a ULDB linearly into a U-relational database.
+
+    ``skip_selectors``: auxiliary ``_var_*`` relations produced by
+    :func:`udatabase_to_uldb` are choice bookkeeping, not data; they are
+    translated into world-table variables but not into logical relations.
+    """
+    # An x-tuple is a *base choice* when its alternatives carry no lineage:
+    # only those get a free choice variable.  X-tuples whose alternatives
+    # have lineage are determined by the choices they reference (their own
+    # "choice" would double-count worlds).
+    world = WorldTable()
+    is_base: Dict[Tuple[str, Any], bool] = {}
+    for name, relation in sorted(db.relations.items()):
+        for xtuple in relation:
+            base = all(not alt.lineage for alt in xtuple.alternatives)
+            is_base[(name, xtuple.tid)] = base
+            if not base:
+                continue
+            domain: List[Any] = list(range(1, len(xtuple.alternatives) + 1))
+            if xtuple.optional:
+                domain.append(ABSENT)
+            if len(domain) > 1:
+                world.add_variable(_variable_for(name, xtuple.tid), domain)
+
+    udb = UDatabase(world)
+    for name, relation in sorted(db.relations.items()):
+        if skip_selectors and name.startswith("_var_"):
+            continue
+        triples = []
+        for xtuple in relation:
+            for index, alternative in enumerate(xtuple.alternatives, start=1):
+                closure = db.lineage_closure((name, xtuple.tid, index))
+                if closure is None:
+                    continue  # erroneous alternative: occurs in no world
+                assignments: Dict[str, Any] = {}
+                ok = True
+                for dep_name, dep_tid, dep_index in closure:
+                    if not is_base.get((dep_name, dep_tid), True):
+                        continue  # determined x-tuple: no variable of its own
+                    var = _variable_for(dep_name, dep_tid)
+                    if var not in world:
+                        # single-alternative mandatory x-tuple: always chosen
+                        continue
+                    if assignments.get(var, dep_index) != dep_index:
+                        ok = False
+                        break
+                    assignments[var] = dep_index
+                if not ok:
+                    continue
+                triples.append(
+                    (Descriptor(assignments), xtuple.tid, alternative.values)
+                )
+        partition = URelation.build(
+            triples, tid_column(name), list(relation.attributes)
+        )
+        udb.add_relation(name, relation.attributes, [partition])
+    return udb
+
+
+def udatabase_to_uldb(udb: UDatabase) -> ULDB:
+    """Translate a U-relational database to an equivalent ULDB.
+
+    Worst-case exponential in the number of partitions per relation
+    (Theorem 5.6): every consistent combination of per-partition values of
+    one logical tuple becomes one alternative (Example 5.4's enumeration).
+    """
+    db = ULDB()
+
+    # selector x-tuples: one per world-table variable
+    selector_ref: Dict[Tuple[str, Any], AltRef] = {}
+    for var in udb.world_table.variables():
+        relation = ULDBRelation(f"_var_{var}", ["value"])
+        domain = udb.world_table.domain(var)
+        relation.add(XTuple(var, [Alternative((v,)) for v in domain]))
+        db.add_relation(relation)
+        for index, value in enumerate(domain, start=1):
+            selector_ref[(var, value)] = (f"_var_{var}", var, index)
+
+    for name in udb.relation_names():
+        schema = udb.logical_schema(name)
+        relation = ULDBRelation(name, schema.attributes)
+        combos = _tuple_combinations(udb, name)
+        for tid, alternatives in sorted(combos.items(), key=lambda kv: repr(kv[0])):
+            alts = []
+            covered_all = _covers_all_worlds(
+                [d for d, _ in alternatives], udb.world_table
+            )
+            for descriptor, values in alternatives:
+                lineage = [
+                    selector_ref[(var, val)] for var, val in descriptor.items()
+                ]
+                alts.append(Alternative(values, lineage=lineage))
+            if alts:
+                relation.add(XTuple(tid, alts, optional=not covered_all))
+        db.add_relation(relation)
+    return db
+
+
+def _tuple_combinations(
+    udb: UDatabase, name: str
+) -> Dict[Any, List[Tuple[Descriptor, Tuple[Any, ...]]]]:
+    """All consistent full-attribute combinations per logical tuple id."""
+    schema = udb.logical_schema(name)
+    parts = udb.partitions(name)
+    per_tid: Dict[Any, List[List[Tuple[Descriptor, Dict[str, Any]]]]] = {}
+    for part_index, part in enumerate(parts):
+        for descriptor, tids, values in part:
+            (tid,) = tids
+            buckets = per_tid.setdefault(tid, [[] for _ in parts])
+            buckets[part_index].append(
+                (descriptor, dict(zip(part.value_names, values)))
+            )
+    out: Dict[Any, List[Tuple[Descriptor, Tuple[Any, ...]]]] = {}
+    for tid, buckets in per_tid.items():
+        non_empty = [b for b in buckets if b]
+        if len(non_empty) < len(buckets):
+            continue  # some partition never defines this tuple: never complete
+        combos: List[Tuple[Descriptor, Tuple[Any, ...]]] = []
+        seen: Set[Tuple] = set()
+        for choice in itertools.product(*non_empty):
+            descriptor = Descriptor()
+            consistent = True
+            for d, _vals in choice:
+                if not descriptor.consistent_with(d):
+                    consistent = False
+                    break
+                descriptor = descriptor.union(d)
+            if not consistent:
+                continue
+            merged: Dict[str, Any] = {}
+            conflict = False
+            for _d, vals in choice:
+                for attr, value in vals.items():
+                    if merged.setdefault(attr, value) != value:
+                        conflict = True
+                        break
+                if conflict:
+                    break
+            if conflict or set(merged) != set(schema.attributes):
+                continue
+            values = tuple(merged[a] for a in schema.attributes)
+            key = (descriptor.items(), tuple(map(repr, values)))
+            if key not in seen:
+                seen.add(key)
+                combos.append((descriptor, values))
+        out[tid] = combos
+    return out
+
+
+def _covers_all_worlds(descriptors: Sequence[Descriptor], world: WorldTable) -> bool:
+    """Whether the union of descriptor world-sets is the full world-set."""
+    if any(d.empty for d in descriptors):
+        return True
+    if not descriptors:
+        return False
+    touched = sorted({var for d in descriptors for var in d.variables()})
+    for combo in itertools.product(*(world.domain(v) for v in touched)):
+        assignment = dict(zip(touched, combo))
+        assignment["_t"] = 0
+        if not any(d.extended_by(assignment) for d in descriptors):
+            return False
+    return True

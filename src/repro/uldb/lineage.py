@@ -1,0 +1,94 @@
+"""Lineage analysis and data minimization for ULDBs.
+
+Section 5: "erroneous tuples may appear in the answers to queries on
+ULDBs... The removal of such tuples is called data minimization, an
+expensive operation that involves the computation of the transitive
+closure of lineage."
+
+:func:`minimize` removes every alternative whose transitive lineage closure
+is unsatisfiable (dangles, or demands two different alternatives of one
+x-tuple); x-tuples left without alternatives disappear.
+:func:`erroneous_alternatives` reports them without removing, and
+:func:`well_formed` checks the structural conditions of [8].
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Set, Tuple
+
+from .uldb import ULDB, Alternative, AltRef, ULDBRelation, XTuple
+
+__all__ = ["minimize", "erroneous_alternatives", "well_formed"]
+
+
+def erroneous_alternatives(db: ULDB, relation: ULDBRelation) -> List[AltRef]:
+    """References to alternatives that occur in no possible world."""
+    out: List[AltRef] = []
+    for xtuple in relation:
+        for index in range(1, len(xtuple.alternatives) + 1):
+            ref = (relation.name, xtuple.tid, index)
+            if not db.closure_consistent([ref]):
+                out.append(ref)
+    return out
+
+
+def minimize(db: ULDB, relation: ULDBRelation) -> ULDBRelation:
+    """Data minimization: drop erroneous alternatives (and empty x-tuples).
+
+    Returns a new relation registered in ``db``; lineage of surviving
+    alternatives now points at the surviving copy's inputs unchanged (the
+    indices of surviving alternatives are preserved by keeping placeholder
+    positions out of the result and re-pointing lineage to the original
+    relation, which stays in the database).
+    """
+    bad = set(erroneous_alternatives(db, relation))
+    out = ULDBRelation(f"{relation.name}_min", relation.attributes)
+    for xtuple in relation:
+        kept = []
+        for index, alternative in enumerate(xtuple.alternatives, start=1):
+            if (relation.name, xtuple.tid, index) in bad:
+                continue
+            kept.append(
+                Alternative(
+                    alternative.values,
+                    lineage=[(relation.name, xtuple.tid, index)],
+                )
+            )
+        if kept:
+            optional = xtuple.optional or len(kept) < len(xtuple.alternatives)
+            out.add(XTuple(xtuple.tid, kept, optional=optional))
+    db.add_relation(out)
+    return out
+
+
+def well_formed(db: ULDB) -> bool:
+    """Structural well-formedness: lineage acyclic and base-terminated.
+
+    [8] requires lineage to form a DAG ending at base (lineage-free)
+    alternatives.  External symbols (dangling references) are permitted by
+    the model; cycles are not.
+    """
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color: Dict[AltRef, int] = {}
+
+    def visit(ref: AltRef) -> bool:
+        state = color.get(ref, WHITE)
+        if state == GRAY:
+            return False  # cycle
+        if state == BLACK:
+            return True
+        color[ref] = GRAY
+        alternative = db.resolve(ref)
+        if alternative is not None:
+            for dep in alternative.lineage:
+                if not visit(dep):
+                    return False
+        color[ref] = BLACK
+        return True
+
+    for name, relation in db.relations.items():
+        for xtuple in relation:
+            for index in range(1, len(xtuple.alternatives) + 1):
+                if not visit((name, xtuple.tid, index)):
+                    return False
+    return True

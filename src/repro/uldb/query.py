@@ -1,0 +1,146 @@
+"""Query evaluation on ULDBs with lineage propagation.
+
+Select-project-join evaluation in the style of Trio [8]:
+
+* selection keeps the alternatives satisfying the predicate (an x-tuple
+  whose alternatives partially qualify becomes optional),
+* projection maps alternatives, keeping lineage to the input alternatives,
+* join combines alternatives pairwise; the lineage of an output alternative
+  is the union of the input lineages plus references to the two inputs.
+
+Crucially — and this is the Section 5 contrast with U-relations — the join
+performs **no consistency filtering**: output lineage only points to input
+alternatives, so *erroneous tuples* (alternatives whose transitive lineage
+is unsatisfiable) can appear in answers.  Removing them is *data
+minimization* (:func:`repro.uldb.lineage.minimize`), an expensive
+transitive-closure computation; U-relations avoid it by construction via
+the ψ condition.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..relational.expressions import Expression
+from ..relational.relation import Relation
+from ..relational.schema import Schema
+from .uldb import ULDB, Alternative, ULDBRelation, XTuple
+
+__all__ = ["select", "project", "join", "possible_tuples"]
+
+_result_counter = itertools.count(1)
+
+
+def _fresh_name(prefix: str) -> str:
+    return f"{prefix}#{next(_result_counter)}"
+
+
+def select(db: ULDB, relation: ULDBRelation, predicate: Expression) -> ULDBRelation:
+    """σ over a ULDB relation; result registered in ``db``."""
+    schema = Schema(relation.attributes)
+    bound = predicate.bind(schema)
+    out = ULDBRelation(_fresh_name(f"sel_{relation.name}"), relation.attributes)
+    for xtuple in relation:
+        kept = []
+        for index, alternative in enumerate(xtuple.alternatives, start=1):
+            if bound(alternative.values):
+                kept.append(
+                    Alternative(
+                        alternative.values,
+                        lineage=[(relation.name, xtuple.tid, index)],
+                    )
+                )
+        if kept:
+            optional = xtuple.optional or len(kept) < len(xtuple.alternatives)
+            out.add(XTuple(xtuple.tid, kept, optional=optional))
+    db.add_relation(out)
+    return out
+
+
+def project(db: ULDB, relation: ULDBRelation, attributes: Sequence[str]) -> ULDBRelation:
+    """π over a ULDB relation; duplicates within an x-tuple collapse."""
+    positions = [relation.attributes.index(a) for a in attributes]
+    out = ULDBRelation(_fresh_name(f"proj_{relation.name}"), attributes)
+    for xtuple in relation:
+        alternatives = []
+        seen = set()
+        for index, alternative in enumerate(xtuple.alternatives, start=1):
+            values = tuple(alternative.values[i] for i in positions)
+            if values in seen:
+                continue
+            seen.add(values)
+            alternatives.append(
+                Alternative(values, lineage=[(relation.name, xtuple.tid, index)])
+            )
+        out.add(XTuple(xtuple.tid, alternatives, optional=xtuple.optional))
+    db.add_relation(out)
+    return out
+
+
+def join(
+    db: ULDB,
+    left: ULDBRelation,
+    right: ULDBRelation,
+    predicate: Expression,
+    minimize_result: bool = False,
+) -> ULDBRelation:
+    """⋈ of two ULDB relations with lineage to both inputs.
+
+    With ``minimize_result=False`` (Trio's default behaviour as benchmarked
+    in Figure 14), erroneous tuples may remain in the output; pass ``True``
+    to run data minimization afterwards.
+    """
+    attributes = [f"l.{a}" for a in left.attributes] + [f"r.{a}" for a in right.attributes]
+    schema = Schema(attributes)
+    bound = predicate.bind(schema)
+    out = ULDBRelation(_fresh_name(f"join_{left.name}_{right.name}"), attributes)
+    for ltuple in left:
+        for rtuple in right:
+            alternatives = []
+            for li, lalt in enumerate(ltuple.alternatives, start=1):
+                for ri, ralt in enumerate(rtuple.alternatives, start=1):
+                    combined = lalt.values + ralt.values
+                    if not bound(combined):
+                        continue
+                    alternatives.append(
+                        Alternative(
+                            combined,
+                            lineage=[
+                                (left.name, ltuple.tid, li),
+                                (right.name, rtuple.tid, ri),
+                            ],
+                        )
+                    )
+            if alternatives:
+                out.add(
+                    XTuple(
+                        (ltuple.tid, rtuple.tid),
+                        alternatives,
+                        optional=True,  # join results are conditional on inputs
+                    )
+                )
+    db.add_relation(out)
+    if minimize_result:
+        from .lineage import minimize
+
+        return minimize(db, out)
+    return out
+
+
+def possible_tuples(db: ULDB, relation: ULDBRelation, minimized: bool = True) -> Relation:
+    """The ``poss`` analogue: distinct alternative values.
+
+    With ``minimized=True``, erroneous alternatives (unsatisfiable lineage)
+    are excluded — this invokes the expensive lineage closure per
+    alternative, which Trio folds into confidence computation.
+    """
+    rows = []
+    for xtuple in relation:
+        for index, alternative in enumerate(xtuple.alternatives, start=1):
+            if minimized and not db.closure_consistent(
+                [(relation.name, xtuple.tid, index)]
+            ):
+                continue
+            rows.append(alternative.values)
+    return Relation(Schema(relation.attributes), rows).distinct()

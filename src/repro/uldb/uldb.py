@@ -1,0 +1,247 @@
+"""ULDBs — databases with uncertainty and lineage (the Trio baseline [8]).
+
+A ULDB relation is a set of *x-tuples*; each x-tuple has one or more
+*alternatives* (value tuples) and may be marked optional (``?``).  One
+possible world chooses exactly one alternative per x-tuple (or none, for
+optional x-tuples).  Dependencies between alternatives of different
+x-tuples are expressed through *lineage*: alternative ``(t, j)`` occurs in
+exactly the worlds where all alternatives its lineage points to occur.
+
+This implementation follows Section 5's account of [8]:
+
+* lineage is a conjunction of references to other alternatives (or to
+  external symbols, which we model as references to absent alternatives),
+* a world is a choice of alternatives consistent with lineage closure,
+* query answers carry lineage to input alternatives, which can admit
+  *erroneous tuples* (tuples in no world) until data minimization removes
+  them — the expensive transitive-closure operation the paper contrasts
+  with U-relations' ψ-filtered joins.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..relational.relation import Relation
+from ..relational.schema import Schema
+
+__all__ = ["AltRef", "Alternative", "XTuple", "ULDBRelation", "ULDB"]
+
+#: A reference to an alternative: (relation name, x-tuple id, alternative index).
+AltRef = Tuple[str, Any, int]
+
+
+class Alternative:
+    """One alternative of an x-tuple: values plus conjunctive lineage."""
+
+    __slots__ = ("values", "lineage")
+
+    def __init__(self, values: Sequence[Any], lineage: Iterable[AltRef] = ()):
+        self.values: Tuple[Any, ...] = tuple(values)
+        self.lineage: FrozenSet[AltRef] = frozenset(lineage)
+
+    def __repr__(self) -> str:
+        if self.lineage:
+            return f"{self.values} λ{sorted(self.lineage)}"
+        return repr(self.values)
+
+
+class XTuple:
+    """An x-tuple: a set of mutually exclusive alternatives."""
+
+    __slots__ = ("tid", "alternatives", "optional")
+
+    def __init__(self, tid: Any, alternatives: Sequence[Alternative], optional: bool = False):
+        if not alternatives:
+            raise ValueError("an x-tuple needs at least one alternative")
+        self.tid = tid
+        self.alternatives: Tuple[Alternative, ...] = tuple(alternatives)
+        self.optional = optional
+
+    def __len__(self) -> int:
+        return len(self.alternatives)
+
+    def __repr__(self) -> str:
+        mark = " ?" if self.optional else ""
+        return f"XTuple({self.tid}: {list(self.alternatives)}{mark})"
+
+
+class ULDBRelation:
+    """A ULDB relation: schema plus x-tuples."""
+
+    def __init__(self, name: str, attributes: Sequence[str]):
+        self.name = name
+        self.attributes: Tuple[str, ...] = tuple(attributes)
+        self.xtuples: List[XTuple] = []
+        self._by_tid: Dict[Any, XTuple] = {}
+
+    def add(self, xtuple: XTuple) -> None:
+        if xtuple.tid in self._by_tid:
+            raise ValueError(f"duplicate x-tuple id {xtuple.tid!r} in {self.name!r}")
+        for alt in xtuple.alternatives:
+            if len(alt.values) != len(self.attributes):
+                raise ValueError(
+                    f"alternative arity {len(alt.values)} does not match "
+                    f"schema {list(self.attributes)}"
+                )
+        self.xtuples.append(xtuple)
+        self._by_tid[xtuple.tid] = xtuple
+
+    def xtuple(self, tid: Any) -> Optional[XTuple]:
+        return self._by_tid.get(tid)
+
+    def alternative_count(self) -> int:
+        """Total number of alternatives — the size measure of Figure 14."""
+        return sum(len(x) for x in self.xtuples)
+
+    def __len__(self) -> int:
+        return len(self.xtuples)
+
+    def __iter__(self) -> Iterator[XTuple]:
+        return iter(self.xtuples)
+
+    def __repr__(self) -> str:
+        return (
+            f"ULDBRelation({self.name}, {len(self.xtuples)} x-tuples, "
+            f"{self.alternative_count()} alternatives)"
+        )
+
+
+class ULDB:
+    """A ULDB database: named ULDB relations sharing a lineage space."""
+
+    def __init__(self) -> None:
+        self.relations: Dict[str, ULDBRelation] = {}
+
+    def add_relation(self, relation: ULDBRelation) -> None:
+        if relation.name in self.relations:
+            raise ValueError(f"relation {relation.name!r} already exists")
+        self.relations[relation.name] = relation
+
+    def get(self, name: str) -> ULDBRelation:
+        try:
+            return self.relations[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown ULDB relation {name!r}; have {sorted(self.relations)}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # lineage machinery
+    # ------------------------------------------------------------------
+    def resolve(self, ref: AltRef) -> Optional[Alternative]:
+        """The alternative a reference denotes, or None (external symbol)."""
+        name, tid, index = ref
+        relation = self.relations.get(name)
+        if relation is None:
+            return None
+        xtuple = relation.xtuple(tid)
+        if xtuple is None or not (1 <= index <= len(xtuple.alternatives)):
+            return None
+        return xtuple.alternatives[index - 1]
+
+    def lineage_closure(self, ref: AltRef) -> Optional[Set[AltRef]]:
+        """Transitive closure of lineage from one alternative.
+
+        Returns the set of base references the alternative (transitively)
+        depends on, or ``None`` when the closure hits a dangling reference
+        (an external symbol that is not satisfiable).
+        """
+        seen: Set[AltRef] = set()
+        frontier = [ref]
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            alternative = self.resolve(current)
+            if alternative is None:
+                return None
+            frontier.extend(alternative.lineage)
+        return seen
+
+    def closure_consistent(self, refs: Iterable[AltRef]) -> bool:
+        """Whether a set of references can hold in one world.
+
+        The closure must not require two different alternatives of the same
+        x-tuple, and must not dangle.
+        """
+        combined: Set[AltRef] = set()
+        for ref in refs:
+            closure = self.lineage_closure(ref)
+            if closure is None:
+                return False
+            combined |= closure
+        chosen: Dict[Tuple[str, Any], int] = {}
+        for name, tid, index in combined:
+            key = (name, tid)
+            if chosen.setdefault(key, index) != index:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # possible-worlds semantics
+    # ------------------------------------------------------------------
+    def worlds(self) -> Iterator[Dict[str, Relation]]:
+        """Enumerate all worlds (exponential — oracle for tests).
+
+        A world is a choice of one alternative per x-tuple (or none for
+        optional x-tuples) whose combined lineage closure is consistent.
+        """
+        all_xtuples: List[Tuple[str, XTuple]] = [
+            (name, x) for name, rel in sorted(self.relations.items()) for x in rel
+        ]
+        options: List[List[Optional[int]]] = []
+        for _name, xtuple in all_xtuples:
+            indices: List[Optional[int]] = list(range(1, len(xtuple.alternatives) + 1))
+            if xtuple.optional:
+                indices.append(None)
+            options.append(indices)
+        seen_worlds: Set[Tuple] = set()
+        for combo in itertools.product(*options):
+            chosen_refs = [
+                (name, x.tid, index)
+                for (name, x), index in zip(all_xtuples, combo)
+                if index is not None
+            ]
+            if not self._world_consistent(chosen_refs, dict(
+                ((name, x.tid), index) for (name, x), index in zip(all_xtuples, combo)
+            )):
+                continue
+            world = self._materialize(chosen_refs)
+            key = tuple(sorted((n, tuple(sorted(map(repr, r.rows)))) for n, r in world.items()))
+            if key not in seen_worlds:
+                seen_worlds.add(key)
+                yield world
+
+    def _world_consistent(
+        self, refs: List[AltRef], assignment: Dict[Tuple[str, Any], Optional[int]]
+    ) -> bool:
+        """Every chosen alternative's lineage must hold under the assignment."""
+        for ref in refs:
+            closure = self.lineage_closure(ref)
+            if closure is None:
+                return False
+            for name, tid, index in closure:
+                if assignment.get((name, tid)) != index:
+                    return False
+        return True
+
+    def _materialize(self, refs: List[AltRef]) -> Dict[str, Relation]:
+        rows: Dict[str, List[Tuple[Any, ...]]] = {name: [] for name in self.relations}
+        for name, tid, index in refs:
+            alternative = self.resolve((name, tid, index))
+            assert alternative is not None
+            rows[name].append(alternative.values)
+        return {
+            name: Relation(Schema(self.relations[name].attributes), rows[name]).distinct()
+            for name in self.relations
+        }
+
+    def total_alternatives(self) -> int:
+        return sum(rel.alternative_count() for rel in self.relations.values())
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(rel) for rel in self.relations.values())
+        return f"ULDB({inner})"

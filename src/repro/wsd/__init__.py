@@ -1,0 +1,26 @@
+"""``repro.wsd`` — world-set decompositions (the MayBMS WSD baseline).
+
+WSDs represent a world-set as a product of components; Section 5 of the
+paper identifies them with *normalized* U-relational databases and proves
+U-relations exponentially more succinct (Theorem 5.2).  This package
+provides the representation, its possible-worlds semantics, conversions to
+and from U-relational databases, and (exponential) query evaluation — the
+comparison substrate for Figures 5-7.
+"""
+
+from .convert import udatabase_to_wsd, wsd_to_udatabase
+from .query import evaluate_certain, evaluate_poss, expansion_size, relevant_components
+from .wsd import BOTTOM, Component, Field, WSD
+
+__all__ = [
+    "WSD",
+    "Component",
+    "Field",
+    "BOTTOM",
+    "udatabase_to_wsd",
+    "wsd_to_udatabase",
+    "evaluate_poss",
+    "evaluate_certain",
+    "expansion_size",
+    "relevant_components",
+]

@@ -1,0 +1,115 @@
+"""Conversions between U-relational databases and WSDs (Section 5).
+
+"WSDs are essentially normalized U-relational databases where each variable
+c_i of a U-relation corresponds to a WSD component relation C_i and each
+domain value l_i of c_i corresponds to a tuple of C_i."
+
+* :func:`udatabase_to_wsd` — normalize (Algorithm 1) if necessary, then map
+  each variable to a component: the component's fields are all tuple fields
+  depending on that variable, its local worlds are the variable's domain
+  values, with ``BOTTOM`` where a field is undefined for a value (exactly
+  Figure 5(c) / Figure 7(a) of the paper).  This is where the exponential
+  blow-up of Theorem 5.2 materializes.
+* :func:`wsd_to_udatabase` — the reverse linear embedding: one variable per
+  component, one U-relation tuple per defined field per local world.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Set, Tuple
+
+from ..core.descriptor import TOP_VARIABLE, Descriptor
+from ..core.normalization import is_normalized, normalize_udatabase
+from ..core.udatabase import UDatabase
+from ..core.urelation import URelation, tid_column
+from ..core.worldtable import WorldTable
+from .wsd import BOTTOM, Component, Field, WSD
+
+__all__ = ["udatabase_to_wsd", "wsd_to_udatabase"]
+
+
+def udatabase_to_wsd(udb: UDatabase) -> WSD:
+    """Convert a U-relational database to an equivalent WSD.
+
+    Normalizes first when descriptors are larger than one — this step can
+    blow up exponentially (Theorem 5.2), which the succinctness benchmarks
+    measure directly.
+    """
+    all_parts = [p for name in udb.relation_names() for p in udb.partitions(name)]
+    if not is_normalized(all_parts):
+        udb = normalize_udatabase(udb)
+
+    schemas = {
+        name: udb.logical_schema(name).attributes for name in udb.relation_names()
+    }
+    wsd = WSD(schemas)
+
+    # group fields and (variable, value) -> field value maps per variable
+    fields_of: Dict[str, List[Field]] = {}
+    values_of: Dict[Tuple[str, Any], Dict[Field, Any]] = {}
+    certain_fields: List[Tuple[Field, Any]] = []
+    for name in udb.relation_names():
+        for part in udb.partitions(name):
+            for descriptor, tids, values in part:
+                (tid,) = tids
+                if descriptor.empty:
+                    for attr, value in zip(part.value_names, values):
+                        certain_fields.append((Field(name, tid, attr), value))
+                    continue
+                ((var, val),) = descriptor.items()
+                for attr, value in zip(part.value_names, values):
+                    field = Field(name, tid, attr)
+                    bucket = fields_of.setdefault(var, [])
+                    if field not in bucket:
+                        bucket.append(field)
+                    values_of.setdefault((var, val), {})[field] = value
+
+    for var in sorted(fields_of):
+        fields = fields_of[var]
+        local_worlds = []
+        for val in udb.world_table.domain(var):
+            assignment = values_of.get((var, val), {})
+            local_worlds.append(
+                tuple(assignment.get(field, BOTTOM) for field in fields)
+            )
+        wsd.add_component(Component(fields, local_worlds))
+
+    if certain_fields:
+        fields = [f for f, _ in certain_fields]
+        wsd.add_component(Component(fields, [tuple(v for _, v in certain_fields)]))
+    return wsd
+
+
+def wsd_to_udatabase(wsd: WSD) -> UDatabase:
+    """Linear embedding of a WSD as a (normalized) U-relational database.
+
+    Component ``i`` becomes variable ``k<i>`` with one domain value per
+    local world; every defined cell becomes one U-relation tuple.  Fields of
+    the same relation are grouped per attribute into vertical partitions.
+    """
+    world = WorldTable()
+    per_attr: Dict[Tuple[str, str], List[Tuple[Descriptor, Any, Tuple[Any, ...]]]] = {}
+    for index, component in enumerate(wsd.components):
+        var = f"k{index}"
+        singleton = len(component) == 1
+        if not singleton:
+            world.add_variable(var, list(range(len(component))))
+        for world_index, local in enumerate(component.local_worlds):
+            descriptor = Descriptor() if singleton else Descriptor({var: world_index})
+            for field, value in zip(component.fields, local):
+                if value is BOTTOM:
+                    continue
+                per_attr.setdefault((field.relation, field.attribute), []).append(
+                    (descriptor, field.tid, (value,))
+                )
+
+    udb = UDatabase(world)
+    for name, attrs in wsd.schemas.items():
+        partitions = []
+        for attr in attrs:
+            triples = per_attr.get((name, attr), [])
+            partitions.append(
+                URelation.build(triples, tid_column(name), [attr], d_width=1)
+            )
+        udb.add_relation(name, attrs, partitions)
+    return udb

@@ -1,0 +1,92 @@
+"""Query evaluation on WSDs.
+
+Section 5: "for WSDs all operators are translated to sequences of
+relational queries and in the case of projection and join even to fixpoint
+programs" — and the data complexity of positive relational algebra is
+exponential.  We implement the straightforward (and, per the paper,
+unavoidable in the worst case) evaluation: expand the product of the
+components *relevant to the query*, evaluate per combined local world, and
+union the answers.  The expansion is exactly the ``c_1 x ... x c_n``
+blow-up of Example 5.3 — the point of the Figure 6/7 comparison.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, List, Sequence, Set, Tuple
+
+from ..core.query import Certain, Poss, UQuery, evaluate_in_world, query_relations
+from ..relational.relation import Relation
+from ..relational.schema import Schema
+from .wsd import WSD, Component
+
+__all__ = ["evaluate_poss", "evaluate_certain", "relevant_components", "expansion_size"]
+
+
+def relevant_components(wsd: WSD, query: UQuery) -> List[int]:
+    """Indices of components holding fields of relations the query touches."""
+    names: Set[str] = {rel.name for rel in query_relations(_strip(query))}
+    out = []
+    for index, component in enumerate(wsd.components):
+        if any(field.relation in names for field in component.fields):
+            out.append(index)
+    return out
+
+
+def expansion_size(wsd: WSD, query: UQuery) -> int:
+    """Number of combined local worlds the evaluation must expand."""
+    size = 1
+    for index in relevant_components(wsd, query):
+        size *= len(wsd.components[index])
+    return size
+
+
+def evaluate_poss(wsd: WSD, query: UQuery) -> Relation:
+    """Possible answers: union of the per-(relevant-)world answers."""
+    inner = _strip(query)
+    rows: Set[Tuple] = set()
+    schema: Schema = None  # type: ignore[assignment]
+    for instances in _relevant_worlds(wsd, inner):
+        answer = evaluate_in_world(inner, instances)
+        schema = answer.schema
+        rows.update(answer.rows)
+    if schema is None:  # no components at all: evaluate the empty instance
+        instances = {name: Relation(Schema(attrs), []) for name, attrs in wsd.schemas.items()}
+        return evaluate_in_world(inner, instances)
+    return Relation(schema, sorted(rows, key=lambda r: tuple(map(repr, r))))
+
+
+def evaluate_certain(wsd: WSD, query: UQuery) -> Relation:
+    """Certain answers: intersection of the per-world answers."""
+    inner = _strip(query)
+    rows: Set[Tuple] = None  # type: ignore[assignment]
+    schema: Schema = None  # type: ignore[assignment]
+    for instances in _relevant_worlds(wsd, inner):
+        answer = evaluate_in_world(inner, instances)
+        schema = answer.schema
+        if rows is None:
+            rows = set(answer.rows)
+        else:
+            rows &= set(answer.rows)
+    if schema is None:
+        instances = {name: Relation(Schema(attrs), []) for name, attrs in wsd.schemas.items()}
+        return evaluate_in_world(inner, instances)
+    return Relation(schema, sorted(rows, key=lambda r: tuple(map(repr, r))))
+
+
+def _strip(query: UQuery) -> UQuery:
+    while isinstance(query, (Poss, Certain)):
+        query = query.children[0]
+    return query
+
+
+def _relevant_worlds(wsd: WSD, query: UQuery) -> Iterator[Dict[str, Relation]]:
+    relevant = relevant_components(wsd, query)
+    relevant_set = set(relevant)
+    fixed_choice = [0] * len(wsd.components)
+    ranges = [range(len(wsd.components[i])) for i in relevant]
+    for combo in itertools.product(*ranges):
+        choice = list(fixed_choice)
+        for index, local in zip(relevant, combo):
+            choice[index] = local
+        yield wsd.instantiate(choice)

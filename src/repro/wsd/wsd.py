@@ -1,0 +1,174 @@
+"""World-set decompositions (WSDs) — the MayBMS [4, 6] baseline.
+
+A WSD represents a world-set as a product of *components*
+``C_1 x C_2 x ... x C_n``: each component is a small relation whose columns
+are tuple fields (``t_i.A``) and whose rows are the component's *local
+worlds*.  One world of the database is obtained by choosing one row from
+every component; a field holding the bottom marker ``BOTTOM`` in the chosen
+row is absent in that world (the tuple is incomplete and dropped).
+
+Section 5 of the paper identifies WSDs with *normalized* U-relational
+databases: each component corresponds to a variable, each local world to a
+domain value.  The conversions live in :mod:`repro.wsd.convert`; this
+module is the standalone representation with its own semantics, used for
+the succinctness and query-evaluation comparisons (Figures 5-7).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from ..relational.relation import Relation
+from ..relational.schema import Schema
+
+__all__ = ["BOTTOM", "Field", "Component", "WSD"]
+
+
+class _Bottom:
+    """The ⊥ marker: field absent in this local world."""
+
+    _instance: Optional["_Bottom"] = None
+
+    def __new__(cls) -> "_Bottom":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "⊥"
+
+
+BOTTOM = _Bottom()
+
+
+class Field:
+    """A tuple-field coordinate: (relation, tuple id, attribute)."""
+
+    __slots__ = ("relation", "tid", "attribute")
+
+    def __init__(self, relation: str, tid: Any, attribute: str):
+        self.relation = relation
+        self.tid = tid
+        self.attribute = attribute
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Field)
+            and self.relation == other.relation
+            and self.tid == other.tid
+            and self.attribute == other.attribute
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.relation, self.tid, self.attribute))
+
+    def __repr__(self) -> str:
+        return f"{self.relation}[{self.tid}].{self.attribute}"
+
+
+class Component:
+    """One WSD component: fields (columns) x local worlds (rows)."""
+
+    def __init__(self, fields: Sequence[Field], local_worlds: Iterable[Sequence[Any]]):
+        self.fields: Tuple[Field, ...] = tuple(fields)
+        self.local_worlds: List[Tuple[Any, ...]] = []
+        for world in local_worlds:
+            world_t = tuple(world)
+            if len(world_t) != len(self.fields):
+                raise ValueError(
+                    f"local world arity {len(world_t)} does not match "
+                    f"{len(self.fields)} fields"
+                )
+            self.local_worlds.append(world_t)
+        if not self.local_worlds:
+            raise ValueError("a component must have at least one local world")
+
+    def __len__(self) -> int:
+        return len(self.local_worlds)
+
+    def size_cells(self) -> int:
+        """Number of cells — the footprint measure used by Figure 6/7."""
+        return len(self.fields) * len(self.local_worlds)
+
+    def __repr__(self) -> str:
+        return f"Component({list(self.fields)}, {len(self.local_worlds)} local worlds)"
+
+
+class WSD:
+    """A world-set decomposition: a product of components plus schemas."""
+
+    def __init__(self, schemas: Mapping[str, Sequence[str]]):
+        self.schemas: Dict[str, Tuple[str, ...]] = {
+            name: tuple(attrs) for name, attrs in schemas.items()
+        }
+        self.components: List[Component] = []
+
+    def add_component(self, component: Component) -> None:
+        """Append a component; its fields must belong to known schemas."""
+        for field in component.fields:
+            if field.relation not in self.schemas:
+                raise KeyError(f"unknown relation {field.relation!r}")
+            if field.attribute not in self.schemas[field.relation]:
+                raise KeyError(
+                    f"unknown attribute {field.attribute!r} of {field.relation!r}"
+                )
+        self.components.append(component)
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    def world_count(self) -> int:
+        count = 1
+        for component in self.components:
+            count *= len(component)
+        return count
+
+    def max_local_worlds(self) -> int:
+        """Figure 9's "max. number of local worlds in a component"."""
+        return max((len(c) for c in self.components), default=1)
+
+    def size_cells(self) -> int:
+        """Total representation footprint in cells."""
+        return sum(c.size_cells() for c in self.components)
+
+    # ------------------------------------------------------------------
+    # semantics
+    # ------------------------------------------------------------------
+    def choices(self) -> Iterator[Tuple[int, ...]]:
+        """All world choices: one local-world index per component."""
+        ranges = [range(len(c)) for c in self.components]
+        return itertools.product(*ranges)
+
+    def instantiate(self, choice: Sequence[int]) -> Dict[str, Relation]:
+        """The database instance selected by one choice vector."""
+        fields: Dict[Tuple[str, Any], Dict[str, Any]] = {}
+        for component, index in zip(self.components, choice):
+            world = component.local_worlds[index]
+            for field, value in zip(component.fields, world):
+                key = (field.relation, field.tid)
+                row = fields.setdefault(key, {})
+                if value is BOTTOM:
+                    continue
+                row[field.attribute] = value
+        out: Dict[str, Relation] = {}
+        for name, attrs in self.schemas.items():
+            rows = []
+            for (relation, _tid), row in fields.items():
+                if relation != name:
+                    continue
+                if set(attrs) <= set(row):  # incomplete tuples are dropped
+                    rows.append(tuple(row[a] for a in attrs))
+            out[name] = Relation(Schema(attrs), rows).distinct()
+        return out
+
+    def worlds(self) -> Iterator[Dict[str, Relation]]:
+        """Enumerate all database instances (exponential — tests only)."""
+        for choice in self.choices():
+            yield self.instantiate(choice)
+
+    def __repr__(self) -> str:
+        return (
+            f"WSD({len(self.components)} components, "
+            f"{self.world_count()} worlds, {self.size_cells()} cells)"
+        )

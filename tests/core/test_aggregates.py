@@ -1,0 +1,152 @@
+"""Tests for aggregation over uncertain results (the future-work extension)."""
+
+import pytest
+
+from repro.core import (
+    Descriptor,
+    Rel,
+    UDatabase,
+    URelation,
+    USelect,
+    WorldTable,
+    execute_query,
+)
+from repro.core.aggregates import (
+    aggregate_distribution,
+    count_bounds,
+    expected_count,
+    expected_sum,
+    sum_bounds,
+)
+from repro.core.urelation import tid_column
+from repro.relational import col, lit
+
+
+@pytest.fixture
+def setup():
+    world = WorldTable(
+        {"x": [1, 2], "y": [1, 2]},
+        probabilities={"x": [0.25, 0.75], "y": [0.5, 0.5]},
+    )
+    u = URelation.build(
+        [
+            (Descriptor(), 1, ("a", 10)),          # always present
+            (Descriptor(x=1), 2, ("b", 20)),       # p = 0.25
+            (Descriptor(y=2), 3, ("c", 40)),       # p = 0.5
+        ],
+        tid_column("r"),
+        ["name", "amount"],
+    )
+    udb = UDatabase(world)
+    udb.add_relation("r", ["name", "amount"], [u])
+    result = execute_query(Rel("r"), udb)
+    return udb, result
+
+
+def brute_force_expectation(udb, fn):
+    total = 0.0
+    for valuation in udb.world_table.valuations():
+        p = udb.world_table.valuation_probability(valuation)
+        rows = udb.instantiate(valuation, "r").rows
+        total += p * fn(rows)
+    return total
+
+
+class TestExpectedAggregates:
+    def test_expected_count_exact(self, setup):
+        udb, result = setup
+        expected = brute_force_expectation(udb, len)
+        assert expected_count(result, udb.world_table) == pytest.approx(expected)
+        assert expected_count(result, udb.world_table) == pytest.approx(1.75)
+
+    def test_expected_sum_exact(self, setup):
+        udb, result = setup
+        expected = brute_force_expectation(
+            udb, lambda rows: sum(r[1] for r in rows)
+        )
+        assert expected_sum(result, "amount", udb.world_table) == pytest.approx(
+            expected
+        )
+        assert expected_sum(result, "amount", udb.world_table) == pytest.approx(
+            10 + 0.25 * 20 + 0.5 * 40
+        )
+
+    def test_expected_sum_after_selection(self, setup):
+        udb, _ = setup
+        result = execute_query(
+            USelect(Rel("r"), col("amount") > lit(15)), udb
+        )
+        assert expected_sum(result, "amount", udb.world_table) == pytest.approx(
+            0.25 * 20 + 0.5 * 40
+        )
+
+    def test_null_values_skipped(self):
+        world = WorldTable({"x": [1, 2]})
+        u = URelation.build(
+            [(Descriptor(), 1, (None,)), (Descriptor(x=1), 2, (8,))],
+            tid_column("r"),
+            ["v"],
+        )
+        udb = UDatabase(world)
+        udb.add_relation("r", ["v"], [u])
+        result = execute_query(Rel("r"), udb)
+        assert expected_sum(result, "v", world) == pytest.approx(4.0)
+
+
+class TestBounds:
+    def test_count_bounds(self, setup):
+        udb, result = setup
+        assert count_bounds(result, udb.world_table) == (1, 3)
+
+    def test_sum_bounds_nonnegative(self, setup):
+        udb, result = setup
+        assert sum_bounds(result, "amount", udb.world_table) == (10.0, 70.0)
+
+    def test_sum_bounds_with_negatives(self):
+        world = WorldTable({"x": [1, 2]})
+        u = URelation.build(
+            [(Descriptor(), 1, (5,)), (Descriptor(x=1), 2, (-3,))],
+            tid_column("r"),
+            ["v"],
+        )
+        udb = UDatabase(world)
+        udb.add_relation("r", ["v"], [u])
+        result = execute_query(Rel("r"), udb)
+        assert sum_bounds(result, "v", world) == (2.0, 5.0)
+
+    def test_bounds_reached_in_actual_worlds(self, setup):
+        udb, result = setup
+        counts = set()
+        for valuation in udb.world_table.valuations():
+            counts.add(len(udb.instantiate(valuation, "r").rows))
+        lo, hi = count_bounds(result, udb.world_table)
+        assert min(counts) == lo and max(counts) == hi
+
+
+class TestDistribution:
+    def test_count_distribution_converges(self, setup):
+        udb, result = setup
+        dist = aggregate_distribution(
+            result, udb.world_table, aggregate=len, samples=8000, seed=4
+        )
+        # exact: P(count=1) = P(x=2, y=1) = 0.375
+        assert dist.get(1, 0) == pytest.approx(0.375, abs=0.03)
+        assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_max_aggregate(self, setup):
+        udb, result = setup
+
+        def max_amount(rows):
+            return max((r[1] for r in rows), default=0)
+
+        dist = aggregate_distribution(
+            result, udb.world_table, aggregate=max_amount, samples=8000, seed=4
+        )
+        # max = 40 iff y=2 (p = 0.5)
+        assert dist.get(40, 0) == pytest.approx(0.5, abs=0.03)
+
+    def test_deterministic_given_seed(self, setup):
+        udb, result = setup
+        a = aggregate_distribution(result, udb.world_table, len, samples=100, seed=1)
+        b = aggregate_distribution(result, udb.world_table, len, samples=100, seed=1)
+        assert a == b

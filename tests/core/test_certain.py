@@ -1,0 +1,132 @@
+"""Tests for certain answers (Lemma 4.3) against the brute-force oracle."""
+
+import pytest
+
+from repro.core import (
+    Certain,
+    Descriptor,
+    Poss,
+    Rel,
+    UDatabase,
+    UProject,
+    URelation,
+    USelect,
+    WorldTable,
+    certain_answers,
+    execute_query,
+)
+from repro.core.urelation import tid_column
+from repro.relational import col, lit
+from tests.conftest import brute_force_certain
+
+
+class TestLemma43Direct:
+    def test_variable_covering_all_values_is_certain(self):
+        w = WorldTable({"x": [1, 2]})
+        # value 'a' present for x=1 (tid 1) and x=2 (tid 2): certain
+        u = URelation.build(
+            [
+                (Descriptor(x=1), 1, ("a",)),
+                (Descriptor(x=2), 2, ("a",)),
+                (Descriptor(x=1), 3, ("b",)),
+            ],
+            tid_column("r"),
+            ["v"],
+        )
+        answer = certain_answers(u, w)
+        assert set(answer.rows) == {("a",)}
+
+    def test_empty_descriptor_certain(self):
+        w = WorldTable({"x": [1, 2]})
+        u = URelation.build(
+            [(Descriptor(), 1, ("a",)), (Descriptor(x=1), 2, ("b",))],
+            tid_column("r"),
+            ["v"],
+        )
+        assert set(certain_answers(u, w).rows) == {("a",)}
+
+    def test_nothing_certain(self):
+        w = WorldTable({"x": [1, 2], "y": [1, 2]})
+        u = URelation.build(
+            [(Descriptor(x=1), 1, ("a",)), (Descriptor(y=2), 2, ("b",))],
+            tid_column("r"),
+            ["v"],
+        )
+        assert set(certain_answers(u, w).rows) == set()
+
+    def test_wide_descriptors_normalized_first(self):
+        """Certainty via a fused component: a present under both values of x
+        through *different* conjunctions."""
+        w = WorldTable({"x": [1, 2], "y": [1, 2]})
+        u = URelation.build(
+            [
+                (Descriptor(x=1, y=1), 1, ("a",)),
+                (Descriptor(x=1, y=2), 1, ("a",)),
+                (Descriptor(x=2, y=1), 2, ("a",)),
+                (Descriptor(x=2, y=2), 2, ("a",)),
+            ],
+            tid_column("r"),
+            ["v"],
+        )
+        assert set(certain_answers(u, w).rows) == {("a",)}
+
+    def test_partial_cover_not_certain(self):
+        w = WorldTable({"x": [1, 2], "y": [1, 2]})
+        u = URelation.build(
+            [
+                (Descriptor(x=1, y=1), 1, ("a",)),
+                (Descriptor(x=2, y=1), 2, ("a",)),
+                (Descriptor(x=1, y=2), 3, ("a",)),
+            ],
+            tid_column("r"),
+            ["v"],
+        )
+        # world (x=2, y=2) lacks 'a'
+        assert set(certain_answers(u, w).rows) == set()
+
+
+class TestCertainQueries:
+    def test_certain_ids_vehicles(self, vehicles_udb):
+        q = UProject(Rel("r"), ["id"])
+        answer = execute_query(Certain(q), vehicles_udb)
+        assert set(answer.rows) == brute_force_certain(q, vehicles_udb)
+        assert set(answer.rows) == {(1,), (2,), (3,), (4,)}
+
+    def test_certain_enemy_tanks(self, vehicles_udb):
+        q = UProject(
+            USelect(
+                Rel("r"),
+                col("type").eq(lit("Tank")) & col("faction").eq(lit("Enemy")),
+            ),
+            ["id"],
+        )
+        answer = execute_query(Certain(q), vehicles_udb)
+        assert set(answer.rows) == brute_force_certain(q, vehicles_udb)
+
+    def test_certain_types(self, vehicles_udb):
+        q = UProject(Rel("r"), ["type"])
+        answer = execute_query(Certain(q), vehicles_udb)
+        assert set(answer.rows) == brute_force_certain(q, vehicles_udb)
+        # Tank (vehicle a) and Transport (vehicle b) exist in every world
+        assert set(answer.rows) == {("Tank",), ("Transport",)}
+
+    def test_certain_subset_of_possible(self, vehicles_udb):
+        q = UProject(USelect(Rel("r"), col("faction").eq(lit("Enemy"))), ["id"])
+        certain = set(execute_query(Certain(q), vehicles_udb).rows)
+        possible = set(execute_query(Poss(q), vehicles_udb).rows)
+        assert certain <= possible
+
+    def test_multi_tid_results_flattened(self, vehicles_udb):
+        """Certain answers over join results (multiple tid columns)."""
+        from repro.core import UJoin
+
+        left = UProject(Rel("r", "s1"), ["s1.id"])
+        right = UProject(Rel("r", "s2"), ["s2.type"])
+        q = UJoin(left, right, col("s1.id").eq(lit(1)))
+        answer = execute_query(Certain(q), vehicles_udb)
+        assert set(answer.rows) == brute_force_certain(q, vehicles_udb)
+
+    def test_empty_result_certain_empty(self, vehicles_udb):
+        q = USelect(Rel("r"), col("type").eq(lit("Submarine")))
+        answer = execute_query(Certain(q), vehicles_udb)
+        assert len(answer) == 0

@@ -1,0 +1,119 @@
+"""Tests for ws-descriptors and their relational encoding."""
+
+import pytest
+
+from repro.core.descriptor import (
+    TOP_VARIABLE,
+    Descriptor,
+    decode_descriptor,
+    descriptor_columns,
+    encode_descriptor,
+)
+
+
+class TestDescriptor:
+    def test_empty(self):
+        d = Descriptor()
+        assert d.empty and len(d) == 0
+
+    def test_kwargs_construction(self):
+        d = Descriptor(x=1, y=2)
+        assert d["x"] == 1 and d["y"] == 2
+
+    def test_mapping_construction(self):
+        d = Descriptor({"x": 1})
+        assert d["x"] == 1
+
+    def test_items_sorted(self):
+        d = Descriptor(z=1, a=2)
+        assert d.items() == (("a", 2), ("z", 1))
+
+    def test_trivial_variable_dropped(self):
+        d = Descriptor({TOP_VARIABLE: 0, "x": 1})
+        assert d.variables() == ("x",)
+
+    def test_get_and_contains(self):
+        d = Descriptor(x=1)
+        assert "x" in d and "y" not in d
+        assert d.get("y", 9) == 9
+
+    def test_missing_key_raises(self):
+        with pytest.raises(KeyError):
+            Descriptor()["x"]
+
+    def test_equality_and_hash(self):
+        assert Descriptor(x=1, y=2) == Descriptor(y=2, x=1)
+        assert hash(Descriptor(x=1)) == hash(Descriptor(x=1))
+        assert Descriptor(x=1) != Descriptor(x=2)
+
+    def test_from_pairs_rejects_contradiction(self):
+        with pytest.raises(ValueError):
+            Descriptor.from_pairs([("x", 1), ("x", 2)])
+
+    def test_from_pairs_accepts_repeats(self):
+        d = Descriptor.from_pairs([("x", 1), ("x", 1)])
+        assert len(d) == 1
+
+    def test_repr(self):
+        assert repr(Descriptor()) == "{}"
+        assert "x->1" in repr(Descriptor(x=1))
+
+
+class TestConsistency:
+    def test_disjoint_consistent(self):
+        assert Descriptor(x=1).consistent_with(Descriptor(y=2))
+
+    def test_agreeing_consistent(self):
+        assert Descriptor(x=1).consistent_with(Descriptor(x=1, y=2))
+
+    def test_conflicting_inconsistent(self):
+        assert not Descriptor(x=1).consistent_with(Descriptor(x=2))
+
+    def test_empty_consistent_with_all(self):
+        assert Descriptor().consistent_with(Descriptor(x=1))
+
+    def test_union(self):
+        u = Descriptor(x=1).union(Descriptor(y=2))
+        assert u == Descriptor(x=1, y=2)
+
+    def test_union_inconsistent_raises(self):
+        with pytest.raises(ValueError):
+            Descriptor(x=1).union(Descriptor(x=2))
+
+    def test_extended_by(self):
+        d = Descriptor(x=1)
+        assert d.extended_by({"x": 1, "y": 2})
+        assert not d.extended_by({"x": 2, "y": 2})
+        assert not d.extended_by({"y": 2})
+
+    def test_empty_extended_by_all(self):
+        assert Descriptor().extended_by({})
+
+
+class TestRelationalEncoding:
+    def test_columns(self):
+        assert descriptor_columns(2) == ["c1", "w1", "c2", "w2"]
+
+    def test_columns_with_start(self):
+        assert descriptor_columns(2, start=3) == ["c3", "w3", "c4", "w4"]
+
+    def test_roundtrip(self):
+        d = Descriptor(x=1, y=2)
+        assert decode_descriptor(encode_descriptor(d, 3)) == d
+
+    def test_empty_padded_with_top(self):
+        encoded = encode_descriptor(Descriptor(), 2)
+        assert encoded == (TOP_VARIABLE, 0, TOP_VARIABLE, 0)
+        assert decode_descriptor(encoded).empty
+
+    def test_padding_repeats_first_pair(self):
+        encoded = encode_descriptor(Descriptor(x=1), 3)
+        assert encoded == ("x", 1, "x", 1, "x", 1)
+
+    def test_too_wide_rejected(self):
+        with pytest.raises(ValueError):
+            encode_descriptor(Descriptor(x=1, y=2), 1)
+
+    def test_decode_rejects_contradiction(self):
+        with pytest.raises(ValueError):
+            decode_descriptor(("x", 1, "x", 2))

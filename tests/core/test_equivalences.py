@@ -1,0 +1,188 @@
+"""Tests for the Figure 2 equivalences and the merge placement strategies.
+
+Each rewrite rule is verified *semantically*: the rewritten query must give
+the same possible answers as the original on the vehicles database.
+"""
+
+import pytest
+
+from repro.core import (
+    Poss,
+    Rel,
+    UJoin,
+    UMerge,
+    UProject,
+    USelect,
+    execute_query,
+    translate_early,
+    translate_late,
+)
+from repro.core.equivalences import (
+    apply_merge_rules,
+    rule2_commute,
+    rule3_reassociate,
+    rule4_selection_into_merge,
+    rule6_projection_into_merge,
+)
+from repro.relational import col, lit
+from repro.relational.planner import run as run_plan
+from tests.conftest import brute_force_poss
+
+
+def poss_set(query, udb):
+    return set(execute_query(Poss(query), udb).rows)
+
+
+@pytest.fixture
+def merge_query():
+    """sigma(merge(pi_type(R), pi_faction(R)))."""
+    return USelect(
+        UMerge(UProject(Rel("r"), ["type"]), UProject(Rel("r"), ["faction"])),
+        col("faction").eq(lit("Enemy")),
+    )
+
+
+class TestRule1Identity:
+    def test_merge_inverts_partitioning(self, vehicles_udb):
+        """merge(pi_X(R), pi_{A-X}(R)) = R (rule 1)."""
+        merged = UMerge(
+            UProject(Rel("r"), ["id"]),
+            UMerge(UProject(Rel("r"), ["type"]), UProject(Rel("r"), ["faction"])),
+        )
+        assert poss_set(merged, vehicles_udb) == poss_set(Rel("r"), vehicles_udb)
+
+
+class TestRule2Commutativity:
+    def test_rewrite_applies(self):
+        m = UMerge(UProject(Rel("r"), ["id"]), UProject(Rel("r"), ["type"]))
+        swapped = rule2_commute(m)
+        assert swapped is not None
+        assert swapped.left is m.right and swapped.right is m.left
+
+    def test_not_applicable_elsewhere(self):
+        assert rule2_commute(Rel("r")) is None
+
+    def test_semantics_preserved(self, vehicles_udb):
+        m = UMerge(UProject(Rel("r"), ["id"]), UProject(Rel("r"), ["type"]))
+        swapped = rule2_commute(m)
+        left = {tuple(sorted(map(repr, row))) for row in poss_set(m, vehicles_udb)}
+        right = {tuple(sorted(map(repr, row))) for row in poss_set(swapped, vehicles_udb)}
+        assert left == right  # same tuples modulo column order
+
+
+class TestRule3Associativity:
+    def test_rewrite_applies(self):
+        m = UMerge(
+            UMerge(UProject(Rel("r"), ["id"]), UProject(Rel("r"), ["type"])),
+            UProject(Rel("r"), ["faction"]),
+        )
+        reassoc = rule3_reassociate(m)
+        assert reassoc is not None
+        assert isinstance(reassoc.right, UMerge)
+
+    def test_semantics_preserved(self, vehicles_udb):
+        m = UMerge(
+            UMerge(UProject(Rel("r"), ["id"]), UProject(Rel("r"), ["type"])),
+            UProject(Rel("r"), ["faction"]),
+        )
+        reassoc = rule3_reassociate(m)
+        assert poss_set(m, vehicles_udb) == poss_set(reassoc, vehicles_udb)
+
+
+class TestRule4SelectionIntoMerge:
+    def test_rewrite_applies(self, merge_query):
+        rewritten = rule4_selection_into_merge(merge_query)
+        assert isinstance(rewritten, UMerge)
+        assert isinstance(rewritten.right, USelect)
+
+    def test_semantics_preserved(self, vehicles_udb, merge_query):
+        rewritten = rule4_selection_into_merge(merge_query)
+        assert poss_set(merge_query, vehicles_udb) == poss_set(rewritten, vehicles_udb)
+
+    def test_not_applicable_when_predicate_spans(self, vehicles_udb):
+        q = USelect(
+            UMerge(UProject(Rel("r"), ["type"]), UProject(Rel("r"), ["faction"])),
+            col("type").eq(col("faction")),
+        )
+        assert rule4_selection_into_merge(q) is None
+
+
+class TestRule6ProjectionIntoMerge:
+    def test_projection_splits(self, vehicles_udb):
+        q = UProject(
+            UMerge(
+                UProject(Rel("r"), ["id", "type"]),
+                UProject(Rel("r"), ["faction"]),
+            ),
+            ["id", "faction"],
+        )
+        rewritten = rule6_projection_into_merge(q)
+        assert rewritten is not None
+        assert poss_set(q, vehicles_udb) == poss_set(rewritten, vehicles_udb)
+
+
+class TestApplyMergeRules:
+    def test_normalizes_and_preserves(self, vehicles_udb, merge_query):
+        rewritten = apply_merge_rules(merge_query)
+        assert poss_set(merge_query, vehicles_udb) == poss_set(rewritten, vehicles_udb)
+
+    def test_fixpoint_no_infinite_loop(self, merge_query):
+        once = apply_merge_rules(merge_query)
+        twice = apply_merge_rules(once)
+        assert type(once) is type(twice)
+
+
+class TestStrategies:
+    def make_query(self):
+        return UProject(
+            USelect(
+                Rel("r"),
+                col("type").eq(lit("Tank")) & col("faction").eq(lit("Enemy")),
+            ),
+            ["id"],
+        )
+
+    def test_early_and_late_agree(self, vehicles_udb):
+        q = self.make_query()
+        late = translate_late(q, vehicles_udb)
+        early = translate_early(q, vehicles_udb)
+        late_rows = set(run_plan(late.plan).project(list(late.value_names)).rows)
+        early_rows = set(run_plan(early.plan).project(list(early.value_names)).rows)
+        assert late_rows == early_rows
+
+    def test_late_reads_fewer_partitions_for_narrow_query(self, vehicles_udb):
+        from repro.relational.algebra import Scan
+
+        def count_scans(plan):
+            n = 1 if isinstance(plan, Scan) else 0
+            return n + sum(count_scans(c) for c in plan.children)
+
+        narrow = UProject(Rel("r"), ["type"])
+        late = translate_late(narrow, vehicles_udb)
+        early = translate_early(narrow, vehicles_udb)
+        assert count_scans(late.plan) < count_scans(early.plan)
+
+    def test_strategies_match_oracle(self, vehicles_udb):
+        q = self.make_query()
+        expected = brute_force_poss(q, vehicles_udb)
+        late = translate_late(q, vehicles_udb)
+        rows = set(run_plan(late.plan).project(list(late.value_names)).distinct().rows)
+        assert rows == expected
+
+
+class TestRule5JoinIntoMerge:
+    def test_rewrite_applies(self, vehicles_udb):
+        from repro.core.equivalences import rule5_join_into_merge
+
+        merged = UMerge(UProject(Rel("r"), ["id"]), UProject(Rel("r"), ["type"]))
+        other = UProject(Rel("r", "q"), ["q.id"])
+        q = UJoin(merged, other, col("id").eq(col("q.id")))
+        rewritten = rule5_join_into_merge(q)
+        assert isinstance(rewritten, UMerge)
+        assert isinstance(rewritten.left, UJoin)
+
+    def test_not_applicable_without_merge(self):
+        from repro.core.equivalences import rule5_join_into_merge
+
+        q = UJoin(Rel("r", "a"), Rel("r", "b"), col("a.id").eq(col("b.id")))
+        assert rule5_join_into_merge(q) is None

@@ -1,0 +1,157 @@
+"""Tests for Algorithm 1 (normalization) — including the paper's Figure 5."""
+
+import pytest
+
+from repro.core import (
+    Descriptor,
+    UDatabase,
+    URelation,
+    WorldTable,
+    is_normalized,
+    normalize_udatabase,
+    normalize_urelations,
+    variable_components,
+)
+from repro.core.urelation import tid_column
+
+
+def figure5_udatabase() -> UDatabase:
+    """The U-relational database of Figure 5(a)."""
+    w = WorldTable({"c1": [1, 2], "c2": [1, 2], "c3": [1, 2]})
+    u = URelation.build(
+        [
+            (Descriptor(c1=1), "t1", ("a1",)),
+            (Descriptor(c1=1, c2=2), "t2", ("a2",)),
+            (Descriptor(c1=2), "t2", ("a3",)),
+            (Descriptor(c3=1), "t3", ("a4",)),
+            (Descriptor(c3=2), "t3", ("a5",)),
+        ],
+        tid_column("r"),
+        ["A"],
+    )
+    udb = UDatabase(w)
+    udb.add_relation("r", ["A"], [u])
+    return udb
+
+
+class TestComponents:
+    def test_cooccurring_variables_fused(self):
+        udb = figure5_udatabase()
+        comps = variable_components(udb.partitions("r"), udb.world_table)
+        assert frozenset({"c1", "c2"}) in comps
+        assert frozenset({"c3"}) in comps
+
+    def test_all_variables_covered(self):
+        udb = figure5_udatabase()
+        comps = variable_components(udb.partitions("r"), udb.world_table)
+        assert {v for c in comps for v in c} == {"c1", "c2", "c3"}
+
+    def test_chain_transitivity(self):
+        """x-y co-occur, y-z co-occur -> one component {x, y, z}."""
+        w = WorldTable({"x": [1], "y": [1], "z": [1]})
+        u = URelation.build(
+            [
+                (Descriptor(x=1, y=1), 1, ("a",)),
+                (Descriptor(y=1, z=1), 2, ("b",)),
+            ],
+            tid_column("r"),
+            ["A"],
+        )
+        comps = variable_components([u], w)
+        assert frozenset({"x", "y", "z"}) in comps
+
+
+class TestFigure5:
+    def test_normalized_form(self):
+        udb = figure5_udatabase()
+        normalized = normalize_udatabase(udb)
+        (part,) = normalized.partitions("r")
+        assert is_normalized([part])
+        assert part.d_width == 1
+
+    def test_figure5b_row_count(self):
+        """Figure 5(b): normalization yields 7 rows for the fused component."""
+        udb = figure5_udatabase()
+        normalized = normalize_udatabase(udb)
+        (part,) = normalized.partitions("r")
+        assert len(part) == 7
+
+    def test_fused_domain_is_product(self):
+        udb = figure5_udatabase()
+        normalized = normalize_udatabase(udb)
+        fused = [v for v in normalized.world_table.variables() if "+" in v]
+        assert len(fused) == 1
+        assert len(normalized.world_table.domain(fused[0])) == 4  # 2 x 2
+
+    def test_world_set_preserved(self):
+        """Theorem 4.2: same world-set before and after."""
+        udb = figure5_udatabase()
+        normalized = normalize_udatabase(udb)
+        before = {frozenset(i["r"].rows) for _, i in udb.worlds()}
+        after = {frozenset(i["r"].rows) for _, i in normalized.worlds()}
+        assert before == after
+
+    def test_world_count_preserved(self):
+        udb = figure5_udatabase()
+        normalized = normalize_udatabase(udb)
+        assert normalized.world_count() == udb.world_count()
+
+
+class TestNormalizeGeneral:
+    def test_already_normalized_is_stable(self, vehicles_udb):
+        normalized = normalize_udatabase(vehicles_udb)
+        before = {frozenset(i["r"].rows) for _, i in vehicles_udb.worlds()}
+        after = {frozenset(i["r"].rows) for _, i in normalized.worlds()}
+        assert before == after
+        for part in normalized.partitions("r"):
+            assert is_normalized([part])
+
+    def test_empty_descriptors_stay_trivial(self):
+        w = WorldTable({"x": [1, 2]})
+        u = URelation.build(
+            [(Descriptor(), 1, ("a",)), (Descriptor(x=1), 2, ("b",))],
+            tid_column("r"),
+            ["A"],
+        )
+        normalized, _world = normalize_urelations([u], w)
+        (n,) = normalized
+        descriptors = n.descriptors()
+        assert Descriptor() in descriptors
+
+    def test_probabilities_multiply(self):
+        w = WorldTable(
+            {"x": [1, 2], "y": [1, 2]},
+            probabilities={"x": [0.9, 0.1], "y": [0.5, 0.5]},
+        )
+        u = URelation.build(
+            [(Descriptor(x=1, y=2), 1, ("a",))], tid_column("r"), ["A"]
+        )
+        _normalized, new_world = normalize_urelations([u], w)
+        (fused,) = [v for v in new_world.variables() if "+" in v]
+        assert new_world.probability(fused, (1, 2)) == pytest.approx(0.45)
+        total = sum(
+            new_world.probability(fused, v) for v in new_world.domain(fused)
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_is_normalized_detects_wide(self):
+        u = URelation.build(
+            [(Descriptor(x=1, y=1), 1, ("a",))], tid_column("r"), ["A"]
+        )
+        assert not is_normalized([u])
+
+    def test_normalization_expands_partial_descriptors(self):
+        """A tuple fixing only part of its component expands to all
+        completions (Algorithm 1's inner loop over W)."""
+        w = WorldTable({"x": [1, 2], "y": [1, 2, 3]})
+        u = URelation.build(
+            [
+                (Descriptor(x=1), 1, ("a",)),      # y free: 3 completions
+                (Descriptor(x=1, y=2), 2, ("b",)),  # fully fixed: 1 row
+            ],
+            tid_column("r"),
+            ["A"],
+        )
+        normalized, _ = normalize_urelations([u], w)
+        (n,) = normalized
+        assert len(n) == 4

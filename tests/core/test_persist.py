@@ -1,0 +1,79 @@
+"""Tests for UDatabase save/load."""
+
+import pytest
+
+from repro.core import Descriptor, UDatabase, URelation, WorldTable
+from repro.core.persist import load_udatabase, save_udatabase
+from repro.core.urelation import tid_column
+
+
+def worldset(udb, name):
+    return frozenset(frozenset(i[name].rows) for _, i in udb.worlds())
+
+
+class TestRoundTrip:
+    def test_vehicles_roundtrip(self, vehicles_udb, tmp_path):
+        save_udatabase(vehicles_udb, tmp_path / "db")
+        back = load_udatabase(tmp_path / "db")
+        assert back.relation_names() == vehicles_udb.relation_names()
+        assert back.world_count() == vehicles_udb.world_count()
+        assert worldset(back, "r") == worldset(vehicles_udb, "r")
+
+    def test_partition_structure_preserved(self, vehicles_udb, tmp_path):
+        save_udatabase(vehicles_udb, tmp_path / "db")
+        back = load_udatabase(tmp_path / "db")
+        originals = vehicles_udb.partitions("r")
+        restored = back.partitions("r")
+        assert len(restored) == len(originals)
+        for a, b in zip(sorted(originals, key=lambda p: p.value_names),
+                        sorted(restored, key=lambda p: p.value_names)):
+            assert a == b
+
+    def test_files_mirror_paper_naming(self, vehicles_udb, tmp_path):
+        save_udatabase(vehicles_udb, tmp_path / "db")
+        names = {p.name for p in (tmp_path / "db").iterdir()}
+        assert "u_r_id.csv" in names
+        assert "u_r_type.csv" in names
+        assert "w.csv" in names and "manifest.csv" in names
+
+    def test_probabilities_roundtrip(self, tmp_path):
+        world = WorldTable({"x": [1, 2]}, probabilities={"x": [0.75, 0.25]})
+        u = URelation.build(
+            [(Descriptor(x=1), 1, ("a",)), (Descriptor(x=2), 1, ("b",))],
+            tid_column("r"),
+            ["v"],
+        )
+        udb = UDatabase(world)
+        udb.add_relation("r", ["v"], [u])
+        save_udatabase(udb, tmp_path / "p")
+        back = load_udatabase(tmp_path / "p")
+        assert back.world_table.probability("x", 1) == pytest.approx(0.75)
+
+    def test_uniform_probabilities_stay_uniform(self, vehicles_udb, tmp_path):
+        save_udatabase(vehicles_udb, tmp_path / "u")
+        back = load_udatabase(tmp_path / "u")
+        assert back.world_table.probability("x", 1) == pytest.approx(0.5)
+
+    def test_queries_work_after_reload(self, vehicles_udb, tmp_path):
+        from repro.core import Poss, Rel, UProject, USelect, execute_query
+        from repro.relational import col, lit
+
+        save_udatabase(vehicles_udb, tmp_path / "q")
+        back = load_udatabase(tmp_path / "q")
+        q = Poss(
+            UProject(USelect(Rel("r"), col("faction").eq(lit("Enemy"))), ["id"])
+        )
+        assert set(execute_query(q, back).rows) == set(
+            execute_query(q, vehicles_udb).rows
+        )
+
+    def test_generated_database_roundtrip(self, tmp_path):
+        from repro.ugen import generate_uncertain
+
+        bundle = generate_uncertain(
+            scale=0.001, x=0.05, seed=8, tables=["nation", "region"]
+        )
+        save_udatabase(bundle.udb, tmp_path / "g")
+        back = load_udatabase(tmp_path / "g")
+        assert back.total_representation_rows() == bundle.udb.total_representation_rows()
+        assert back.world_count() == bundle.udb.world_count()

@@ -1,0 +1,148 @@
+"""Tests for probabilistic U-relations (Section 7): confidence computation."""
+
+import pytest
+
+from repro.core import (
+    Descriptor,
+    Poss,
+    Rel,
+    UDatabase,
+    UProject,
+    URelation,
+    USelect,
+    WorldTable,
+    confidence_relation,
+    exact_confidence,
+    execute_query,
+    monte_carlo_confidence,
+    tuple_confidences,
+)
+from repro.core.urelation import tid_column
+from repro.relational import col, lit
+
+
+@pytest.fixture
+def prob_world():
+    return WorldTable(
+        {"x": [1, 2], "y": [1, 2]},
+        probabilities={"x": [0.3, 0.7], "y": [0.5, 0.5]},
+    )
+
+
+class TestExactConfidence:
+    def test_single_descriptor(self, prob_world):
+        assert exact_confidence([Descriptor(x=1)], prob_world) == pytest.approx(0.3)
+
+    def test_conjunction(self, prob_world):
+        assert exact_confidence(
+            [Descriptor(x=1, y=2)], prob_world
+        ) == pytest.approx(0.15)
+
+    def test_union_of_disjoint(self, prob_world):
+        p = exact_confidence([Descriptor(x=1), Descriptor(x=2)], prob_world)
+        assert p == pytest.approx(1.0)
+
+    def test_union_with_overlap(self, prob_world):
+        # P(x=1 or y=1) = 0.3 + 0.5 - 0.15 = 0.65
+        p = exact_confidence([Descriptor(x=1), Descriptor(y=1)], prob_world)
+        assert p == pytest.approx(0.65)
+
+    def test_empty_descriptor_is_one(self, prob_world):
+        assert exact_confidence([Descriptor()], prob_world) == 1.0
+
+    def test_no_descriptors_is_zero(self, prob_world):
+        assert exact_confidence([], prob_world) == 0.0
+
+    def test_matches_world_enumeration(self, prob_world):
+        """The exact union probability equals summing full world weights."""
+        descriptors = [Descriptor(x=1, y=1), Descriptor(y=2)]
+        expected = 0.0
+        for valuation in prob_world.valuations():
+            if any(d.extended_by(valuation) for d in descriptors):
+                expected += prob_world.valuation_probability(valuation)
+        assert exact_confidence(descriptors, prob_world) == pytest.approx(expected)
+
+
+class TestMonteCarlo:
+    def test_converges_to_exact(self, prob_world):
+        descriptors = [Descriptor(x=1), Descriptor(y=1)]
+        exact = exact_confidence(descriptors, prob_world)
+        estimate = monte_carlo_confidence(
+            descriptors, prob_world, samples=20_000, seed=7
+        )
+        assert estimate == pytest.approx(exact, abs=0.02)
+
+    def test_certain_tuple_estimate_is_one(self, prob_world):
+        assert monte_carlo_confidence([Descriptor()], prob_world) == 1.0
+
+    def test_deterministic_given_seed(self, prob_world):
+        descriptors = [Descriptor(x=1)]
+        a = monte_carlo_confidence(descriptors, prob_world, samples=500, seed=3)
+        b = monte_carlo_confidence(descriptors, prob_world, samples=500, seed=3)
+        assert a == b
+
+
+class TestQueryConfidences:
+    def make_udb(self, prob_world):
+        u = URelation.build(
+            [
+                (Descriptor(x=1), 1, ("alice",)),
+                (Descriptor(x=2), 1, ("bob",)),
+                (Descriptor(y=1), 2, ("alice",)),
+            ],
+            tid_column("people"),
+            ["name"],
+        )
+        udb = UDatabase(prob_world)
+        udb.add_relation("people", ["name"], [u])
+        return udb
+
+    def test_tuple_confidences(self, prob_world):
+        udb = self.make_udb(prob_world)
+        result = execute_query(Rel("people"), udb)
+        confs = tuple_confidences(result, prob_world)
+        # P(alice) = P(x=1 or y=1) = 0.3 + 0.5 - 0.15 = 0.65
+        assert confs[("alice",)] == pytest.approx(0.65)
+        assert confs[("bob",)] == pytest.approx(0.7)
+
+    def test_monte_carlo_method(self, prob_world):
+        udb = self.make_udb(prob_world)
+        result = execute_query(Rel("people"), udb)
+        confs = tuple_confidences(result, prob_world, method="monte-carlo", samples=20_000)
+        assert confs[("bob",)] == pytest.approx(0.7, abs=0.02)
+
+    def test_unknown_method_rejected(self, prob_world):
+        udb = self.make_udb(prob_world)
+        result = execute_query(Rel("people"), udb)
+        with pytest.raises(ValueError):
+            tuple_confidences(result, prob_world, method="magic")
+
+    def test_confidence_relation_sorted(self, prob_world):
+        udb = self.make_udb(prob_world)
+        result = execute_query(Rel("people"), udb)
+        rel = confidence_relation(result, prob_world)
+        assert rel.schema.names == ["name", "conf"]
+        confs = [row[-1] for row in rel.rows]
+        assert confs == sorted(confs, reverse=True)
+
+    def test_selection_preserves_probabilities(self, prob_world):
+        """Positive RA evaluation is unchanged in the probabilistic case."""
+        udb = self.make_udb(prob_world)
+        q = USelect(Rel("people"), col("name").eq(lit("alice")))
+        result = execute_query(q, udb)
+        confs = tuple_confidences(result, prob_world)
+        assert confs[("alice",)] == pytest.approx(0.65)
+
+    def test_certain_tuple_has_confidence_one(self):
+        w = WorldTable({"x": [1, 2]}, probabilities={"x": [0.5, 0.5]})
+        u = URelation.build(
+            [(Descriptor(), 1, ("base",)), (Descriptor(x=1), 2, ("maybe",))],
+            tid_column("r"),
+            ["v"],
+        )
+        udb = UDatabase(w)
+        udb.add_relation("r", ["v"], [u])
+        result = execute_query(Rel("r"), udb)
+        confs = tuple_confidences(result, w)
+        assert confs[("base",)] == 1.0
+        assert confs[("maybe",)] == pytest.approx(0.5)

@@ -1,0 +1,162 @@
+"""Property-based tests for the central theorems.
+
+* Theorem 3.5 / Figure 4: for random U-relational databases and random
+  positive queries, ``poss`` via translation == union of per-world answers.
+* Lemma 4.3: certain answers == intersection of per-world answers.
+* Theorem 4.2: normalization preserves the world-set.
+* Prop. 3.3: reduction preserves the world-set.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    Certain,
+    Descriptor,
+    Poss,
+    Rel,
+    UDatabase,
+    UJoin,
+    UProject,
+    UQuery,
+    URelation,
+    USelect,
+    UUnion,
+    WorldTable,
+    execute_query,
+    normalize_udatabase,
+    reduce_udatabase,
+)
+from repro.core.urelation import tid_column
+from repro.relational import col, lit
+from tests.conftest import brute_force_certain, brute_force_poss
+
+# -- strategies ---------------------------------------------------------
+variables = ["x", "y", "z"]
+small_values = st.integers(min_value=0, max_value=3)
+
+
+@st.composite
+def field_triples(draw, tid: int):
+    """Triples defining ONE tuple field so it has a value in *every* world.
+
+    The paper assumes reduced input databases whose tuples are complete in
+    every world their descriptors cover (its generator — and ours in
+    :mod:`repro.ugen` — only produces such "total" fields: a field is either
+    certain or takes one value per domain value of its variable(s)).  The
+    single-partition projection shortcut of Section 3 relies on this.
+    """
+    kind = draw(st.sampled_from(["certain", "one_var", "two_var"]))
+    if kind == "certain":
+        return [(Descriptor(), tid, (draw(small_values),))]
+    if kind == "one_var":
+        var = draw(st.sampled_from(variables))
+        return [
+            (Descriptor({var: value}), tid, (draw(small_values),))
+            for value in (1, 2)
+        ]
+    v1, v2 = draw(
+        st.lists(st.sampled_from(variables), min_size=2, max_size=2, unique=True)
+    )
+    return [
+        (Descriptor({v1: a, v2: b}), tid, (draw(small_values),))
+        for a in (1, 2)
+        for b in (1, 2)
+    ]
+
+
+@st.composite
+def udatabases(draw):
+    """A small two-attribute relation over a 3-variable world table."""
+    world = WorldTable({v: [1, 2] for v in variables})
+    n_tuples = draw(st.integers(min_value=1, max_value=4))
+    a_triples, b_triples = [], []
+    for tid in range(1, n_tuples + 1):
+        a_triples.extend(draw(field_triples(tid)))
+        b_triples.extend(draw(field_triples(tid)))
+    u_a = URelation.build(a_triples, tid_column("r"), ["a"])
+    u_b = URelation.build(b_triples, tid_column("r"), ["b"])
+    udb = UDatabase(world)
+    udb.add_relation("r", ["a", "b"], [u_a, u_b])
+    return udb
+
+
+@st.composite
+def queries(draw):
+    shape = draw(
+        st.sampled_from(["rel", "select", "project", "select_project", "union", "join"])
+    )
+    if shape == "rel":
+        return Rel("r")
+    if shape == "select":
+        column = draw(st.sampled_from(["a", "b"]))
+        return USelect(Rel("r"), col(column).eq(lit(draw(small_values))))
+    if shape == "project":
+        column = draw(st.sampled_from(["a", "b"]))
+        return UProject(Rel("r"), [column])
+    if shape == "select_project":
+        column = draw(st.sampled_from(["a", "b"]))
+        other = draw(st.sampled_from(["a", "b"]))
+        return UProject(
+            USelect(Rel("r"), col(column) > lit(draw(small_values))), [other]
+        )
+    if shape == "union":
+        left = UProject(USelect(Rel("r"), col("a").eq(lit(draw(small_values)))), ["a"])
+        right = UProject(USelect(Rel("r"), col("b").eq(lit(draw(small_values)))), ["b"])
+        return UUnion(left, right)
+    # self-join with aliases
+    left = UProject(Rel("r", "p"), ["p.a"])
+    right = UProject(Rel("r", "q"), ["q.b"])
+    return UJoin(left, right, col("p.a").eq(col("q.b")))
+
+
+# -- properties ---------------------------------------------------------
+@given(udatabases(), queries())
+@settings(max_examples=80, deadline=None)
+def test_poss_matches_brute_force(udb: UDatabase, query: UQuery):
+    translated = set(execute_query(Poss(query), udb).rows)
+    oracle = brute_force_poss(query, udb)
+    assert translated == oracle
+
+
+@given(udatabases(), queries())
+@settings(max_examples=40, deadline=None)
+def test_certain_matches_brute_force(udb: UDatabase, query: UQuery):
+    translated = set(execute_query(Certain(query), udb).rows)
+    oracle = brute_force_certain(query, udb)
+    assert translated == oracle
+
+
+@given(udatabases())
+@settings(max_examples=40, deadline=None)
+def test_normalization_preserves_world_set(udb: UDatabase):
+    normalized = normalize_udatabase(udb)
+    before = {frozenset(i["r"].rows) for _, i in udb.worlds()}
+    after = {frozenset(i["r"].rows) for _, i in normalized.worlds()}
+    assert before == after
+
+
+@given(udatabases())
+@settings(max_examples=40, deadline=None)
+def test_reduction_preserves_world_set(udb: UDatabase):
+    reduced = reduce_udatabase(udb)
+    before = {frozenset(i["r"].rows) for _, i in udb.worlds()}
+    after = {frozenset(i["r"].rows) for _, i in reduced.worlds()}
+    assert before == after
+
+
+@given(udatabases(), queries())
+@settings(max_examples=30, deadline=None)
+def test_optimizer_does_not_change_answers(udb: UDatabase, query: UQuery):
+    optimized = set(execute_query(Poss(query), udb, optimize=True).rows)
+    raw = set(execute_query(Poss(query), udb, optimize=False).rows)
+    assert optimized == raw
+
+
+@given(udatabases())
+@settings(max_examples=30, deadline=None)
+def test_generated_databases_are_valid(udb: UDatabase):
+    assert udb.is_valid()

@@ -1,0 +1,127 @@
+"""Tests for Prop. 3.3 semijoin reduction — including the paper's Example 3.2."""
+
+import pytest
+
+from repro.core import (
+    Descriptor,
+    UDatabase,
+    URelation,
+    WorldTable,
+    is_reduced,
+    reduce_partitions,
+    reduce_udatabase,
+)
+from repro.core.urelation import tid_column
+
+
+def example32_udatabase() -> UDatabase:
+    """The non-reduced database of Example 3.2."""
+    w = WorldTable({"c1": [1, 2], "c2": [1, 2]})
+    u1 = URelation.build(
+        [
+            (Descriptor(c1=1), "t1", ("a1",)),
+            (Descriptor(c2=1), "t2", ("a2",)),
+        ],
+        tid_column("r"),
+        ["A"],
+    )
+    u2 = URelation.build(
+        [
+            (Descriptor(c1=1), "t1", ("b1",)),
+            (Descriptor(c1=2), "t1", ("b2",)),
+        ],
+        tid_column("r"),
+        ["B"],
+    )
+    udb = UDatabase(w)
+    udb.add_relation("r", ["A", "B"], [u1, u2])
+    return udb
+
+
+class TestExample32:
+    def test_detects_non_reduced(self):
+        assert not is_reduced(example32_udatabase())
+
+    def test_second_tuples_removed(self):
+        udb = example32_udatabase()
+        reduced = reduce_udatabase(udb)
+        u1, u2 = reduced.partitions("r")
+        # t2's A and t1's c1=2 B tuple cannot be completed
+        assert len(u1) == 1 and len(u2) == 1
+        assert u1.tuples()[0][2] == ("a1",)
+        assert u2.tuples()[0][2] == ("b1",)
+
+    def test_world_set_preserved(self):
+        udb = example32_udatabase()
+        reduced = reduce_udatabase(udb)
+        before = {frozenset(i["r"].rows) for _, i in udb.worlds()}
+        after = {frozenset(i["r"].rows) for _, i in reduced.worlds()}
+        assert before == after
+
+    def test_reduced_is_fixpoint(self):
+        reduced = reduce_udatabase(example32_udatabase())
+        assert is_reduced(reduced)
+
+
+class TestGeneral:
+    def test_vehicles_already_reduced(self, vehicles_udb):
+        assert is_reduced(vehicles_udb)
+        reduced = reduce_udatabase(vehicles_udb)
+        for before, after in zip(
+            vehicles_udb.partitions("r"), reduced.partitions("r")
+        ):
+            assert len(before) == len(after)
+
+    def test_single_partition_trivially_reduced(self):
+        w = WorldTable({"x": [1, 2]})
+        u = URelation.build(
+            [(Descriptor(x=1), 1, ("a",))], tid_column("r"), ["A"]
+        )
+        udb = UDatabase(w)
+        udb.add_relation("r", ["A"], [u])
+        assert is_reduced(udb)
+
+    def test_missing_tid_partner_removed(self):
+        """A tuple whose tid never appears in the other partition dies."""
+        w = WorldTable({"x": [1, 2]})
+        u_a = URelation.build(
+            [(Descriptor(), 1, ("a1",)), (Descriptor(), 2, ("a2",))],
+            tid_column("r"),
+            ["A"],
+        )
+        u_b = URelation.build([(Descriptor(), 1, ("b1",))], tid_column("r"), ["B"])
+        udb = UDatabase(w)
+        udb.add_relation("r", ["A", "B"], [u_a, u_b])
+        reduced = reduce_udatabase(udb)
+        assert len(reduced.partitions("r")[0]) == 1
+
+    def test_iteration_reaches_fixpoint(self):
+        """Removal can cascade: reducing must iterate to a fixpoint."""
+        w = WorldTable({"c": [1, 2], "d": [1, 2]})
+        # chain: A(t1) needs B(t1); B(t1,c=2) has no C partner, so after one
+        # pass B shrinks, after which A's c=2 tuple dies too
+        u_a = URelation.build(
+            [(Descriptor(c=1), "t1", ("a1",)), (Descriptor(c=2), "t1", ("a2",))],
+            tid_column("r"),
+            ["A"],
+        )
+        u_b = URelation.build(
+            [(Descriptor(c=1), "t1", ("b1",)), (Descriptor(c=2, d=1), "t1", ("b2",))],
+            tid_column("r"),
+            ["B"],
+        )
+        u_c = URelation.build(
+            [(Descriptor(c=1), "t1", ("x1",)), (Descriptor(d=2), "t1", ("x2",))],
+            tid_column("r"),
+            ["C"],
+        )
+        parts = [u_a, u_b, u_c]
+        once = reduce_partitions(parts, iterate=False)
+        fixed = reduce_partitions(parts, iterate=True)
+        assert sum(len(p) for p in fixed) <= sum(len(p) for p in once)
+        assert is_reduced_parts(fixed)
+
+
+def is_reduced_parts(parts):
+    again = reduce_partitions(parts, iterate=True)
+    return all(len(a) == len(b) for a, b in zip(parts, again))

@@ -1,0 +1,107 @@
+"""Tests for the algebraic (Prop. 3.3) reduction program."""
+
+import pytest
+
+from repro.core import Descriptor, UDatabase, URelation, WorldTable
+from repro.core.reduction import (
+    reduce_partitions,
+    reduce_partitions_relational,
+    reduction_plan,
+)
+from repro.core.urelation import tid_column
+from repro.relational import explain_logical
+
+
+@pytest.fixture
+def example32_parts():
+    u1 = URelation.build(
+        [
+            (Descriptor(c1=1), "t1", ("a1",)),
+            (Descriptor(c2=1), "t2", ("a2",)),
+        ],
+        tid_column("r"),
+        ["A"],
+    )
+    u2 = URelation.build(
+        [
+            (Descriptor(c1=1), "t1", ("b1",)),
+            (Descriptor(c1=2), "t1", ("b2",)),
+        ],
+        tid_column("r"),
+        ["B"],
+    )
+    return [u1, u2]
+
+
+class TestRelationalReduction:
+    def test_matches_python_reduction(self, example32_parts):
+        relational = reduce_partitions_relational(example32_parts)
+        pythonic = reduce_partitions(example32_parts, iterate=False)
+        for a, b in zip(relational, pythonic):
+            assert a == b
+
+    def test_example32_reduced(self, example32_parts):
+        reduced = reduce_partitions_relational(example32_parts)
+        assert len(reduced[0]) == 1 and len(reduced[1]) == 1
+
+    def test_vehicles_unchanged(self, vehicles_udb):
+        parts = vehicles_udb.partitions("r")
+        reduced = reduce_partitions_relational(parts)
+        for before, after in zip(parts, reduced):
+            assert before == after
+
+    def test_single_partition_identity(self):
+        u = URelation.build(
+            [(Descriptor(), 1, ("a",))], tid_column("r"), ["A"]
+        )
+        (out,) = reduce_partitions_relational([u])
+        assert out == u
+
+    def test_plan_is_semijoin_cascade(self, example32_parts):
+        plan = reduction_plan(example32_parts[0], example32_parts[1:])
+        text = explain_logical(plan)
+        assert "SemiJoin" in text
+        assert "Seq Scan" in text
+
+    def test_plan_uses_alpha_and_psi(self, example32_parts):
+        plan = reduction_plan(example32_parts[0], example32_parts[1:])
+        text = explain_logical(plan)
+        assert "tid_r" in text           # alpha: shared tuple id
+        assert "<>" in text and "OR" in text  # psi disjunction
+
+    def test_plan_against_multiple_partitions(self, vehicles_udb):
+        parts = vehicles_udb.partitions("r")
+        plan = reduction_plan(parts[0], parts[1:])
+        text = explain_logical(plan)
+        assert text.count("SemiJoin") == 2
+
+
+class TestSemiJoinOperator:
+    def test_semijoin_basics(self):
+        from repro.relational import Relation, Scan, SemiJoin, col
+        from repro.relational.planner import run
+
+        left = Scan(Relation(["a"], [(1,), (2,), (3,)]), "l")
+        right = Scan(Relation(["b"], [(2,), (3,), (9,)]), "r")
+        out = run(SemiJoin(left, right, col("a").eq(col("b"))), optimize_first=False)
+        assert out.schema.names == ["a"]
+        assert sorted(out.rows) == [(2,), (3,)]
+
+    def test_semijoin_no_duplication(self):
+        """A left row with several partners appears once (semijoin law)."""
+        from repro.relational import Relation, Scan, SemiJoin, col
+        from repro.relational.planner import run
+
+        left = Scan(Relation(["a"], [(1,)]), "l")
+        right = Scan(Relation(["b"], [(1,), (1,), (1,)]), "r")
+        out = run(SemiJoin(left, right, col("a").eq(col("b"))), optimize_first=False)
+        assert out.rows == [(1,)]
+
+    def test_semijoin_empty_right(self):
+        from repro.relational import Relation, Scan, SemiJoin, col
+        from repro.relational.planner import run
+
+        left = Scan(Relation(["a"], [(1,)]), "l")
+        right = Scan(Relation(["b"], []), "r")
+        out = run(SemiJoin(left, right, col("a").eq(col("b"))), optimize_first=False)
+        assert len(out) == 0

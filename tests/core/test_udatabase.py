@@ -1,0 +1,144 @@
+"""Tests for UDatabase: semantics, validity, world enumeration."""
+
+import pytest
+
+from repro.core import Descriptor, UDatabase, URelation, WorldTable
+from repro.core.urelation import tid_column
+from repro.relational.relation import Relation
+
+
+class TestConstruction:
+    def test_vehicles_fixture(self, vehicles_udb):
+        assert vehicles_udb.relation_names() == ["r"]
+        assert vehicles_udb.world_count() == 8
+        assert len(vehicles_udb.partitions("r")) == 3
+
+    def test_partition_tid_name_enforced(self):
+        udb = UDatabase(WorldTable())
+        bad = URelation.build([(Descriptor(), 1, ("a",))], "tid_wrong", ["v"])
+        with pytest.raises(ValueError, match="tid column"):
+            udb.add_relation("r", ["v"], [bad])
+
+    def test_coverage_enforced(self):
+        udb = UDatabase(WorldTable())
+        part = URelation.build([(Descriptor(), 1, ("a",))], tid_column("r"), ["v"])
+        with pytest.raises(ValueError, match="cover"):
+            udb.add_relation("r", ["v", "w"], [part])
+
+    def test_unknown_attributes_rejected(self):
+        udb = UDatabase(WorldTable())
+        part = URelation.build([(Descriptor(), 1, ("a",))], tid_column("r"), ["v"])
+        with pytest.raises(ValueError, match="unknown"):
+            udb.add_relation("r", [], [part])
+
+    def test_from_certain(self):
+        udb = UDatabase.from_certain(
+            {"r": Relation(["a", "b"], [(1, "x"), (2, "y")])}
+        )
+        assert udb.world_count() == 1
+        _, instances = next(udb.worlds())
+        assert sorted(instances["r"].rows) == [(1, "x"), (2, "y")]
+
+    def test_unknown_relation_raises(self, vehicles_udb):
+        with pytest.raises(KeyError):
+            vehicles_udb.partitions("nope")
+
+    def test_to_database_names(self, vehicles_udb):
+        db = vehicles_udb.to_database()
+        assert "u_r_id" in db and "u_r_type" in db and "w" in db
+
+    def test_total_representation_rows(self, vehicles_udb):
+        # 6 + 5 + 5 partition rows + 7 world-table rows (3 vars x 2 + trivial)
+        assert vehicles_udb.total_representation_rows() == 23
+
+
+class TestSemantics:
+    def test_instantiate_one_world(self, vehicles_udb):
+        world = vehicles_udb.instantiate(
+            {"x": 1, "y": 1, "z": 1, "_t": 0}, "r"
+        )
+        assert set(world.rows) == {
+            (1, "Tank", "Friend"),
+            (2, "Transport", "Friend"),
+            (3, "Tank", "Enemy"),
+            (4, "Tank", "Friend"),
+        }
+
+    def test_eight_distinct_worlds(self, vehicles_udb):
+        worlds = {frozenset(inst["r"].rows) for _, inst in vehicles_udb.worlds()}
+        assert len(worlds) == 8
+
+    def test_partial_tuples_dropped(self):
+        w = WorldTable({"x": [1, 2]})
+        # tuple t2 only gets attribute A when x=1; B is never defined for it
+        u_a = URelation.build(
+            [(Descriptor(), "t1", ("a1",)), (Descriptor(x=1), "t2", ("a2",))],
+            tid_column("r"),
+            ["A"],
+        )
+        u_b = URelation.build(
+            [(Descriptor(), "t1", ("b1",))], tid_column("r"), ["B"]
+        )
+        udb = UDatabase(w)
+        udb.add_relation("r", ["A", "B"], [u_a, u_b])
+        for _val, inst in udb.worlds():
+            assert inst["r"].rows == [("a1", "b1")]
+
+    def test_world_relations_helper(self, vehicles_udb):
+        instances = vehicles_udb.world_relations({"x": 2, "y": 2, "z": 2, "_t": 0})
+        assert (3, "Transport", "Friend") in instances["r"].rows
+
+
+class TestValidity:
+    def test_vehicles_valid(self, vehicles_udb):
+        assert vehicles_udb.is_valid()
+
+    def test_example_2_3_invalid(self):
+        """The paper's Example 2.3: contradictory values for a shared field."""
+        w = WorldTable({"c1": [1, 2], "c2": [1, 2]})
+        u1 = URelation.build(
+            [(Descriptor(c1=1), "t1", ("a", "b"))], tid_column("r"), ["A", "B"]
+        )
+        u2 = URelation.build(
+            [(Descriptor(c2=2), "t1", ("b'", "c"))], tid_column("r"), ["B", "C"]
+        )
+        udb = UDatabase(w)
+        udb.add_relation("r", ["A", "B", "C"], [u1, u2])
+        assert not udb.is_valid()
+
+    def test_overlap_with_agreement_valid(self):
+        w = WorldTable({"c1": [1, 2]})
+        u1 = URelation.build(
+            [(Descriptor(c1=1), "t1", ("a", "b"))], tid_column("r"), ["A", "B"]
+        )
+        u2 = URelation.build(
+            [(Descriptor(c1=1), "t1", ("b", "c"))], tid_column("r"), ["B", "C"]
+        )
+        udb = UDatabase(w)
+        udb.add_relation("r", ["A", "B", "C"], [u1, u2])
+        assert udb.is_valid()
+
+    def test_inconsistent_descriptors_never_conflict(self):
+        w = WorldTable({"c1": [1, 2]})
+        u1 = URelation.build(
+            [(Descriptor(c1=1), "t1", ("b",))], tid_column("r"), ["B"]
+        )
+        u2 = URelation.build(
+            [(Descriptor(c1=2), "t1", ("b'",))], tid_column("r"), ["B"]
+        )
+        udb = UDatabase(w)
+        udb.add_relation("r", ["B"], [u1, u2])
+        assert udb.is_valid()  # never in the same world
+
+    def test_instantiate_detects_conflicts(self):
+        w = WorldTable({"c1": [1, 2], "c2": [1, 2]})
+        u1 = URelation.build(
+            [(Descriptor(c1=1), "t1", ("a", "b"))], tid_column("r"), ["A", "B"]
+        )
+        u2 = URelation.build(
+            [(Descriptor(c2=2), "t1", ("b'", "c"))], tid_column("r"), ["B", "C"]
+        )
+        udb = UDatabase(w)
+        udb.add_relation("r", ["A", "B", "C"], [u1, u2])
+        with pytest.raises(ValueError, match="invalid"):
+            udb.instantiate({"c1": 1, "c2": 2, "_t": 0}, "r")

@@ -1,0 +1,119 @@
+"""Tests for the URelation wrapper: structure, iteration, transformations."""
+
+import pytest
+
+from repro.core.descriptor import Descriptor
+from repro.core.urelation import URelation, tid_column
+from repro.relational.relation import Relation
+
+
+@pytest.fixture
+def u():
+    return URelation.build(
+        [
+            (Descriptor(), "t1", ("a",)),
+            (Descriptor(x=1), "t2", ("b",)),
+            (Descriptor(x=2, y=1), "t2", ("c",)),
+        ],
+        tid_name="tid_r",
+        value_names=["v"],
+    )
+
+
+class TestTidColumn:
+    def test_base(self):
+        assert tid_column("orders") == "tid_orders"
+
+    def test_alias(self):
+        assert tid_column("orders", "o2") == "tid_o2"
+
+
+class TestBuild:
+    def test_width_inferred(self, u):
+        assert u.d_width == 2  # largest descriptor has two pairs
+
+    def test_schema_layout(self, u):
+        assert u.schema.names == ["c1", "w1", "c2", "w2", "tid_r", "v"]
+
+    def test_explicit_width(self):
+        u = URelation.build(
+            [(Descriptor(x=1), 1, ("a",))], "tid_r", ["v"], d_width=3
+        )
+        assert u.d_width == 3
+
+    def test_value_arity_checked(self):
+        with pytest.raises(ValueError):
+            URelation.build([(Descriptor(), 1, ("a", "b"))], "tid_r", ["v"])
+
+    def test_schema_mismatch_rejected(self):
+        rel = Relation(["bogus"], [])
+        with pytest.raises(ValueError):
+            URelation(rel, 1, ["tid_r"], ["v"])
+
+    def test_from_certain_rows(self):
+        u = URelation.from_certain_rows([("a",), ("b",)], "tid_r", ["v"])
+        assert len(u) == 2
+        assert all(d.empty for d, _, _ in u)
+        tids = [tids[0] for _, tids, _ in u]
+        assert tids == [1, 2]
+
+    def test_empty_relation(self):
+        u = URelation.build([], "tid_r", ["v"])
+        assert len(u) == 0 and u.d_width == 1
+
+
+class TestIteration:
+    def test_triples_decode(self, u):
+        triples = u.tuples()
+        assert triples[0] == (Descriptor(), ("t1",), ("a",))
+        assert triples[2][0] == Descriptor(x=2, y=1)
+
+    def test_descriptors(self, u):
+        assert u.descriptors() == [Descriptor(), Descriptor(x=1), Descriptor(x=2, y=1)]
+
+
+class TestEquality:
+    def test_logical_equality_ignores_padding(self, u):
+        wider = u.repadded(4)
+        assert wider.d_width == 4
+        assert wider == u
+
+    def test_different_values_unequal(self, u):
+        other = URelation.build([(Descriptor(), "t1", ("zzz",))], "tid_r", ["v"])
+        assert u != other
+
+    def test_different_structure_unequal(self, u):
+        other = URelation.build([(Descriptor(), "t1", ("a",))], "tid_q", ["v"])
+        assert u != other
+
+
+class TestTransformations:
+    def test_repadded_roundtrip(self, u):
+        assert u.repadded(5).compacted() == u
+
+    def test_compacted_minimizes_width(self):
+        u = URelation.build(
+            [(Descriptor(x=1), 1, ("a",))], "tid_r", ["v"], d_width=4
+        )
+        assert u.compacted().d_width == 1
+
+    def test_compacted_dedupes(self):
+        u = URelation.build(
+            [(Descriptor(x=1), 1, ("a",)), (Descriptor(x=1), 1, ("a",))],
+            "tid_r",
+            ["v"],
+        )
+        assert len(u.compacted()) == 1
+
+    def test_rename_values(self, u):
+        renamed = u.rename_values({"v": "o.v"})
+        assert renamed.value_names == ("o.v",)
+        assert renamed.schema.names[-1] == "o.v"
+
+    def test_rename_tid(self, u):
+        renamed = u.rename_tid("tid_r", "tid_o2")
+        assert renamed.tid_names == ("tid_o2",)
+
+    def test_pretty_renders(self, u):
+        out = u.pretty()
+        assert "tid_r" in out and "{x->1}" in out

@@ -1,0 +1,142 @@
+"""Tests for the world-creation primitives (repair-key / pick-tuples)."""
+
+import pytest
+
+from repro.core import (
+    Poss,
+    Rel,
+    UDatabase,
+    UProject,
+    USelect,
+    WorldTable,
+    execute_query,
+    tuple_confidences,
+)
+from repro.core.worldops import pick_tuples, repair_key
+from repro.relational import Relation, col, lit
+
+
+@pytest.fixture
+def dirty():
+    """A dirty relation: ssn should be a key but has duplicate groups."""
+    return Relation(
+        ["ssn", "name", "w"],
+        [
+            (1, "Ann", 3.0),
+            (1, "Annie", 1.0),
+            (2, "Bob", 1.0),
+            (3, "Cat", 1.0),
+            (3, "Kat", 1.0),
+            (3, "Cathy", 2.0),
+        ],
+    )
+
+
+class TestRepairKey:
+    def test_world_count_is_product_of_group_sizes(self, dirty):
+        udb = repair_key(UDatabase(WorldTable()), "people", dirty, key=["ssn"])
+        assert udb.world_count() == 2 * 1 * 3
+
+    def test_every_world_is_a_key_repair(self, dirty):
+        udb = repair_key(UDatabase(WorldTable()), "people", dirty, key=["ssn"])
+        for _val, instances in udb.worlds():
+            rows = instances["people"].rows
+            ssns = [row[0] for row in rows]
+            assert sorted(ssns) == [1, 2, 3]  # exactly one tuple per key
+
+    def test_all_repairs_occur(self, dirty):
+        udb = repair_key(UDatabase(WorldTable()), "people", dirty, key=["ssn"])
+        names_for_3 = set()
+        for _val, instances in udb.worlds():
+            for row in instances["people"].rows:
+                if row[0] == 3:
+                    names_for_3.add(row[1])
+        assert names_for_3 == {"Cat", "Kat", "Cathy"}
+
+    def test_weights_normalized(self, dirty):
+        udb = repair_key(
+            UDatabase(WorldTable()), "people", dirty, key=["ssn"], weight="w"
+        )
+        result = execute_query(
+            USelect(Rel("people"), col("ssn").eq(lit(1))), udb
+        )
+        confs = tuple_confidences(result, udb.world_table)
+        assert confs[(1, "Ann")] == pytest.approx(0.75)
+        assert confs[(1, "Annie")] == pytest.approx(0.25)
+
+    def test_weight_attribute_dropped_from_schema(self, dirty):
+        udb = repair_key(
+            UDatabase(WorldTable()), "people", dirty, key=["ssn"], weight="w"
+        )
+        assert udb.logical_schema("people").attributes == ("ssn", "name")
+
+    def test_nonpositive_weight_rejected(self):
+        bad = Relation(["k", "v", "w"], [(1, "a", 0.0), (1, "b", 0.0)])
+        with pytest.raises(ValueError, match="weight"):
+            repair_key(UDatabase(WorldTable()), "r", bad, key=["k"], weight="w")
+
+    def test_singleton_groups_certain(self, dirty):
+        udb = repair_key(UDatabase(WorldTable()), "people", dirty, key=["ssn"])
+        from repro.core import Certain
+
+        certain = execute_query(
+            Certain(UProject(Rel("people"), ["name"])), udb
+        )
+        assert ("Bob",) in set(certain.rows)
+
+    def test_composes_with_queries(self, dirty):
+        udb = repair_key(UDatabase(WorldTable()), "people", dirty, key=["ssn"])
+        answer = execute_query(
+            Poss(UProject(USelect(Rel("people"), col("ssn").eq(lit(3))), ["name"])),
+            udb,
+        )
+        assert set(answer.rows) == {("Cat",), ("Kat",), ("Cathy",)}
+
+
+class TestPickTuples:
+    def test_world_count(self):
+        r = Relation(["v"], [("a",), ("b",)])
+        udb = pick_tuples(UDatabase(WorldTable()), "r", r, probability=0.5)
+        assert udb.world_count() == 4
+
+    def test_all_subsets_possible(self):
+        r = Relation(["v"], [("a",), ("b",)])
+        udb = pick_tuples(UDatabase(WorldTable()), "r", r, probability=0.5)
+        subsets = {frozenset(i["r"].rows) for _, i in udb.worlds()}
+        assert len(subsets) == 4
+
+    def test_confidences_match_probability(self):
+        r = Relation(["v"], [("a",)])
+        udb = pick_tuples(UDatabase(WorldTable()), "r", r, probability=0.3)
+        result = execute_query(Rel("r"), udb)
+        confs = tuple_confidences(result, udb.world_table)
+        assert confs[("a",)] == pytest.approx(0.3)
+
+    def test_per_tuple_weights(self):
+        r = Relation(["v", "p"], [("a", 0.9), ("b", 1.0)])
+        udb = pick_tuples(UDatabase(WorldTable()), "r", r, weight="p")
+        result = execute_query(Rel("r"), udb)
+        confs = tuple_confidences(result, udb.world_table)
+        assert confs[("a",)] == pytest.approx(0.9)
+        assert confs[("b",)] == 1.0  # weight 1 stays certain
+
+    def test_invalid_probability_rejected(self):
+        r = Relation(["v"], [("a",)])
+        with pytest.raises(ValueError):
+            pick_tuples(UDatabase(WorldTable()), "r", r, probability=0.0)
+
+    def test_combines_with_repair_key(self, tmp_path):
+        """Both primitives in one database, queried jointly."""
+        dirty = Relation(["k", "v"], [(1, "x"), (1, "y")])
+        maybe = Relation(["v"], [("x",)])
+        udb = UDatabase(WorldTable())
+        repair_key(udb, "r", dirty, key=["k"])
+        pick_tuples(udb, "s", maybe, probability=0.5)
+        assert udb.world_count() == 4
+        from repro.core import UJoin
+
+        q = Poss(
+            UJoin(Rel("r", "a"), Rel("s", "b"), col("a.v").eq(col("b.v")))
+        )
+        answer = execute_query(q, udb)
+        assert set(answer.rows) == {(1, "x", "x")}

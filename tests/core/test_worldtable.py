@@ -1,0 +1,143 @@
+"""Tests for the world table: domains, counting, valuations, probability."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.descriptor import TOP_VARIABLE, Descriptor
+from repro.core.worldtable import WorldTable
+
+
+class TestConstruction:
+    def test_domains(self):
+        w = WorldTable({"x": [1, 2], "y": ["a", "b", "c"]})
+        assert w.domain("x") == (1, 2)
+        assert w.domain("y") == ("a", "b", "c")
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ValueError):
+            WorldTable({"x": []})
+
+    def test_duplicate_values_rejected(self):
+        with pytest.raises(ValueError):
+            WorldTable({"x": [1, 1]})
+
+    def test_redefinition_rejected(self):
+        w = WorldTable({"x": [1]})
+        with pytest.raises(ValueError):
+            w.add_variable("x", [2])
+
+    def test_unknown_variable_raises(self):
+        with pytest.raises(KeyError):
+            WorldTable().domain("x")
+
+    def test_trivial_variable_always_present(self):
+        w = WorldTable()
+        assert TOP_VARIABLE in w
+        assert w.domain(TOP_VARIABLE) == (0,)
+
+    def test_variables_excludes_trivial_by_default(self):
+        w = WorldTable({"x": [1]})
+        assert w.variables() == ["x"]
+        assert TOP_VARIABLE in w.variables(include_trivial=True)
+
+
+class TestCounting:
+    def test_world_count(self):
+        w = WorldTable({"x": [1, 2], "y": [1, 2, 3]})
+        assert w.world_count() == 6
+
+    def test_empty_world_table_one_world(self):
+        assert WorldTable().world_count() == 1
+
+    def test_log10(self):
+        w = WorldTable({f"v{i}": [1, 2] for i in range(100)})
+        assert w.log10_world_count() == pytest.approx(100 * math.log10(2))
+
+    def test_max_domain_size(self):
+        w = WorldTable({"x": [1, 2], "y": [1, 2, 3]})
+        assert w.max_domain_size() == 3
+
+    def test_len_is_variable_count(self):
+        assert len(WorldTable({"x": [1], "y": [1]})) == 2
+
+
+class TestValuations:
+    def test_enumeration_complete(self):
+        w = WorldTable({"x": [1, 2], "y": [1, 2]})
+        vals = list(w.valuations())
+        assert len(vals) == 4
+        assert all(TOP_VARIABLE in v for v in vals)
+        assert {(v["x"], v["y"]) for v in vals} == {(1, 1), (1, 2), (2, 1), (2, 2)}
+
+    def test_partial_enumeration(self):
+        w = WorldTable({"x": [1, 2], "y": [1, 2]})
+        vals = list(w.valuations(["x"]))
+        assert len(vals) == 2
+
+    def test_sample_valuation(self):
+        w = WorldTable({"x": [1, 2]})
+        v = w.sample_valuation(random.Random(0))
+        assert v["x"] in (1, 2)
+
+
+class TestProbability:
+    def test_uniform_by_default(self):
+        w = WorldTable({"x": [1, 2, 3, 4]})
+        assert w.probability("x", 1) == pytest.approx(0.25)
+
+    def test_explicit_probabilities(self):
+        w = WorldTable({"x": [1, 2]}, probabilities={"x": [0.7, 0.3]})
+        assert w.probability("x", 2) == pytest.approx(0.3)
+
+    def test_probabilities_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            WorldTable({"x": [1, 2]}, probabilities={"x": [0.7, 0.7]})
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            WorldTable({"x": [1, 2]}, probabilities={"x": [1.0]})
+
+    def test_descriptor_probability_product(self):
+        w = WorldTable(
+            {"x": [1, 2], "y": [1, 2]},
+            probabilities={"x": [0.5, 0.5], "y": [0.25, 0.75]},
+        )
+        assert w.descriptor_probability(Descriptor(x=1, y=2)) == pytest.approx(0.375)
+
+    def test_unknown_value_rejected(self):
+        w = WorldTable({"x": [1, 2]})
+        with pytest.raises(KeyError):
+            w.probability("x", 99)
+
+    def test_valuation_probability(self):
+        w = WorldTable({"x": [1, 2]}, probabilities={"x": [0.9, 0.1]})
+        assert w.valuation_probability({"x": 2}) == pytest.approx(0.1)
+
+
+class TestRelationViews:
+    def test_relation_shape(self):
+        w = WorldTable({"x": [1, 2]})
+        rel = w.relation()
+        assert rel.schema.names == ["var", "rng"]
+        assert ("x", 1) in rel.rows and ("x", 2) in rel.rows
+        assert (TOP_VARIABLE, 0) in rel.rows
+
+    def test_relation_with_probabilities(self):
+        w = WorldTable({"x": [1, 2]}, probabilities={"x": [0.6, 0.4]})
+        rel = w.relation(with_probabilities=True)
+        assert rel.schema.names == ["var", "rng", "p"]
+        assert ("x", 1, 0.6) in rel.rows
+
+    def test_from_relation_roundtrip(self):
+        w = WorldTable({"x": [1, 2], "y": ["a"]})
+        back = WorldTable.from_relation(w.relation())
+        assert back.domain("x") == (1, 2)
+        assert back.world_count() == w.world_count()
+
+    def test_copy_independent(self):
+        w = WorldTable({"x": [1]})
+        c = w.copy()
+        c.add_variable("y", [1, 2])
+        assert "y" not in w

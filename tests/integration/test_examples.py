@@ -1,0 +1,31 @@
+"""Smoke tests: every shipped example must run to completion."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parents[2] / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    args = [sys.executable, str(script)]
+    if script.name == "uncertain_tpch.py":
+        args += ["0.0005", "0.02", "0.25"]
+    if script.name == "representation_comparison.py":
+        args += ["4"]
+    result = subprocess.run(
+        args, capture_output=True, text=True, timeout=600
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "examples must produce output"
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(names) >= 3, "the deliverable requires at least three examples"

@@ -1,0 +1,107 @@
+"""Tests for logical plan nodes: schema computation and validation."""
+
+import pytest
+
+from repro.relational.algebra import (
+    Difference,
+    Distinct,
+    Extend,
+    Join,
+    Product,
+    Project,
+    ProjectAs,
+    Rename,
+    Scan,
+    Select,
+    Union,
+)
+from repro.relational.expressions import col, lit
+from repro.relational.relation import Relation
+from repro.relational.schema import SchemaError, UnknownColumnError
+
+
+@pytest.fixture
+def r_scan():
+    return Scan(Relation(["a", "b"], [(1, "x")]), name="r")
+
+
+@pytest.fixture
+def s_scan():
+    return Scan(Relation(["c", "d"], [(2, "y")]), name="s")
+
+
+class TestSchemas:
+    def test_scan_schema(self, r_scan):
+        assert r_scan.schema.names == ["a", "b"]
+
+    def test_scan_alias_qualifies(self):
+        scan = Scan(Relation(["a"], []), name="r", alias="t")
+        assert scan.schema.names == ["t.a"]
+
+    def test_select_preserves_schema(self, r_scan):
+        assert Select(r_scan, col("a") > lit(0)).schema.names == ["a", "b"]
+
+    def test_select_validates_columns_eagerly(self, r_scan):
+        with pytest.raises(UnknownColumnError):
+            Select(r_scan, col("zzz") > lit(0))
+
+    def test_project_schema(self, r_scan):
+        assert Project(r_scan, ["b"]).schema.names == ["b"]
+
+    def test_project_as_schema(self, r_scan):
+        node = ProjectAs(r_scan, [("a", "x1"), ("a", "x2")])
+        assert node.schema.names == ["x1", "x2"]
+
+    def test_extend_schema(self, r_scan):
+        node = Extend(r_scan, [("z", lit(0))])
+        assert node.schema.names == ["a", "b", "z"]
+
+    def test_join_schema_concat(self, r_scan, s_scan):
+        node = Join(r_scan, s_scan, col("a").eq(col("c")))
+        assert node.schema.names == ["a", "b", "c", "d"]
+
+    def test_join_validates_predicate(self, r_scan, s_scan):
+        with pytest.raises(UnknownColumnError):
+            Join(r_scan, s_scan, col("nope").eq(col("c")))
+
+    def test_product_schema(self, r_scan, s_scan):
+        assert Product(r_scan, s_scan).schema.names == ["a", "b", "c", "d"]
+
+    def test_union_arity_checked(self, r_scan):
+        with pytest.raises(SchemaError):
+            Union(r_scan, Scan(Relation(["x"], []), "t"))
+
+    def test_union_takes_left_names(self, r_scan):
+        other = Scan(Relation(["p", "q"], []), "t")
+        assert Union(r_scan, other).schema.names == ["a", "b"]
+
+    def test_difference_arity_checked(self, r_scan):
+        with pytest.raises(SchemaError):
+            Difference(r_scan, Scan(Relation(["x"], []), "t"))
+
+    def test_distinct_preserves(self, r_scan):
+        assert Distinct(r_scan).schema.names == ["a", "b"]
+
+    def test_rename_schema(self, r_scan):
+        assert Rename(r_scan, {"a": "z"}).schema.names == ["z", "b"]
+
+
+class TestTreeStructure:
+    def test_children(self, r_scan, s_scan):
+        join = Join(r_scan, s_scan, col("a").eq(col("c")))
+        assert join.children == (r_scan, s_scan)
+        assert r_scan.children == ()
+
+    def test_with_children_rebuilds(self, r_scan, s_scan):
+        join = Join(r_scan, s_scan, col("a").eq(col("c")))
+        swapped = join.with_children([s_scan, r_scan])
+        assert swapped.schema.names == ["c", "d", "a", "b"]
+
+    def test_scan_with_children_rejects(self, r_scan):
+        with pytest.raises(ValueError):
+            r_scan.with_children([r_scan])
+
+    def test_node_labels(self, r_scan):
+        assert "Seq Scan" in r_scan.node_label()
+        assert "Filter" in Select(r_scan, col("a") > lit(0)).node_label()
+        assert "Project" in Project(r_scan, ["a"]).node_label()

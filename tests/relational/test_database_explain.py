@@ -1,0 +1,121 @@
+"""Tests for the Database catalog, planner configuration, and EXPLAIN."""
+
+import pytest
+
+from repro.relational import (
+    Database,
+    Join,
+    Project,
+    Relation,
+    Select,
+    col,
+    explain,
+    explain_logical,
+    lit,
+)
+from repro.relational.planner import Planner, plan_physical
+from repro.relational.physical import HashJoin, MergeJoin
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create("r", Relation(["k", "v"], [(1, "a"), (2, "b")]))
+    database.create("s", Relation(["k2", "w"], [(1, 10), (2, 20)]))
+    return database
+
+
+class TestCatalog:
+    def test_create_and_get(self, db):
+        assert len(db.get("r")) == 2
+
+    def test_duplicate_create_rejected(self, db):
+        with pytest.raises(KeyError):
+            db.create("r", Relation(["x"], []))
+
+    def test_replace(self, db):
+        db.create("r", Relation(["x"], []), replace=True)
+        assert db.get("r").schema.names == ["x"]
+
+    def test_drop(self, db):
+        db.drop("s")
+        assert "s" not in db
+
+    def test_missing_relation_message_lists_names(self, db):
+        with pytest.raises(KeyError, match="have"):
+            db.get("nope")
+
+    def test_names_sorted(self, db):
+        assert db.names() == ["r", "s"]
+
+    def test_total_rows(self, db):
+        assert db.total_rows() == 4
+
+    def test_size_bytes_positive(self, db):
+        assert db.size_bytes() > 0
+
+
+class TestRun:
+    def test_run_join(self, db):
+        plan = Join(db.scan("r"), db.scan("s"), col("k").eq(col("k2")))
+        out = db.run(plan)
+        assert sorted(out.rows) == [(1, "a", 1, 10), (2, "b", 2, 20)]
+
+    def test_run_unoptimized_matches(self, db):
+        plan = Select(
+            Join(db.scan("r"), db.scan("s"), col("k").eq(col("k2"))),
+            col("v").eq(lit("a")),
+        )
+        a = db.run(plan, optimize_first=True)
+        b = db.run(plan, optimize_first=False)
+        assert sorted(a.rows) == sorted(b.rows)
+
+    def test_scan_alias(self, db):
+        scan = db.scan("r", alias="t")
+        assert scan.schema.names == ["t.k", "t.v"]
+
+
+class TestPlannerConfig:
+    def test_hash_join_default(self, db):
+        plan = Join(db.scan("r"), db.scan("s"), col("k").eq(col("k2")))
+        physical = plan_physical(plan)
+        assert isinstance(physical, HashJoin)
+
+    def test_merge_join_preferred(self, db):
+        plan = Join(db.scan("r"), db.scan("s"), col("k").eq(col("k2")))
+        physical = Planner(prefer_merge_join=True).compile(plan)
+        assert isinstance(physical, MergeJoin)
+
+    def test_merge_join_results_match(self, db):
+        plan = Join(db.scan("r"), db.scan("s"), col("k").eq(col("k2")))
+        assert sorted(db.run(plan).rows) == sorted(
+            db.run(plan, prefer_merge_join=True).rows
+        )
+
+
+class TestExplain:
+    def test_explain_contains_operators(self, db):
+        plan = Project(
+            Join(db.scan("r"), db.scan("s"), col("k").eq(col("k2"))), ["v", "w"]
+        )
+        text = db.explain(plan)
+        assert "Hash Join" in text
+        assert "Seq Scan on r" in text
+        assert "rows=" in text
+
+    def test_explain_merge_join_shows_merge_cond(self, db):
+        plan = Join(db.scan("r"), db.scan("s"), col("k").eq(col("k2")))
+        text = db.explain(plan, prefer_merge_join=True)
+        assert "Merge Join" in text
+        assert "Merge Cond" in text
+        assert "Sort" in text
+
+    def test_explain_logical(self, db):
+        plan = Select(db.scan("r"), col("k") > lit(0))
+        text = explain_logical(plan)
+        assert "Filter" in text and "Seq Scan" in text
+
+    def test_explain_dispatches_on_type(self, db):
+        plan = Select(db.scan("r"), col("k") > lit(0))
+        assert "Filter" in explain(plan)  # logical path
+        assert "Filter" in explain(plan_physical(plan))  # physical path

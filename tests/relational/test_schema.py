@@ -1,0 +1,125 @@
+"""Tests for schemas: qualified names, resolution, derived schemas."""
+
+import pytest
+
+from repro.relational.schema import (
+    AmbiguousColumnError,
+    Attribute,
+    Schema,
+    SchemaError,
+    UnknownColumnError,
+    split_qualified,
+)
+from repro.relational.types import DataType
+
+
+class TestSplitQualified:
+    def test_unqualified(self):
+        assert split_qualified("orderkey") == (None, "orderkey")
+
+    def test_qualified(self):
+        assert split_qualified("o.orderkey") == ("o", "orderkey")
+
+    def test_only_first_dot_splits(self):
+        assert split_qualified("a.b.c") == ("a", "b.c")
+
+
+class TestAttribute:
+    def test_name_roundtrip(self):
+        assert Attribute("o.orderkey").name == "o.orderkey"
+        assert Attribute("orderkey").name == "orderkey"
+
+    def test_matches_unqualified_reference(self):
+        attr = Attribute("o.orderkey")
+        assert attr.matches("orderkey")
+        assert attr.matches("o.orderkey")
+        assert not attr.matches("c.orderkey")
+        assert not attr.matches("orderdate")
+
+    def test_with_qualifier(self):
+        attr = Attribute("orderkey", DataType.INT)
+        qualified = attr.with_qualifier("o")
+        assert qualified.name == "o.orderkey"
+        assert qualified.dtype is DataType.INT
+
+    def test_renamed_keeps_dtype(self):
+        attr = Attribute("a", DataType.DATE).renamed("b")
+        assert attr.name == "b"
+        assert attr.dtype is DataType.DATE
+
+    def test_equality_ignores_dtype(self):
+        assert Attribute("a", DataType.INT) == Attribute("a", DataType.STR)
+        assert hash(Attribute("a")) == hash(Attribute("a"))
+
+
+class TestSchema:
+    def test_construction_from_strings(self):
+        s = Schema(["a", "b.c"])
+        assert s.names == ["a", "b.c"]
+        assert len(s) == 2
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(["a", "a"])
+
+    def test_resolve_exact(self):
+        s = Schema(["o.orderkey", "c.custkey"])
+        assert s.resolve("o.orderkey") == 0
+
+    def test_resolve_by_base_name(self):
+        s = Schema(["o.orderkey", "c.custkey"])
+        assert s.resolve("custkey") == 1
+
+    def test_resolve_unknown_raises(self):
+        s = Schema(["a"])
+        with pytest.raises(UnknownColumnError):
+            s.resolve("zzz")
+
+    def test_resolve_ambiguous_raises(self):
+        s = Schema(["o.custkey", "c.custkey"])
+        with pytest.raises(AmbiguousColumnError):
+            s.resolve("custkey")
+
+    def test_has(self):
+        s = Schema(["o.custkey", "c.custkey"])
+        assert s.has("o.custkey")
+        assert not s.has("custkey")  # ambiguous
+        assert not s.has("nope")
+
+    def test_concat(self):
+        s = Schema(["a"]).concat(Schema(["b"]))
+        assert s.names == ["a", "b"]
+
+    def test_concat_duplicate_raises(self):
+        with pytest.raises(SchemaError):
+            Schema(["a"]).concat(Schema(["a"]))
+
+    def test_project_reorders(self):
+        s = Schema(["a", "b", "c"]).project(["c", "a"])
+        assert s.names == ["c", "a"]
+
+    def test_rename(self):
+        s = Schema(["a", "b"]).rename({"a": "x"})
+        assert s.names == ["x", "b"]
+
+    def test_rename_to_qualified_name(self):
+        s = Schema(["orderkey"]).rename({"orderkey": "o.orderkey"})
+        assert s.names == ["o.orderkey"]
+        assert s.attributes[0].qualifier == "o"
+
+    def test_qualify_all(self):
+        s = Schema(["a", "b"]).qualify("t")
+        assert s.names == ["t.a", "t.b"]
+
+    def test_unqualify(self):
+        s = Schema(["t.a", "t.b"]).unqualify()
+        assert s.names == ["a", "b"]
+
+    def test_positions(self):
+        s = Schema(["a", "b", "c"])
+        assert s.positions(["b", "a"]) == [1, 0]
+
+    def test_equality_and_hash(self):
+        assert Schema(["a", "b"]) == Schema(["a", "b"])
+        assert Schema(["a"]) != Schema(["b"])
+        assert hash(Schema(["a"])) == hash(Schema(["a"]))

@@ -1,0 +1,106 @@
+"""Tests for the type machinery."""
+
+import datetime
+
+import pytest
+
+from repro.relational.types import (
+    DataType,
+    Date,
+    coerce,
+    format_value,
+    infer_type,
+    parse_value,
+)
+
+
+class TestDate:
+    def test_from_text(self):
+        assert Date("1995-03-15") == datetime.date(1995, 3, 15)
+
+    def test_from_components(self):
+        assert Date(1995, 3, 15) == datetime.date(1995, 3, 15)
+
+    def test_passthrough(self):
+        d = datetime.date(2000, 1, 1)
+        assert Date(d) is d
+
+    def test_dates_are_comparable(self):
+        assert Date("1994-01-01") < Date("1996-01-01")
+
+
+class TestInferType:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (1, DataType.INT),
+            (1.5, DataType.FLOAT),
+            ("x", DataType.STR),
+            (True, DataType.BOOL),
+            (datetime.date(2000, 1, 1), DataType.DATE),
+            (None, DataType.ANY),
+        ],
+    )
+    def test_inference(self, value, expected):
+        assert infer_type(value) is expected
+
+    def test_bool_not_int(self):
+        # bool is a subclass of int in Python; inference must distinguish
+        assert infer_type(True) is DataType.BOOL
+        assert infer_type(1) is DataType.INT
+
+
+class TestParseValue:
+    def test_int(self):
+        assert parse_value("42", DataType.INT) == 42
+
+    def test_float(self):
+        assert parse_value("0.05", DataType.FLOAT) == 0.05
+
+    def test_date(self):
+        assert parse_value("1995-03-15", DataType.DATE) == datetime.date(1995, 3, 15)
+
+    def test_bool(self):
+        assert parse_value("true", DataType.BOOL) is True
+        assert parse_value("0", DataType.BOOL) is False
+
+    def test_empty_is_null(self):
+        assert parse_value("", DataType.INT) is None
+
+    def test_empty_string_stays_string(self):
+        assert parse_value("", DataType.STR) == ""
+
+
+class TestFormatValue:
+    def test_null(self):
+        assert format_value(None) == "NULL"
+
+    def test_float_compact(self):
+        assert format_value(0.05) == "0.05"
+
+    def test_date_iso(self):
+        assert format_value(datetime.date(1995, 3, 15)) == "1995-03-15"
+
+
+class TestCoerce:
+    def test_identity(self):
+        assert coerce(5, DataType.INT) == 5
+
+    def test_int_to_float(self):
+        assert coerce(5, DataType.FLOAT) == 5.0
+
+    def test_whole_float_to_int(self):
+        assert coerce(5.0, DataType.INT) == 5
+
+    def test_fractional_float_to_int_rejected(self):
+        with pytest.raises(TypeError):
+            coerce(5.5, DataType.INT)
+
+    def test_str_to_date(self):
+        assert coerce("1995-03-15", DataType.DATE) == datetime.date(1995, 3, 15)
+
+    def test_anything_to_str(self):
+        assert coerce(42, DataType.STR) == "42"
+
+    def test_none_passthrough(self):
+        assert coerce(None, DataType.INT) is None

@@ -1,0 +1,49 @@
+"""Tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.sql.lexer import SqlSyntaxError, TokenKind, tokenize
+
+
+class TestTokenize:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("SELECT select SeLeCt")
+        assert [t.kind for t in tokens[:-1]] == [TokenKind.KEYWORD] * 3
+        assert all(t.text == "select" for t in tokens[:-1])
+
+    def test_identifiers(self):
+        tokens = tokenize("customer c.custkey _x a1")
+        assert [t.kind for t in tokens[:-1]] == [TokenKind.IDENT] * 4
+        assert tokens[1].text == "c.custkey"
+
+    def test_numbers(self):
+        tokens = tokenize("24 0.05 .5")
+        assert [t.text for t in tokens[:-1]] == ["24", "0.05", ".5"]
+        assert all(t.kind == TokenKind.NUMBER for t in tokens[:-1])
+
+    def test_strings_with_escapes(self):
+        tokens = tokenize("'BUILDING' 'O''Neil'")
+        assert tokens[0].text == "BUILDING"
+        assert tokens[1].text == "O'Neil"
+
+    def test_operators_normalized(self):
+        tokens = tokenize("= <> != < <= > >=")
+        texts = [t.text for t in tokens[:-1]]
+        assert texts == ["=", "<>", "<>", "<", "<=", ">", ">="]
+
+    def test_punctuation(self):
+        tokens = tokenize("( ) , * ")
+        assert [t.text for t in tokens[:-1]] == ["(", ")", ",", "*"]
+
+    def test_end_token(self):
+        tokens = tokenize("select")
+        assert tokens[-1].kind == TokenKind.END
+
+    def test_junk_rejected(self):
+        with pytest.raises(SqlSyntaxError, match="position"):
+            tokenize("select @")
+
+    def test_positions_recorded(self):
+        tokens = tokenize("select x")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 7

@@ -1,0 +1,243 @@
+"""Tests for the SQL parser and end-to-end SQL execution."""
+
+import datetime
+
+import pytest
+
+from repro.core import Certain, Poss, Rel, UJoin, UProject, USelect, UUnion
+from repro.relational.expressions import Between, Comparison, InList, IsNull, Not, Or
+from repro.sql import SqlSyntaxError, execute_sql, parse
+from tests.conftest import brute_force_certain, brute_force_poss
+
+
+class TestParseShape:
+    def test_simple_select(self):
+        q = parse("select id from r")
+        assert isinstance(q, UProject)
+        assert q.attributes == ("id",)
+        assert isinstance(q.child, Rel)
+
+    def test_star_select(self):
+        q = parse("select * from r")
+        assert isinstance(q, Rel)
+
+    def test_alias(self):
+        q = parse("select c.custkey from customer c")
+        rel = q.child
+        assert rel.name == "customer" and rel.alias == "c"
+
+    def test_as_alias(self):
+        q = parse("select c.custkey from customer as c")
+        assert q.child.alias == "c"
+
+    def test_where(self):
+        q = parse("select id from r where id > 3")
+        assert isinstance(q, UProject)
+        assert isinstance(q.child, USelect)
+
+    def test_multiple_tables_join(self):
+        q = parse("select a from r, s, t")
+        join = q.child
+        assert isinstance(join, UJoin)
+        assert isinstance(join.left, UJoin)
+
+    def test_possible_wrapper(self):
+        q = parse("possible (select id from r)")
+        assert isinstance(q, Poss)
+
+    def test_certain_wrapper(self):
+        q = parse("certain (select id from r)")
+        assert isinstance(q, Certain)
+
+    def test_possible_without_parens(self):
+        q = parse("possible select id from r")
+        assert isinstance(q, Poss)
+
+    def test_union(self):
+        q = parse("select a from r union select b from s")
+        assert isinstance(q, UUnion)
+
+
+class TestPredicates:
+    def pred(self, text):
+        return parse(f"select a from r where {text}").child.predicate
+
+    def test_comparison_ops(self):
+        for op in ("=", "<>", "<", "<=", ">", ">="):
+            p = self.pred(f"a {op} 1")
+            assert isinstance(p, Comparison) and p.op == op
+
+    def test_and_or_precedence(self):
+        p = self.pred("a = 1 or b = 2 and c = 3")
+        assert isinstance(p, Or)  # OR binds loosest
+
+    def test_parentheses(self):
+        p = self.pred("(a = 1 or b = 2) and c = 3")
+        assert not isinstance(p, Or)
+
+    def test_between(self):
+        p = self.pred("a between 0.05 and 0.08")
+        assert isinstance(p, Between)
+
+    def test_in_list(self):
+        p = self.pred("a in (1, 2, 3)")
+        assert isinstance(p, InList) and p.values == frozenset({1, 2, 3})
+
+    def test_not_in(self):
+        p = self.pred("a not in (1)")
+        assert isinstance(p, Not)
+
+    def test_is_null(self):
+        assert isinstance(self.pred("a is null"), IsNull)
+
+    def test_is_not_null(self):
+        assert isinstance(self.pred("a is not null"), Not)
+
+    def test_not_predicate(self):
+        assert isinstance(self.pred("not a = 1"), Not)
+
+    def test_string_literal(self):
+        p = self.pred("mktsegment = 'BUILDING'")
+        assert p.right.value == "BUILDING"
+
+    def test_date_shaped_string_becomes_date(self):
+        p = self.pred("orderdate > '1995-03-15'")
+        assert p.right.value == datetime.date(1995, 3, 15)
+
+    def test_explicit_date_literal(self):
+        p = self.pred("orderdate > date '1995-03-15'")
+        assert p.right.value == datetime.date(1995, 3, 15)
+
+    def test_numeric_literals(self):
+        assert self.pred("a = 24").right.value == 24
+        assert self.pred("a = 0.05").right.value == 0.05
+
+    def test_column_to_column(self):
+        p = self.pred("c.custkey = o.custkey")
+        assert p.left.name == "c.custkey" and p.right.name == "o.custkey"
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "select",
+            "select from r",
+            "select a from",
+            "select a from r where",
+            "select a from r where a",
+            "select a from r where a between 1",
+            "select a from r where a = 1 trailing garbage",
+            "select a from r where a in ()",
+            "possible (select a from r",
+        ],
+    )
+    def test_rejected(self, bad):
+        with pytest.raises(SqlSyntaxError):
+            parse(bad)
+
+
+class TestExecution:
+    def test_possible_sql(self, vehicles_udb):
+        answer = execute_sql(
+            "possible (select id from r where type = 'Tank' and faction = 'Enemy')",
+            vehicles_udb,
+        )
+        inner = UProject(
+            parse("select id from r where type = 'Tank' and faction = 'Enemy'").child,
+            ["id"],
+        )
+        assert set(answer.rows) == brute_force_poss(inner, vehicles_udb)
+
+    def test_certain_sql(self, vehicles_udb):
+        answer = execute_sql("certain (select id from r)", vehicles_udb)
+        inner = parse("select id from r")
+        assert set(answer.rows) == brute_force_certain(inner, vehicles_udb)
+
+    def test_self_join_sql(self, vehicles_udb):
+        answer = execute_sql(
+            """possible (select s1.id, s2.id from r s1, r s2
+                         where s1.type = 'Tank' and s1.faction = 'Enemy'
+                           and s2.type = 'Tank' and s2.faction = 'Enemy'
+                           and s1.id < s2.id)""",
+            vehicles_udb,
+        )
+        assert set(answer.rows) == {(2, 4), (3, 4)}
+
+    def test_union_sql(self, vehicles_udb):
+        answer = execute_sql(
+            """possible (select id from r where faction = 'Enemy'
+                         union
+                         select id from r where type = 'Transport')""",
+            vehicles_udb,
+        )
+        expected = brute_force_poss(
+            UUnion(
+                parse("select id from r where faction = 'Enemy'"),
+                parse("select id from r where type = 'Transport'"),
+            ),
+            vehicles_udb,
+        )
+        assert set(answer.rows) == expected
+
+    def test_unwrapped_select_returns_urelation(self, vehicles_udb):
+        from repro.core import URelation
+
+        result = execute_sql("select id from r", vehicles_udb)
+        assert isinstance(result, URelation)
+
+
+class TestFigure8Queries:
+    """The paper's Q1-Q3 in SQL must agree with the hand-built trees."""
+
+    @pytest.fixture(scope="class")
+    def udb(self):
+        from repro.ugen import generate_uncertain
+
+        return generate_uncertain(scale=0.001, x=0.01, z=0.25, seed=33).udb
+
+    def test_q1_sql(self, udb):
+        from repro.core import execute_query
+        from repro.tpch import q1
+
+        sql_answer = execute_sql(
+            """possible (select o.orderkey, o.orderdate, o.shippriority
+                         from customer c, orders o, lineitem l
+                         where c.mktsegment = 'BUILDING'
+                           and c.custkey = o.custkey and o.orderkey = l.orderkey
+                           and o.orderdate > '1995-03-15'
+                           and l.shipdate < '1995-03-17')""",
+            udb,
+        )
+        assert set(sql_answer.rows) == set(execute_query(q1(), udb).rows)
+
+    def test_q2_sql(self, udb):
+        from repro.core import execute_query
+        from repro.tpch import q2
+
+        sql_answer = execute_sql(
+            """possible (select l.extendedprice from lineitem l
+                         where l.shipdate between '1994-01-01' and '1996-01-01'
+                           and l.discount between 0.05 and 0.08
+                           and l.quantity < 24)""",
+            udb,
+        )
+        assert set(sql_answer.rows) == set(execute_query(q2(), udb).rows)
+
+    def test_q3_sql(self, udb):
+        from repro.core import execute_query
+        from repro.tpch import q3
+
+        sql_answer = execute_sql(
+            """possible (select n1.name, n2.name
+                         from supplier s, lineitem l, orders o, customer c,
+                              nation n1, nation n2
+                         where n2.name = 'IRAQ' and n1.name = 'GERMANY'
+                           and c.nationkey = n2.nationkey
+                           and s.suppkey = l.suppkey
+                           and o.orderkey = l.orderkey
+                           and c.custkey = o.custkey
+                           and s.nationkey = n1.nationkey)""",
+            udb,
+        )
+        assert set(sql_answer.rows) == set(execute_query(q3(), udb).rows)

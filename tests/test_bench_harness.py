@@ -1,0 +1,72 @@
+"""Tests for the benchmark harness utilities."""
+
+import pytest
+
+from repro.bench import Table, format_seconds, geometric_series, median_time, timed
+
+
+class TestTiming:
+    def test_timed_returns_result(self):
+        elapsed, result = timed(lambda: 41 + 1)
+        assert result == 42
+        assert elapsed >= 0
+
+    def test_median_time(self):
+        calls = []
+        elapsed, result = median_time(lambda: calls.append(1) or "done", repeats=5)
+        assert result == "done"
+        assert len(calls) == 5
+        assert elapsed >= 0
+
+    def test_median_time_minimum_one_repeat(self):
+        _, result = median_time(lambda: 7, repeats=0)
+        assert result == 7
+
+
+class TestFormatting:
+    def test_format_seconds_scales(self):
+        assert format_seconds(0.0000005).endswith("us")
+        assert format_seconds(0.005).endswith("ms")
+        assert format_seconds(2.5) == "2.50s"
+
+    def test_geometric_series(self):
+        series = geometric_series(1.0, 100.0, 3)
+        assert series[0] == pytest.approx(1.0)
+        assert series[1] == pytest.approx(10.0)
+        assert series[2] == pytest.approx(100.0)
+
+    def test_geometric_series_single_point(self):
+        assert geometric_series(5.0, 50.0, 1) == [5.0]
+
+
+class TestTable:
+    def test_render_contains_everything(self):
+        t = Table(["x", "time"], title="demo")
+        t.add(0.01, "12ms")
+        t.add(0.1, "50ms")
+        out = t.render()
+        assert "demo" in out
+        assert "0.01" in out and "50ms" in out
+
+    def test_arity_checked(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add(1)
+
+    def test_float_formatting(self):
+        t = Table(["v"])
+        t.add(1234567.0)
+        t.add(0.000001)
+        out = t.render()
+        assert "1.23e+06" in out or "1.235e+06" in out
+        assert "1e-06" in out
+
+    def test_empty_table_renders_header(self):
+        t = Table(["col"])
+        assert "col" in t.render()
+
+    def test_print_does_not_crash(self, capsys):
+        t = Table(["a"])
+        t.add(1)
+        t.print()
+        assert "a" in capsys.readouterr().out

@@ -1,0 +1,137 @@
+"""Tests for the TPC-H population generator."""
+
+import datetime
+
+import pytest
+
+from repro.tpch import TPCH_SCHEMAS, base_cardinality, generate, generate_table
+from repro.tpch.dbgen import END_DATE, START_DATE
+from repro.tpch.dictionaries import NATIONS, REGIONS, SEGMENTS
+
+
+@pytest.fixture(scope="module")
+def db():
+    return generate(scale=0.002, seed=7)
+
+
+class TestCardinalities:
+    def test_fixed_tables(self, db):
+        assert len(db["region"]) == 5
+        assert len(db["nation"]) == 25
+
+    def test_scaled_tables(self, db):
+        assert len(db["supplier"]) == 20
+        assert len(db["customer"]) == 300
+        assert len(db["orders"]) == 3000
+        assert len(db["part"]) == 400
+        assert len(db["partsupp"]) == 4 * 400
+
+    def test_lineitem_one_to_seven_per_order(self, db):
+        per_order = {}
+        i = db["lineitem"].schema.resolve("orderkey")
+        for row in db["lineitem"].rows:
+            per_order[row[i]] = per_order.get(row[i], 0) + 1
+        assert set(per_order) == set(range(1, 3001))
+        assert all(1 <= n <= 7 for n in per_order.values())
+
+    def test_base_cardinality_helper(self):
+        assert base_cardinality("customer", 0.01) == 1500
+        with pytest.raises(ValueError):
+            base_cardinality("lineitem", 1.0)
+
+
+class TestSchemas:
+    def test_all_tables_present(self, db):
+        assert set(db) == set(TPCH_SCHEMAS)
+
+    def test_schemas_match(self, db):
+        for name, relation in db.items():
+            assert relation.schema.names == TPCH_SCHEMAS[name]
+
+
+class TestDistributions:
+    def test_mktsegment_from_dictionary(self, db):
+        i = db["customer"].schema.resolve("mktsegment")
+        segments = {row[i] for row in db["customer"].rows}
+        assert segments <= set(SEGMENTS)
+        assert len(segments) == 5  # all five segments appear at scale 0.002
+
+    def test_orderdates_in_range(self, db):
+        i = db["orders"].schema.resolve("orderdate")
+        for row in db["orders"].rows:
+            assert START_DATE <= row[i] <= END_DATE
+
+    def test_shipdate_after_orderdate(self, db):
+        odate = {row[0]: row[4] for row in db["orders"].rows}
+        ok_i = db["lineitem"].schema.resolve("orderkey")
+        sd_i = db["lineitem"].schema.resolve("shipdate")
+        for row in db["lineitem"].rows:
+            assert row[sd_i] > odate[row[ok_i]]
+
+    def test_discount_and_quantity_ranges(self, db):
+        d_i = db["lineitem"].schema.resolve("discount")
+        q_i = db["lineitem"].schema.resolve("quantity")
+        for row in db["lineitem"].rows:
+            assert 0.0 <= row[d_i] <= 0.10
+            assert 1 <= row[q_i] <= 50
+
+    def test_extendedprice_formula(self, db):
+        q_i = db["lineitem"].schema.resolve("quantity")
+        e_i = db["lineitem"].schema.resolve("extendedprice")
+        for row in db["lineitem"].rows[:100]:
+            assert row[e_i] > 0
+            assert row[e_i] == pytest.approx(row[e_i], abs=0.01)
+
+    def test_nations_and_regions_fixed(self, db):
+        names = {row[1] for row in db["nation"].rows}
+        assert "GERMANY" in names and "IRAQ" in names
+        assert {row[1] for row in db["region"].rows} == set(REGIONS)
+        assert len(NATIONS) == 25
+
+
+class TestForeignKeys:
+    def test_orders_reference_customers(self, db):
+        custkeys = {row[0] for row in db["customer"].rows}
+        i = db["orders"].schema.resolve("custkey")
+        assert all(row[i] in custkeys for row in db["orders"].rows)
+
+    def test_lineitem_references_orders_parts_suppliers(self, db):
+        orderkeys = {row[0] for row in db["orders"].rows}
+        partkeys = {row[0] for row in db["part"].rows}
+        suppkeys = {row[0] for row in db["supplier"].rows}
+        li = db["lineitem"]
+        o_i, p_i, s_i = (
+            li.schema.resolve("orderkey"),
+            li.schema.resolve("partkey"),
+            li.schema.resolve("suppkey"),
+        )
+        for row in li.rows:
+            assert row[o_i] in orderkeys
+            assert row[p_i] in partkeys
+            assert row[s_i] in suppkeys
+
+    def test_nation_regionkeys_valid(self, db):
+        regionkeys = {row[0] for row in db["region"].rows}
+        assert all(row[2] in regionkeys for row in db["nation"].rows)
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        a = generate(scale=0.001, seed=3)
+        b = generate(scale=0.001, seed=3)
+        for name in a:
+            assert a[name].rows == b[name].rows
+
+    def test_different_seed_different_data(self):
+        a = generate(scale=0.001, seed=3)
+        b = generate(scale=0.001, seed=4)
+        assert a["customer"].rows != b["customer"].rows
+
+    def test_generate_table_consistent_with_generate(self):
+        full = generate(scale=0.001, seed=5)
+        single = generate_table("orders", scale=0.001, seed=5)
+        assert full["orders"].rows == single.rows
+
+    def test_generate_table_unknown(self):
+        with pytest.raises(KeyError):
+            generate_table("bogus")

@@ -1,0 +1,145 @@
+"""Tests for the Zipf DFC allocation and tuple-level conversion."""
+
+import pytest
+
+from repro.core import Descriptor, UDatabase, URelation, WorldTable
+from repro.core.urelation import tid_column
+from repro.ugen import (
+    dfc_allocation,
+    tuple_level_relation,
+    tuple_level_size,
+    tuple_level_udatabase,
+)
+
+
+class TestZipfAllocation:
+    def test_covers_all_fields_exactly(self):
+        for n in (1, 7, 100, 1234):
+            for z in (0.1, 0.25, 0.5):
+                allocation = dfc_allocation(n, z)
+                assert sum(dfc * count for dfc, count in allocation.items()) == n
+
+    def test_zero_fields_empty(self):
+        assert dfc_allocation(0, 0.25) == {}
+
+    def test_invalid_z_rejected(self):
+        with pytest.raises(ValueError):
+            dfc_allocation(10, 1.5)
+
+    def test_higher_z_more_correlation(self):
+        lo = dfc_allocation(1000, 0.1)
+        hi = dfc_allocation(1000, 0.5)
+        multi_lo = sum(c for d, c in lo.items() if d > 1)
+        multi_hi = sum(c for d, c in hi.items() if d > 1)
+        assert multi_hi > multi_lo
+
+    def test_most_variables_have_dfc_one(self):
+        allocation = dfc_allocation(1000, 0.25)
+        assert allocation[1] > sum(c for d, c in allocation.items() if d > 1)
+
+    def test_counts_decrease_with_dfc(self):
+        allocation = dfc_allocation(10_000, 0.5)
+        dfcs = sorted(allocation)
+        counts = [allocation[d] for d in dfcs]
+        assert counts == sorted(counts, reverse=True)
+
+
+@pytest.fixture
+def two_partition_udb():
+    """Two uncertain attributes on independent variables: 2x2 combos."""
+    w = WorldTable({"x": [1, 2], "y": [1, 2]})
+    u_a = URelation.build(
+        [
+            (Descriptor(x=1), 1, ("a1",)),
+            (Descriptor(x=2), 1, ("a2",)),
+            (Descriptor(), 2, ("a3",)),
+        ],
+        tid_column("r"),
+        ["A"],
+    )
+    u_b = URelation.build(
+        [
+            (Descriptor(y=1), 1, ("b1",)),
+            (Descriptor(y=2), 1, ("b2",)),
+            (Descriptor(), 2, ("b3",)),
+        ],
+        tid_column("r"),
+        ["B"],
+    )
+    udb = UDatabase(w)
+    udb.add_relation("r", ["A", "B"], [u_a, u_b])
+    return udb
+
+
+class TestTupleLevel:
+    def test_independent_fields_multiply(self, two_partition_udb):
+        tl = tuple_level_relation(two_partition_udb, "r")
+        # tuple 1: 2 x 2 combinations; tuple 2: 1
+        assert len(tl) == 5
+
+    def test_size_estimate_matches(self, two_partition_udb):
+        assert tuple_level_size(two_partition_udb, "r") == 5
+
+    def test_world_set_preserved(self, two_partition_udb):
+        tl_udb = tuple_level_udatabase(two_partition_udb)
+        before = {frozenset(i["r"].rows) for _, i in two_partition_udb.worlds()}
+        after = {frozenset(i["r"].rows) for _, i in tl_udb.worlds()}
+        assert before == after
+
+    def test_correlated_fields_filtered(self):
+        """Fields on the SAME variable only combine consistently."""
+        w = WorldTable({"x": [1, 2]})
+        u_a = URelation.build(
+            [(Descriptor(x=1), 1, ("a1",)), (Descriptor(x=2), 1, ("a2",))],
+            tid_column("r"),
+            ["A"],
+        )
+        u_b = URelation.build(
+            [(Descriptor(x=1), 1, ("b1",)), (Descriptor(x=2), 1, ("b2",))],
+            tid_column("r"),
+            ["B"],
+        )
+        udb = UDatabase(w)
+        udb.add_relation("r", ["A", "B"], [u_a, u_b])
+        tl = tuple_level_relation(udb, "r")
+        values = {v for _d, _t, v in tl}
+        assert values == {("a1", "b1"), ("a2", "b2")}
+
+    def test_limit_caps_output(self, two_partition_udb):
+        tl = tuple_level_relation(two_partition_udb, "r", limit=2)
+        assert len(tl) == 2
+
+    def test_never_completable_tuple_skipped(self):
+        w = WorldTable({"x": [1, 2]})
+        u_a = URelation.build(
+            [(Descriptor(), 1, ("a1",)), (Descriptor(), 2, ("a2",))],
+            tid_column("r"),
+            ["A"],
+        )
+        u_b = URelation.build([(Descriptor(), 1, ("b1",))], tid_column("r"), ["B"])
+        udb = UDatabase(w)
+        udb.add_relation("r", ["A", "B"], [u_a, u_b])
+        tl = tuple_level_relation(udb, "r")
+        assert len(tl) == 1
+
+    def test_blowup_is_exponential_in_partitions(self):
+        """The 15M-vs-80K phenomenon of Section 6, in miniature."""
+        k = 6
+        w = WorldTable({f"v{i}": [1, 2, 3] for i in range(k)})
+        parts = []
+        for i in range(k):
+            parts.append(
+                URelation.build(
+                    [
+                        (Descriptor({f"v{i}": j}), 1, (j,))
+                        for j in (1, 2, 3)
+                    ],
+                    tid_column("r"),
+                    [f"a{i}"],
+                )
+            )
+        udb = UDatabase(w)
+        udb.add_relation("r", [f"a{i}" for i in range(k)], parts)
+        attr_rows = sum(len(p) for p in udb.partitions("r"))
+        assert attr_rows == 3 * k
+        assert tuple_level_size(udb, "r") == 3 ** k

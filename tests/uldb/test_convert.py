@@ -1,0 +1,116 @@
+"""Tests for the ULDB <-> U-relations conversions (Lemma 5.5, Example 5.4)."""
+
+import pytest
+
+from repro.core import Descriptor, UDatabase, URelation, WorldTable
+from repro.core.urelation import tid_column
+from repro.uldb import (
+    ULDB,
+    Alternative,
+    ULDBRelation,
+    XTuple,
+    udatabase_to_uldb,
+    uldb_to_udatabase,
+)
+
+
+def worldset(udb: UDatabase, name: str = "r"):
+    return frozenset(frozenset(i[name].rows) for _, i in udb.worlds())
+
+
+class TestExample54:
+    def test_structure_matches_paper(self, vehicles_udb):
+        """The ULDB of Example 5.4: a:1, b:2, c:2 (linked to b), d:4 alts."""
+        uldb = udatabase_to_uldb(vehicles_udb)
+        r = uldb.get("r")
+        by_tid = {x.tid: x for x in r}
+        assert len(by_tid["a"].alternatives) == 1
+        assert len(by_tid["b"].alternatives) == 2
+        assert len(by_tid["c"].alternatives) == 2
+        assert len(by_tid["d"].alternatives) == 4  # 2 types x 2 factions
+
+    def test_b_c_coupled_via_lineage(self, vehicles_udb):
+        uldb = udatabase_to_uldb(vehicles_udb)
+        r = uldb.get("r")
+        by_tid = {x.tid: x for x in r}
+        b_lineage = [a.lineage for a in by_tid["b"].alternatives]
+        c_lineage = [a.lineage for a in by_tid["c"].alternatives]
+        # both reference the same selector variable for x
+        assert b_lineage[0] and c_lineage[0]
+        assert {ref[0] for lin in b_lineage for ref in lin} == {
+            ref[0] for lin in c_lineage for ref in lin
+        }
+
+    def test_no_xtuple_optional(self, vehicles_udb):
+        """All four vehicles exist in every world."""
+        uldb = udatabase_to_uldb(vehicles_udb)
+        assert not any(x.optional for x in uldb.get("r"))
+
+    def test_world_set_preserved(self, vehicles_udb):
+        uldb = udatabase_to_uldb(vehicles_udb)
+        uldb_worlds = frozenset(
+            frozenset(w["r"].rows) for w in uldb.worlds()
+        )
+        assert uldb_worlds == worldset(vehicles_udb)
+
+
+class TestLemma55:
+    def test_roundtrip_preserves_world_set(self, vehicles_udb):
+        uldb = udatabase_to_uldb(vehicles_udb)
+        back = uldb_to_udatabase(uldb)
+        assert worldset(back) == worldset(vehicles_udb)
+
+    def test_linear_size(self, vehicles_udb):
+        """ULDB -> U-relations is linear: one tuple per alternative."""
+        uldb = udatabase_to_uldb(vehicles_udb)
+        back = uldb_to_udatabase(uldb)
+        (part,) = back.partitions("r")
+        assert len(part) == uldb.get("r").alternative_count()
+
+    def test_optional_xtuple_gets_absent_value(self):
+        db = ULDB()
+        r = ULDBRelation("r", ["v"])
+        r.add(XTuple("t", [Alternative(("maybe",))], optional=True))
+        db.add_relation(r)
+        udb = uldb_to_udatabase(db)
+        assert udb.world_count() == 2
+        sizes = sorted(len(i["r"]) for _, i in udb.worlds())
+        assert sizes == [0, 1]
+
+    def test_erroneous_alternatives_dropped(self):
+        db = ULDB()
+        r = ULDBRelation("r", ["v"])
+        r.add(XTuple("t", [Alternative((1,), lineage=[("nowhere", "z", 1)])]))
+        db.add_relation(r)
+        udb = uldb_to_udatabase(db)
+        (part,) = udb.partitions("r")
+        assert len(part) == 0
+
+
+class TestExponentialDirection:
+    def test_or_set_blowup(self):
+        """Theorem 5.6's or-set case: independent attributes multiply.
+
+        k independent binary attributes: U-relations store 2k rows, the
+        ULDB x-tuple needs 2^k alternatives.
+        """
+        for k in (2, 3, 4):
+            w = WorldTable({f"v{i}": [1, 2] for i in range(k)})
+            parts = []
+            for i in range(k):
+                parts.append(
+                    URelation.build(
+                        [
+                            (Descriptor({f"v{i}": 1}), "t", (0,)),
+                            (Descriptor({f"v{i}": 2}), "t", (1,)),
+                        ],
+                        tid_column("r"),
+                        [f"a{i}"],
+                    )
+                )
+            udb = UDatabase(w)
+            udb.add_relation("r", [f"a{i}" for i in range(k)], parts)
+            u_rows = sum(len(p) for p in udb.partitions("r"))
+            uldb = udatabase_to_uldb(udb)
+            assert u_rows == 2 * k
+            assert uldb.get("r").alternative_count() == 2 ** k

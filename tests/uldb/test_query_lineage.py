@@ -1,0 +1,146 @@
+"""Tests for ULDB queries: lineage propagation, erroneous tuples, minimization.
+
+The key Section 5 behaviour under test: ULDB joins can produce *erroneous*
+tuples (present in no world) because output lineage only points at input
+alternatives without consistency filtering; data minimization removes them
+via transitive lineage closure.  U-relations never produce them (ψ).
+"""
+
+import pytest
+
+from repro.relational import col, lit
+from repro.uldb import (
+    ULDB,
+    Alternative,
+    ULDBRelation,
+    XTuple,
+    erroneous_alternatives,
+    join,
+    minimize,
+    possible_tuples,
+    project,
+    select,
+    well_formed,
+)
+
+
+@pytest.fixture
+def db():
+    """Two relations whose uncertainty is coupled through lineage."""
+    database = ULDB()
+    choice = ULDBRelation("choice", ["which"])
+    choice.add(XTuple("w", [Alternative(("left",)), Alternative(("right",))]))
+    database.add_relation(choice)
+
+    r = ULDBRelation("r", ["k", "v"])
+    r.add(
+        XTuple(
+            "t1",
+            [
+                Alternative((1, "a"), lineage=[("choice", "w", 1)]),
+                Alternative((2, "b"), lineage=[("choice", "w", 2)]),
+            ],
+        )
+    )
+    database.add_relation(r)
+
+    s = ULDBRelation("s", ["k", "w"])
+    s.add(
+        XTuple(
+            "u1",
+            [
+                Alternative((2, "X"), lineage=[("choice", "w", 1)]),
+                Alternative((1, "Y"), lineage=[("choice", "w", 2)]),
+            ],
+        )
+    )
+    database.add_relation(s)
+    return database
+
+
+class TestSelect:
+    def test_select_keeps_matching(self, db):
+        out = select(db, db.get("r"), col("k").eq(lit(1)))
+        assert out.alternative_count() == 1
+        assert out.xtuples[0].optional  # partially qualified -> optional
+
+    def test_select_lineage_points_to_input(self, db):
+        out = select(db, db.get("r"), col("k").eq(lit(1)))
+        (alt,) = out.xtuples[0].alternatives
+        assert ("r", "t1", 1) in alt.lineage
+
+    def test_select_empty(self, db):
+        out = select(db, db.get("r"), col("k").eq(lit(99)))
+        assert len(out) == 0
+
+
+class TestProject:
+    def test_project_values(self, db):
+        out = project(db, db.get("r"), ["v"])
+        values = {alt.values for x in out for alt in x.alternatives}
+        assert values == {("a",), ("b",)}
+
+    def test_project_dedupes_within_xtuple(self):
+        database = ULDB()
+        r = ULDBRelation("r", ["a", "b"])
+        r.add(XTuple("t", [Alternative((1, "x")), Alternative((1, "y"))]))
+        database.add_relation(r)
+        out = project(database, r, ["a"])
+        assert out.xtuples[0].alternatives[0].values == (1,)
+        assert len(out.xtuples[0].alternatives) == 1
+
+
+class TestJoinErroneousTuples:
+    def test_join_produces_erroneous_tuples(self, db):
+        """r.k = s.k matches (1,'a')x(1,'Y') and (2,'b')x(2,'X') — but both
+        require contradictory choices of 'w': erroneous."""
+        out = join(db, db.get("r"), db.get("s"), col("l.k").eq(col("r.k")))
+        assert out.alternative_count() == 2
+        bad = erroneous_alternatives(db, out)
+        assert len(bad) == 2  # every joined alternative is erroneous
+
+    def test_minimization_removes_them(self, db):
+        out = join(db, db.get("r"), db.get("s"), col("l.k").eq(col("r.k")))
+        minimized = minimize(db, out)
+        assert minimized.alternative_count() == 0
+
+    def test_possible_tuples_unminimized_contains_erroneous(self, db):
+        out = join(db, db.get("r"), db.get("s"), col("l.k").eq(col("r.k")))
+        raw = possible_tuples(db, out, minimized=False)
+        clean = possible_tuples(db, out, minimized=True)
+        assert len(raw) == 2 and len(clean) == 0
+
+    def test_join_with_minimize_flag(self, db):
+        out = join(
+            db, db.get("r"), db.get("s"), col("l.k").eq(col("r.k")),
+            minimize_result=True,
+        )
+        assert out.alternative_count() == 0
+
+    def test_consistent_join_survives(self, db):
+        """Joining on the SAME side of the choice keeps valid tuples."""
+        out = join(db, db.get("r"), db.get("s"), col("l.v").eq(lit("a")))
+        survivors = possible_tuples(db, out, minimized=True)
+        # (1,'a') pairs with (2,'X'): both need choice=left -> consistent
+        assert (1, "a", 2, "X") in set(survivors.rows)
+        assert (1, "a", 1, "Y") not in set(survivors.rows)
+
+
+class TestWellFormed:
+    def test_acyclic_db_is_well_formed(self, db):
+        assert well_formed(db)
+
+    def test_cycle_detected(self):
+        database = ULDB()
+        r = ULDBRelation("r", ["v"])
+        r.add(XTuple("t1", [Alternative((1,), lineage=[("r", "t2", 1)])]))
+        r.add(XTuple("t2", [Alternative((2,), lineage=[("r", "t1", 1)])]))
+        database.add_relation(r)
+        assert not well_formed(database)
+
+    def test_external_symbols_allowed(self):
+        database = ULDB()
+        r = ULDBRelation("r", ["v"])
+        r.add(XTuple("t1", [Alternative((1,), lineage=[("ext", "z", 1)])]))
+        database.add_relation(r)
+        assert well_formed(database)

@@ -1,0 +1,122 @@
+"""Tests for the ULDB representation: x-tuples, lineage, worlds."""
+
+import pytest
+
+from repro.uldb import ULDB, Alternative, ULDBRelation, XTuple
+
+
+@pytest.fixture
+def db():
+    """The paper's Example 5.4 ULDB (vehicles)."""
+    database = ULDB()
+    r = ULDBRelation("r", ["id", "type", "faction"])
+    r.add(XTuple("a", [Alternative((1, "Tank", "Friend"))]))
+    r.add(
+        XTuple(
+            "b",
+            [
+                Alternative((2, "Transport", "Friend")),
+                Alternative((3, "Transport", "Friend")),
+            ],
+        )
+    )
+    r.add(
+        XTuple(
+            "c",
+            [
+                Alternative((3, "Tank", "Enemy"), lineage=[("r", "b", 1)]),
+                Alternative((2, "Tank", "Enemy"), lineage=[("r", "b", 2)]),
+            ],
+        )
+    )
+    r.add(
+        XTuple(
+            "d",
+            [
+                Alternative((4, "Tank", "Friend")),
+                Alternative((4, "Tank", "Enemy")),
+                Alternative((4, "Transport", "Friend")),
+                Alternative((4, "Transport", "Enemy")),
+            ],
+        )
+    )
+    database.add_relation(r)
+    return database
+
+
+class TestStructure:
+    def test_alternative_counts(self, db):
+        assert db.get("r").alternative_count() == 9
+        assert db.total_alternatives() == 9
+
+    def test_empty_xtuple_rejected(self):
+        with pytest.raises(ValueError):
+            XTuple("t", [])
+
+    def test_arity_checked(self):
+        r = ULDBRelation("r", ["a", "b"])
+        with pytest.raises(ValueError):
+            r.add(XTuple("t", [Alternative((1,))]))
+
+    def test_duplicate_tid_rejected(self):
+        r = ULDBRelation("r", ["a"])
+        r.add(XTuple("t", [Alternative((1,))]))
+        with pytest.raises(ValueError):
+            r.add(XTuple("t", [Alternative((2,))]))
+
+    def test_duplicate_relation_rejected(self, db):
+        with pytest.raises(ValueError):
+            db.add_relation(ULDBRelation("r", ["a"]))
+
+    def test_unknown_relation(self, db):
+        with pytest.raises(KeyError):
+            db.get("nope")
+
+
+class TestLineage:
+    def test_resolve(self, db):
+        alt = db.resolve(("r", "c", 1))
+        assert alt.values == (3, "Tank", "Enemy")
+
+    def test_resolve_external_symbol(self, db):
+        assert db.resolve(("r", "zz", 1)) is None
+        assert db.resolve(("r", "c", 99)) is None
+
+    def test_closure(self, db):
+        closure = db.lineage_closure(("r", "c", 1))
+        assert ("r", "b", 1) in closure
+        assert ("r", "c", 1) in closure
+
+    def test_closure_dangling_is_none(self, db):
+        r = db.get("r")
+        r.add(XTuple("e", [Alternative((9, "?", "?"), lineage=[("r", "zzz", 1)])]))
+        assert db.lineage_closure(("r", "e", 1)) is None
+
+    def test_consistency(self, db):
+        # c's alternatives demand different b alternatives: never together
+        assert db.closure_consistent([("r", "c", 1)])
+        assert not db.closure_consistent([("r", "c", 1), ("r", "c", 2)])
+        assert db.closure_consistent([("r", "c", 1), ("r", "b", 1)])
+        assert not db.closure_consistent([("r", "c", 1), ("r", "b", 2)])
+
+
+class TestWorlds:
+    def test_world_count_matches_paper(self, db):
+        """Example 5.4 represents the Figure 1 world-set: 8 worlds."""
+        worlds = list(db.worlds())
+        assert len(worlds) == 8
+
+    def test_lineage_couples_b_and_c(self, db):
+        """In every world, b and c occupy different positions."""
+        for world in db.worlds():
+            rows = world["r"].rows
+            ids = [row[0] for row in rows]
+            assert sorted(ids) == [1, 2, 3, 4]
+
+    def test_optional_xtuple_can_be_absent(self):
+        database = ULDB()
+        r = ULDBRelation("r", ["v"])
+        r.add(XTuple("t", [Alternative(("present",))], optional=True))
+        database.add_relation(r)
+        sizes = sorted(len(w["r"]) for w in database.worlds())
+        assert sizes == [0, 1]

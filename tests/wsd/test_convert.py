@@ -1,0 +1,95 @@
+"""Tests for U-relations <-> WSD conversions (Section 5 correspondence)."""
+
+import pytest
+
+from repro.core import Descriptor, UDatabase, URelation, WorldTable
+from repro.core.urelation import tid_column
+from repro.wsd import udatabase_to_wsd, wsd_to_udatabase
+
+
+def worldset(udb: UDatabase, name: str = "r"):
+    return frozenset(frozenset(i[name].rows) for _, i in udb.worlds())
+
+
+def wsd_worldset(wsd, name: str = "r"):
+    return frozenset(frozenset(w[name].rows) for w in wsd.worlds())
+
+
+class TestUToWSD:
+    def test_vehicles_roundtrip(self, vehicles_udb):
+        wsd = udatabase_to_wsd(vehicles_udb)
+        assert wsd.world_count() == 8
+        assert wsd_worldset(wsd) == worldset(vehicles_udb)
+
+    def test_component_per_variable(self, vehicles_udb):
+        wsd = udatabase_to_wsd(vehicles_udb)
+        # x, y, z components + one certain component
+        assert len(wsd.components) == 4
+
+    def test_normalizes_wide_descriptors_first(self):
+        """Figure 5: a 2-pair descriptor database still converts correctly."""
+        w = WorldTable({"c1": [1, 2], "c2": [1, 2]})
+        u = URelation.build(
+            [
+                (Descriptor(c1=1), "t1", ("a1",)),
+                (Descriptor(c1=1, c2=2), "t2", ("a2",)),
+                (Descriptor(c1=2), "t2", ("a3",)),
+            ],
+            tid_column("r"),
+            ["A"],
+        )
+        udb = UDatabase(w)
+        udb.add_relation("r", ["A"], [u])
+        wsd = udatabase_to_wsd(udb)
+        assert wsd_worldset(wsd) == worldset(udb)
+
+    def test_figure5c_shape(self):
+        """The fused c1+c2 component has 4 local worlds (2 x 2), Figure 5(c)."""
+        w = WorldTable({"c1": [1, 2], "c2": [1, 2]})
+        u = URelation.build(
+            [
+                (Descriptor(c1=1), "t1", ("a1",)),
+                (Descriptor(c1=1, c2=2), "t2", ("a2",)),
+                (Descriptor(c1=2), "t2", ("a3",)),
+            ],
+            tid_column("r"),
+            ["A"],
+        )
+        udb = UDatabase(w)
+        udb.add_relation("r", ["A"], [u])
+        wsd = udatabase_to_wsd(udb)
+        assert wsd.max_local_worlds() == 4
+
+
+class TestWSDToU:
+    def test_roundtrip_both_ways(self, vehicles_udb):
+        wsd = udatabase_to_wsd(vehicles_udb)
+        back = wsd_to_udatabase(wsd)
+        assert worldset(back) == worldset(vehicles_udb)
+
+    def test_linear_size(self, vehicles_udb):
+        """WSD -> U-relations is the linear direction (Section 5)."""
+        wsd = udatabase_to_wsd(vehicles_udb)
+        back = wsd_to_udatabase(wsd)
+        u_rows = sum(
+            len(p) for n in back.relation_names() for p in back.partitions(n)
+        )
+        assert u_rows <= wsd.size_cells() + 4  # one row per defined cell
+
+    def test_result_is_normalized(self, vehicles_udb):
+        from repro.core import is_normalized
+
+        wsd = udatabase_to_wsd(vehicles_udb)
+        back = wsd_to_udatabase(wsd)
+        for name in back.relation_names():
+            assert is_normalized(back.partitions(name))
+
+    def test_singleton_component_is_certain(self):
+        from repro.wsd import WSD, Component, Field
+
+        wsd = WSD({"r": ["A"]})
+        wsd.add_component(Component([Field("r", 1, "A")], [("only",)]))
+        back = wsd_to_udatabase(wsd)
+        assert back.world_count() == 1
+        (part,) = back.partitions("r")
+        assert part.descriptors() == [Descriptor()]

@@ -1,0 +1,82 @@
+"""Tests for WSD query evaluation (and its exponential expansion)."""
+
+import pytest
+
+from repro.core import Poss, Rel, UProject, USelect
+from repro.relational import col, lit
+from repro.wsd import (
+    evaluate_certain,
+    evaluate_poss,
+    expansion_size,
+    relevant_components,
+    udatabase_to_wsd,
+)
+from tests.conftest import brute_force_certain, brute_force_poss
+
+
+@pytest.fixture
+def wsd(vehicles_udb):
+    return udatabase_to_wsd(vehicles_udb)
+
+
+class TestEvaluation:
+    def test_poss_matches_oracle(self, wsd, vehicles_udb):
+        q = UProject(USelect(Rel("r"), col("faction").eq(lit("Enemy"))), ["id"])
+        assert set(evaluate_poss(wsd, q).rows) == brute_force_poss(q, vehicles_udb)
+
+    def test_poss_strips_wrapper(self, wsd, vehicles_udb):
+        q = Poss(UProject(Rel("r"), ["type"]))
+        inner = q.children[0]
+        assert set(evaluate_poss(wsd, q).rows) == brute_force_poss(
+            inner, vehicles_udb
+        )
+
+    def test_certain_matches_oracle(self, wsd, vehicles_udb):
+        q = UProject(Rel("r"), ["id"])
+        assert set(evaluate_certain(wsd, q).rows) == brute_force_certain(
+            q, vehicles_udb
+        )
+
+    def test_matches_urelation_answers(self, wsd, vehicles_udb):
+        from repro.core import execute_query
+
+        q = UProject(
+            USelect(
+                Rel("r"),
+                col("type").eq(lit("Tank")) & col("faction").eq(lit("Enemy")),
+            ),
+            ["id"],
+        )
+        u_answer = set(execute_query(Poss(q), vehicles_udb).rows)
+        wsd_answer = set(evaluate_poss(wsd, q).rows)
+        assert u_answer == wsd_answer
+
+
+class TestExpansion:
+    def test_relevant_components_all_touch_r(self, wsd):
+        q = UProject(Rel("r"), ["id"])
+        assert len(relevant_components(wsd, q)) == len(wsd.components)
+
+    def test_expansion_size_is_product(self, wsd):
+        q = UProject(Rel("r"), ["id"])
+        # 3 binary variables + 1 certain component: 2*2*2*1 = 8
+        assert expansion_size(wsd, q) == 8
+
+    def test_expansion_grows_exponentially(self):
+        """The c1 x ... x cn blow-up of Example 5.3, in miniature."""
+        from repro.core import Descriptor, UDatabase, URelation, WorldTable
+        from repro.core.urelation import tid_column
+
+        sizes = []
+        for n in (2, 4, 6):
+            w = WorldTable({f"c{i}": [1, 2] for i in range(n)})
+            triples = []
+            for i in range(n):
+                triples.append((Descriptor({f"c{i}": 1}), i, (1,)))
+                triples.append((Descriptor({f"c{i}": 2}), i, (0,)))
+            u = URelation.build(triples, tid_column("r"), ["A"])
+            udb = UDatabase(w)
+            udb.add_relation("r", ["A"], [u])
+            wsd = udatabase_to_wsd(udb)
+            sizes.append(expansion_size(wsd, UProject(Rel("r"), ["A"])))
+        assert sizes == [4, 16, 64]

@@ -1,0 +1,86 @@
+"""Tests for the WSD representation and its semantics."""
+
+import pytest
+
+from repro.wsd import BOTTOM, Component, Field, WSD
+
+
+@pytest.fixture
+def simple_wsd():
+    """Two components over R(A, B): 2 x 3 = 6 worlds."""
+    wsd = WSD({"r": ["A", "B"]})
+    wsd.add_component(
+        Component(
+            [Field("r", 1, "A"), Field("r", 1, "B")],
+            [("a1", "b1"), ("a2", "b2")],
+        )
+    )
+    wsd.add_component(
+        Component([Field("r", 2, "A"), Field("r", 2, "B")],
+                  [("x", "y"), ("p", "q"), (BOTTOM, BOTTOM)])
+    )
+    return wsd
+
+
+class TestComponent:
+    def test_arity_checked(self):
+        with pytest.raises(ValueError):
+            Component([Field("r", 1, "A")], [("a", "b")])
+
+    def test_must_have_local_worlds(self):
+        with pytest.raises(ValueError):
+            Component([Field("r", 1, "A")], [])
+
+    def test_size_cells(self):
+        c = Component([Field("r", 1, "A"), Field("r", 2, "A")], [(1, 2), (3, 4)])
+        assert c.size_cells() == 4
+
+
+class TestField:
+    def test_equality_and_hash(self):
+        assert Field("r", 1, "A") == Field("r", 1, "A")
+        assert Field("r", 1, "A") != Field("r", 2, "A")
+        assert hash(Field("r", 1, "A")) == hash(Field("r", 1, "A"))
+
+    def test_repr(self):
+        assert "r[1].A" in repr(Field("r", 1, "A"))
+
+
+class TestWSD:
+    def test_unknown_relation_rejected(self):
+        wsd = WSD({"r": ["A"]})
+        with pytest.raises(KeyError):
+            wsd.add_component(Component([Field("q", 1, "A")], [("a",)]))
+
+    def test_unknown_attribute_rejected(self):
+        wsd = WSD({"r": ["A"]})
+        with pytest.raises(KeyError):
+            wsd.add_component(Component([Field("r", 1, "Z")], [("a",)]))
+
+    def test_world_count(self, simple_wsd):
+        assert simple_wsd.world_count() == 6
+
+    def test_max_local_worlds(self, simple_wsd):
+        assert simple_wsd.max_local_worlds() == 3
+
+    def test_size_cells(self, simple_wsd):
+        assert simple_wsd.size_cells() == 4 + 6
+
+    def test_instantiate(self, simple_wsd):
+        world = simple_wsd.instantiate((0, 0))
+        assert set(world["r"].rows) == {("a1", "b1"), ("x", "y")}
+
+    def test_bottom_drops_tuple(self, simple_wsd):
+        world = simple_wsd.instantiate((1, 2))
+        assert set(world["r"].rows) == {("a2", "b2")}
+
+    def test_worlds_enumeration(self, simple_wsd):
+        worlds = list(simple_wsd.worlds())
+        assert len(worlds) == 6
+        sizes = sorted(len(w["r"]) for w in worlds)
+        assert sizes == [1, 1, 2, 2, 2, 2]
+
+    def test_empty_wsd_one_world(self):
+        wsd = WSD({"r": ["A"]})
+        assert wsd.world_count() == 1
+        assert wsd.max_local_worlds() == 1
