@@ -1,0 +1,21 @@
+# Developer entry points.
+#
+#   make test        - the tier-1 test suite (what CI must keep green)
+#   make bench-smoke - the Figure 12 query-time benchmark at a tiny scale,
+#                      including the rows-vs-blocks executor head-to-head;
+#                      one command to spot a perf regression
+#   make bench       - the full benchmark suite (slow)
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench-smoke bench
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench-smoke:
+	REPRO_BENCH_SCALE=0.0005 $(PYTHON) -m pytest benchmarks/bench_fig12_query_times.py -q --benchmark-disable-gc
+
+bench:
+	$(PYTHON) -m pytest benchmarks -q

@@ -44,6 +44,34 @@ def test_fig13_q2_plan(benchmark):
     assert "Seq Scan on u_lineitem_extendedprice" in text
 
 
+def test_fig13_q2_plan_analyze(benchmark):
+    """EXPLAIN ANALYZE of the Q2 rewriting: per-operator rows and batches.
+
+    Runs the translated plan through the block executor and saves the plan
+    annotated with actual row counts and batch counts per operator.
+    """
+    from repro.relational import explain_analyze
+
+    bundle = uncertain_db(BASE_SCALE, 0.1, 0.1)
+
+    def build():
+        translated = translate(q2_inner(), bundle.udb)
+        logical = optimize(translated.plan)
+        physical = plan_physical(logical, prefer_merge_join=True)
+        _result, text = explain_analyze(physical)
+        return text
+
+    text = benchmark.pedantic(build, rounds=3, iterations=1)
+    write_result("fig13_q2_plan_analyze.txt", text)
+
+    # every operator line reports what it actually produced, in batches
+    assert "actual rows=" in text
+    assert "batches=" in text
+    for line in text.splitlines():
+        if "(rows=" in line:
+            assert "actual rows=" in line
+
+
 def test_fig13_translation_is_parsimonious(benchmark):
     """Section 1's parsimonious-translation claim, counted on Q2:
     one selection per predicate group, merges become joins, nothing else."""

@@ -21,15 +21,28 @@ def timed(fn: Callable[[], Any]) -> Tuple[float, Any]:
     return time.perf_counter() - start, result
 
 
-def median_time(fn: Callable[[], Any], repeats: int = 3) -> Tuple[float, Any]:
-    """Median elapsed time over ``repeats`` runs (the paper uses 4 runs)."""
-    times: List[float] = []
+def median_time(
+    fn: Callable[[], Any], repeats: int = 3, warmup: int = 1
+) -> Tuple[float, Any]:
+    """Median elapsed time over ``repeats`` runs (the paper uses 4 runs).
+
+    ``warmup`` extra runs execute first and are excluded from the timings
+    (they absorb cold caches, lazy imports, and allocator ramp-up).  For an
+    even ``repeats`` the reported value is the true median — the mean of
+    the two middle samples — not the upper-middle sample.
+    """
     result: Any = None
+    for _ in range(max(warmup, 0)):
+        result = fn()
+    times: List[float] = []
     for _ in range(max(repeats, 1)):
         elapsed, result = timed(fn)
         times.append(elapsed)
     times.sort()
-    return times[len(times) // 2], result
+    middle = len(times) // 2
+    if len(times) % 2 == 0:
+        return (times[middle - 1] + times[middle]) / 2.0, result
+    return times[middle], result
 
 
 def format_seconds(seconds: float) -> str:

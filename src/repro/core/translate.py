@@ -422,23 +422,25 @@ def execute_query(
     udb: UDatabase,
     optimize: bool = True,
     prefer_merge_join: bool = False,
+    mode: str = "blocks",
 ):
     """Translate and run a query against a U-relational database.
 
     Returns a plain :class:`Relation` for top-level ``Poss``/``Certain``
-    queries, and a :class:`URelation` otherwise.
+    queries, and a :class:`URelation` otherwise.  ``mode`` selects the
+    executor (``"blocks"`` vectorized, ``"rows"`` legacy tuple-at-a-time).
     """
     if isinstance(query, Poss):
         inner = translate(query.child, udb)
         plan = Distinct(Project(inner.plan, list(inner.value_names)))
-        return _run(plan, udb, optimize, prefer_merge_join)
+        return _run(plan, udb, optimize, prefer_merge_join, mode)
     if isinstance(query, Certain):
         from .certain import certain_answers
 
-        inner = execute_query(query.child, udb, optimize, prefer_merge_join)
+        inner = execute_query(query.child, udb, optimize, prefer_merge_join, mode)
         return certain_answers(inner, udb.world_table)
     translated = translate(query, udb)
-    relation = _run(translated.plan, udb, optimize, prefer_merge_join)
+    relation = _run(translated.plan, udb, optimize, prefer_merge_join, mode)
     # normalize output column names to the canonical U-relation layout
     canonical = translated.canonical_names()
     if relation.schema.names != canonical:
@@ -448,10 +450,16 @@ def execute_query(
     )
 
 
-def _run(plan: Plan, udb: UDatabase, optimize: bool, prefer_merge_join: bool) -> Relation:
+def _run(
+    plan: Plan,
+    udb: UDatabase,
+    optimize: bool,
+    prefer_merge_join: bool,
+    mode: str = "blocks",
+) -> Relation:
     from ..relational.planner import run
 
-    return run(plan, optimize_first=optimize, prefer_merge_join=prefer_merge_join)
+    return run(plan, optimize_first=optimize, prefer_merge_join=prefer_merge_join, mode=mode)
 
 
 # ----------------------------------------------------------------------

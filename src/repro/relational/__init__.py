@@ -32,7 +32,7 @@ from .algebra import (
 )
 from .csvio import read_csv, write_csv
 from .database import Database
-from .explain import explain, explain_logical
+from .explain import explain, explain_analyze, explain_logical
 from .expressions import (
     And,
     Between,
@@ -51,7 +51,7 @@ from .expressions import (
 )
 from .optimizer import estimate_rows, optimize
 from .planner import Planner, plan_physical, run
-from .physical import execute
+from .physical import BATCH_SIZE, execute
 from .relation import Relation
 from .schema import (
     AmbiguousColumnError,
@@ -109,7 +109,9 @@ __all__ = [
     "plan_physical",
     "run",
     "execute",
+    "BATCH_SIZE",
     "explain",
+    "explain_analyze",
     "explain_logical",
     "read_csv",
     "write_csv",

@@ -13,9 +13,10 @@ from typing import Dict, Iterator, Optional
 
 from .algebra import Plan, Scan
 from .explain import explain as _explain
+from .explain import explain_analyze as _explain_analyze
 from .optimizer import optimize
 from .planner import Planner
-from .physical import execute
+from .physical import BATCH_SIZE, execute
 from .relation import Relation
 
 __all__ = ["Database"]
@@ -87,21 +88,37 @@ class Database:
         plan: Plan,
         optimize_first: bool = True,
         prefer_merge_join: bool = False,
+        mode: str = "blocks",
+        batch_size: int = BATCH_SIZE,
     ) -> Relation:
-        """Optimize, compile, and execute a logical plan."""
+        """Optimize, compile, and execute a logical plan.
+
+        ``mode="blocks"`` (default) runs the vectorized block executor;
+        ``mode="rows"`` runs the legacy tuple-at-a-time iterators.
+        """
         if optimize_first:
             plan = optimize(plan)
         physical = Planner(prefer_merge_join=prefer_merge_join).compile(plan)
-        return execute(physical)
+        return execute(physical, mode=mode, batch_size=batch_size)
 
     def explain(
         self,
         plan: Plan,
         optimize_first: bool = True,
         prefer_merge_join: bool = False,
+        analyze: bool = False,
+        batch_size: int = BATCH_SIZE,
     ) -> str:
-        """EXPLAIN output for a logical plan (after optimization)."""
+        """EXPLAIN output for a logical plan (after optimization).
+
+        With ``analyze=True`` the plan is executed through the block
+        executor first and each operator line reports the rows and batches
+        it actually produced.
+        """
         if optimize_first:
             plan = optimize(plan)
         physical = Planner(prefer_merge_join=prefer_merge_join).compile(plan)
+        if analyze:
+            _result, text = _explain_analyze(physical, batch_size=batch_size)
+            return text
         return _explain(physical)

@@ -12,16 +12,23 @@ Example output::
       ->  Seq Scan on u_l_shipdate  (rows=2088896)
             Filter: ((l_shipdate > '1994-01-01') AND ...)
       ->  Seq Scan on u_l_quantity  (rows=2362101)
+
+:func:`explain_analyze` additionally *runs* the plan through the block
+executor and annotates every operator with the rows and batches it actually
+produced (the analogue of ``EXPLAIN ANALYZE``)::
+
+    Hash Join  (rows=240) (actual rows=182 batches=1)
 """
 
 from __future__ import annotations
 
-from typing import List, Union
+from typing import List, Tuple, Union
 
 from .algebra import Plan
-from .physical import PhysicalPlan
+from .physical import BATCH_SIZE, PhysicalPlan, execute
+from .relation import Relation
 
-__all__ = ["explain", "explain_logical"]
+__all__ = ["explain", "explain_logical", "explain_analyze"]
 
 
 def explain(plan: Union[PhysicalPlan, Plan]) -> str:
@@ -33,16 +40,35 @@ def explain(plan: Union[PhysicalPlan, Plan]) -> str:
     return "\n".join(lines)
 
 
-def _render_physical(node: PhysicalPlan, lines: List[str], depth: int, arrow: bool) -> None:
+def explain_analyze(
+    plan: PhysicalPlan, batch_size: int = BATCH_SIZE
+) -> Tuple[Relation, str]:
+    """Execute a physical plan in block mode and render it with actuals.
+
+    Returns ``(result, text)`` where every operator line carries the rows
+    and batch count it produced during this execution.
+    """
+    result = execute(plan, mode="blocks", batch_size=batch_size)
+    lines: List[str] = []
+    _render_physical(plan, lines, depth=0, arrow=False, analyze=True)
+    return result, "\n".join(lines)
+
+
+def _render_physical(
+    node: PhysicalPlan, lines: List[str], depth: int, arrow: bool, analyze: bool = False
+) -> None:
     indent = "  " * depth
     prefix = f"{indent}->  " if arrow else indent
     rows = int(node.estimated_rows)
-    lines.append(f"{prefix}{node.explain_label()}  (rows={rows})")
+    header = f"{prefix}{node.explain_label()}  (rows={rows})"
+    if analyze and node.actual_rows is not None:
+        header += f" (actual rows={node.actual_rows} batches={node.actual_batches})"
+    lines.append(header)
     detail_indent = "  " * depth + ("      " if arrow else "  ")
     for detail in node.explain_details():
         lines.append(f"{detail_indent}{detail}")
     for child in node.children:
-        _render_physical(child, lines, depth + (2 if arrow else 1), arrow=True)
+        _render_physical(child, lines, depth + (2 if arrow else 1), arrow=True, analyze=analyze)
 
 
 def explain_logical(plan: Plan) -> str:

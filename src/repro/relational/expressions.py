@@ -9,6 +9,15 @@ An expression is *bound* against a :class:`~repro.relational.schema.Schema`
 once, producing a fast closure over row tuples.  Binding resolves column
 references to positions, so evaluation does no name lookups.
 
+For the block-at-a-time executor there is a faster path:
+:meth:`Expression.compile` (or :func:`compile_expression`) generates Python
+source for the whole expression tree and ``eval``-compiles it into a
+*single* callable, so evaluating a predicate costs one function call per
+row instead of one per AST node.  Short-circuiting of AND/OR is preserved
+(the generated code uses Python's own ``and``/``or``), and NULL semantics
+are identical to the bound closures.  Unknown :class:`Expression`
+subclasses degrade gracefully to their ``bind()`` closure.
+
 NULL handling: any comparison involving ``None`` is ``False`` (the engine
 approximates SQL's three-valued logic by "unknown is false", which is the
 behaviour observable through WHERE clauses).
@@ -19,6 +28,8 @@ The optimizer relies on the analysis helpers at the bottom of this module:
 
 from __future__ import annotations
 
+import ast
+import math
 import operator
 from typing import Any, Callable, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
@@ -46,6 +57,7 @@ __all__ = [
     "split_conjuncts",
     "columns_of",
     "equijoin_pairs",
+    "compile_expression",
 ]
 
 RowPredicate = Callable[[Tuple[Any, ...]], Any]
@@ -57,6 +69,15 @@ class Expression:
     def bind(self, schema: Schema) -> RowPredicate:
         """Compile into a function of a row tuple.  Overridden by subclasses."""
         raise NotImplementedError
+
+    def compile(self, schema: Schema) -> RowPredicate:
+        """Code-generate a single callable evaluating this expression.
+
+        Semantically identical to :meth:`bind`, but the whole tree collapses
+        into one generated Python function (see :func:`compile_expression`),
+        which the block executor applies per batch.
+        """
+        return compile_expression(self, schema)
 
     def columns(self) -> FrozenSet[str]:
         """Column references (as written) occurring in this expression."""
@@ -466,6 +487,150 @@ def equijoin_pairs(
         else:
             residual.append(conjunct)
     return pairs, residual
+
+
+# ----------------------------------------------------------------------
+# expression compilation (code generation for the block executor)
+# ----------------------------------------------------------------------
+_INLINE_LITERALS = (int, float, str, bool, type(None))
+
+_PY_COMPARATORS = {
+    "=": "==",
+    "<>": "!=",
+    "!=": "!=",
+    "<": "<",
+    "<=": "<=",
+    ">": ">",
+    ">=": ">=",
+}
+
+
+class _CodeGen:
+    """Emits a single Python expression string for an expression tree.
+
+    Column references become ``row[i]`` subscripts (indexes resolved once,
+    at compile time), literals are inlined or captured as constants, and
+    non-trivial subexpressions that must be consulted twice (NULL checks)
+    are bound to walrus temporaries so they are still evaluated only once.
+    AND/OR compile to Python's own short-circuiting ``and``/``or``.
+    """
+
+    def __init__(self, schema: Schema):
+        self.schema = schema
+        self.context: dict = {"__builtins__": {}, "bool": bool}
+        self._counter = 0
+
+    def _gensym(self, prefix: str) -> str:
+        self._counter += 1
+        return f"_{prefix}{self._counter}"
+
+    def _constant(self, value: Any) -> str:
+        name = self._gensym("k")
+        self.context[name] = value
+        return name
+
+    def _once(self, source: str) -> Tuple[str, str]:
+        """-> (first-use source, reuse source) evaluating ``source`` once."""
+        if _is_atom(source):
+            return source, source
+        temp = self._gensym("t")
+        return f"({temp} := {source})", temp
+
+    def _operand(self, expr: Expression) -> Tuple[str, str, bool]:
+        """-> (first-use, reuse, nullable) for a NULL-checked operand."""
+        source = self.emit(expr)
+        if isinstance(expr, Lit) and expr.value is not None:
+            return source, source, False  # provably non-null constant
+        first, again = self._once(source)
+        return first, again, True
+
+    def emit(self, expr: Expression) -> str:
+        if isinstance(expr, Col):
+            return f"row[{self.schema.resolve(expr.name)}]"
+        if isinstance(expr, Lit):
+            value = expr.value
+            if type(value) in _INLINE_LITERALS:
+                # non-finite floats repr as `inf`/`nan`, which are plain
+                # identifiers and undefined in the eval context
+                if not isinstance(value, float) or math.isfinite(value):
+                    return repr(value)
+            return self._constant(value)
+        if isinstance(expr, Comparison):
+            op = _PY_COMPARATORS[expr.op]
+            return self._null_checked(expr.left, expr.right, op, on_null="False")
+        if isinstance(expr, Arithmetic):
+            return self._null_checked(expr.left, expr.right, expr.op, on_null="None")
+        if isinstance(expr, And):
+            if not expr.operands:
+                return "True"
+            return "bool(" + " and ".join(self.emit(op) for op in expr.operands) + ")"
+        if isinstance(expr, Or):
+            if not expr.operands:
+                return "False"
+            return "bool(" + " or ".join(self.emit(op) for op in expr.operands) + ")"
+        if isinstance(expr, Not):
+            return f"(not {self.emit(expr.operand)})"
+        if isinstance(expr, IsNull):
+            return f"({self.emit(expr.operand)} is None)"
+        if isinstance(expr, InList):
+            values = self._constant(expr.values)
+            return f"({self.emit(expr.operand)} in {values})"
+        if isinstance(expr, Between):
+            operand, operand_again, nullable = self._operand(expr.operand)
+            low = self.emit(expr.low)
+            high = self.emit(expr.high)
+            body = f"({low} <= {operand_again} <= {high})"
+            if not nullable:
+                return body
+            return f"(False if {operand} is None else {body})"
+        # unknown Expression subclass: fall back to its bound closure
+        fallback = self._constant(expr.bind(self.schema))
+        return f"{fallback}(row)"
+
+    def _null_checked(
+        self, left: Expression, right: Expression, op: str, on_null: str
+    ) -> str:
+        """A binary operation guarded by NULL checks on nullable operands."""
+        left_first, left_again, left_nullable = self._operand(left)
+        right_first, right_again, right_nullable = self._operand(right)
+        checks = []
+        if left_nullable:
+            checks.append(f"{left_first} is None")
+        if right_nullable:
+            checks.append(f"{right_first} is None")
+        body = f"({left_again} {op} {right_again})"
+        if not checks:
+            return body
+        return f"({on_null} if {' or '.join(checks)} else {body})"
+
+
+def _is_atom(source: str) -> bool:
+    """Whether a generated fragment is safe/cheap to evaluate twice."""
+    if source.startswith("row[") and source.endswith("]") and source.count("[") == 1:
+        return True
+    if source.isidentifier():  # gensym temps and captured constants
+        return True
+    try:  # inlined literal tokens (5, 3.14, 'abc', ...)
+        ast.literal_eval(source)
+        return True
+    except (ValueError, SyntaxError):
+        return False
+
+
+def compile_expression(expression: Expression, schema: Schema) -> RowPredicate:
+    """Generate and compile a single-callable evaluator for an expression.
+
+    The returned function is semantically equivalent to
+    ``expression.bind(schema)`` but runs as one code object, which makes it
+    markedly faster inside the block executor's per-batch comprehensions.
+    """
+    generator = _CodeGen(schema)
+    body = generator.emit(expression)
+    source = f"lambda row: {body}"
+    try:
+        return eval(compile(source, "<compiled-expression>", "eval"), generator.context)
+    except SyntaxError:  # pragma: no cover - safety net for odd reprs
+        return expression.bind(schema)
 
 
 def _as_equi_pair(

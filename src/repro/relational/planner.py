@@ -35,6 +35,7 @@ from .algebra import (
 from .expressions import conjunction, equijoin_pairs
 from .optimizer import estimate_rows
 from .physical import (
+    BATCH_SIZE,
     Append,
     Except,
     ExtendOp,
@@ -126,6 +127,9 @@ class _RenameOp(PhysicalPlan):
     def rows(self):
         return self.child.rows()
 
+    def _batches(self, size):
+        return self.child.batches(size)
+
     def explain_label(self) -> str:
         return "Rename"
 
@@ -135,11 +139,22 @@ def plan_physical(plan: Plan, prefer_merge_join: bool = False) -> PhysicalPlan:
     return Planner(prefer_merge_join=prefer_merge_join).compile(plan)
 
 
-def run(plan: Plan, optimize_first: bool = True, prefer_merge_join: bool = False) -> Relation:
-    """Optimize, compile, and execute a logical plan."""
+def run(
+    plan: Plan,
+    optimize_first: bool = True,
+    prefer_merge_join: bool = False,
+    mode: str = "blocks",
+    batch_size: int = BATCH_SIZE,
+) -> Relation:
+    """Optimize, compile, and execute a logical plan.
+
+    ``mode`` selects the executor: ``"blocks"`` (vectorized, default) or
+    ``"rows"`` (legacy tuple-at-a-time).
+    """
     from .optimizer import optimize
     from .physical import execute
 
     if optimize_first:
         plan = optimize(plan)
-    return execute(plan_physical(plan, prefer_merge_join=prefer_merge_join))
+    physical = plan_physical(plan, prefer_merge_join=prefer_merge_join)
+    return execute(physical, mode=mode, batch_size=batch_size)

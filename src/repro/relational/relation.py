@@ -49,6 +49,19 @@ class Relation:
         return cls(schema, rows)
 
     @classmethod
+    def from_trusted(cls, schema: Schema, rows: List[Tuple[Any, ...]]) -> "Relation":
+        """Adopt an already-validated list of row tuples without copying.
+
+        Fast path for the block executor, whose operators only ever emit
+        tuples of the correct arity; the caller must not mutate ``rows``
+        afterwards.
+        """
+        relation = cls.__new__(cls)
+        relation.schema = schema if isinstance(schema, Schema) else Schema(schema)
+        relation.rows = rows
+        return relation
+
+    @classmethod
     def from_dicts(cls, schema, dicts: Iterable[Dict[str, Any]]) -> "Relation":
         """Build a relation from dictionaries keyed by attribute name."""
         if not isinstance(schema, Schema):

@@ -1,0 +1,313 @@
+"""Tests for the block-at-a-time executor and compiled expressions.
+
+Two families:
+
+* batch-boundary tests — every physical operator is executed in both
+  ``mode="rows"`` and ``mode="blocks"`` over inputs of size 0, 1, one
+  batch exactly, and one batch ± 1, and must produce identical bags;
+* property tests — randomized logical plans (and randomized predicates)
+  must evaluate identically through the legacy iterators, the block
+  executor, and compiled expressions.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.relational.algebra import Distinct, Join, Product, Project, Scan, Select, Union
+from repro.relational.expressions import col, compile_expression, lit
+from repro.relational.physical import (
+    BATCH_SIZE,
+    Append,
+    Except,
+    ExtendOp,
+    Filter,
+    HashDistinct,
+    HashJoin,
+    Materialize,
+    MergeJoin,
+    NestedLoopJoin,
+    Projection,
+    ProjectionAs,
+    SemiJoinOp,
+    SeqScan,
+    Sort,
+    execute,
+)
+from repro.relational.planner import plan_physical
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+#: Small batch size so "exactly one batch" inputs stay cheap to build.
+B = 4
+
+#: Input sizes around the batch boundary: empty, singleton, one batch
+#: exactly, and one batch minus/plus one row.
+BOUNDARY_SIZES = [0, 1, B - 1, B, B + 1]
+
+
+def left_relation(n: int) -> Relation:
+    # every third key is NULL, values repeat so distinct/except have work
+    rows = [(None if i % 3 == 2 else i % 5, f"v{i % 4}") for i in range(n)]
+    return Relation(["l.k", "l.v"], rows)
+
+
+def right_relation(n: int) -> Relation:
+    rows = [(None if i % 4 == 3 else i % 5, i * 10) for i in range(n)]
+    return Relation(["r.k", "r.w"], rows)
+
+
+def assert_modes_agree(plan, batch_size: int = B) -> None:
+    via_rows = execute(plan, mode="rows")
+    via_blocks = execute(plan, mode="blocks", batch_size=batch_size)
+    assert via_blocks.schema.names == via_rows.schema.names
+    assert sorted(map(repr, via_blocks.rows)) == sorted(map(repr, via_rows.rows))
+
+
+@pytest.mark.parametrize("n", BOUNDARY_SIZES)
+class TestBatchBoundaries:
+    """Every operator, at every input size around the batch boundary."""
+
+    def test_seq_scan(self, n):
+        assert_modes_agree(SeqScan(left_relation(n), "l"))
+
+    def test_filter(self, n):
+        scan = SeqScan(left_relation(n), "l")
+        assert_modes_agree(Filter(scan, col("l.k") > lit(1)))
+
+    def test_filter_all_rows_pass(self, n):
+        scan = SeqScan(left_relation(n), "l")
+        assert_modes_agree(Filter(scan, col("l.v").ne(lit("nope"))))
+
+    def test_projection(self, n):
+        scan = SeqScan(left_relation(n), "l")
+        assert_modes_agree(Projection(scan, ["l.v"]))
+
+    def test_projection_as(self, n):
+        scan = SeqScan(left_relation(n), "l")
+        assert_modes_agree(ProjectionAs(scan, [("l.k", "k1"), ("l.k", "k2"), ("l.v", "v")]))
+
+    def test_extend(self, n):
+        scan = SeqScan(left_relation(n), "l")
+        assert_modes_agree(ExtendOp(scan, [("kk", col("l.k") + col("l.k")), ("one", lit(1))]))
+
+    def test_hash_join(self, n):
+        left = SeqScan(left_relation(n), "l")
+        right = SeqScan(right_relation(n), "r")
+        assert_modes_agree(HashJoin(left, right, [("l.k", "r.k")]))
+
+    def test_hash_join_residual(self, n):
+        left = SeqScan(left_relation(n), "l")
+        right = SeqScan(right_relation(n), "r")
+        assert_modes_agree(
+            HashJoin(left, right, [("l.k", "r.k")], residual=col("r.w") > lit(0))
+        )
+
+    def test_merge_join(self, n):
+        left = SeqScan(left_relation(n), "l")
+        right = SeqScan(right_relation(n), "r")
+        assert_modes_agree(MergeJoin(left, right, [("l.k", "r.k")]))
+
+    def test_merge_join_residual(self, n):
+        left = SeqScan(left_relation(n), "l")
+        right = SeqScan(right_relation(n), "r")
+        assert_modes_agree(
+            MergeJoin(left, right, [("l.k", "r.k")], residual=col("r.w") > lit(10))
+        )
+
+    def test_nested_loop_cross(self, n):
+        left = SeqScan(left_relation(n), "l")
+        right = SeqScan(right_relation(min(n, B)), "r")
+        assert_modes_agree(NestedLoopJoin(left, right, None))
+
+    def test_nested_loop_theta(self, n):
+        left = SeqScan(left_relation(n), "l")
+        right = SeqScan(right_relation(n), "r")
+        assert_modes_agree(NestedLoopJoin(left, right, col("l.k") < col("r.k")))
+
+    def test_semi_join_hash(self, n):
+        left = SeqScan(left_relation(n), "l")
+        right = SeqScan(right_relation(n), "r")
+        assert_modes_agree(
+            SemiJoinOp(left, right, col("l.k").eq(col("r.k")) & (col("r.w") > lit(0)))
+        )
+
+    def test_semi_join_loop(self, n):
+        left = SeqScan(left_relation(n), "l")
+        right = SeqScan(right_relation(n), "r")
+        assert_modes_agree(SemiJoinOp(left, right, col("l.k") < col("r.k")))
+
+    def test_hash_distinct(self, n):
+        assert_modes_agree(HashDistinct(SeqScan(left_relation(n), "l")))
+
+    def test_append(self, n):
+        a = SeqScan(left_relation(n), "a")
+        b = SeqScan(left_relation(max(n - 1, 0)), "b")
+        assert_modes_agree(Append(a, b))
+
+    def test_except(self, n):
+        a = SeqScan(left_relation(n), "a")
+        b = SeqScan(left_relation(n // 2), "b")
+        assert_modes_agree(Except(a, b))
+
+    def test_sort(self, n):
+        assert_modes_agree(Sort(SeqScan(left_relation(n), "l"), ["l.v", "l.k"]))
+
+    def test_materialize(self, n):
+        assert_modes_agree(Materialize(SeqScan(left_relation(n), "l")))
+
+
+class TestBatchMechanics:
+    def test_scan_batch_sizes(self):
+        scan = SeqScan(left_relation(B + 1), "l")
+        batches = list(scan.batches(B))
+        assert [len(b) for b in batches] == [B, 1]
+
+    def test_batch_stats_recorded(self):
+        scan = SeqScan(left_relation(2 * B), "l")
+        plan = Filter(scan, col("l.k") > lit(0))
+        execute(plan, mode="blocks", batch_size=B)
+        assert scan.actual_rows == 2 * B
+        assert scan.actual_batches == 2
+        assert plan.actual_rows == sum(1 for r in left_relation(2 * B).rows if r[0] is not None and r[0] > 0)
+
+    def test_default_batch_size_used(self):
+        scan = SeqScan(left_relation(BATCH_SIZE + 1), "l")
+        out = execute(scan)  # defaults: blocks mode, BATCH_SIZE
+        assert len(out) == BATCH_SIZE + 1
+        assert scan.actual_batches == 2
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            execute(SeqScan(left_relation(1), "l"), mode="columns")
+
+    def test_explain_analyze_reports_actuals(self):
+        left = SeqScan(left_relation(B + 1), "l")
+        right = SeqScan(right_relation(B), "r")
+        plan = HashJoin(left, right, [("l.k", "r.k")])
+        from repro.relational.explain import explain_analyze
+
+        result, text = explain_analyze(plan, batch_size=B)
+        assert "actual rows=" in text and "batches=" in text
+        assert f"actual rows={len(result)}" in text.splitlines()[0]
+
+
+# ----------------------------------------------------------------------
+# property tests: rows mode == blocks mode on randomized plans
+# ----------------------------------------------------------------------
+values = st.integers(min_value=0, max_value=4)
+rows_r = st.lists(st.tuples(values, values), min_size=0, max_size=9)
+rows_s = st.lists(st.tuples(values, values), min_size=0, max_size=9)
+batch_sizes = st.sampled_from([1, 2, 3, 7, 1024])
+
+
+@st.composite
+def predicates(draw, columns):
+    column = draw(st.sampled_from(columns))
+    op = draw(st.sampled_from(["eq", "lt", "gt", "ne"]))
+    value = draw(values)
+    c = col(column)
+    if op == "eq":
+        return c.eq(lit(value))
+    if op == "ne":
+        return c.ne(lit(value))
+    if op == "lt":
+        return c < lit(value)
+    return c > lit(value)
+
+
+@st.composite
+def plans(draw):
+    r = Scan(Relation(["r.a", "r.b"], draw(rows_r)), "r")
+    s = Scan(Relation(["s.c", "s.d"], draw(rows_s)), "s")
+    shape = draw(
+        st.sampled_from(
+            ["select", "join", "join_select", "project_join", "distinct", "product", "union"]
+        )
+    )
+    if shape == "select":
+        return Select(Select(r, draw(predicates(["r.a", "r.b"]))), draw(predicates(["r.a", "r.b"])))
+    if shape == "join":
+        return Join(r, s, col("r.a").eq(col("s.c")))
+    if shape == "join_select":
+        pred = draw(predicates(["r.a", "r.b", "s.c", "s.d"]))
+        return Select(Join(r, s, col("r.a").eq(col("s.c"))), pred)
+    if shape == "project_join":
+        return Project(Join(r, s, col("r.b").eq(col("s.d"))), ["r.a", "s.c"])
+    if shape == "product":
+        return Select(Product(r, s), draw(predicates(["r.a", "s.d"])))
+    if shape == "union":
+        return Union(Project(r, ["r.a"]), Project(s, ["s.c"]))
+    return Distinct(Project(Select(r, draw(predicates(["r.a"]))), ["r.b"]))
+
+
+def bag(relation: Relation):
+    return sorted(map(repr, relation.rows))
+
+
+@given(plans(), batch_sizes, st.booleans())
+@settings(max_examples=120, deadline=None)
+def test_blocks_mode_equals_rows_mode(plan, batch_size, prefer_merge_join):
+    physical = plan_physical(plan, prefer_merge_join=prefer_merge_join)
+    via_rows = execute(physical, mode="rows")
+    via_blocks = execute(physical, mode="blocks", batch_size=batch_size)
+    assert bag(via_blocks) == bag(via_rows)
+    assert via_blocks.schema.names == via_rows.schema.names
+
+
+# ----------------------------------------------------------------------
+# property tests: compiled expressions == bound closures
+# ----------------------------------------------------------------------
+@st.composite
+def expressions(draw, depth=2):
+    leafs = [col("a"), col("b"), col("c"), lit(draw(values)), lit("x"), lit(None)]
+    if depth == 0:
+        return draw(st.sampled_from(leafs))
+    kind = draw(
+        st.sampled_from(
+            ["cmp", "and", "or", "not", "arith", "isnull", "inlist", "between"]
+        )
+    )
+    sub = expressions(depth=depth - 1)
+    if kind == "cmp":
+        op = draw(st.sampled_from(["=", "<>", "<", "<=", ">", ">="]))
+        from repro.relational.expressions import Comparison
+
+        return Comparison(op, draw(st.sampled_from(leafs[:4])), draw(st.sampled_from(leafs[:4])))
+    if kind == "and":
+        return draw(sub) & draw(sub)
+    if kind == "or":
+        return draw(sub) | draw(sub)
+    if kind == "not":
+        return ~draw(sub)
+    if kind == "arith":
+        op = draw(st.sampled_from(["+", "-", "*"]))
+        from repro.relational.expressions import Arithmetic
+
+        return Arithmetic(op, draw(st.sampled_from(leafs[:4])), draw(st.sampled_from(leafs[:4])))
+    if kind == "isnull":
+        return col(draw(st.sampled_from(["a", "b", "c"]))).is_null()
+    if kind == "inlist":
+        return col(draw(st.sampled_from(["a", "b", "c"]))).in_list([0, 2, 4])
+    return col(draw(st.sampled_from(["a", "b"]))).between(1, 3)
+
+
+maybe_values = st.one_of(values, st.none())
+
+
+@given(expressions(), st.lists(st.tuples(maybe_values, maybe_values, maybe_values), max_size=12))
+@settings(max_examples=200, deadline=None)
+def test_compiled_expression_equals_bound(expr, rows):
+    schema = Schema(["a", "b", "c"])
+    bound = expr.bind(schema)
+    compiled = compile_expression(expr, schema)
+    for row in rows:
+        try:
+            expected = bound(row)
+        except TypeError:
+            # mixed-type comparisons raise identically on both paths
+            with pytest.raises(TypeError):
+                compiled(row)
+            continue
+        assert compiled(row) == expected, f"{expr!r} on {row}"

@@ -15,8 +15,28 @@ class TestTiming:
         calls = []
         elapsed, result = median_time(lambda: calls.append(1) or "done", repeats=5)
         assert result == "done"
-        assert len(calls) == 5
+        assert len(calls) == 6  # 1 warm-up + 5 timed runs
         assert elapsed >= 0
+
+    def test_median_time_warmup_excluded(self):
+        calls = []
+        median_time(lambda: calls.append(1), repeats=2, warmup=3)
+        assert len(calls) == 5  # 3 warm-ups + 2 timed runs
+
+    def test_median_time_no_warmup(self):
+        calls = []
+        median_time(lambda: calls.append(1), repeats=3, warmup=0)
+        assert len(calls) == 3
+
+    def test_median_time_even_repeats_true_median(self, monkeypatch):
+        # deterministic "timings" of 1, 2, 4, 8 seconds -> the true median
+        # of 4 samples is (2 + 4) / 2 = 3, not the upper-middle sample 4
+        import repro.bench.harness as harness
+
+        fake = iter([1.0, 2.0, 4.0, 8.0])
+        monkeypatch.setattr(harness, "timed", lambda fn: (next(fake), fn()))
+        elapsed, _ = harness.median_time(lambda: None, repeats=4, warmup=0)
+        assert elapsed == 3.0
 
     def test_median_time_minimum_one_repeat(self):
         _, result = median_time(lambda: 7, repeats=0)
