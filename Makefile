@@ -17,5 +17,7 @@ test:
 bench-smoke:
 	REPRO_BENCH_SCALE=0.0005 $(PYTHON) -m pytest benchmarks/bench_fig12_query_times.py -q --benchmark-disable-gc
 
+# bench_*.py does not match pytest's default test-file pattern, so the
+# files must be passed explicitly (directory collection finds nothing)
 bench:
-	$(PYTHON) -m pytest benchmarks -q
+	$(PYTHON) -m pytest benchmarks/bench_*.py -q

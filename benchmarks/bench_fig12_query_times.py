@@ -10,15 +10,20 @@ uncertainty ratio; the report regenerates the full 3x3x3 series with
 median-of-3 wall-clock timings (the paper uses the median of 4 runs).
 """
 
+import json
+import pathlib
+import statistics
+
 import pytest
 
-from repro.bench import Table, format_seconds, median_time
+from repro.bench import Table, format_seconds, median_time, timed
 from repro.core import execute_query
 from repro.tpch import ALL_QUERIES, q1, q2, q3
 
 from benchmarks.conftest import (
     BASE_SCALE,
     CORRELATIONS,
+    RESULTS_DIR,
     SCALES,
     UNCERTAINTIES,
     uncertain_db,
@@ -26,6 +31,16 @@ from benchmarks.conftest import (
 )
 
 QUERIES = {"Q1": q1, "Q2": q2, "Q3": q3}
+
+#: Config for the access-path (index) head-to-head.  The scale is fixed —
+#: not multiplied by ``REPRO_BENCH_SCALE`` — because the comparison only
+#: means something when executor work dominates the per-query fixed costs
+#: (translation, optimization, planning); index advantages grow with data
+#: size.  x is the Figure 12 grid's midpoint uncertainty ratio.
+INDEX_BENCH_SCALE = 0.008
+INDEX_BENCH_X = 0.01
+INDEX_BENCH_Z = 0.25
+INDEX_BENCH_PAIRS = 7
 
 
 def test_fig12_time_series_table(benchmark):
@@ -113,3 +128,84 @@ def test_fig12_vectorized_speedup(benchmark):
     speedups = benchmark.pedantic(compare, rounds=1, iterations=1)
     # Q2 and Q3 are the join-bearing queries (psi-condition hash joins)
     assert max(speedups["Q2"], speedups["Q3"]) >= 2.0
+
+
+def test_fig12_index_speedup(benchmark):
+    """Access paths vs the PR 1 vectorized baseline, machine-readable.
+
+    Times each Figure 12 query with cost-based access-path selection
+    (``use_indexes=True``: tid-index nested-loop joins for the partition
+    merges, index scans for selective predicates) against the pure
+    scan-and-hash executor (``use_indexes=False`` — exactly the PR 1
+    behaviour), asserting identical answers.  Runs are interleaved in
+    baseline/indexed pairs and the reported median speedup is the median
+    of the per-pair ratios — back-to-back runs see the same machine
+    state, so drift cancels where a ratio of two independent medians
+    would not.  The JSON records the median and best times per mode so
+    the perf trajectory is tracked across PRs.
+    """
+    bundle = uncertain_db(INDEX_BENCH_SCALE, INDEX_BENCH_X, INDEX_BENCH_Z)
+
+    def compare():
+        table = Table(
+            ["query", "baseline (median)", "indexed (median)", "speedup", "answers"],
+            title="Figure 12 addendum: cost-based access paths vs PR 1 baseline",
+        )
+        queries = {}
+        for label, builder in QUERIES.items():
+            query = builder()
+            answer_base = execute_query(query, bundle.udb, use_indexes=False)
+            answer_idx = execute_query(query, bundle.udb, use_indexes=True)
+            assert answer_base == answer_idx  # identical bags, NULL-safe
+            base, indexed = [], []
+            for _ in range(INDEX_BENCH_PAIRS):
+                elapsed, _ = timed(
+                    lambda: execute_query(query, bundle.udb, use_indexes=False)
+                )
+                base.append(elapsed)
+                elapsed, _ = timed(
+                    lambda: execute_query(query, bundle.udb, use_indexes=True)
+                )
+                indexed.append(elapsed)
+            entry = {
+                "baseline_median_s": statistics.median(base),
+                "indexed_median_s": statistics.median(indexed),
+                "baseline_best_s": min(base),
+                "indexed_best_s": min(indexed),
+                "speedup_median": statistics.median(
+                    b / i for b, i in zip(base, indexed)
+                ),
+                "speedup_best": min(base) / min(indexed),
+                "answer_rows": len(answer_idx),
+                "identical_answers": True,
+            }
+            queries[label] = entry
+            table.add(
+                label,
+                format_seconds(entry["baseline_median_s"]),
+                format_seconds(entry["indexed_median_s"]),
+                f"{entry['speedup_median']:.2f}x",
+                entry["answer_rows"],
+            )
+        payload = {
+            "figure": "12 (access-path addendum)",
+            "baseline": "PR 1 block-at-a-time executor (use_indexes=False)",
+            "config": {
+                "scale": INDEX_BENCH_SCALE,
+                "x": INDEX_BENCH_X,
+                "z": INDEX_BENCH_Z,
+                "seed": 42,
+                "interleaved_pairs": INDEX_BENCH_PAIRS,
+            },
+            "queries": queries,
+        }
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = pathlib.Path(RESULTS_DIR) / "BENCH_fig12.json"
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+        write_result("fig12_index_speedup.txt", table.render())
+        return queries
+
+    queries = benchmark.pedantic(compare, rounds=1, iterations=1)
+    # the committed BENCH_fig12.json records >=1.3x on Q1 and Q2; keep the
+    # in-test floor a notch lower so background load cannot flake the suite
+    assert sum(1 for q in queries.values() if q["speedup_median"] >= 1.15) >= 2

@@ -6,12 +6,20 @@ files — one per vertical partition plus the world table and a small
 
     <dir>/
       manifest.csv                      relation, attribute, partition file
+      indexes.csv                       secondary-index definitions
       w.csv                             the world table (Var, Rng[, P])
       u_<relation>_<attributes>.csv     one per partition
 
 The layout intentionally mirrors the naming of the paper's experiment
 tables (``u_l_shipdate`` etc. in Figure 13): the representation *is* plain
-relations, so plain CSV is a faithful serialization.
+relations, so plain CSV is a faithful serialization.  ``indexes.csv``
+records every secondary index attached to a partition (file, index name,
+columns, kind) so access paths rebuild on load; directories written before
+the index subsystem existed simply lack the file and load fine.  Indexes
+on the world table are *not* persisted — the ``w`` snapshot is
+re-materialized from the :class:`WorldTable` whenever it changes, so only
+the auto-created ``idx_w_var`` (restored by ``to_database``) survives a
+round trip.
 """
 
 from __future__ import annotations
@@ -21,6 +29,7 @@ import pathlib
 from typing import Dict, List, Tuple, Union
 
 from ..relational.csvio import read_csv, write_csv
+from ..relational.index import ensure_index, indexes_on
 from ..relational.relation import Relation
 from .udatabase import UDatabase
 from .urelation import URelation, tid_column
@@ -43,6 +52,7 @@ def save_udatabase(udb: UDatabase, directory: PathLike) -> None:
     )
 
     manifest_rows: List[Tuple[str, str, str, str, int]] = []
+    index_rows: List[Tuple[str, str, str, str]] = []
     for name in udb.relation_names():
         schema = udb.logical_schema(name)
         for index, part in enumerate(udb.partitions(name)):
@@ -57,11 +67,18 @@ def save_udatabase(udb: UDatabase, directory: PathLike) -> None:
                     part.d_width,
                 )
             )
+            for idx in indexes_on(part.relation):
+                index_rows.append((filename, idx.name, "|".join(idx.columns), idx.kind))
 
     with open(directory / "manifest.csv", "w", newline="", encoding="utf-8") as handle:
         writer = csv.writer(handle)
         writer.writerow(["relation", "attributes", "partition_values", "file", "d_width"])
         writer.writerows(manifest_rows)
+
+    with open(directory / "indexes.csv", "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["file", "index", "columns", "kind"])
+        writer.writerows(index_rows)
 
 
 def load_udatabase(directory: PathLike) -> UDatabase:
@@ -77,11 +94,13 @@ def load_udatabase(directory: PathLike) -> UDatabase:
         entries = [dict(zip(header, row)) for row in reader]
 
     grouped: Dict[str, Tuple[List[str], List[URelation]]] = {}
+    by_file: Dict[str, Relation] = {}
     for entry in entries:
         name = entry["relation"]
         attributes = entry["attributes"].split("|")
         values = entry["partition_values"].split("|")
         relation = read_csv(directory / entry["file"])
+        by_file[entry["file"]] = relation
         part = URelation(
             relation, int(entry["d_width"]), [tid_column(name)], values
         )
@@ -89,6 +108,25 @@ def load_udatabase(directory: PathLike) -> UDatabase:
 
     for name, (attributes, parts) in grouped.items():
         udb.add_relation(name, attributes, parts)
+
+    # rebuild recorded secondary indexes (absent in pre-index directories);
+    # ensure_index dedups against the tid indexes add_relation auto-creates
+    index_manifest = directory / "indexes.csv"
+    if index_manifest.exists():
+        with open(index_manifest, "r", newline="", encoding="utf-8") as handle:
+            reader = csv.reader(handle)
+            header = next(reader, None)
+            for row in reader:
+                entry = dict(zip(header, row))
+                relation = by_file.get(entry["file"])
+                if relation is None:
+                    continue
+                ensure_index(
+                    relation,
+                    entry["columns"].split("|"),
+                    kind=entry["kind"],
+                    name=entry["index"],
+                )
     return udb
 
 

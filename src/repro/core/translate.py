@@ -423,24 +423,27 @@ def execute_query(
     optimize: bool = True,
     prefer_merge_join: bool = False,
     mode: str = "blocks",
+    use_indexes: bool = True,
 ):
     """Translate and run a query against a U-relational database.
 
     Returns a plain :class:`Relation` for top-level ``Poss``/``Certain``
     queries, and a :class:`URelation` otherwise.  ``mode`` selects the
-    executor (``"blocks"`` vectorized, ``"rows"`` legacy tuple-at-a-time).
+    executor (``"blocks"`` vectorized, ``"rows"`` legacy tuple-at-a-time);
+    ``use_indexes=False`` disables access-path selection, which is the
+    benchmarks' pre-index baseline.
     """
     if isinstance(query, Poss):
         inner = translate(query.child, udb)
         plan = Distinct(Project(inner.plan, list(inner.value_names)))
-        return _run(plan, udb, optimize, prefer_merge_join, mode)
+        return _run(plan, udb, optimize, prefer_merge_join, mode, use_indexes)
     if isinstance(query, Certain):
         from .certain import certain_answers
 
-        inner = execute_query(query.child, udb, optimize, prefer_merge_join, mode)
+        inner = execute_query(query.child, udb, optimize, prefer_merge_join, mode, use_indexes)
         return certain_answers(inner, udb.world_table)
     translated = translate(query, udb)
-    relation = _run(translated.plan, udb, optimize, prefer_merge_join, mode)
+    relation = _run(translated.plan, udb, optimize, prefer_merge_join, mode, use_indexes)
     # normalize output column names to the canonical U-relation layout
     canonical = translated.canonical_names()
     if relation.schema.names != canonical:
@@ -456,10 +459,17 @@ def _run(
     optimize: bool,
     prefer_merge_join: bool,
     mode: str = "blocks",
+    use_indexes: bool = True,
 ) -> Relation:
     from ..relational.planner import run
 
-    return run(plan, optimize_first=optimize, prefer_merge_join=prefer_merge_join, mode=mode)
+    return run(
+        plan,
+        optimize_first=optimize,
+        prefer_merge_join=prefer_merge_join,
+        mode=mode,
+        use_indexes=use_indexes,
+    )
 
 
 # ----------------------------------------------------------------------

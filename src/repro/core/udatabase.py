@@ -17,6 +17,7 @@ import itertools
 from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from ..relational.database import Database
+from ..relational.index import ensure_index, indexes_on
 from ..relational.relation import Relation
 from ..relational.schema import Schema
 from .descriptor import Descriptor
@@ -37,13 +38,54 @@ class LogicalSchema:
         return f"{self.name}({', '.join(self.attributes)})"
 
 
+def _tid_index_name(name: str, part: URelation) -> str:
+    """Deterministic name of a partition's auto-created tuple-id index."""
+    return f"idx_u_{name}_{'_'.join(part.value_names)}_tid"
+
+
+def _value_index_name(name: str, part: URelation, column: str) -> str:
+    """Deterministic name of a partition's auto-created value-column index."""
+    return f"idx_u_{name}_{'_'.join(part.value_names)}_{column}"
+
+
+def _auto_index_partition(name: str, part: URelation) -> None:
+    """The auto-indexing policy for one vertical partition.
+
+    Hash index on the tuple-id column (the partition-merge equijoins of
+    the Figure 4 translation probe it), plus a sorted index per value
+    column (selections of the experiment queries become point/range index
+    scans).  Value columns with unsortable content are skipped silently —
+    they simply stay sequential-scan-only.
+    """
+    ensure_index(
+        part.relation, [tid_column(name)], kind="hash", name=_tid_index_name(name, part)
+    )
+    for column in part.value_names:
+        try:
+            ensure_index(
+                part.relation,
+                [column],
+                kind="sorted",
+                name=_value_index_name(name, part, column),
+            )
+        except TypeError:
+            pass
+
+
 class UDatabase:
     """A U-relational database (Definition 2.2)."""
 
-    def __init__(self, world_table: Optional[WorldTable] = None):
+    def __init__(self, world_table: Optional[WorldTable] = None, auto_index: bool = True):
         self.world_table = world_table or WorldTable()
         self._partitions: Dict[str, List[URelation]] = {}
         self._schemas: Dict[str, LogicalSchema] = {}
+        #: Mirror the paper's experiment setup: every vertical partition
+        #: gets a hash index on its tuple-id column (and the world table
+        #: one on Var), so the tid-equijoins that reassemble partitions
+        #: run as index probes.
+        self.auto_index = auto_index
+        self._database: Optional[Database] = None
+        self._database_world_version: Optional[int] = None
 
     # ------------------------------------------------------------------
     # construction
@@ -72,6 +114,10 @@ class UDatabase:
             raise ValueError(f"partitions of {name!r} carry unknown attributes {sorted(extra)}")
         self._schemas[name] = LogicalSchema(name, attributes)
         self._partitions[name] = partitions
+        self._database = None  # the cached catalog view is stale now
+        if self.auto_index:
+            for part in partitions:
+                _auto_index_partition(name, part)
 
     @classmethod
     def from_certain(
@@ -117,13 +163,33 @@ class UDatabase:
         """Expose the representation as plain named relations (plus ``w``).
 
         Partition naming follows the paper's experiments: ``u_<rel>_<attrs>``.
+        The :class:`Database` (and its index registry) is cached across
+        calls — DDL applied to it, e.g. ``CREATE INDEX`` through the SQL
+        layer, persists — and invalidated when relations are added.  The
+        ``w`` snapshot is refreshed only when the world table's version
+        says it gained variables since the last call.
         """
-        db = Database()
-        for name, parts in sorted(self._partitions.items()):
-            for part in parts:
-                label = f"u_{name}_" + "_".join(part.value_names)
-                db.create(label, part.relation, replace=True)
-        db.create("w", self.world_table.relation(), replace=True)
+        if self._database is None:
+            db = Database()
+            for name, parts in sorted(self._partitions.items()):
+                for part in parts:
+                    label = f"u_{name}_" + "_".join(part.value_names)
+                    db.create(label, part.relation, replace=True)
+                    # register the partition's attached (auto-created)
+                    # indexes with the catalog so SQL DDL can see/drop them
+                    for idx in indexes_on(part.relation):
+                        db.indexes.create(
+                            idx.name, label, part.relation, idx.columns,
+                            kind=idx.kind, replace=True,
+                        )
+            self._database = db
+        db = self._database
+        stale = self._database_world_version != self.world_table.version
+        if stale or "w" not in db:
+            db.create("w", self.world_table.relation(), replace="w" in db)
+            if self.auto_index:
+                db.create_index("idx_w_var", "w", ["var"], kind="hash", replace=True)
+            self._database_world_version = self.world_table.version
         return db
 
     def __repr__(self) -> str:

@@ -38,6 +38,10 @@ class WorldTable:
     ):
         self._domains: Dict[str, Tuple[Any, ...]] = {TOP_VARIABLE: (TOP_VALUE,)}
         self._probabilities: Dict[str, Tuple[float, ...]] = {TOP_VARIABLE: (1.0,)}
+        #: Bumped on every mutation; lets snapshot caches (e.g. the ``w``
+        #: relation in :meth:`UDatabase.to_database`) detect staleness
+        #: without re-materializing the table.
+        self.version = 0
         if domains:
             for var, values in domains.items():
                 probs = probabilities.get(var) if probabilities else None
@@ -74,6 +78,7 @@ class WorldTable:
             probabilities = tuple(1.0 / len(values) for _ in values)
         self._domains[var] = values
         self._probabilities[var] = probabilities
+        self.version += 1
 
     @classmethod
     def from_relation(cls, relation: Relation) -> "WorldTable":

@@ -33,6 +33,15 @@ from .algebra import (
 from .csvio import read_csv, write_csv
 from .database import Database
 from .explain import explain, explain_analyze, explain_logical
+from .index import (
+    HashIndex,
+    Index,
+    IndexRegistry,
+    SortedIndex,
+    build_index,
+    ensure_index,
+    indexes_on,
+)
 from .expressions import (
     And,
     Between,
@@ -102,6 +111,14 @@ __all__ = [
     "Difference",
     "Distinct",
     "Rename",
+    # indexes
+    "Index",
+    "HashIndex",
+    "SortedIndex",
+    "IndexRegistry",
+    "build_index",
+    "ensure_index",
+    "indexes_on",
     # execution
     "optimize",
     "estimate_rows",

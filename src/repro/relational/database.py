@@ -5,15 +5,25 @@ names to :class:`~repro.relational.relation.Relation` values plus
 convenience methods for building scans, running logical plans, and printing
 EXPLAIN output.  The U-relations layer stores its representation relations
 (vertical partitions and the world table) in one of these.
+
+Each database owns an :class:`~repro.relational.index.IndexRegistry` of
+named secondary indexes (:meth:`Database.create_index` /
+:meth:`Database.drop_index`).  Indexes are maintained automatically: when a
+table's relation is replaced (``create(..., replace=True)``), every index
+defined on it is rebuilt over the new relation, and dropping a table drops
+its indexes.  The planner performs cost-based access-path selection against
+them — ``explain`` shows ``Index Scan using <name> on <table>`` and
+``Index Nested Loop Join`` nodes where they win.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterator, List, Optional, Sequence
 
 from .algebra import Plan, Scan
 from .explain import explain as _explain
 from .explain import explain_analyze as _explain_analyze
+from .index import Index, IndexRegistry
 from .optimizer import optimize
 from .planner import Planner
 from .physical import BATCH_SIZE, execute
@@ -23,23 +33,39 @@ __all__ = ["Database"]
 
 
 class Database:
-    """An in-memory database: a catalog of named relations."""
+    """An in-memory database: a catalog of named relations (and indexes)."""
 
-    def __init__(self, relations: Optional[Dict[str, Relation]] = None):
+    def __init__(
+        self,
+        relations: Optional[Dict[str, Relation]] = None,
+        registry: Optional[IndexRegistry] = None,
+    ):
         self._relations: Dict[str, Relation] = dict(relations or {})
+        self.indexes: IndexRegistry = registry if registry is not None else IndexRegistry()
 
     # ------------------------------------------------------------------
     # catalog management
     # ------------------------------------------------------------------
     def create(self, name: str, relation: Relation, replace: bool = False) -> None:
-        """Register a relation under a name."""
-        if name in self._relations and not replace:
+        """Register a relation under a name.
+
+        Replacing an existing relation rebuilds every index defined on it
+        over the new relation object.  The rebuild happens *before* the
+        catalog mutation: if an index definition cannot be satisfied by
+        the replacement (a missing column, say), the error leaves both the
+        catalog and the registry untouched.
+        """
+        existed = name in self._relations
+        if existed and not replace:
             raise KeyError(f"relation {name!r} already exists")
+        if existed:
+            self.indexes.rebuild_table(name, relation)
         self._relations[name] = relation
 
     def drop(self, name: str) -> None:
-        """Remove a relation from the catalog."""
+        """Remove a relation (and its indexes) from the catalog."""
         del self._relations[name]
+        self.indexes.drop_table(name)
 
     def get(self, name: str) -> Relation:
         """Look up a relation by name."""
@@ -77,6 +103,34 @@ class Database:
         return total
 
     # ------------------------------------------------------------------
+    # index management
+    # ------------------------------------------------------------------
+    def create_index(
+        self,
+        name: str,
+        table: str,
+        columns: Sequence[str],
+        kind: str = "hash",
+        replace: bool = False,
+    ) -> Index:
+        """Create a named secondary index on a catalog relation.
+
+        ``kind`` is ``"hash"`` (equality lookups) or ``"sorted"``
+        (binary-search point + range access).
+        """
+        return self.indexes.create(
+            name, table, self.get(table), columns, kind=kind, replace=replace
+        )
+
+    def drop_index(self, name: str) -> None:
+        """Drop a named index."""
+        self.indexes.drop(name)
+
+    def index_names(self, table: Optional[str] = None) -> List[str]:
+        """Names of all indexes, optionally restricted to one table."""
+        return self.indexes.names(table)
+
+    # ------------------------------------------------------------------
     # query execution
     # ------------------------------------------------------------------
     def scan(self, name: str, alias: Optional[str] = None) -> Scan:
@@ -90,15 +144,20 @@ class Database:
         prefer_merge_join: bool = False,
         mode: str = "blocks",
         batch_size: int = BATCH_SIZE,
+        use_indexes: bool = True,
     ) -> Relation:
         """Optimize, compile, and execute a logical plan.
 
         ``mode="blocks"`` (default) runs the vectorized block executor;
         ``mode="rows"`` runs the legacy tuple-at-a-time iterators.
+        ``use_indexes=False`` disables access-path selection (sequential
+        scans and hash joins only).
         """
         if optimize_first:
             plan = optimize(plan)
-        physical = Planner(prefer_merge_join=prefer_merge_join).compile(plan)
+        physical = Planner(
+            prefer_merge_join=prefer_merge_join, use_indexes=use_indexes
+        ).compile(plan)
         return execute(physical, mode=mode, batch_size=batch_size)
 
     def explain(
@@ -108,6 +167,7 @@ class Database:
         prefer_merge_join: bool = False,
         analyze: bool = False,
         batch_size: int = BATCH_SIZE,
+        use_indexes: bool = True,
     ) -> str:
         """EXPLAIN output for a logical plan (after optimization).
 
@@ -117,7 +177,9 @@ class Database:
         """
         if optimize_first:
             plan = optimize(plan)
-        physical = Planner(prefer_merge_join=prefer_merge_join).compile(plan)
+        physical = Planner(
+            prefer_merge_join=prefer_merge_join, use_indexes=use_indexes
+        ).compile(plan)
         if analyze:
             _result, text = _explain_analyze(physical, batch_size=batch_size)
             return text

@@ -1,0 +1,402 @@
+"""Secondary indexes over relations, and the catalog that manages them.
+
+The paper's performance argument (Figures 12-13) rests on U-relations being
+*plain relations* the host DBMS can index: the tid-equijoins that reassemble
+vertical partitions, and the selective scans of the experiment queries, run
+as index accesses in PostgreSQL.  This module gives the substrate the same
+capability:
+
+* :class:`HashIndex`   — equality lookups (dict of key -> row bucket),
+* :class:`SortedIndex` — binary-search point and range lookups over a
+  key-sorted row array (the btree stand-in),
+* :class:`IndexRegistry` — the named-index catalog a
+  :class:`~repro.relational.database.Database` owns (``CREATE INDEX`` /
+  ``DROP INDEX``), with rebuild-on-replacement maintenance.
+
+Indexes *attach* to the :class:`~repro.relational.relation.Relation` they
+cover (a private slot on the relation object).  The planner discovers
+access paths through :func:`indexes_on`, so any code path that scans a
+relation — including the U-relations translation, which builds
+:class:`~repro.relational.algebra.Scan` nodes directly without going
+through a :class:`Database` — sees the indexes.  Because relations are
+immutable values, attachment is safe: an index can never go stale while its
+relation object is alive, and replacing a relation in a catalog replaces
+the object, at which point the registry rebuilds its definitions onto the
+new one.
+
+NULL semantics match the executor's comparisons: rows whose key contains
+``None`` are excluded from every index (a NULL never compares equal, so an
+equality or range lookup can never return it).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .relation import Relation
+
+__all__ = [
+    "Index",
+    "HashIndex",
+    "SortedIndex",
+    "IndexRegistry",
+    "build_index",
+    "attach_index",
+    "detach_index",
+    "indexes_on",
+    "ensure_index",
+]
+
+Row = Tuple[Any, ...]
+
+#: Index kinds accepted by :func:`build_index` / ``CREATE INDEX ... USING``.
+INDEX_KINDS = ("hash", "sorted")
+
+
+class Index:
+    """Base class: an access structure over one relation's column list."""
+
+    kind = "index"
+
+    def __init__(self, relation: Relation, columns: Sequence[str], name: Optional[str] = None):
+        self.relation = relation
+        positions = tuple(relation.schema.resolve(c) for c in columns)
+        if len(set(positions)) != len(positions):
+            raise ValueError(f"duplicate columns in index definition: {list(columns)}")
+        self.positions: Tuple[int, ...] = positions
+        #: Canonical column names (as they appear in the relation schema).
+        self.columns: Tuple[str, ...] = tuple(
+            relation.schema.names[p] for p in positions
+        )
+        self.name = name or f"idx_{'_'.join(c.replace('.', '_') for c in self.columns)}"
+        self._single = len(positions) == 1
+        self._build()
+
+    # ------------------------------------------------------------------
+    def key_of(self, row: Row) -> Any:
+        """The index key of a row: a scalar for single-column indexes, else
+        a tuple; ``None``-containing keys are reported as ``None``."""
+        if self._single:
+            return row[self.positions[0]]
+        key = tuple(row[p] for p in self.positions)
+        if None in key:
+            return None
+        return key
+
+    def _build(self) -> None:
+        raise NotImplementedError
+
+    def lookup(self, key: Any) -> Sequence[Row]:
+        """All rows whose key equals ``key`` (in relation row order)."""
+        raise NotImplementedError
+
+    def lookup_fn(self):
+        """The fastest point-lookup callable for hot loops.
+
+        Returns a callable mapping a key to a bucket of rows; the result is
+        falsy (``None`` or empty) when nothing matches.  Executors hoist
+        this once per operator instead of paying a method dispatch per
+        probe.
+        """
+        return self.lookup
+
+    def __len__(self) -> int:
+        """Number of indexed rows (NULL-keyed rows are not indexed)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r}, columns={list(self.columns)}, {len(self)} entries)"
+
+
+class HashIndex(Index):
+    """Equality-lookup index: a dict from key to its bucket of rows."""
+
+    kind = "hash"
+
+    def _build(self) -> None:
+        table: Dict[Any, List[Row]] = {}
+        setdefault = table.setdefault
+        key_of = self.key_of
+        count = 0
+        for row in self.relation.rows:
+            key = key_of(row)
+            if key is None:
+                continue
+            setdefault(key, []).append(row)
+            count += 1
+        self._table = table
+        self._count = count
+
+    def lookup(self, key: Any) -> Sequence[Row]:
+        if key is None:
+            return ()
+        return self._table.get(key, ())
+
+    def lookup_fn(self):
+        return self._table.get  # plain dict.get: None for missing keys
+
+    def __len__(self) -> int:
+        return self._count
+
+
+class SortedIndex(Index):
+    """Binary-search index: rows sorted by key, point + range lookups.
+
+    Keys must be mutually comparable (homogeneous column types); building
+    over an unsortable column raises ``TypeError`` — use a
+    :class:`HashIndex` there instead.  Range lookups bound the *first*
+    index column; multi-column sorted indexes still support point lookups
+    and ordered scans.
+    """
+
+    kind = "sorted"
+
+    def _build(self) -> None:
+        key_of = self.key_of
+        entries = [
+            (key, ordinal, row)
+            for ordinal, row in enumerate(self.relation.rows)
+            if (key := key_of(row)) is not None
+        ]
+        entries.sort(key=lambda e: e[0])
+        self._keys: List[Any] = [k for k, _, _ in entries]
+        #: Original row ordinal per entry — range results are restored to
+        #: relation order so downstream operators keep their locality.
+        self._ordinals: List[int] = [o for _, o, _ in entries]
+        self._rows: List[Row] = [r for _, _, r in entries]
+        #: First key column only, for range bisection on multi-column keys.
+        self._first: List[Any] = (
+            self._keys if self._single else [k[0] for k in self._keys]
+        )
+
+    def lookup(self, key: Any) -> Sequence[Row]:
+        if key is None:
+            return ()
+        try:
+            lo = bisect_left(self._keys, key)
+            hi = bisect_right(self._keys, key)
+        except TypeError:
+            # a type-mismatched key can never compare equal to any stored
+            # key: equality never raises in the executor, so neither do we
+            return ()
+        return self._rows[lo:hi]
+
+    def range(
+        self,
+        lower: Any = None,
+        upper: Any = None,
+        lower_inclusive: bool = True,
+        upper_inclusive: bool = True,
+    ) -> Sequence[Row]:
+        """Rows whose first key column lies within the given bounds.
+
+        ``None`` bounds are open.  For multi-column indexes the bound
+        applies to the first column.  Results are returned in *relation*
+        order, not key order: emitting a large range in key order makes
+        every downstream probe/touch jump randomly through memory, which
+        costs more than the ordinal re-sort here.
+        """
+        first = self._first
+        lo = 0
+        hi = len(first)
+        if lower is not None:
+            lo = bisect_left(first, lower) if lower_inclusive else bisect_right(first, lower)
+        if upper is not None:
+            hi = bisect_right(first, upper) if upper_inclusive else bisect_left(first, upper)
+        if hi <= lo:
+            return ()
+        matched = sorted(zip(self._ordinals[lo:hi], self._rows[lo:hi]))
+        return [row for _, row in matched]
+
+    def ordered(self) -> Sequence[Row]:
+        """All indexed rows in ascending key order."""
+        return self._rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+
+_KIND_CLASSES = {"hash": HashIndex, "sorted": SortedIndex}
+
+
+def build_index(
+    relation: Relation, columns: Sequence[str], kind: str = "hash", name: Optional[str] = None
+) -> Index:
+    """Construct (but do not attach) an index of the given kind."""
+    try:
+        cls = _KIND_CLASSES[kind]
+    except KeyError:
+        raise ValueError(f"unknown index kind {kind!r} (use one of {list(INDEX_KINDS)})") from None
+    return cls(relation, columns, name=name)
+
+
+# ----------------------------------------------------------------------
+# attachment: indexes live on the relation object they cover
+# ----------------------------------------------------------------------
+def attach_index(relation: Relation, index: Index) -> None:
+    """Attach an index to its relation so planners can discover it."""
+    if index.relation is not relation:
+        raise ValueError("index was built over a different relation object")
+    existing = getattr(relation, "_indexes", None)
+    if existing is None:
+        relation._indexes = [index]
+    elif index not in existing:
+        existing.append(index)
+
+
+def detach_index(relation: Relation, index: Index) -> None:
+    """Remove an attached index (no-op if it is not attached)."""
+    existing = getattr(relation, "_indexes", None)
+    if existing and index in existing:
+        existing.remove(index)
+
+
+def indexes_on(relation: Relation) -> Tuple[Index, ...]:
+    """All indexes attached to a relation (hash indexes first)."""
+    existing = getattr(relation, "_indexes", None)
+    if not existing:
+        return ()
+    return tuple(sorted(existing, key=lambda i: i.kind != "hash"))
+
+
+def ensure_index(
+    relation: Relation, columns: Sequence[str], kind: str = "hash", name: Optional[str] = None
+) -> Index:
+    """Reuse an equivalent attached index or build-and-attach a new one.
+
+    An equivalent index is only reused when the caller did not ask for a
+    specific ``name`` (or asked for the one it already has) — EXPLAIN
+    attributes scans by index name, so an explicitly-named creation must
+    yield an index that actually bears that name.
+    """
+    positions = tuple(relation.schema.resolve(c) for c in columns)
+    for index in indexes_on(relation):
+        if (
+            index.positions == positions
+            and index.kind == kind
+            and (name is None or index.name == name)
+        ):
+            return index
+    index = build_index(relation, columns, kind=kind, name=name)
+    attach_index(relation, index)
+    return index
+
+
+# ----------------------------------------------------------------------
+# the named-index catalog owned by a Database
+# ----------------------------------------------------------------------
+class IndexRegistry:
+    """Named index definitions over a catalog of named relations.
+
+    The registry stores *definitions* (name, table, columns, kind) plus the
+    live :class:`Index` objects, and keeps them attached to the current
+    relation object of each table.  When a table's relation is replaced
+    (``Database.create(..., replace=True)``), :meth:`rebuild_table` carries
+    every definition over to the new relation.
+    """
+
+    def __init__(self) -> None:
+        self._indexes: Dict[str, Index] = {}
+        self._tables: Dict[str, str] = {}
+
+    # -- catalog ------------------------------------------------------
+    def create(
+        self,
+        name: str,
+        table: str,
+        relation: Relation,
+        columns: Sequence[str],
+        kind: str = "hash",
+        replace: bool = False,
+    ) -> Index:
+        """Create (or with ``replace=True`` re-create) a named index."""
+        if name in self._indexes:
+            existing = self._indexes[name]
+            if (
+                existing.relation is relation
+                and existing.kind == kind
+                and existing.columns == tuple(relation.schema.names[p] for p in existing.positions)
+                and self._tables[name] == table
+                and existing.positions == tuple(relation.schema.resolve(c) for c in columns)
+            ):
+                return existing  # identical definition: idempotent
+            if not replace:
+                raise KeyError(f"index {name!r} already exists")
+            self.drop(name)
+        index = ensure_index(relation, columns, kind=kind, name=name)
+        self._indexes[name] = index
+        self._tables[name] = table
+        return index
+
+    def drop(self, name: str) -> None:
+        """Drop a named index and detach it from its relation."""
+        try:
+            index = self._indexes.pop(name)
+        except KeyError:
+            raise KeyError(f"index {name!r} not found; have {sorted(self._indexes)}") from None
+        self._tables.pop(name, None)
+        # only detach when no other registry entry shares the object
+        if index not in self._indexes.values():
+            detach_index(index.relation, index)
+
+    def drop_table(self, table: str) -> None:
+        """Drop every index defined on a table (table itself was dropped)."""
+        for name in [n for n, t in self._tables.items() if t == table]:
+            self.drop(name)
+
+    def rebuild_table(self, table: str, relation: Relation) -> None:
+        """Re-create all of a table's indexes over its replacement relation.
+
+        All-or-nothing: every replacement index is built *before* anything
+        is swapped, so a definition the new relation cannot satisfy (a
+        dropped column, an unsortable type) raises without leaving the
+        registry half-rebuilt or the old indexes detached.
+        """
+        names = [n for n, t in self._tables.items() if t == table]
+        rebuilt = {
+            name: build_index(
+                relation,
+                self._indexes[name].columns,
+                kind=self._indexes[name].kind,
+                name=name,
+            )
+            for name in names
+        }
+        for name, index in rebuilt.items():
+            old = self._indexes[name]
+            detach_index(old.relation, old)
+            attach_index(relation, index)
+            self._indexes[name] = index
+
+    # -- inspection ---------------------------------------------------
+    def get(self, name: str) -> Index:
+        try:
+            return self._indexes[name]
+        except KeyError:
+            raise KeyError(f"index {name!r} not found; have {sorted(self._indexes)}") from None
+
+    def table_of(self, name: str) -> str:
+        self.get(name)
+        return self._tables[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._indexes
+
+    def __len__(self) -> int:
+        return len(self._indexes)
+
+    def names(self, table: Optional[str] = None) -> List[str]:
+        if table is None:
+            return sorted(self._indexes)
+        return sorted(n for n, t in self._tables.items() if t == table)
+
+    def on_table(self, table: str) -> List[Index]:
+        return [self._indexes[n] for n in self.names(table)]
+
+    def definitions(self) -> List[Tuple[str, str, Tuple[str, ...], str]]:
+        """(name, table, columns, kind) for every index, sorted by name."""
+        return [
+            (n, self._tables[n], self._indexes[n].columns, self._indexes[n].kind)
+            for n in sorted(self._indexes)
+        ]

@@ -24,6 +24,7 @@ The entry point is :func:`optimize`.
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Set, Tuple
+from weakref import WeakKeyDictionary
 
 from .algebra import (
     Difference,
@@ -54,7 +55,14 @@ from .statistics import (
     selectivity,
 )
 
-__all__ = ["optimize", "push_selections", "order_joins", "prune_columns", "estimate_rows"]
+__all__ = [
+    "optimize",
+    "push_selections",
+    "order_joins",
+    "prune_columns",
+    "estimate_rows",
+    "scan_stats",
+]
 
 
 def optimize(plan: Plan) -> Plan:
@@ -241,6 +249,15 @@ def _table_stats(scan: Scan) -> TableStats:
     return stats
 
 
+def scan_stats(scan: Scan) -> TableStats:
+    """Cached per-table statistics for a base-relation scan.
+
+    Public so the planner's access-path selection shares the optimizer's
+    statistics cache when costing candidate index scans.
+    """
+    return _table_stats(scan)
+
+
 def _column_stats(plan: Plan, reference: str) -> Optional[ColumnStats]:
     """Find stats for a column by descending to the base scan that carries it."""
     if isinstance(plan, Scan):
@@ -258,8 +275,23 @@ def _column_stats(plan: Plan, reference: str) -> Optional[ColumnStats]:
     return None
 
 
+#: Memo for :func:`estimate_rows`.  Logical plans are immutable trees, so
+#: an estimate never changes once computed; without the memo the planner's
+#: per-node estimation is quadratic in plan size.  Weak keys let discarded
+#: rewrite candidates (join-order trials) drop out.
+_estimate_cache: "WeakKeyDictionary[Plan, float]" = WeakKeyDictionary()
+
+
 def estimate_rows(plan: Plan) -> float:
-    """Estimated output cardinality of a logical plan."""
+    """Estimated output cardinality of a logical plan (memoized)."""
+    value = _estimate_cache.get(plan)
+    if value is None:
+        value = _estimate_rows(plan)
+        _estimate_cache[plan] = value
+    return value
+
+
+def _estimate_rows(plan: Plan) -> float:
     if isinstance(plan, Scan):
         return float(len(plan.relation))
     if isinstance(plan, Select):

@@ -3,9 +3,11 @@
 Physical plans mirror the logical nodes but carry concrete algorithms:
 
 * ``SeqScan``        — iterate a base relation
+* ``IndexScan``      — point/range access through a secondary index
 * ``Filter``         — predicate filter
 * ``Projection``     — positional projection
 * ``HashJoin``       — build/probe equi-join with residual filter
+* ``IndexNestedLoopJoin`` — probe a prebuilt inner-side index per outer row
 * ``MergeJoin``      — sort-merge equi-join with residual filter
 * ``NestedLoopJoin`` — general-predicate join (also cross product)
 * ``HashDistinct``   — duplicate elimination
@@ -43,6 +45,7 @@ from operator import itemgetter
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from .expressions import Expression
+from .index import Index, SortedIndex
 from .relation import Relation, _sort_key
 from .schema import Schema
 
@@ -51,11 +54,13 @@ __all__ = [
     "Batch",
     "PhysicalPlan",
     "SeqScan",
+    "IndexScan",
     "Filter",
     "Projection",
     "ProjectionAs",
     "ExtendOp",
     "HashJoin",
+    "IndexNestedLoopJoin",
     "MergeJoin",
     "NestedLoopJoin",
     "SemiJoinOp",
@@ -116,7 +121,13 @@ class PhysicalPlan:
         raise NotImplementedError
 
     def batches(self, size: int = BATCH_SIZE) -> Iterator[Batch]:
-        """Block-at-a-time iterator with runtime row/batch accounting."""
+        """Block-at-a-time iterator with runtime row/batch accounting.
+
+        Non-positive ``size`` degrades to 1 (tuple-at-a-time batches)
+        rather than erroring, so callers can sweep batch sizes freely.
+        """
+        if size <= 0:
+            size = 1
         produced_rows = 0
         produced_batches = 0
         for batch in self._batches(size):
@@ -181,6 +192,111 @@ class SeqScan(PhysicalPlan):
         if self.alias:
             return f"Seq Scan on {self.name} {self.alias}"
         return f"Seq Scan on {self.name}"
+
+
+#: Sentinel distinguishing "no point lookup" from a point lookup on NULL.
+_NO_POINT = object()
+
+
+class IndexScan(PhysicalPlan):
+    """Base-relation access through a secondary index.
+
+    Three access modes:
+
+    * *point* — ``point`` is the lookup key (scalar for single-column
+      indexes, tuple otherwise); works on hash and sorted indexes,
+    * *range* — ``lower``/``upper`` bounds on the first index column
+      (sorted indexes only),
+    * *full*  — no condition: an ordered scan of a sorted index.
+
+    ``residual`` is the leftover predicate the index condition does not
+    cover; it is evaluated against every fetched row.  The ``schema`` is
+    the scan's *output* schema, which may be a renamed/qualified view of
+    the indexed relation's schema — positions are identical, so index rows
+    flow through unchanged.
+
+    A ``probe=True`` instance is the display-only inner side of an
+    :class:`IndexNestedLoopJoin`; it is never executed (the join probes the
+    index directly) and produces nothing if drained.
+    """
+
+    def __init__(
+        self,
+        index: Index,
+        name: str,
+        schema: Schema,
+        alias: Optional[str] = None,
+        point: Any = _NO_POINT,
+        lower: Any = None,
+        upper: Any = None,
+        lower_inclusive: bool = True,
+        upper_inclusive: bool = True,
+        index_cond: Optional[str] = None,
+        residual: Optional[Expression] = None,
+        probe: bool = False,
+    ):
+        if len(schema) != len(index.relation.schema):
+            raise ValueError("IndexScan schema must mirror the indexed relation")
+        ranged = lower is not None or upper is not None
+        if point is not _NO_POINT and ranged:
+            raise ValueError("IndexScan takes a point key or range bounds, not both")
+        if ranged and not isinstance(index, SortedIndex):
+            raise ValueError("range access requires a SortedIndex")
+        if point is _NO_POINT and not ranged and not probe and not isinstance(index, SortedIndex):
+            raise ValueError("full scan access requires a SortedIndex")
+        self.index = index
+        self.name = name
+        self.alias = alias
+        self.schema = schema
+        self.point = point
+        self.lower = lower
+        self.upper = upper
+        self.lower_inclusive = lower_inclusive
+        self.upper_inclusive = upper_inclusive
+        self.index_cond = index_cond
+        self.probe = probe
+        self.residual = residual
+        self._bound_residual = residual.bind(schema) if residual is not None else None
+        self._compiled_residual = residual.compile(schema) if residual is not None else None
+        self.estimated_rows = float(len(index))
+
+    def _matched(self) -> Sequence[Row]:
+        if self.probe:
+            return ()
+        if self.point is not _NO_POINT:
+            return self.index.lookup(self.point)
+        if self.lower is None and self.upper is None:
+            return self.index.ordered()  # type: ignore[union-attr]  # SortedIndex per __init__
+        return self.index.range(  # type: ignore[union-attr]  # SortedIndex checked in __init__
+            self.lower, self.upper, self.lower_inclusive, self.upper_inclusive
+        )
+
+    def rows(self) -> Iterator[Row]:
+        residual = self._bound_residual
+        if residual is None:
+            return iter(self._matched())
+        return (row for row in self._matched() if residual(row))
+
+    def _batches(self, size: int) -> Iterator[Batch]:
+        matched = self._matched()
+        residual = self._compiled_residual
+        if residual is not None:
+            matched = [row for row in matched if residual(row)]
+        elif not isinstance(matched, list):
+            matched = list(matched)
+        return _chunks(matched, size)
+
+    def explain_label(self) -> str:
+        target = f"{self.name} {self.alias}" if self.alias else self.name
+        return f"Index Scan using {self.index.name} on {target}"
+
+    def explain_details(self) -> List[str]:
+        details = []
+        if self.index_cond:
+            details.append(f"Index Cond: {self.index_cond}")
+        if self.residual is not None:
+            details.append(f"Filter: {self.residual!r}")
+        return details
 
 
 class Filter(PhysicalPlan):
@@ -328,11 +444,17 @@ class ExtendOp(PhysicalPlan):
 
 
 class HashJoin(PhysicalPlan):
-    """Equi-join: hash-build on the right input, probe with the left.
+    """Equi-join: hash-build on one input, probe with the other.
 
     ``pairs`` is a list of ``(left_col, right_col)`` equalities; an optional
     ``residual`` predicate (over the concatenated schema) filters join
     candidates — this is where the U-relations ψ-condition typically lands.
+
+    By default the *right* input is hashed (the PostgreSQL convention the
+    paper's plans show); ``build="left"`` hashes the left input instead and
+    streams the right through as the probe side.  The planner picks the
+    side with the smaller estimated cardinality.  Output rows are always
+    ``left ++ right`` regardless of build side.
     """
 
     def __init__(
@@ -341,13 +463,17 @@ class HashJoin(PhysicalPlan):
         right: PhysicalPlan,
         pairs: Sequence[Tuple[str, str]],
         residual: Optional[Expression] = None,
+        build: str = "right",
     ):
         if not pairs:
             raise ValueError("HashJoin requires at least one equi-pair")
+        if build not in ("left", "right"):
+            raise ValueError(f"build side must be 'left' or 'right', got {build!r}")
         self.left = left
         self.right = right
         self.pairs = list(pairs)
         self.residual = residual
+        self.build = build
         self.schema = left.schema.concat(right.schema)
         self.left_positions = [left.schema.resolve(l) for l, _ in self.pairs]
         self.right_positions = [right.schema.resolve(r) for _, r in self.pairs]
@@ -362,52 +488,80 @@ class HashJoin(PhysicalPlan):
         return (self.left, self.right)
 
     def rows(self) -> Iterator[Row]:
+        build_left = self.build == "left"
+        build_plan, build_positions = (
+            (self.left, self.left_positions)
+            if build_left
+            else (self.right, self.right_positions)
+        )
+        probe_plan, probe_positions = (
+            (self.right, self.right_positions)
+            if build_left
+            else (self.left, self.left_positions)
+        )
         table: Dict[Tuple[Any, ...], List[Row]] = {}
-        right_positions = self.right_positions
-        for row in self.right.rows():
-            key = tuple(row[i] for i in right_positions)
+        for row in build_plan.rows():
+            key = tuple(row[i] for i in build_positions)
             if any(v is None for v in key):
                 continue  # NULLs never join
             table.setdefault(key, []).append(row)
-        left_positions = self.left_positions
         residual = self._bound_residual
-        for lrow in self.left.rows():
-            key = tuple(lrow[i] for i in left_positions)
+        for prow in probe_plan.rows():
+            key = tuple(prow[i] for i in probe_positions)
             if any(v is None for v in key):
                 continue
-            for rrow in table.get(key, ()):
-                out = lrow + rrow
+            for brow in table.get(key, ()):
+                out = brow + prow if build_left else prow + brow
                 if residual is None or residual(out):
                     yield out
 
     def _batches(self, size: int) -> Iterator[Batch]:
         single = len(self.pairs) == 1
-        rkey = _keyer(self.right_positions)
+        build_left = self.build == "left"
+        build_plan, build_positions = (
+            (self.left, self.left_positions)
+            if build_left
+            else (self.right, self.right_positions)
+        )
+        probe_plan, probe_positions = (
+            (self.right, self.right_positions)
+            if build_left
+            else (self.left, self.left_positions)
+        )
+        bkey = _keyer(build_positions)
         table: Dict[Any, List[Row]] = {}
         setdefault = table.setdefault
-        for batch in self.right.batches(size):
+        for batch in build_plan.batches(size):
             for row in batch:
-                key = rkey(row)
+                key = bkey(row)
                 if _key_is_null(key, single):
                     continue  # NULLs never join
                 setdefault(key, []).append(row)
-        lkey = _keyer(self.left_positions)
+        pkey = _keyer(probe_positions)
         residual = self._compiled_residual
         get = table.get
         out: Batch = []
-        for batch in self.left.batches(size):
-            for lrow in batch:
-                key = lkey(lrow)
+        for batch in probe_plan.batches(size):
+            for prow in batch:
+                key = pkey(prow)
                 if _key_is_null(key, single):
                     continue
                 bucket = get(key)
                 if not bucket:
                     continue
                 if residual is None:
-                    out.extend(lrow + rrow for rrow in bucket)
+                    if build_left:
+                        out.extend(brow + prow for brow in bucket)
+                    else:
+                        out.extend(prow + brow for brow in bucket)
+                elif build_left:
+                    for brow in bucket:
+                        joined = brow + prow
+                        if residual(joined):
+                            out.append(joined)
                 else:
-                    for rrow in bucket:
-                        joined = lrow + rrow
+                    for brow in bucket:
+                        joined = prow + brow
                         if residual(joined):
                             out.append(joined)
                 if len(out) >= size:
@@ -422,6 +576,182 @@ class HashJoin(PhysicalPlan):
     def explain_details(self) -> List[str]:
         cond = " AND ".join(f"({l} = {r})" for l, r in self.pairs)
         details = [f"Hash Cond: {cond}"]
+        if self.residual is not None:
+            details.append(f"Join Filter: {self.residual!r}")
+        return details
+
+
+class IndexNestedLoopJoin(PhysicalPlan):
+    """Equi-join that probes a prebuilt index on the inner relation.
+
+    For every outer row the join key is extracted (ordered to match the
+    index's column order) and looked up in the index — no scan or hash
+    build of the inner side happens at all, which is the access-path win
+    the paper gets from indexed U-relation partitions: the tid-equijoins
+    that reassemble vertical partitions probe the partition's tid index.
+
+    ``inner`` is a display-only plan (normally a probe-mode
+    :class:`IndexScan`) supplying the inner schema for EXPLAIN; rows come
+    straight out of ``index``.  ``flipped=False`` means the outer is the
+    join's logical *left* (output rows are ``outer + inner``);
+    ``flipped=True`` swaps the roles but preserves the left-to-right output
+    schema (``inner + outer``).  ``pairs`` is ``(outer_col, inner_col)``
+    per index column; ``residual`` filters the concatenated row.
+
+    ``inner_filters`` are compiled row predicates applied to every probed
+    inner row before concatenation — the planner moves the inner side's
+    pushed-down selections here, so a *filtered* partition scan can still
+    be replaced by index probes (the filter runs on the few matched rows
+    instead of the whole table).  ``inner_filter_exprs`` are the matching
+    expressions, kept for EXPLAIN only.
+    """
+
+    def __init__(
+        self,
+        outer: PhysicalPlan,
+        inner: PhysicalPlan,
+        index: Index,
+        outer_positions: Sequence[int],
+        pairs: Sequence[Tuple[str, str]],
+        residual: Optional[Expression] = None,
+        flipped: bool = False,
+        inner_filters: Sequence[Callable[[Row], Any]] = (),
+        inner_filter_exprs: Sequence[Expression] = (),
+    ):
+        if len(outer_positions) != len(index.positions):
+            raise ValueError("outer key width must match the index column count")
+        self.outer = outer
+        self.inner = inner
+        self.index = index
+        self.outer_positions = list(outer_positions)
+        self.pairs = list(pairs)
+        self.residual = residual
+        self.flipped = flipped
+        self.inner_filters = list(inner_filters)
+        self.inner_filter_exprs = list(inner_filter_exprs)
+        self.schema = (
+            inner.schema.concat(outer.schema)
+            if flipped
+            else outer.schema.concat(inner.schema)
+        )
+        self._bound_residual = residual.bind(self.schema) if residual is not None else None
+        self._compiled_residual = (
+            residual.compile(self.schema) if residual is not None else None
+        )
+        self.estimated_rows = max(outer.estimated_rows, inner.estimated_rows)
+
+    @property
+    def children(self) -> Tuple[PhysicalPlan, ...]:
+        return (self.outer, self.inner)
+
+    def _probe(self, key: Any) -> Sequence[Row]:
+        """Matched inner rows for a key, after the inner-side filters."""
+        bucket = self.index.lookup(key)
+        if not bucket or not self.inner_filters:
+            return bucket
+        filters = self.inner_filters
+        if len(filters) == 1:
+            predicate = filters[0]
+            return [row for row in bucket if predicate(row)]
+        return [row for row in bucket if all(f(row) for f in filters)]
+
+    def rows(self) -> Iterator[Row]:
+        single = len(self.outer_positions) == 1
+        key = _keyer(self.outer_positions)
+        probe = self._probe
+        residual = self._bound_residual
+        flipped = self.flipped
+        for orow in self.outer.rows():
+            k = key(orow)
+            if _key_is_null(k, single):
+                continue
+            for irow in probe(k):
+                out = irow + orow if flipped else orow + irow
+                if residual is None or residual(out):
+                    yield out
+
+    def _batches(self, size: int) -> Iterator[Batch]:
+        # hot path: everything hoisted out of the per-row loop (index
+        # lookup as a bare dict.get for hash indexes, single-column keys
+        # read by position, single compiled filter unwrapped, one-row
+        # buckets — the typical tid-index case — handled without a list
+        # comprehension allocation)
+        single = len(self.outer_positions) == 1
+        position = self.outer_positions[0] if single else -1
+        key = None if single else _keyer(self.outer_positions)
+        lookup = self.index.lookup_fn()
+        filters = self.inner_filters
+        only_filter = filters[0] if len(filters) == 1 else None
+        residual = self._compiled_residual
+        flipped = self.flipped
+        out: Batch = []
+        append = out.append
+        for batch in self.outer.batches(size):
+            for orow in batch:
+                if single:
+                    k = orow[position]
+                    if k is None:
+                        continue
+                else:
+                    k = key(orow)
+                    if None in k:
+                        continue
+                bucket = lookup(k)
+                if not bucket:
+                    continue
+                if only_filter is not None:
+                    if len(bucket) == 1:
+                        irow = bucket[0]
+                        if not only_filter(irow):
+                            continue
+                        joined = irow + orow if flipped else orow + irow
+                        if residual is None or residual(joined):
+                            append(joined)
+                            if len(out) >= size:
+                                yield out
+                                out = []
+                                append = out.append
+                        continue
+                    bucket = [irow for irow in bucket if only_filter(irow)]
+                    if not bucket:
+                        continue
+                elif filters:
+                    bucket = [
+                        irow for irow in bucket if all(f(irow) for f in filters)
+                    ]
+                    if not bucket:
+                        continue
+                if residual is None:
+                    if flipped:
+                        out.extend(irow + orow for irow in bucket)
+                    else:
+                        out.extend(orow + irow for irow in bucket)
+                elif flipped:
+                    for irow in bucket:
+                        joined = irow + orow
+                        if residual(joined):
+                            append(joined)
+                else:
+                    for irow in bucket:
+                        joined = orow + irow
+                        if residual(joined):
+                            append(joined)
+                if len(out) >= size:
+                    yield out
+                    out = []
+                    append = out.append
+        if out:
+            yield out
+
+    def explain_label(self) -> str:
+        return "Index Nested Loop Join"
+
+    def explain_details(self) -> List[str]:
+        cond = " AND ".join(f"({i} = {o})" for o, i in self.pairs)
+        details = [f"Index Cond: {cond}"]
+        if self.inner_filter_exprs:
+            shown = " AND ".join(repr(e) for e in self.inner_filter_exprs)
+            details.append(f"Probe Filter: {shown}")
         if self.residual is not None:
             details.append(f"Join Filter: {self.residual!r}")
         return details

@@ -1,13 +1,29 @@
-"""Logical-to-physical plan compilation.
+"""Logical-to-physical plan compilation with access-path selection.
 
 The planner walks an (ideally optimized) logical plan and selects physical
 algorithms:
 
-* ``Join`` with equi-pairs -> :class:`HashJoin` (or :class:`MergeJoin` when
-  the planner is configured with ``prefer_merge_join=True``, to mirror the
-  PostgreSQL plans of the paper's Figure 13),
+* ``Select`` directly over a base scan (through any renames) -> an
+  :class:`IndexScan` when an attached index covers the predicate's
+  equality/range conjuncts *and* the cost model expects few matches;
+  otherwise ``Filter`` over ``SeqScan``,
+* ``Join`` with equi-pairs -> an :class:`IndexNestedLoopJoin` when one
+  side is a bare (possibly renamed) base scan with an index on its join
+  columns and the cost gate passes; else :class:`HashJoin` (or
+  :class:`MergeJoin` when the planner is configured with
+  ``prefer_merge_join=True``, mirroring the PostgreSQL plans of the
+  paper's Figure 13 — that profile disables index paths for visual
+  parity),
 * ``Join`` without equi-pairs and ``Product`` -> :class:`NestedLoopJoin`,
 * everything else maps one-to-one.
+
+Access paths are discovered through :func:`repro.relational.index.indexes_on`
+— indexes attach to the relation objects themselves, so plans built without
+a :class:`~repro.relational.database.Database` (the U-relations translation
+does this) still benefit.  Renames never reorder columns, so a column
+position in the renamed schema equals its position in the base relation,
+which is what lets the planner match predicate columns against index
+columns through arbitrary rename chains.
 
 Cardinality estimates from the optimizer are attached to the physical nodes
 so EXPLAIN can print them (cosmetically matching the paper's plan figure).
@@ -15,7 +31,7 @@ so EXPLAIN can print them (cosmetically matching the paper's plan figure).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from .algebra import (
     Difference,
@@ -32,8 +48,18 @@ from .algebra import (
     SemiJoin,
     Union,
 )
-from .expressions import conjunction, equijoin_pairs
-from .optimizer import estimate_rows
+from .expressions import (
+    Between,
+    Col,
+    Comparison,
+    Expression,
+    Lit,
+    conjunction,
+    equijoin_pairs,
+    split_conjuncts,
+)
+from .index import SortedIndex, indexes_on
+from .optimizer import estimate_rows, scan_stats
 from .physical import (
     BATCH_SIZE,
     Append,
@@ -42,6 +68,8 @@ from .physical import (
     Filter,
     HashDistinct,
     HashJoin,
+    IndexNestedLoopJoin,
+    IndexScan,
     MergeJoin,
     NestedLoopJoin,
     PhysicalPlan,
@@ -51,15 +79,68 @@ from .physical import (
     SeqScan,
 )
 from .relation import Relation
+from .schema import SchemaError
+from .statistics import (
+    EQUALITY_DEFAULT,
+    RANGE_DEFAULT,
+    use_index_join,
+    use_index_scan,
+)
 
 __all__ = ["Planner", "plan_physical", "run"]
+
+
+def _base_scan(plan: Plan) -> Optional[Scan]:
+    """The base Scan under a chain of Renames, or None.
+
+    Renames change names only (positions and rows are untouched), so an
+    index over the base relation serves any renamed view of it.
+    """
+    while isinstance(plan, Rename):
+        plan = plan.child
+    return plan if isinstance(plan, Scan) else None
+
+
+def _base_scan_with_filters(
+    plan: Plan,
+) -> Tuple[Optional[Scan], List[Tuple[Expression, Any]]]:
+    """The base Scan under Rename/Select chains, plus the peeled filters.
+
+    Each filter is returned with the schema it binds against; since neither
+    renames nor selections move columns, a predicate compiled at any level
+    of the chain evaluates correctly against the base relation's rows.
+    Used by index-join selection: a filtered partition scan becomes index
+    probes with the filter applied to the few matched rows.
+    """
+    filters: List[Tuple[Expression, Any]] = []
+    while True:
+        if isinstance(plan, Rename):
+            plan = plan.child
+        elif isinstance(plan, Select):
+            filters.append((plan.predicate, plan.child.schema))
+            plan = plan.child
+        else:
+            break
+    if not isinstance(plan, Scan):
+        return None, []
+    return plan, filters
+
+
+def _resolve(schema, reference: str) -> Optional[int]:
+    try:
+        return schema.resolve(reference)
+    except SchemaError:
+        return None
 
 
 class Planner:
     """Compiles logical plans to physical plans."""
 
-    def __init__(self, prefer_merge_join: bool = False):
+    def __init__(self, prefer_merge_join: bool = False, use_indexes: bool = True):
         self.prefer_merge_join = prefer_merge_join
+        # the merge-join profile reproduces the paper's PostgreSQL plans
+        # verbatim, so it keeps the classic scan/join operators only
+        self.use_indexes = use_indexes and not prefer_merge_join
 
     def compile(self, plan: Plan) -> PhysicalPlan:
         """Compile a logical plan tree into a physical operator tree."""
@@ -71,7 +152,7 @@ class Planner:
         if isinstance(plan, Scan):
             node: PhysicalPlan = SeqScan(plan.relation, plan.name, plan.alias)
         elif isinstance(plan, Select):
-            node = Filter(self._compile(plan.child), plan.predicate)
+            node = self._compile_select(plan)
         elif isinstance(plan, Project):
             node = Projection(self._compile(plan.child), plan.columns)
         elif isinstance(plan, ProjectAs):
@@ -99,6 +180,154 @@ class Planner:
         node.estimated_rows = estimate_rows(plan)
         return node
 
+    # ------------------------------------------------------------------
+    # selections: IndexScan vs Filter(SeqScan)
+    # ------------------------------------------------------------------
+    def _compile_select(self, plan: Select) -> PhysicalPlan:
+        if self.use_indexes:
+            node = self._try_index_scan(plan)
+            if node is not None:
+                return node
+        return Filter(self._compile(plan.child), plan.predicate)
+
+    def _try_index_scan(self, plan: Select) -> Optional[IndexScan]:
+        scan = _base_scan(plan.child)
+        if scan is None:
+            return None
+        available = indexes_on(scan.relation)
+        if not available:
+            return None
+        schema = plan.child.schema
+        conjuncts = split_conjuncts(plan.predicate)
+        eq, ranges = _classify_conjuncts(conjuncts, schema)
+        if not eq and not ranges:
+            return None
+        stats = scan_stats(scan)
+        table_rows = float(len(scan.relation))
+        base_names = scan.relation.schema.names
+
+        best: Optional[Tuple[float, IndexScan]] = None
+        for index in available:
+            candidate: Optional[Tuple[float, IndexScan]] = None
+            if all(p in eq for p in index.positions):
+                candidate = self._point_candidate(
+                    index, eq, conjuncts, schema, scan, stats, base_names, table_rows
+                )
+            elif (
+                isinstance(index, SortedIndex)
+                and len(index.positions) == 1
+                and index.positions[0] in ranges
+            ):
+                candidate = self._range_candidate(
+                    index, ranges, conjuncts, schema, scan, stats, base_names, table_rows
+                )
+            if candidate is not None and (best is None or candidate[0] < best[0]):
+                best = candidate
+        if best is None:
+            return None
+        estimated_matches, node = best
+        if not use_index_scan(estimated_matches, table_rows):
+            return None
+        return node
+
+    def _point_candidate(
+        self, index, eq, conjuncts, schema, scan, stats, base_names, table_rows
+    ) -> Tuple[float, IndexScan]:
+        values = [eq[p][0] for p in index.positions]
+        consumed = {id(eq[p][1]) for p in index.positions}
+        selectivity = 1.0
+        for p in index.positions:
+            column = stats.column(base_names[p])
+            selectivity *= column.eq_selectivity() if column else EQUALITY_DEFAULT
+        if any(v is None for v in values):
+            selectivity = 0.0  # equality with NULL matches nothing
+        point = values[0] if len(values) == 1 else tuple(values)
+        cond = conjunction([eq[p][1] for p in index.positions])
+        node = self._index_scan_node(
+            index, scan, schema, conjuncts, consumed, point=point, cond=cond
+        )
+        return table_rows * selectivity, node
+
+    def _range_candidate(
+        self, index, ranges, conjuncts, schema, scan, stats, base_names, table_rows
+    ) -> Optional[Tuple[float, IndexScan]]:
+        position = index.positions[0]
+        column = stats.column(base_names[position])
+        lower: Optional[Tuple[Any, bool]] = None
+        upper: Optional[Tuple[Any, bool]] = None
+        applied: Dict[int, List[bool]] = {}
+        for op, value, conjunct in ranges[position]:
+            outcome = False
+            if value is not None:
+                try:
+                    if op in (">", ">="):
+                        lower = _tighten(lower, (value, op == ">="), is_lower=True)
+                    else:
+                        upper = _tighten(upper, (value, op == "<="), is_lower=False)
+                    outcome = True
+                except TypeError:
+                    outcome = False  # incomparable bound: leave it to the residual
+            applied.setdefault(id(conjunct), []).append(outcome)
+        if lower is None and upper is None:
+            return None
+        if column is not None:
+            selectivity = column.interval_selectivity(
+                lower[0] if lower else None, upper[0] if upper else None
+            )
+        else:
+            selectivity = RANGE_DEFAULT if (lower is None or upper is None) else RANGE_DEFAULT / 2
+        # a conjunct is consumed only if *all* its bounds were applied
+        # (a half-applied BETWEEN still narrows the range soundly, but its
+        # other half must be re-checked by the residual)
+        consumed = {cid for cid, outcomes in applied.items() if all(outcomes)}
+        cond_parts = [c for c in conjuncts if id(c) in consumed]
+        node = self._index_scan_node(
+            index,
+            scan,
+            schema,
+            conjuncts,
+            consumed,
+            lower=lower,
+            upper=upper,
+            cond=conjunction(cond_parts) if cond_parts else None,
+        )
+        return table_rows * selectivity, node
+
+    def _index_scan_node(
+        self,
+        index,
+        scan: Scan,
+        schema,
+        conjuncts: Sequence[Expression],
+        consumed: set,
+        point: Any = None,
+        lower: Optional[Tuple[Any, bool]] = None,
+        upper: Optional[Tuple[Any, bool]] = None,
+        cond: Optional[Expression] = None,
+    ) -> IndexScan:
+        residual_parts = [c for c in conjuncts if id(c) not in consumed]
+        residual = conjunction(residual_parts) if residual_parts else None
+        kwargs: Dict[str, Any] = {}
+        if lower is not None or upper is not None:
+            if lower is not None:
+                kwargs["lower"], kwargs["lower_inclusive"] = lower
+            if upper is not None:
+                kwargs["upper"], kwargs["upper_inclusive"] = upper
+        else:
+            kwargs["point"] = point
+        return IndexScan(
+            index,
+            scan.name,
+            schema,
+            alias=scan.alias,
+            index_cond=repr(cond) if cond is not None else None,
+            residual=residual,
+            **kwargs,
+        )
+
+    # ------------------------------------------------------------------
+    # joins: IndexNestedLoopJoin vs HashJoin/MergeJoin
+    # ------------------------------------------------------------------
     def _compile_join(self, plan: Join) -> PhysicalPlan:
         left = self._compile(plan.left)
         right = self._compile(plan.right)
@@ -107,8 +336,162 @@ class Planner:
         if pairs:
             if self.prefer_merge_join:
                 return MergeJoin(left, right, pairs, residual)
-            return HashJoin(left, right, pairs, residual)
+            if self.use_indexes:
+                node = self._try_index_join(plan, left, right, pairs, residual_list)
+                if node is not None:
+                    return node
+            # hash the smaller input; ties keep the classic build-right
+            build = "left" if left.estimated_rows < right.estimated_rows else "right"
+            return HashJoin(left, right, pairs, residual, build=build)
         return NestedLoopJoin(left, right, plan.predicate)
+
+    def _try_index_join(
+        self,
+        plan: Join,
+        left: PhysicalPlan,
+        right: PhysicalPlan,
+        pairs: Sequence[Tuple[str, str]],
+        residual_list: Sequence[Expression],
+    ) -> Optional[IndexNestedLoopJoin]:
+        candidates = [
+            node
+            for flipped in (False, True)
+            if (node := self._index_join_candidate(plan, left, right, pairs, residual_list, flipped))
+            is not None
+        ]
+        if not candidates:
+            return None
+        # probing costs one lookup per outer row: take the smaller outer
+        return min(candidates, key=lambda n: n.outer.estimated_rows)
+
+    def _index_join_candidate(
+        self,
+        plan: Join,
+        left: PhysicalPlan,
+        right: PhysicalPlan,
+        pairs: Sequence[Tuple[str, str]],
+        residual_list: Sequence[Expression],
+        flipped: bool,
+    ) -> Optional[IndexNestedLoopJoin]:
+        inner_logical = plan.left if flipped else plan.right
+        outer_phys, inner_phys = (right, left) if flipped else (left, right)
+        scan, inner_filters = _base_scan_with_filters(inner_logical)
+        if scan is None:
+            return None
+        available = indexes_on(scan.relation)
+        if not available:
+            return None
+        # map inner column positions to their equi-pairs; renames keep
+        # positions stable, so these match the index's base positions
+        by_position: Dict[int, Tuple[str, str]] = {}
+        for l, r in pairs:
+            outer_col, inner_col = (r, l) if flipped else (l, r)
+            position = _resolve(inner_phys.schema, inner_col)
+            if position is not None:
+                by_position.setdefault(position, (outer_col, inner_col))
+        chosen = None
+        for index in available:
+            if index.positions and all(p in by_position for p in index.positions):
+                chosen = index
+                break
+        if chosen is None:
+            return None
+        # the hash alternative must scan (and filter, and hash) the
+        # whole base relation; probing costs one lookup per outer row
+        if not use_index_join(
+            outer_phys.estimated_rows,
+            float(len(scan.relation)),
+            inner_filtered=bool(inner_filters),
+        ):
+            return None
+        covered = [by_position[p] for p in chosen.positions]
+        outer_positions = [outer_phys.schema.resolve(o) for o, _ in covered]
+        # equi-pairs the index does not cover degrade to residual checks
+        leftover: List[Expression] = []
+        remaining = list(covered)
+        for l, r in pairs:
+            key = (r, l) if flipped else (l, r)
+            if key in remaining:
+                remaining.remove(key)
+                continue
+            leftover.append(Comparison("=", Col(l), Col(r)))
+        residual_parts = leftover + list(residual_list)
+        residual = conjunction(residual_parts) if residual_parts else None
+        probe = IndexScan(
+            chosen,
+            scan.name,
+            inner_phys.schema,
+            alias=scan.alias,
+            probe=True,
+            index_cond=" AND ".join(f"({i} = {o})" for o, i in covered),
+        )
+        probe.estimated_rows = inner_phys.estimated_rows
+        return IndexNestedLoopJoin(
+            outer_phys,
+            probe,
+            chosen,
+            outer_positions,
+            covered,
+            residual=residual,
+            flipped=flipped,
+            inner_filters=[p.compile(s) for p, s in inner_filters],
+            inner_filter_exprs=[p for p, _ in inner_filters],
+        )
+
+
+def _classify_conjuncts(
+    conjuncts: Sequence[Expression], schema
+) -> Tuple[Dict[int, Tuple[Any, Expression]], Dict[int, List[Tuple[str, Any, Expression]]]]:
+    """Split conjuncts into per-column equality and range conditions.
+
+    Returns ``(eq, ranges)`` keyed by column *position* in the schema (and
+    therefore in the base relation — renames preserve positions).  Only
+    column-vs-literal shapes are classified; everything else stays
+    unclassified and lands in the residual.
+    """
+    eq: Dict[int, Tuple[Any, Expression]] = {}
+    ranges: Dict[int, List[Tuple[str, Any, Expression]]] = {}
+    for conjunct in conjuncts:
+        if isinstance(conjunct, Comparison):
+            cmp = conjunct
+            if isinstance(cmp.left, Lit) and isinstance(cmp.right, Col):
+                cmp = cmp.flipped()
+            if not (isinstance(cmp.left, Col) and isinstance(cmp.right, Lit)):
+                continue
+            position = _resolve(schema, cmp.left.name)
+            if position is None:
+                continue
+            if cmp.op == "=":
+                eq.setdefault(position, (cmp.right.value, conjunct))
+            elif cmp.op in ("<", "<=", ">", ">="):
+                ranges.setdefault(position, []).append((cmp.op, cmp.right.value, conjunct))
+        elif (
+            isinstance(conjunct, Between)
+            and isinstance(conjunct.operand, Col)
+            and isinstance(conjunct.low, Lit)
+            and isinstance(conjunct.high, Lit)
+        ):
+            position = _resolve(schema, conjunct.operand.name)
+            if position is None:
+                continue
+            ranges.setdefault(position, []).append((">=", conjunct.low.value, conjunct))
+            ranges.setdefault(position, []).append(("<=", conjunct.high.value, conjunct))
+    return eq, ranges
+
+
+def _tighten(
+    current: Optional[Tuple[Any, bool]], new: Tuple[Any, bool], is_lower: bool
+) -> Tuple[Any, bool]:
+    """Intersect two (value, inclusive) bounds, keeping the tighter one."""
+    if current is None:
+        return new
+    current_value, current_inclusive = current
+    new_value, new_inclusive = new
+    if (new_value > current_value) if is_lower else (new_value < current_value):
+        return new
+    if new_value == current_value:
+        return (current_value, current_inclusive and new_inclusive)
+    return current
 
 
 class _RenameOp(PhysicalPlan):
@@ -134,9 +517,11 @@ class _RenameOp(PhysicalPlan):
         return "Rename"
 
 
-def plan_physical(plan: Plan, prefer_merge_join: bool = False) -> PhysicalPlan:
+def plan_physical(
+    plan: Plan, prefer_merge_join: bool = False, use_indexes: bool = True
+) -> PhysicalPlan:
     """Compile a logical plan with a default-configured planner."""
-    return Planner(prefer_merge_join=prefer_merge_join).compile(plan)
+    return Planner(prefer_merge_join=prefer_merge_join, use_indexes=use_indexes).compile(plan)
 
 
 def run(
@@ -145,16 +530,21 @@ def run(
     prefer_merge_join: bool = False,
     mode: str = "blocks",
     batch_size: int = BATCH_SIZE,
+    use_indexes: bool = True,
 ) -> Relation:
     """Optimize, compile, and execute a logical plan.
 
     ``mode`` selects the executor: ``"blocks"`` (vectorized, default) or
-    ``"rows"`` (legacy tuple-at-a-time).
+    ``"rows"`` (legacy tuple-at-a-time).  ``use_indexes=False`` disables
+    access-path selection (every scan sequential, every equi-join hashed),
+    which is the head-to-head baseline the benchmarks measure against.
     """
     from .optimizer import optimize
     from .physical import execute
 
     if optimize_first:
         plan = optimize(plan)
-    physical = plan_physical(plan, prefer_merge_join=prefer_merge_join)
+    physical = plan_physical(
+        plan, prefer_merge_join=prefer_merge_join, use_indexes=use_indexes
+    )
     return execute(physical, mode=mode, batch_size=batch_size)

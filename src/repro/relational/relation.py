@@ -23,7 +23,10 @@ __all__ = ["Relation"]
 class Relation:
     """An in-memory relation: immutable schema + list of row tuples."""
 
-    __slots__ = ("schema", "rows")
+    # ``_indexes`` holds secondary indexes attached by
+    # :mod:`repro.relational.index`; it is planner-visible state, not part
+    # of the relation's value (equality and repr ignore it).
+    __slots__ = ("schema", "rows", "_indexes")
 
     def __init__(self, schema, rows: Optional[Iterable[Sequence[Any]]] = None):
         if not isinstance(schema, Schema):

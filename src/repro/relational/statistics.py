@@ -15,6 +15,7 @@ for PostgreSQL) is what makes translated U-relation queries run well.
 from __future__ import annotations
 
 import datetime
+from bisect import bisect_left, bisect_right
 from typing import Any, Dict, Optional, Tuple
 
 from .expressions import (
@@ -31,17 +32,74 @@ from .expressions import (
 )
 from .relation import Relation
 
-__all__ = ["ColumnStats", "TableStats", "selectivity", "DEFAULT_SELECTIVITY"]
+__all__ = [
+    "ColumnStats",
+    "TableStats",
+    "selectivity",
+    "DEFAULT_SELECTIVITY",
+    "use_index_scan",
+    "use_index_join",
+]
 
 DEFAULT_SELECTIVITY = 0.33
 EQUALITY_DEFAULT = 0.05
 RANGE_DEFAULT = 0.3
 
+#: An IndexScan wins over a SeqScan when it is expected to fetch at most
+#: this fraction of the table.  Although the fetch itself is a cheap
+#: bucket/slice access, a sorted-index fetch emits rows in *key* order —
+#: downstream operators (tid-index probes especially) then touch memory
+#: randomly instead of in relation order, which measurably hurts above
+#: roughly a third of the table.
+INDEX_SCAN_MAX_SELECTIVITY = 0.3
+
+#: An IndexNestedLoopJoin over an *unfiltered* inner wins over a HashJoin
+#: when the outer input is at most this many times the indexed relation:
+#: probing a prebuilt index costs one lookup per outer row, while the hash
+#: join must scan and re-hash the whole inner side every execution.
+INDEX_JOIN_MAX_OUTER_RATIO = 8.0
+
+#: When the inner side carries pushed-down filters, each probe must also
+#: evaluate them on the matched rows: with O(outer) probes the filter runs
+#: ~outer times instead of ~inner-base times, so the index path stops
+#: winning once the outer input outgrows the inner base relation.
+INDEX_JOIN_FILTERED_OUTER_RATIO = 1.0
+
+
+def use_index_scan(estimated_matches: float, table_rows: float) -> bool:
+    """Cost gate: is an index scan expected to beat a sequential scan?"""
+    if table_rows <= 0:
+        return True
+    return estimated_matches <= table_rows * INDEX_SCAN_MAX_SELECTIVITY
+
+
+def use_index_join(
+    outer_rows: float, inner_base_rows: float, inner_filtered: bool = False
+) -> bool:
+    """Cost gate: is probing the inner index expected to beat hash-building?
+
+    ``inner_base_rows`` is the size of the indexed base relation — the
+    hash alternative pays a full scan (plus filter and build) of it per
+    execution, regardless of how selective the inner filters are.
+    """
+    ratio = INDEX_JOIN_FILTERED_OUTER_RATIO if inner_filtered else INDEX_JOIN_MAX_OUTER_RATIO
+    return outer_rows <= max(inner_base_rows, 1.0) * ratio
+
+
+#: Number of quantile boundaries kept per column (PostgreSQL keeps 100).
+HISTOGRAM_BINS = 128
+
 
 class ColumnStats:
-    """Distinct count and min/max for one column."""
+    """Distinct count, min/max, and an equi-depth histogram for one column.
 
-    __slots__ = ("ndistinct", "minimum", "maximum", "null_fraction")
+    Range estimates interpolate on the histogram (quantiles of a full sort
+    of the column), so skewed distributions — TPC-H dates, for example —
+    estimate far better than the min/max linear interpolation they fall
+    back to when the column is not sortable.
+    """
+
+    __slots__ = ("ndistinct", "minimum", "maximum", "null_fraction", "histogram")
 
     def __init__(self, values) -> None:
         non_null = [v for v in values if v is not None]
@@ -51,24 +109,73 @@ class ColumnStats:
         comparable = [v for v in non_null if _is_orderable(v)]
         self.minimum = min(comparable) if comparable else None
         self.maximum = max(comparable) if comparable else None
+        self.histogram: Optional[list] = None
+        if len(comparable) >= 2:
+            try:
+                ordered = sorted(comparable)
+            except TypeError:
+                ordered = None
+            if ordered is not None:
+                if len(ordered) > HISTOGRAM_BINS + 1:
+                    last = len(ordered) - 1
+                    self.histogram = [
+                        ordered[(i * last) // HISTOGRAM_BINS]
+                        for i in range(HISTOGRAM_BINS + 1)
+                    ]
+                else:
+                    self.histogram = ordered
 
     def eq_selectivity(self) -> float:
         return 1.0 / self.ndistinct
 
-    def range_selectivity(self, op: str, literal: Any) -> float:
-        """Estimate the fraction of values satisfying ``col op literal``."""
+    def _fraction_below(self, literal: Any, inclusive: bool) -> Optional[float]:
+        """Histogram estimate of ``P(value < literal)`` (``<=`` if inclusive)."""
+        if self.histogram is not None:
+            try:
+                cut = (
+                    bisect_right(self.histogram, literal)
+                    if inclusive
+                    else bisect_left(self.histogram, literal)
+                )
+            except TypeError:
+                return None
+            return cut / len(self.histogram)
         if self.minimum is None or self.maximum is None:
-            return RANGE_DEFAULT
+            return None
         lo, hi = _as_number(self.minimum), _as_number(self.maximum)
         v = _as_number(literal)
         if lo is None or hi is None or v is None or hi <= lo:
+            return None
+        return min(max((v - lo) / (hi - lo), 0.0), 1.0)
+
+    def range_selectivity(self, op: str, literal: Any) -> float:
+        """Estimate the fraction of values satisfying ``col op literal``."""
+        frac = self._fraction_below(literal, inclusive=op in ("<=", ">"))
+        if frac is None:
             return RANGE_DEFAULT
-        frac_below = min(max((v - lo) / (hi - lo), 0.0), 1.0)
         if op in ("<", "<="):
-            return max(frac_below, 1e-6)
+            return max(frac, 1e-6)
         if op in (">", ">="):
-            return max(1.0 - frac_below, 1e-6)
+            return max(1.0 - frac, 1e-6)
         return RANGE_DEFAULT
+
+    def interval_selectivity(self, lower: Any, upper: Any) -> float:
+        """Estimate the fraction of values inside ``[lower, upper]``.
+
+        Unlike multiplying the two one-sided selectivities — which treats
+        perfectly correlated bounds on the *same* column as independent —
+        this estimates the interval's mass directly.  ``None`` bounds are
+        open.
+        """
+        if lower is None and upper is None:
+            return 1.0
+        if lower is None:
+            return self.range_selectivity("<=", upper)
+        if upper is None:
+            return self.range_selectivity(">=", lower)
+        below_upper = self.range_selectivity("<=", upper)
+        above_lower = self.range_selectivity(">=", lower)
+        return max(below_upper + above_lower - 1.0, 1e-6)
 
 
 class TableStats:

@@ -23,16 +23,48 @@ uncertainty-specific operators in the engine.
 from ..core.translate import execute_query
 from ..core.udatabase import UDatabase
 from .lexer import SqlSyntaxError, tokenize
-from .parser import parse
+from .parser import CreateIndex, DropIndex, parse
 
-__all__ = ["parse", "execute_sql", "tokenize", "SqlSyntaxError"]
+__all__ = [
+    "parse",
+    "execute_sql",
+    "tokenize",
+    "SqlSyntaxError",
+    "CreateIndex",
+    "DropIndex",
+]
 
 
 def execute_sql(sql: str, udb: UDatabase, optimize: bool = True):
-    """Parse and run a SQL query against a U-relational database.
+    """Parse and run a SQL statement against a U-relational database.
 
     Returns a plain :class:`~repro.relational.relation.Relation` for
     ``possible``/``certain`` statements, a
     :class:`~repro.core.urelation.URelation` otherwise.
+
+    Index DDL (``CREATE INDEX name ON rel (cols) [USING HASH|SORTED]``,
+    ``DROP INDEX name``) addresses the representation relations (the
+    ``u_*`` partitions and ``w``) and is applied through the registry of
+    the database view ``udb.to_database()`` — which is cached on the
+    UDatabase, so definitions persist across statements and the planner
+    sees the new access path on the next query.  ``CREATE INDEX`` returns
+    the built :class:`~repro.relational.index.Index`; ``DROP INDEX``
+    returns ``None``.
     """
-    return execute_query(parse(sql), udb, optimize=optimize)
+    statement = parse(sql)
+    if isinstance(statement, CreateIndex):
+        db = udb.to_database()
+        # no replace: re-issuing an identical definition is idempotent,
+        # but a name collision with a *different* definition (e.g. a typo
+        # hitting an auto-created tid index) errors instead of silently
+        # destroying the existing access path
+        return db.create_index(
+            statement.name,
+            statement.table,
+            list(statement.columns),
+            kind=statement.kind,
+        )
+    if isinstance(statement, DropIndex):
+        udb.to_database().drop_index(statement.name)
+        return None
+    return execute_query(statement, udb, optimize=optimize)

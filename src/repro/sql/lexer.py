@@ -30,6 +30,8 @@ class TokenKind:
 KEYWORDS = {
     "select", "from", "where", "and", "or", "not", "between", "in", "is",
     "null", "as", "possible", "certain", "union", "date", "distinct",
+    # index DDL
+    "create", "drop", "index", "on", "using",
 }
 
 _TOKEN_RE = re.compile(

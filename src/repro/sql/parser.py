@@ -1,11 +1,14 @@
-"""Recursive-descent parser: SQL text -> logical query trees.
+"""Recursive-descent parser: SQL text -> logical query trees (or DDL).
 
 The supported subset is the language of the paper's Figure 8 (positive
 select-project-join queries with ``possible``), plus ``certain`` and
-``union``:
+``union``, plus index DDL over the representation relations:
 
     statement  := [POSSIBLE | CERTAIN] '(' select ')'
                 | select
+                | CREATE INDEX name ON table '(' column (',' column)* ')'
+                  [USING (HASH | SORTED)]
+                | DROP INDEX name
     select     := SELECT [DISTINCT] targets FROM tables [WHERE condition]
                   [UNION select]
     targets    := '*' | column (',' column)*
@@ -31,7 +34,7 @@ scans, exactly the division of labour the paper relies on PostgreSQL for.
 from __future__ import annotations
 
 import re
-from typing import Any, List, Optional, Tuple
+from typing import Any, List, NamedTuple, Optional, Tuple
 
 from ..core.query import Certain, Poss, Rel, UJoin, UProject, UQuery, USelect, UUnion
 from ..relational.expressions import (
@@ -50,13 +53,37 @@ from ..relational.expressions import (
 from ..relational.types import Date
 from .lexer import SqlSyntaxError, Token, TokenKind, tokenize
 
-__all__ = ["parse", "SqlSyntaxError"]
+__all__ = ["parse", "SqlSyntaxError", "CreateIndex", "DropIndex"]
 
 _DATE_RE = re.compile(r"^\d{4}-\d{2}-\d{2}$")
 
 
-def parse(sql: str) -> UQuery:
-    """Parse a SQL string into a logical :class:`UQuery` tree."""
+class CreateIndex(NamedTuple):
+    """Parsed ``CREATE INDEX name ON table (columns) [USING kind]``.
+
+    ``table`` names a *representation* relation (a ``u_*`` partition or
+    ``w``) — indexes are physical structures, so DDL addresses the plain
+    relations underneath the logical uncertain schema.
+    """
+
+    name: str
+    table: str
+    columns: Tuple[str, ...]
+    kind: str = "hash"
+
+
+class DropIndex(NamedTuple):
+    """Parsed ``DROP INDEX name``."""
+
+    name: str
+
+
+def parse(sql: str):
+    """Parse a SQL string into a :class:`UQuery` tree or a DDL statement.
+
+    Returns a :class:`CreateIndex`/:class:`DropIndex` record for index DDL,
+    otherwise the logical query tree.
+    """
     parser = _Parser(tokenize(sql))
     query = parser.statement()
     parser.expect_end()
@@ -116,12 +143,49 @@ class _Parser:
     # ------------------------------------------------------------------
     # grammar
     # ------------------------------------------------------------------
-    def statement(self) -> UQuery:
+    def statement(self):
+        if self.accept_keyword("create"):
+            return self._create_index()
+        if self.accept_keyword("drop"):
+            return self._drop_index()
         if self.accept_keyword("possible"):
             return Poss(self._wrapped_select())
         if self.accept_keyword("certain"):
             return Certain(self._wrapped_select())
         return self.select()
+
+    # -- index DDL ------------------------------------------------------
+    def _name(self, what: str) -> str:
+        token = self.current
+        if token.kind != TokenKind.IDENT:
+            raise SqlSyntaxError(
+                f"expected {what}, found {token.text!r} at position {token.position}"
+            )
+        self.advance()
+        return token.text
+
+    def _create_index(self) -> CreateIndex:
+        self.expect_keyword("index")
+        name = self._name("an index name")
+        self.expect_keyword("on")
+        table = self._name("a table name")
+        self.expect_punct("(")
+        columns = [self._column_name()]
+        while self.accept_punct(","):
+            columns.append(self._column_name())
+        self.expect_punct(")")
+        kind = "hash"
+        if self.accept_keyword("using"):
+            kind = self._name("an index kind").lower()
+            if kind not in ("hash", "sorted"):
+                raise SqlSyntaxError(
+                    f"unknown index kind {kind!r} (use HASH or SORTED)"
+                )
+        return CreateIndex(name, table, tuple(columns), kind)
+
+    def _drop_index(self) -> DropIndex:
+        self.expect_keyword("index")
+        return DropIndex(self._name("an index name"))
 
     def _wrapped_select(self) -> UQuery:
         parenthesized = self.accept_punct("(")

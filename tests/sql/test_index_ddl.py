@@ -1,0 +1,114 @@
+"""CREATE INDEX / DROP INDEX through the SQL layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.descriptor import Descriptor
+from repro.core.udatabase import UDatabase
+from repro.core.urelation import URelation, tid_column
+from repro.core.worldtable import WorldTable
+from repro.relational.index import indexes_on
+from repro.sql import CreateIndex, DropIndex, SqlSyntaxError, execute_sql, parse
+
+
+class TestParsing:
+    def test_create_index_default_kind(self):
+        stmt = parse("CREATE INDEX idx_a ON u_r_id (id)")
+        assert stmt == CreateIndex("idx_a", "u_r_id", ("id",), "hash")
+
+    def test_create_index_multi_column_sorted(self):
+        stmt = parse("create index i on t (a, b) using sorted")
+        assert stmt == CreateIndex("i", "t", ("a", "b"), "sorted")
+
+    def test_create_index_using_hash(self):
+        assert parse("create index i on t (a) using hash").kind == "hash"
+
+    def test_drop_index(self):
+        assert parse("DROP INDEX idx_a") == DropIndex("idx_a")
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("create index i on t (a) using btree")
+
+    def test_missing_pieces_rejected(self):
+        for sql in (
+            "create index on t (a)",
+            "create index i t (a)",
+            "create index i on t",
+            "drop index",
+            "create index i on t (a) trailing",
+        ):
+            with pytest.raises(SqlSyntaxError):
+                parse(sql)
+
+    def test_queries_still_parse(self):
+        from repro.core.query import Poss
+
+        stmt = parse("possible (select id from r where id > 1)")
+        assert isinstance(stmt, Poss)
+
+
+def small_udb() -> UDatabase:
+    world = WorldTable()
+    world.add_variable("x", [1, 2])
+    udb = UDatabase(world, auto_index=False)
+    part = URelation.build(
+        [
+            (Descriptor({"x": 1}), 1, (10,)),
+            (Descriptor({"x": 2}), 1, (11,)),
+            (Descriptor(), 2, (20,)),
+        ],
+        tid_column("r"),
+        ["id"],
+    )
+    udb.add_relation("r", ["id"], [part])
+    return udb
+
+
+class TestExecution:
+    def test_create_register_and_drop(self):
+        udb = small_udb()
+        index = execute_sql("create index idx_r_id on u_r_id (id) using sorted", udb)
+        assert index.kind == "sorted"
+        db = udb.to_database()
+        assert "idx_r_id" in db.indexes
+        assert index in indexes_on(db.get("u_r_id"))
+        execute_sql("drop index idx_r_id", udb)
+        assert "idx_r_id" not in udb.to_database().indexes
+        assert index not in indexes_on(db.get("u_r_id"))
+
+    def test_recreate_identical_is_idempotent(self):
+        udb = small_udb()
+        a = execute_sql("create index i on u_r_id (id)", udb)
+        b = execute_sql("create index i on u_r_id (id)", udb)
+        assert a is b
+
+    def test_name_collision_with_different_definition_errors(self):
+        udb = small_udb()
+        execute_sql("create index i on u_r_id (id)", udb)
+        with pytest.raises(KeyError):
+            execute_sql("create index i on u_r_id (id) using sorted", udb)
+
+    def test_drop_unknown_raises(self):
+        with pytest.raises(KeyError):
+            execute_sql("drop index nope", small_udb())
+
+    def test_create_on_unknown_table_raises(self):
+        with pytest.raises(KeyError):
+            execute_sql("create index i on missing (id)", small_udb())
+
+    def test_index_used_by_subsequent_query(self):
+        udb = small_udb()
+        before = execute_sql("possible (select id from r where id = 10)", udb)
+        execute_sql("create index idx_r_id on u_r_id (id)", udb)
+        after = execute_sql("possible (select id from r where id = 10)", udb)
+        assert before == after
+        # the planner can now see the access path on the partition scan
+        part = udb.partitions("r")[0]
+        assert any(i.columns == ("id",) for i in indexes_on(part.relation))
+
+    def test_world_table_indexable(self):
+        udb = small_udb()
+        index = execute_sql("create index idx_w on w (var)", udb)
+        assert index.columns == ("var",)
