@@ -13,13 +13,16 @@ files — one per vertical partition plus the world table and a small
 The layout intentionally mirrors the naming of the paper's experiment
 tables (``u_l_shipdate`` etc. in Figure 13): the representation *is* plain
 relations, so plain CSV is a faithful serialization.  ``indexes.csv``
-records every secondary index attached to a partition (file, index name,
-columns, kind) so access paths rebuild on load; directories written before
-the index subsystem existed simply lack the file and load fine.  Indexes
-on the world table are *not* persisted — the ``w`` snapshot is
-re-materialized from the :class:`WorldTable` whenever it changes, so only
-the auto-created ``idx_w_var`` (restored by ``to_database``) survives a
-round trip.
+records every secondary index *definition* — built or still pending from
+lazy auto-indexing — of every partition (file, index name, columns, kind),
+plus the definitions on the ``w`` world-table snapshot (recorded under
+file ``w.csv``).  Saving never forces a deferred index build, and loading
+defers every recorded definition again, so a save/load round trip costs no
+index construction at all; the definitions materialize on first planner
+access.  User-created world-table indexes are re-applied whenever
+``to_database`` (re)materializes the ``w`` snapshot, so they survive both
+world-table growth and the round trip.  Directories written before the
+index subsystem existed simply lack the file and load fine.
 """
 
 from __future__ import annotations
@@ -29,7 +32,7 @@ import pathlib
 from typing import Dict, List, Tuple, Union
 
 from ..relational.csvio import read_csv, write_csv
-from ..relational.index import ensure_index, indexes_on
+from ..relational.index import attached_index_defs, defer_index
 from ..relational.relation import Relation
 from .udatabase import UDatabase
 from .urelation import URelation, tid_column
@@ -67,8 +70,19 @@ def save_udatabase(udb: UDatabase, directory: PathLike) -> None:
                     part.d_width,
                 )
             )
-            for idx in indexes_on(part.relation):
-                index_rows.append((filename, idx.name, "|".join(idx.columns), idx.kind))
+            for columns, kind, idx_name in attached_index_defs(part.relation):
+                index_rows.append((filename, idx_name, "|".join(columns), kind))
+
+    # world-table index definitions (the snapshot lives in the cached
+    # database view; absent when no view was ever materialized)
+    database = udb._database
+    if database is not None and "w" in database:
+        for columns, kind, idx_name in attached_index_defs(database.get("w")):
+            index_rows.append(("w.csv", idx_name, "|".join(columns), kind))
+    for idx_name, columns, kind in udb.world_index_defs:
+        row = ("w.csv", idx_name, "|".join(columns), kind)
+        if row not in index_rows:
+            index_rows.append(row)
 
     with open(directory / "manifest.csv", "w", newline="", encoding="utf-8") as handle:
         writer = csv.writer(handle)
@@ -109,8 +123,12 @@ def load_udatabase(directory: PathLike) -> UDatabase:
     for name, (attributes, parts) in grouped.items():
         udb.add_relation(name, attributes, parts)
 
-    # rebuild recorded secondary indexes (absent in pre-index directories);
-    # ensure_index dedups against the tid indexes add_relation auto-creates
+    # re-defer recorded secondary indexes (absent in pre-index
+    # directories): definitions attach now, builds happen on first
+    # planner access; defer_index dedups against the definitions
+    # add_relation auto-deferred.  World-table entries (file ``w.csv``)
+    # are stashed on the UDatabase and applied when ``to_database``
+    # materializes the ``w`` snapshot.
     index_manifest = directory / "indexes.csv"
     if index_manifest.exists():
         with open(index_manifest, "r", newline="", encoding="utf-8") as handle:
@@ -118,10 +136,20 @@ def load_udatabase(directory: PathLike) -> UDatabase:
             header = next(reader, None)
             for row in reader:
                 entry = dict(zip(header, row))
+                if entry["file"] == "w.csv":
+                    if entry["index"] != "idx_w_var":  # auto-restored anyway
+                        udb.world_index_defs.append(
+                            (
+                                entry["index"],
+                                tuple(entry["columns"].split("|")),
+                                entry["kind"],
+                            )
+                        )
+                    continue
                 relation = by_file.get(entry["file"])
                 if relation is None:
                     continue
-                ensure_index(
+                defer_index(
                     relation,
                     entry["columns"].split("|"),
                     kind=entry["kind"],

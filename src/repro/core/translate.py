@@ -422,16 +422,17 @@ def execute_query(
     udb: UDatabase,
     optimize: bool = True,
     prefer_merge_join: bool = False,
-    mode: str = "blocks",
+    mode: str = "columns",
     use_indexes: bool = True,
 ):
     """Translate and run a query against a U-relational database.
 
     Returns a plain :class:`Relation` for top-level ``Poss``/``Certain``
     queries, and a :class:`URelation` otherwise.  ``mode`` selects the
-    executor (``"blocks"`` vectorized, ``"rows"`` legacy tuple-at-a-time);
-    ``use_indexes=False`` disables access-path selection, which is the
-    benchmarks' pre-index baseline.
+    executor: ``"columns"`` (columnar batches over a fused plan, the
+    default), ``"blocks"`` (row-batch vectorized, the PR 1/2 baseline), or
+    ``"rows"`` (legacy tuple-at-a-time); ``use_indexes=False`` disables
+    access-path selection, which is the benchmarks' pre-index baseline.
     """
     if isinstance(query, Poss):
         inner = translate(query.child, udb)
@@ -458,7 +459,7 @@ def _run(
     udb: UDatabase,
     optimize: bool,
     prefer_merge_join: bool,
-    mode: str = "blocks",
+    mode: str = "columns",
     use_indexes: bool = True,
 ) -> Relation:
     from ..relational.planner import run

@@ -142,21 +142,24 @@ class Database:
         plan: Plan,
         optimize_first: bool = True,
         prefer_merge_join: bool = False,
-        mode: str = "blocks",
+        mode: str = "columns",
         batch_size: int = BATCH_SIZE,
         use_indexes: bool = True,
     ) -> Relation:
         """Optimize, compile, and execute a logical plan.
 
-        ``mode="blocks"`` (default) runs the vectorized block executor;
-        ``mode="rows"`` runs the legacy tuple-at-a-time iterators.
-        ``use_indexes=False`` disables access-path selection (sequential
-        scans and hash joins only).
+        ``mode="columns"`` (default) runs the columnar executor over a
+        fused plan; ``mode="blocks"`` the row-batch vectorized executor
+        (unfused, the PR 1/2 baseline); ``mode="rows"`` the legacy
+        tuple-at-a-time iterators.  ``use_indexes=False`` disables
+        access-path selection (sequential scans and hash joins only).
         """
         if optimize_first:
             plan = optimize(plan)
         physical = Planner(
-            prefer_merge_join=prefer_merge_join, use_indexes=use_indexes
+            prefer_merge_join=prefer_merge_join,
+            use_indexes=use_indexes,
+            fuse=mode == "columns",
         ).compile(plan)
         return execute(physical, mode=mode, batch_size=batch_size)
 
@@ -168,19 +171,26 @@ class Database:
         analyze: bool = False,
         batch_size: int = BATCH_SIZE,
         use_indexes: bool = True,
+        mode: str = "columns",
     ) -> str:
         """EXPLAIN output for a logical plan (after optimization).
 
-        With ``analyze=True`` the plan is executed through the block
-        executor first and each operator line reports the rows and batches
-        it actually produced.
+        ``mode`` selects the plan flavor shown: ``"columns"`` (default)
+        displays the fused plan — ``Fused Pipeline`` nodes and joins with
+        folded ``Output:`` lines — while ``"blocks"``/``"rows"`` show the
+        classic operator tree.  With ``analyze=True`` the plan is executed
+        in that mode first and each operator line reports the rows and
+        batches it actually produced (fused pipelines report per-pipeline
+        counts, since their fused-away operators no longer exist).
         """
         if optimize_first:
             plan = optimize(plan)
         physical = Planner(
-            prefer_merge_join=prefer_merge_join, use_indexes=use_indexes
+            prefer_merge_join=prefer_merge_join,
+            use_indexes=use_indexes,
+            fuse=mode == "columns",
         ).compile(plan)
         if analyze:
-            _result, text = _explain_analyze(physical, batch_size=batch_size)
+            _result, text = _explain_analyze(physical, batch_size=batch_size, mode=mode)
             return text
         return _explain(physical)

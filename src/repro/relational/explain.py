@@ -41,14 +41,23 @@ def explain(plan: Union[PhysicalPlan, Plan]) -> str:
 
 
 def explain_analyze(
-    plan: PhysicalPlan, batch_size: int = BATCH_SIZE
+    plan: PhysicalPlan, batch_size: int = BATCH_SIZE, mode: str = "columns"
 ) -> Tuple[Relation, str]:
-    """Execute a physical plan in block mode and render it with actuals.
+    """Execute a physical plan and render it with actual row counts.
 
     Returns ``(result, text)`` where every operator line carries the rows
-    and batch count it produced during this execution.
+    and batch count it produced during this execution.  ``mode`` selects
+    the executor (``"columns"`` default, or ``"blocks"``); for a fused
+    plan the counts are *per pipeline* — a ``Fused Pipeline`` line reports
+    the rows surviving its entire scan→filter→project chain, and a join
+    with a folded ``Output:`` projection reports post-projection rows —
+    because the fused-away operators no longer exist to count separately.
+    Operators that a presorted merge join skipped draining (its ``Sort``
+    children) report no actuals.
     """
-    result = execute(plan, mode="blocks", batch_size=batch_size)
+    if mode == "rows":
+        mode = "blocks"  # rows mode keeps no counters; blocks is equivalent
+    result = execute(plan, mode=mode, batch_size=batch_size)
     lines: List[str] = []
     _render_physical(plan, lines, depth=0, arrow=False, analyze=True)
     return result, "\n".join(lines)

@@ -18,6 +18,20 @@ row instead of one per AST node.  Short-circuiting of AND/OR is preserved
 are identical to the bound closures.  Unknown :class:`Expression`
 subclasses degrade gracefully to their ``bind()`` closure.
 
+The code generator is parameterized over how a column reference is
+rendered (``row[i]`` by default), which is what lets the columnar executor
+(:mod:`repro.relational.columnar`) reuse the exact same emission rules for
+vector kernels that read ``col[i]`` inside a generated loop, and the join
+operators for two-row callables reading ``l[i]`` / ``r[j]``.
+
+Compilation results are memoized in a process-wide cache keyed by the
+expression's *structural key* plus the schema's column names (plus a
+flavor tag for the kernel shape), so repeated plan compilations — e.g.
+``execute_query`` called in a loop — stop paying codegen after the first
+run.  :func:`compile_cache_stats` exposes hit/miss counters and
+:func:`reset_compile_cache` clears them (the benchmarks use both to prove
+second-run queries are codegen-free).
+
 NULL handling: any comparison involving ``None`` is ``False`` (the engine
 approximates SQL's three-valued logic by "unknown is false", which is the
 behaviour observable through WHERE clauses).
@@ -58,6 +72,11 @@ __all__ = [
     "columns_of",
     "equijoin_pairs",
     "compile_expression",
+    "compile_pair_expression",
+    "structural_key",
+    "cached_kernel",
+    "compile_cache_stats",
+    "reset_compile_cache",
 ]
 
 RowPredicate = Callable[[Tuple[Any, ...]], Any]
@@ -513,16 +532,44 @@ class _CodeGen:
     non-trivial subexpressions that must be consulted twice (NULL checks)
     are bound to walrus temporaries so they are still evaluated only once.
     AND/OR compile to Python's own short-circuiting ``and``/``or``.
+
+    ``ref`` overrides how a resolved column position is rendered — the
+    columnar executor passes e.g. ``lambda i: f"_c{i}[_i]"`` to emit vector
+    kernels, and the join operators two-row renderings.  Whatever ``ref``
+    returns is treated as an atom (cheap and side-effect free to evaluate
+    twice), which every subscript-chain rendering is.
     """
 
-    def __init__(self, schema: Schema):
+    def __init__(
+        self,
+        schema: Schema,
+        ref: Optional[Callable[[int], str]] = None,
+        symbols: str = "",
+        assume_non_null: bool = False,
+    ):
         self.schema = schema
         self.context: dict = {"__builtins__": {}, "bool": bool}
         self._counter = 0
+        self._ref = ref
+        self._symbols = symbols
+        self._atoms: set = set()
+        #: Emit comparisons/arithmetic without NULL guards.  Only sound
+        #: when every referenced column is provably NULL-free and the
+        #: expression holds no NULL literal (see :func:`has_null_literal`)
+        #: — the columnar executor proves both before selecting such a
+        #: kernel body.
+        self._assume_non_null = assume_non_null
+
+    def _emit_col(self, position: int) -> str:
+        if self._ref is None:
+            return f"row[{position}]"
+        source = self._ref(position)
+        self._atoms.add(source)
+        return source
 
     def _gensym(self, prefix: str) -> str:
         self._counter += 1
-        return f"_{prefix}{self._counter}"
+        return f"_{self._symbols}{prefix}{self._counter}"
 
     def _constant(self, value: Any) -> str:
         name = self._gensym("k")
@@ -531,7 +578,7 @@ class _CodeGen:
 
     def _once(self, source: str) -> Tuple[str, str]:
         """-> (first-use source, reuse source) evaluating ``source`` once."""
-        if _is_atom(source):
+        if source in self._atoms or _is_atom(source):
             return source, source
         temp = self._gensym("t")
         return f"({temp} := {source})", temp
@@ -546,7 +593,7 @@ class _CodeGen:
 
     def emit(self, expr: Expression) -> str:
         if isinstance(expr, Col):
-            return f"row[{self.schema.resolve(expr.name)}]"
+            return self._emit_col(self.schema.resolve(expr.name))
         if isinstance(expr, Lit):
             value = expr.value
             if type(value) in _INLINE_LITERALS:
@@ -576,6 +623,11 @@ class _CodeGen:
             values = self._constant(expr.values)
             return f"({self.emit(expr.operand)} in {values})"
         if isinstance(expr, Between):
+            if self._assume_non_null:
+                low = self.emit(expr.low)
+                high = self.emit(expr.high)
+                # a chained comparison evaluates the middle operand once
+                return f"({low} <= {self.emit(expr.operand)} <= {high})"
             operand, operand_again, nullable = self._operand(expr.operand)
             low = self.emit(expr.low)
             high = self.emit(expr.high)
@@ -591,6 +643,8 @@ class _CodeGen:
         self, left: Expression, right: Expression, op: str, on_null: str
     ) -> str:
         """A binary operation guarded by NULL checks on nullable operands."""
+        if self._assume_non_null:
+            return f"({self.emit(left)} {op} {self.emit(right)})"
         left_first, left_again, left_nullable = self._operand(left)
         right_first, right_again, right_nullable = self._operand(right)
         checks = []
@@ -617,13 +671,154 @@ def _is_atom(source: str) -> bool:
         return False
 
 
+# ----------------------------------------------------------------------
+# structural keys and the compile cache
+# ----------------------------------------------------------------------
+def structural_key(expression: Expression) -> Tuple:
+    """A hashable key identifying an expression tree up to structure.
+
+    Two expressions with equal keys compile to identical code against the
+    same schema, which is what makes the compile cache sound.  Raises
+    ``TypeError`` for unknown :class:`Expression` subclasses or unhashable
+    literal values — callers treat that as "not cacheable" and fall back
+    to direct compilation.
+    """
+    if isinstance(expression, Col):
+        return ("col", expression.name)
+    if isinstance(expression, Lit):
+        value = expression.value
+        hash(value)  # may raise TypeError: unhashable literal
+        return ("lit", type(value).__name__, value)
+    if isinstance(expression, Comparison):
+        return (
+            "cmp",
+            expression.op,
+            structural_key(expression.left),
+            structural_key(expression.right),
+        )
+    if isinstance(expression, Arithmetic):
+        return (
+            "arith",
+            expression.op,
+            structural_key(expression.left),
+            structural_key(expression.right),
+        )
+    if isinstance(expression, And):
+        return ("and",) + tuple(structural_key(op) for op in expression.operands)
+    if isinstance(expression, Or):
+        return ("or",) + tuple(structural_key(op) for op in expression.operands)
+    if isinstance(expression, Not):
+        return ("not", structural_key(expression.operand))
+    if isinstance(expression, IsNull):
+        return ("isnull", structural_key(expression.operand))
+    if isinstance(expression, InList):
+        hash(expression.values)  # may raise TypeError
+        return ("in", structural_key(expression.operand), expression.values)
+    if isinstance(expression, Between):
+        return (
+            "between",
+            structural_key(expression.operand),
+            structural_key(expression.low),
+            structural_key(expression.high),
+        )
+    raise TypeError(f"no structural key for {type(expression).__name__}")
+
+
+#: Compiled-kernel cache: (flavor, schema names, structural key, extras) ->
+#: generated callable.  Bounded by wholesale clearing — codegen is cheap
+#: enough that an occasional cold restart beats LRU bookkeeping.
+_KERNEL_CACHE: dict = {}
+_KERNEL_CACHE_LIMIT = 4096
+_cache_hits = 0
+_cache_misses = 0
+
+
+def cached_kernel(key: Optional[Tuple], builder: Callable[[], Any]) -> Any:
+    """Memoize ``builder()`` under ``key`` (``None`` key skips the cache)."""
+    global _cache_hits, _cache_misses
+    if key is None:
+        _cache_misses += 1
+        return builder()
+    try:
+        cached = _KERNEL_CACHE.get(key)
+    except TypeError:  # unhashable component sneaked in
+        _cache_misses += 1
+        return builder()
+    if cached is not None:
+        _cache_hits += 1
+        return cached
+    _cache_misses += 1
+    built = builder()
+    if len(_KERNEL_CACHE) >= _KERNEL_CACHE_LIMIT:
+        _KERNEL_CACHE.clear()
+    _KERNEL_CACHE[key] = built
+    return built
+
+
+def expression_cache_key(
+    flavor: str, expression: Expression, schema: Schema, *extras: Any
+) -> Optional[Tuple]:
+    """The cache key for compiling ``expression`` against ``schema``.
+
+    ``None`` when the expression is not structurally hashable (unknown
+    subclass, unhashable literal) — the caller then compiles uncached.
+    """
+    try:
+        return (flavor, tuple(schema.names), structural_key(expression)) + extras
+    except TypeError:
+        return None
+
+
+def has_null_literal(expression: Expression) -> bool:
+    """Whether a NULL literal occurs anywhere in an expression tree.
+
+    NULL-literal comparisons must keep their guards (they are ``False``
+    regardless of the other operand), so the columnar executor's
+    no-NULL-guard kernel bodies are gated on this.
+    """
+    if isinstance(expression, Lit):
+        return expression.value is None
+    for klass in type(expression).__mro__:
+        for slot in getattr(klass, "__slots__", ()):
+            value = getattr(expression, slot, None)
+            if isinstance(value, Expression):
+                if has_null_literal(value):
+                    return True
+            elif isinstance(value, tuple):
+                for item in value:
+                    if isinstance(item, Expression) and has_null_literal(item):
+                        return True
+    return False
+
+
+def compile_cache_stats() -> dict:
+    """Hit/miss/size counters of the expression/kernel compile cache."""
+    return {"hits": _cache_hits, "misses": _cache_misses, "size": len(_KERNEL_CACHE)}
+
+
+def reset_compile_cache() -> None:
+    """Empty the compile cache and zero its counters (test/bench hook)."""
+    global _cache_hits, _cache_misses
+    _KERNEL_CACHE.clear()
+    _cache_hits = 0
+    _cache_misses = 0
+
+
 def compile_expression(expression: Expression, schema: Schema) -> RowPredicate:
     """Generate and compile a single-callable evaluator for an expression.
 
     The returned function is semantically equivalent to
     ``expression.bind(schema)`` but runs as one code object, which makes it
     markedly faster inside the block executor's per-batch comprehensions.
+    Results are memoized in the compile cache.
     """
+    return cached_kernel(
+        expression_cache_key("row", expression, schema),
+        lambda: _compile_expression_uncached(expression, schema),
+    )
+
+
+def _compile_expression_uncached(expression: Expression, schema: Schema) -> RowPredicate:
     generator = _CodeGen(schema)
     body = generator.emit(expression)
     source = f"lambda row: {body}"
@@ -631,6 +826,39 @@ def compile_expression(expression: Expression, schema: Schema) -> RowPredicate:
         return eval(compile(source, "<compiled-expression>", "eval"), generator.context)
     except SyntaxError:  # pragma: no cover - safety net for odd reprs
         return expression.bind(schema)
+
+
+def compile_pair_expression(
+    expression: Expression, left: Schema, right: Schema
+) -> Callable[[Tuple[Any, ...], Tuple[Any, ...]], Any]:
+    """Compile an expression over a concatenated schema into ``f(lrow, rrow)``.
+
+    Join operators with fused output projections use this to evaluate
+    residual predicates without materializing the concatenated row tuple.
+    """
+    combined = left.concat(right)
+    key = expression_cache_key("pair", expression, combined, len(left))
+    return cached_kernel(
+        key, lambda: _compile_pair_uncached(expression, combined, len(left))
+    )
+
+
+def _compile_pair_uncached(
+    expression: Expression, combined: Schema, split: int
+) -> Callable[[Tuple[Any, ...], Tuple[Any, ...]], Any]:
+    def ref(position: int) -> str:
+        if position < split:
+            return f"_l[{position}]"
+        return f"_r[{position - split}]"
+
+    generator = _CodeGen(combined, ref=ref)
+    body = generator.emit(expression)
+    source = f"lambda _l, _r: {body}"
+    try:
+        return eval(compile(source, "<compiled-pair-expression>", "eval"), generator.context)
+    except SyntaxError:  # pragma: no cover - safety net for odd reprs
+        bound = expression.bind(combined)
+        return lambda _l, _r: bound(_l + _r)
 
 
 def _as_equi_pair(

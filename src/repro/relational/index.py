@@ -44,7 +44,11 @@ __all__ = [
     "build_index",
     "attach_index",
     "detach_index",
+    "defer_index",
     "indexes_on",
+    "built_indexes_on",
+    "attached_index_defs",
+    "default_index_name",
     "ensure_index",
 ]
 
@@ -69,7 +73,7 @@ class Index:
         self.columns: Tuple[str, ...] = tuple(
             relation.schema.names[p] for p in positions
         )
-        self.name = name or f"idx_{'_'.join(c.replace('.', '_') for c in self.columns)}"
+        self.name = name or default_index_name(self.columns)
         self._single = len(positions) == 1
         self._build()
 
@@ -135,6 +139,24 @@ class HashIndex(Index):
 
     def lookup_fn(self):
         return self._table.get  # plain dict.get: None for missing keys
+
+    def mixed_table(self) -> Dict[Any, Any]:
+        """A probe table storing single rows bare: key -> row | [rows].
+
+        Most keys of a tuple-id index map to exactly one row; storing that
+        row directly (instead of a one-element bucket) lets the columnar
+        executor's generated probe kernels skip the bucket iterator for
+        the common case — a ``type(value) is list`` test tells the two
+        apart, since rows are tuples.  Built once and cached on the index.
+        """
+        mixed = getattr(self, "_mixed", None)
+        if mixed is None:
+            mixed = {
+                key: bucket[0] if len(bucket) == 1 else bucket
+                for key, bucket in self._table.items()
+            }
+            self._mixed = mixed
+        return mixed
 
     def __len__(self) -> int:
         return self._count
@@ -252,12 +274,102 @@ def detach_index(relation: Relation, index: Index) -> None:
         existing.remove(index)
 
 
+def default_index_name(columns: Sequence[str]) -> str:
+    """The name an index over ``columns`` gets when none is given."""
+    return f"idx_{'_'.join(c.replace('.', '_') for c in columns)}"
+
+
+def defer_index(
+    relation: Relation,
+    columns: Sequence[str],
+    kind: str = "hash",
+    name: Optional[str] = None,
+) -> None:
+    """Record an index *definition* to be built on first planner access.
+
+    Write-only pipelines (data conversion, save) never trigger the build;
+    the first :func:`indexes_on` call — which is how planners discover
+    access paths — materializes every pending definition.  A definition
+    whose name is already attached or pending is skipped (idempotent).
+    Sorted definitions over unsortable columns are skipped silently at
+    materialization time, matching the eager auto-indexing policy.
+    """
+    effective = name or default_index_name(columns)
+    for index in getattr(relation, "_indexes", None) or ():
+        if index.name == effective:
+            return
+    pending = getattr(relation, "_pending_indexes", None)
+    if pending is None:
+        pending = []
+        relation._pending_indexes = pending
+    if any((d[2] or default_index_name(d[0])) == effective for d in pending):
+        return
+    pending.append((tuple(columns), kind, name))
+
+
+def _materialize_pending(relation: Relation) -> None:
+    from .schema import SchemaError
+
+    pending = getattr(relation, "_pending_indexes", None)
+    if not pending:
+        return
+    # detach the list first: ensure_index consults indexes_on, which would
+    # otherwise re-enter this function once per remaining definition
+    relation._pending_indexes = []
+    while pending:
+        columns, kind, name = pending.pop(0)
+        try:
+            ensure_index(relation, list(columns), kind=kind, name=name)
+        except (TypeError, SchemaError):
+            # unsortable column / stale definition (e.g. schema drift in a
+            # persisted directory): this index stays unavailable, the
+            # relation stays queryable via sequential scans
+            pass
+        except BaseException:
+            # an unexpected error loses only the definition that raised —
+            # re-attach the ones still queued behind it
+            relation._pending_indexes = pending
+            raise
+
+
 def indexes_on(relation: Relation) -> Tuple[Index, ...]:
-    """All indexes attached to a relation (hash indexes first)."""
+    """All indexes attached to a relation (hash indexes first).
+
+    This is the planner's discovery hook: any index definitions deferred
+    by :func:`defer_index` are built here, on first access.
+    """
+    _materialize_pending(relation)
     existing = getattr(relation, "_indexes", None)
     if not existing:
         return ()
     return tuple(sorted(existing, key=lambda i: i.kind != "hash"))
+
+
+def built_indexes_on(relation: Relation) -> Tuple[Index, ...]:
+    """Already-built attached indexes only — never triggers deferred builds.
+
+    Executor-side opportunistic consumers (e.g. the presorted merge-join
+    path) use this so an execution-time peek cannot force the lazy
+    auto-index builds that :func:`defer_index` postponed.
+    """
+    existing = getattr(relation, "_indexes", None)
+    if not existing:
+        return ()
+    return tuple(existing)
+
+
+def attached_index_defs(relation: Relation) -> List[Tuple[Tuple[str, ...], str, str]]:
+    """(columns, kind, name) of built *and* pending indexes, without building.
+
+    Persistence uses this so saving a database with deferred auto-indexes
+    records their definitions without paying the builds.
+    """
+    defs: List[Tuple[Tuple[str, ...], str, str]] = []
+    for index in getattr(relation, "_indexes", None) or ():
+        defs.append((index.columns, index.kind, index.name))
+    for columns, kind, name in getattr(relation, "_pending_indexes", None) or ():
+        defs.append((tuple(columns), kind, name or default_index_name(columns)))
+    return defs
 
 
 def ensure_index(

@@ -295,7 +295,7 @@ def _estimate_rows(plan: Plan) -> float:
     if isinstance(plan, Scan):
         return float(len(plan.relation))
     if isinstance(plan, Select):
-        stats = _leaf_stats(plan.child)
+        stats = _PlanStats(plan.child)
         return max(estimate_rows(plan.child) * selectivity(plan.predicate, stats), 0.1)
     if isinstance(plan, (Project, ProjectAs, Rename, Extend)):
         return estimate_rows(plan.children[0])
@@ -343,12 +343,25 @@ def _is_psi_shaped(expression: Expression) -> bool:
     return isinstance(expression, Or)
 
 
-def _leaf_stats(plan: Plan) -> Optional[TableStats]:
-    if isinstance(plan, Scan):
-        return _table_stats(plan)
-    if isinstance(plan, (Select, Project, Rename, Distinct)):
-        return _leaf_stats(plan.children[0])
-    return None
+class _PlanStats:
+    """A :class:`TableStats`-compatible view resolving refs through a plan.
+
+    ``Select`` predicates routinely reference alias-qualified names
+    ("o.orderdate") introduced by renames above the base scan; the base
+    relation's :class:`TableStats` only knows base names, so a direct
+    lookup missed and selectivity fell back to defaults.  Resolving by
+    *position* through the rename chain (what :func:`_column_stats` does)
+    recovers the real column statistics, keeping Select estimates sharp
+    under aliases — which is what orders joins well.
+    """
+
+    __slots__ = ("plan",)
+
+    def __init__(self, plan: Plan):
+        self.plan = plan
+
+    def column(self, reference: str) -> Optional[ColumnStats]:
+        return _column_stats(self.plan, reference)
 
 
 # ======================================================================

@@ -18,22 +18,38 @@ Physical plans mirror the logical nodes but carry concrete algorithms:
 
 Execution model
 ---------------
-Operators exchange *batches* — plain Python lists of row tuples, at most
-:data:`BATCH_SIZE` (1024) rows each — instead of one row at a time.  Every
-operator implements ``_batches(size)`` returning an iterator of batches;
-the inherited :meth:`PhysicalPlan.batches` wrapper additionally tracks the
-``actual_rows`` / ``actual_batches`` counters that ``EXPLAIN ANALYZE``
-reports.  Inside a batch the work is done by tight list comprehensions over
-*compiled* expressions (:meth:`Expression.compile` collapses a predicate
-tree into a single generated Python callable) and ``operator.itemgetter``
-projections, so the per-row interpreter overhead of the old layered
-iterator design — one closure call per AST node per row — disappears.
+Three execution modes share one operator tree:
 
-The legacy tuple-at-a-time path is retained: each operator still implements
-``rows()`` exactly as before, and ``execute(plan, mode="rows")`` runs it.
-``execute(plan)`` defaults to ``mode="blocks"``; the two modes produce
-identical relations (a property test asserts this on randomized plans) and
-the benchmarks report their head-to-head speedup.
+* ``mode="columns"`` (the default) exchanges
+  :class:`~repro.relational.columnar.ColumnBatch` values — per-column
+  ``list``/``tuple`` vectors.  Scans slice a cached column store of the
+  base relation, filters run one generated loop per batch (the predicate
+  inlined into a single comprehension), projections re-select column
+  vectors without touching rows, and joins emit output columns directly by
+  gathering from their inputs — a downstream-folded projection means
+  dropped columns are never materialized at all.  Operators without a
+  native columnar implementation transpose their row batches at the
+  boundary (``zip`` is C-speed), so the mode is total.
+* ``mode="blocks"`` exchanges *batches* — plain lists of row tuples, at
+  most :data:`BATCH_SIZE` (1024) rows each.  Work inside a batch is tight
+  list comprehensions over *compiled* expressions
+  (:meth:`Expression.compile` collapses a predicate tree into a single
+  generated Python callable) and ``operator.itemgetter`` projections.
+* ``mode="rows"`` is the legacy tuple-at-a-time iterator path
+  (``rows()``), kept as the PR 1 measurement baseline.
+
+Every operator implements ``_batches(size)`` (and optionally
+``_column_batches(size)``); the inherited wrappers
+:meth:`PhysicalPlan.batches` / :meth:`PhysicalPlan.column_batches` track
+the ``actual_rows`` / ``actual_batches`` counters that ``EXPLAIN ANALYZE``
+reports — for a fused pipeline the counters are per-pipeline, not
+per-fused-away-operator.  All modes produce identical relations (property
+tests assert this on randomized plans) and the benchmarks report their
+head-to-head speedups.
+
+The planner can additionally *fuse* maximal scan→filter→project chains
+into single :class:`FusedPipeline` operators and fold projections into
+join emits (``set_output``); see :mod:`repro.relational.planner`.
 
 Operators also expose ``explain_label`` and estimated cardinality for
 EXPLAIN output.
@@ -44,17 +60,26 @@ from __future__ import annotations
 from operator import itemgetter
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
-from .expressions import Expression
-from .index import Index, SortedIndex
+from .columnar import (
+    ColumnBatch,
+    pipeline_kernel,
+    probe_kernel,
+    selection_kernel,
+    side_kernel,
+)
+from .expressions import Expression, cached_kernel, compile_pair_expression
+from .index import HashIndex, Index, SortedIndex, built_indexes_on
 from .relation import Relation, _sort_key
 from .schema import Schema
 
 __all__ = [
     "BATCH_SIZE",
     "Batch",
+    "ColumnBatch",
     "PhysicalPlan",
     "SeqScan",
     "IndexScan",
+    "FusedPipeline",
     "Filter",
     "Projection",
     "ProjectionAs",
@@ -103,6 +128,25 @@ def _key_is_null(key: Any, single: bool) -> bool:
     return None in key
 
 
+def _pair_emitter(
+    positions: Sequence[int], split: int
+) -> Callable[[Row, Row], Row]:
+    """A generated ``f(lrow, rrow) -> output tuple`` for folded projections.
+
+    ``positions`` index the concatenated (left ++ right) schema; ``split``
+    is the left width.  Joins with a folded downstream projection use this
+    to emit output rows without materializing the concatenated tuple.
+    """
+    parts = ", ".join(
+        f"_l[{p}]" if p < split else f"_r[{p - split}]" for p in positions
+    )
+    source = f"lambda _l, _r: ({parts},)" if positions else "lambda _l, _r: ()"
+    return cached_kernel(
+        ("pair-emit", split, tuple(positions)),
+        lambda: eval(compile(source, "<pair-emitter>", "eval"), {"__builtins__": {}}),
+    )
+
+
 class PhysicalPlan:
     """Base class for physical operators."""
 
@@ -111,6 +155,10 @@ class PhysicalPlan:
     #: Runtime statistics, populated when a ``batches()`` scan completes.
     actual_rows: Optional[int] = None
     actual_batches: Optional[int] = None
+    #: True for operators that pass rows through unchanged (schema-only
+    #: wrappers, e.g. renames) — fusion and access-path matching look
+    #: through them.
+    row_passthrough: bool = False
 
     @property
     def children(self) -> Tuple["PhysicalPlan", ...]:
@@ -150,12 +198,49 @@ class PhysicalPlan:
         if batch:
             yield batch
 
+    def column_batches(self, size: int = BATCH_SIZE) -> Iterator[ColumnBatch]:
+        """Columnar iterator with the same runtime accounting as ``batches``."""
+        if size <= 0:
+            size = 1
+        produced_rows = 0
+        produced_batches = 0
+        for batch in self._column_batches(size):
+            produced_rows += batch.length
+            produced_batches += 1
+            yield batch
+        self.actual_rows = produced_rows
+        self.actual_batches = produced_batches
+
+    def _column_batches(self, size: int) -> Iterator[ColumnBatch]:
+        """Operator-specific columnar production.
+
+        The default transposes the row-batch path at the boundary, so every
+        operator participates in ``mode="columns"``; hot operators override
+        this with native columnar implementations.
+        """
+        width = len(self.schema)
+        for batch in self._batches(size):
+            yield ColumnBatch.from_rows(batch, width)
+
     def explain_label(self) -> str:
         return type(self).__name__
 
     def explain_details(self) -> List[str]:
         """Extra indented lines under the node header in EXPLAIN output."""
         return []
+
+    def column_nullable(self, position: int) -> bool:
+        """Whether an output column can contain NULL (conservative).
+
+        Derived statically from the plan: base scans consult the cached
+        per-column nullability of their relation, and row-preserving
+        operators delegate by position.  The columnar executor selects
+        NULL-guard-free kernel bodies when every referenced column is
+        provably clean; ``True`` (the safe default) keeps the guards.
+        """
+        if self.row_passthrough:
+            return self.children[0].column_nullable(position)
+        return True
 
 
 def _chunks(rows: List[Row], size: int) -> Iterator[Batch]:
@@ -187,6 +272,16 @@ class SeqScan(PhysicalPlan):
 
     def _batches(self, size: int) -> Iterator[Batch]:
         return _chunks(self.relation.rows, size)
+
+    def _column_batches(self, size: int) -> Iterator[ColumnBatch]:
+        store = self.relation.column_store()
+        total = len(self.relation.rows)
+        for start in range(0, total, size):
+            end = min(start + size, total)
+            yield ColumnBatch([c[start:end] for c in store], end - start)
+
+    def column_nullable(self, position: int) -> bool:
+        return self.relation.column_has_null(position)
 
     def explain_label(self) -> str:
         if self.alias:
@@ -298,6 +393,121 @@ class IndexScan(PhysicalPlan):
             details.append(f"Filter: {self.residual!r}")
         return details
 
+    def column_nullable(self, position: int) -> bool:
+        # positions mirror the indexed base relation's schema
+        return self.index.relation.column_has_null(position)
+
+
+class FusedPipeline(PhysicalPlan):
+    """A fused scan→filter→project pipeline in one generated loop.
+
+    The planner's fusion pass collapses each maximal chain of
+    ``Projection``/``ProjectionAs`` over ``Filter`` (through pass-through
+    renames) over a base access (``SeqScan`` or ``IndexScan``) into one of
+    these.  ``predicate`` is re-anchored to the source's schema (renames
+    never move columns, so positions are stable) and ``positions`` are the
+    output columns as source positions; either may be ``None``.
+
+    Row mode runs one generated list comprehension per batch — predicate
+    inlined, output tuple built in place, no per-row callable invocations.
+    Column mode evaluates the predicate as a vector kernel over the scan's
+    column store and gathers only the output columns, so dropped columns
+    are never materialized.
+    """
+
+    def __init__(
+        self,
+        source: PhysicalPlan,
+        predicate: Optional[Expression],
+        positions: Optional[Sequence[int]],
+        schema: Schema,
+    ):
+        if predicate is None and positions is None:
+            raise ValueError("a fused pipeline needs a predicate or a projection")
+        self.source = source
+        self.predicate = predicate
+        self.positions = list(positions) if positions is not None else None
+        self.schema = schema
+        self.estimated_rows = source.estimated_rows
+
+    @property
+    def children(self) -> Tuple[PhysicalPlan, ...]:
+        return (self.source,)
+
+    def rows(self) -> Iterator[Row]:
+        kernel = pipeline_kernel(self.predicate, self.positions, self.source.schema)
+        for batch in self.source.batches(BATCH_SIZE):
+            yield from kernel(batch)
+
+    def _batches(self, size: int) -> Iterator[Batch]:
+        kernel = pipeline_kernel(self.predicate, self.positions, self.source.schema)
+        for batch in self.source.batches(size):
+            out = kernel(batch)
+            if out:
+                yield out
+
+    def _column_batches(self, size: int) -> Iterator[ColumnBatch]:
+        if not isinstance(self.source, SeqScan):
+            # index scans materialize row tuples anyway; run the row kernel
+            # and transpose once at the boundary
+            width = len(self.schema)
+            for batch in self._batches(size):
+                yield ColumnBatch.from_rows(batch, width)
+            return
+        if self.predicate is not None:
+            # the scan's base relation has cached per-column nullability:
+            # provably NULL-free predicates run without NULL guards
+            from .expressions import has_null_literal
+
+            relation = self.source.relation
+            assume = not has_null_literal(self.predicate) and not any(
+                relation.column_has_null(self.source.schema.resolve(name))
+                for name in self.predicate.columns()
+            )
+            select = selection_kernel(
+                self.predicate, self.source.schema, assume_non_null=assume
+            )
+        else:
+            select = None
+        positions = self.positions
+        for cb in self.source.column_batches(size):
+            columns = cb.columns
+            if select is None:
+                keep = None
+                kept = cb.length
+            else:
+                keep = select(columns, cb.length)
+                kept = len(keep)
+                if not kept:
+                    continue
+                if kept == cb.length:
+                    keep = None  # everything passed: reuse the vectors
+            wanted = (
+                [columns[p] for p in positions]
+                if positions is not None
+                else columns
+            )
+            if keep is None:
+                yield ColumnBatch(wanted, kept)
+            else:
+                yield ColumnBatch([[c[i] for i in keep] for c in wanted], kept)
+
+    def explain_label(self) -> str:
+        return "Fused Pipeline"
+
+    def explain_details(self) -> List[str]:
+        details = []
+        if self.predicate is not None:
+            details.append(f"Filter: {self.predicate!r}")
+        if self.positions is not None:
+            details.append(f"Output: {', '.join(self.schema.names)}")
+        return details
+
+    def column_nullable(self, position: int) -> bool:
+        if self.positions is not None:
+            position = self.positions[position]
+        return self.source.column_nullable(position)
+
 
 class Filter(PhysicalPlan):
     """Row filter by a bound predicate."""
@@ -327,11 +537,27 @@ class Filter(PhysicalPlan):
             if kept:
                 yield kept
 
+    def _column_batches(self, size: int) -> Iterator[ColumnBatch]:
+        kernel = selection_kernel(self.predicate, self.child.schema)
+        for batch in self.child.column_batches(size):
+            keep = kernel(batch.columns, batch.length)
+            if not keep:
+                continue
+            if len(keep) == batch.length:
+                yield batch
+            else:
+                yield ColumnBatch(
+                    [[c[i] for i in keep] for c in batch.columns], len(keep)
+                )
+
     def explain_label(self) -> str:
         return "Filter"
 
     def explain_details(self) -> List[str]:
         return [f"Filter: {self.predicate!r}"]
+
+    def column_nullable(self, position: int) -> bool:
+        return self.child.column_nullable(position)
 
 
 class Projection(PhysicalPlan):
@@ -358,11 +584,20 @@ class Projection(PhysicalPlan):
         for batch in self.child.batches(size):
             yield [project(row) for row in batch]
 
+    def _column_batches(self, size: int) -> Iterator[ColumnBatch]:
+        # columnar projection is column re-selection: no per-row work at all
+        positions = self.positions
+        for batch in self.child.column_batches(size):
+            yield ColumnBatch([batch.columns[i] for i in positions], batch.length)
+
     def explain_label(self) -> str:
         return "Project"
 
     def explain_details(self) -> List[str]:
         return [f"Output: {', '.join(self.columns)}"]
+
+    def column_nullable(self, position: int) -> bool:
+        return self.child.column_nullable(self.positions[position])
 
 
 class ProjectionAs(PhysicalPlan):
@@ -392,11 +627,19 @@ class ProjectionAs(PhysicalPlan):
         for batch in self.child.batches(size):
             yield [project(row) for row in batch]
 
+    def _column_batches(self, size: int) -> Iterator[ColumnBatch]:
+        positions = self.positions
+        for batch in self.child.column_batches(size):
+            yield ColumnBatch([batch.columns[i] for i in positions], batch.length)
+
     def explain_label(self) -> str:
         return "Project"
 
     def explain_details(self) -> List[str]:
         return ["Output: " + ", ".join(f"{ref} AS {new}" for ref, new in self.items)]
+
+    def column_nullable(self, position: int) -> bool:
+        return self.child.column_nullable(self.positions[position])
 
 
 class ExtendOp(PhysicalPlan):
@@ -436,6 +679,16 @@ class ExtendOp(PhysicalPlan):
             for batch in self.child.batches(size):
                 yield [row + tuple(fn(row) for fn in fns) for row in batch]
 
+    def _column_batches(self, size: int) -> Iterator[ColumnBatch]:
+        from .columnar import map_kernel
+
+        kernels = [map_kernel(expr, self.child.schema) for _, expr in self.items]
+        for batch in self.child.column_batches(size):
+            extended = list(batch.columns)
+            for kernel in kernels:
+                extended.append(kernel(batch.columns, batch.length))
+            yield ColumnBatch(extended, batch.length)
+
     def explain_label(self) -> str:
         return "Extend"
 
@@ -474,14 +727,23 @@ class HashJoin(PhysicalPlan):
         self.pairs = list(pairs)
         self.residual = residual
         self.build = build
-        self.schema = left.schema.concat(right.schema)
+        self._combined = left.schema.concat(right.schema)
+        self.schema = self._combined
+        #: Folded downstream projection (positions into the concatenated
+        #: schema), set by the planner's fusion pass via :meth:`set_output`.
+        self.output_positions: Optional[List[int]] = None
         self.left_positions = [left.schema.resolve(l) for l, _ in self.pairs]
         self.right_positions = [right.schema.resolve(r) for _, r in self.pairs]
-        self._bound_residual = residual.bind(self.schema) if residual is not None else None
+        self._bound_residual = residual.bind(self._combined) if residual is not None else None
         self._compiled_residual = (
-            residual.compile(self.schema) if residual is not None else None
+            residual.compile(self._combined) if residual is not None else None
         )
         self.estimated_rows = max(left.estimated_rows, right.estimated_rows)
+
+    def set_output(self, positions: Sequence[int], schema: Schema) -> None:
+        """Fold a downstream projection into the join's emit (fusion)."""
+        self.output_positions = list(positions)
+        self.schema = schema
 
     @property
     def children(self) -> Tuple[PhysicalPlan, ...]:
@@ -506,6 +768,11 @@ class HashJoin(PhysicalPlan):
                 continue  # NULLs never join
             table.setdefault(key, []).append(row)
         residual = self._bound_residual
+        project = (
+            _projector(self.output_positions)
+            if self.output_positions is not None
+            else None
+        )
         for prow in probe_plan.rows():
             key = tuple(prow[i] for i in probe_positions)
             if any(v is None for v in key):
@@ -513,9 +780,17 @@ class HashJoin(PhysicalPlan):
             for brow in table.get(key, ()):
                 out = brow + prow if build_left else prow + brow
                 if residual is None or residual(out):
-                    yield out
+                    yield out if project is None else project(out)
 
-    def _batches(self, size: int) -> Iterator[Batch]:
+    def _build_table(
+        self, size: int, columnar: bool = False
+    ) -> Dict[Any, List[Row]]:
+        """Hash the build side (NULL keys excluded, as NULLs never join).
+
+        ``columnar=True`` drains the build child through the column
+        protocol (keeping its pipeline columnar) and transposes each batch
+        at the boundary; buckets always hold row tuples.
+        """
         single = len(self.pairs) == 1
         build_left = self.build == "left"
         build_plan, build_positions = (
@@ -523,20 +798,43 @@ class HashJoin(PhysicalPlan):
             if build_left
             else (self.right, self.right_positions)
         )
+        table: Dict[Any, List[Row]] = {}
+        setdefault = table.setdefault
+        if columnar:
+            # keys come straight off the build side's column vectors and
+            # rows from one C-speed transpose per batch
+            for cb in build_plan.column_batches(size):
+                rows = cb.to_rows()
+                if single:
+                    keys: Any = cb.columns[build_positions[0]]
+                else:
+                    keys = zip(*(cb.columns[p] for p in build_positions))
+                for key, row in zip(keys, rows):
+                    if _key_is_null(key, single):
+                        continue
+                    setdefault(key, []).append(row)
+            return table
+        bkey = _keyer(build_positions)
+        for batch in build_plan.batches(size):
+            for row in batch:
+                key = bkey(row)
+                if _key_is_null(key, single):
+                    continue
+                setdefault(key, []).append(row)
+        return table
+
+    def _batches(self, size: int) -> Iterator[Batch]:
+        if self.output_positions is not None:
+            yield from self._batches_projected(size)
+            return
+        single = len(self.pairs) == 1
+        build_left = self.build == "left"
         probe_plan, probe_positions = (
             (self.right, self.right_positions)
             if build_left
             else (self.left, self.left_positions)
         )
-        bkey = _keyer(build_positions)
-        table: Dict[Any, List[Row]] = {}
-        setdefault = table.setdefault
-        for batch in build_plan.batches(size):
-            for row in batch:
-                key = bkey(row)
-                if _key_is_null(key, single):
-                    continue  # NULLs never join
-                setdefault(key, []).append(row)
+        table = self._build_table(size)
         pkey = _keyer(probe_positions)
         residual = self._compiled_residual
         get = table.get
@@ -570,6 +868,173 @@ class HashJoin(PhysicalPlan):
         if out:
             yield out
 
+    def _batches_projected(self, size: int) -> Iterator[Batch]:
+        """Probe loop with a folded projection: emits output tuples directly
+        from the two input rows — the concatenated row never exists."""
+        single = len(self.pairs) == 1
+        build_left = self.build == "left"
+        probe_plan, probe_positions = (
+            (self.right, self.right_positions)
+            if build_left
+            else (self.left, self.left_positions)
+        )
+        table = self._build_table(size)
+        pkey = _keyer(probe_positions)
+        split = len(self.left.schema)
+        emit = _pair_emitter(self.output_positions, split)
+        residual = (
+            compile_pair_expression(self.residual, self.left.schema, self.right.schema)
+            if self.residual is not None
+            else None
+        )
+        get = table.get
+        out: Batch = []
+        append = out.append
+        for batch in probe_plan.batches(size):
+            for prow in batch:
+                key = pkey(prow)
+                if _key_is_null(key, single):
+                    continue
+                bucket = get(key)
+                if not bucket:
+                    continue
+                if build_left:
+                    for brow in bucket:
+                        if residual is None or residual(brow, prow):
+                            append(emit(brow, prow))
+                else:
+                    for brow in bucket:
+                        if residual is None or residual(prow, brow):
+                            append(emit(prow, brow))
+                if len(out) >= size:
+                    yield out
+                    out = []
+                    append = out.append
+        if out:
+            yield out
+
+    def _column_batches(self, size: int) -> Iterator[ColumnBatch]:
+        """Columnar probe: the probe input arrives as column vectors, and
+        output columns are gathered directly from the probe vectors and the
+        matched build rows — only the (possibly folded) output columns are
+        ever materialized."""
+        single = len(self.pairs) == 1
+        build_left = self.build == "left"
+        probe_positions = (
+            self.right_positions if build_left else self.left_positions
+        )
+        probe_plan = self.right if build_left else self.left
+        build_plan = self.left if build_left else self.right
+        split = len(self.left.schema)
+        probe_is_left = not build_left
+        table = self._build_table(size, columnar=True)
+        get = table.get
+        positions = (
+            self.output_positions
+            if self.output_positions is not None
+            else range(len(self._combined))
+        )
+        specs = []  # (from_probe_vectors, side-local position)
+        for p in positions:
+            on_left = p < split
+            local = p if on_left else p - split
+            specs.append((on_left == probe_is_left, local))
+        if single:
+            # fully fused generated probe: C-speed hash resolution, the
+            # residual inlined, and direct column emit in one loop
+            kernel = probe_kernel(
+                self._combined,
+                split,
+                probe_is_left,
+                probe_positions[0],
+                self.residual,
+                (),
+                specs,
+            )
+            if kernel is not None:
+                # columns the residual consults must be provably NULL-free
+                # (from the plan tree) for the kernel's guard-free body
+                fast = True
+                if self.residual is not None:
+                    for name in self.residual.columns():
+                        p = self._combined.resolve(name)
+                        on_left = p < split
+                        local = p if on_left else p - split
+                        side = (
+                            probe_plan if on_left == probe_is_left else build_plan
+                        )
+                        if side.column_nullable(local):
+                            fast = False
+                            break
+                for cb in probe_plan.column_batches(size):
+                    out_cols, count = kernel(get, cb.columns, fast)
+                    if count:
+                        yield ColumnBatch(list(out_cols), count)
+                return
+        residual_kernel = (
+            side_kernel(
+                self.residual,
+                self._combined,
+                split,
+                "left" if probe_is_left else "right",
+            )
+            if self.residual is not None
+            else None
+        )
+        for cb in probe_plan.column_batches(size):
+            pcols = cb.columns
+            n = cb.length
+            pidx: List[int] = []
+            brows: List[Row] = []
+            add_i = pidx.append
+            add_b = brows.append
+            if single:
+                # C-speed probing: ``map(dict.get, kcol)`` resolves every
+                # key in one pass; NULL keys are never in the table
+                kcol = pcols[probe_positions[0]]
+                for i, bucket in enumerate(map(get, kcol)):
+                    if not bucket:
+                        continue
+                    for brow in bucket:
+                        add_i(i)
+                        add_b(brow)
+            else:
+                kcols = [pcols[p] for p in probe_positions]
+                for i in range(n):
+                    k = tuple(c[i] for c in kcols)
+                    if None in k:
+                        continue
+                    bucket = get(k)
+                    if not bucket:
+                        continue
+                    for brow in bucket:
+                        add_i(i)
+                        add_b(brow)
+            if not pidx:
+                continue
+            if residual_kernel is not None:
+                keep = residual_kernel(pcols, pidx, brows, len(pidx))
+                if not keep:
+                    continue
+                pidx = [pidx[j] for j in keep]
+                brows = [brows[j] for j in keep]
+            out_cols: List[List[Any]] = []
+            for from_probe, local in specs:
+                if from_probe:
+                    column = pcols[local]
+                    out_cols.append([column[i] for i in pidx])
+                else:
+                    out_cols.append([r[local] for r in brows])
+            yield ColumnBatch(out_cols, len(pidx))
+
+    def column_nullable(self, position: int) -> bool:
+        if self.output_positions is not None:
+            position = self.output_positions[position]
+        split = len(self.left.schema)
+        if position < split:
+            return self.left.column_nullable(position)
+        return self.right.column_nullable(position - split)
+
     def explain_label(self) -> str:
         return "Hash Join"
 
@@ -578,6 +1043,8 @@ class HashJoin(PhysicalPlan):
         details = [f"Hash Cond: {cond}"]
         if self.residual is not None:
             details.append(f"Join Filter: {self.residual!r}")
+        if self.output_positions is not None:
+            details.append(f"Output: {', '.join(self.schema.names)}")
         return details
 
 
@@ -617,6 +1084,7 @@ class IndexNestedLoopJoin(PhysicalPlan):
         flipped: bool = False,
         inner_filters: Sequence[Callable[[Row], Any]] = (),
         inner_filter_exprs: Sequence[Expression] = (),
+        inner_filter_schemas: Sequence[Schema] = (),
     ):
         if len(outer_positions) != len(index.positions):
             raise ValueError("outer key width must match the index column count")
@@ -629,16 +1097,29 @@ class IndexNestedLoopJoin(PhysicalPlan):
         self.flipped = flipped
         self.inner_filters = list(inner_filters)
         self.inner_filter_exprs = list(inner_filter_exprs)
-        self.schema = (
+        #: Schemas the filter expressions were written against (parallel to
+        #: ``inner_filter_exprs``); lets the columnar executor inline the
+        #: filters into its generated probe kernel.
+        self.inner_filter_schemas = list(inner_filter_schemas)
+        self._combined = (
             inner.schema.concat(outer.schema)
             if flipped
             else outer.schema.concat(inner.schema)
         )
-        self._bound_residual = residual.bind(self.schema) if residual is not None else None
+        self.schema = self._combined
+        #: Folded downstream projection (positions into the concatenated
+        #: schema), set by the planner's fusion pass via :meth:`set_output`.
+        self.output_positions: Optional[List[int]] = None
+        self._bound_residual = residual.bind(self._combined) if residual is not None else None
         self._compiled_residual = (
-            residual.compile(self.schema) if residual is not None else None
+            residual.compile(self._combined) if residual is not None else None
         )
         self.estimated_rows = max(outer.estimated_rows, inner.estimated_rows)
+
+    def set_output(self, positions: Sequence[int], schema: Schema) -> None:
+        """Fold a downstream projection into the join's emit (fusion)."""
+        self.output_positions = list(positions)
+        self.schema = schema
 
     @property
     def children(self) -> Tuple[PhysicalPlan, ...]:
@@ -661,6 +1142,11 @@ class IndexNestedLoopJoin(PhysicalPlan):
         probe = self._probe
         residual = self._bound_residual
         flipped = self.flipped
+        project = (
+            _projector(self.output_positions)
+            if self.output_positions is not None
+            else None
+        )
         for orow in self.outer.rows():
             k = key(orow)
             if _key_is_null(k, single):
@@ -668,9 +1154,12 @@ class IndexNestedLoopJoin(PhysicalPlan):
             for irow in probe(k):
                 out = irow + orow if flipped else orow + irow
                 if residual is None or residual(out):
-                    yield out
+                    yield out if project is None else project(out)
 
     def _batches(self, size: int) -> Iterator[Batch]:
+        if self.output_positions is not None:
+            yield from self._batches_projected(size)
+            return
         # hot path: everything hoisted out of the per-row loop (index
         # lookup as a bare dict.get for hash indexes, single-column keys
         # read by position, single compiled filter unwrapped, one-row
@@ -743,6 +1232,242 @@ class IndexNestedLoopJoin(PhysicalPlan):
         if out:
             yield out
 
+    def _batches_projected(self, size: int) -> Iterator[Batch]:
+        """Probe loop with a folded projection: output tuples are emitted
+        straight from (outer row, probed inner row) pairs."""
+        single = len(self.outer_positions) == 1
+        position = self.outer_positions[0] if single else -1
+        key = None if single else _keyer(self.outer_positions)
+        lookup = self.index.lookup_fn()
+        filters = self.inner_filters
+        only_filter = filters[0] if len(filters) == 1 else None
+        flipped = self.flipped
+        left_schema = self.inner.schema if flipped else self.outer.schema
+        right_schema = self.outer.schema if flipped else self.inner.schema
+        emit = _pair_emitter(self.output_positions, len(left_schema))
+        residual = (
+            compile_pair_expression(self.residual, left_schema, right_schema)
+            if self.residual is not None
+            else None
+        )
+        out: Batch = []
+        append = out.append
+        for batch in self.outer.batches(size):
+            for orow in batch:
+                if single:
+                    k = orow[position]
+                    if k is None:
+                        continue
+                else:
+                    k = key(orow)
+                    if None in k:
+                        continue
+                bucket = lookup(k)
+                if not bucket:
+                    continue
+                if only_filter is not None:
+                    if len(bucket) == 1:  # the typical tid-index case
+                        if not only_filter(bucket[0]):
+                            continue
+                    else:
+                        bucket = [irow for irow in bucket if only_filter(irow)]
+                        if not bucket:
+                            continue
+                elif filters:
+                    bucket = [
+                        irow
+                        for irow in bucket
+                        if all(f(irow) for f in filters)
+                    ]
+                    if not bucket:
+                        continue
+                if flipped:
+                    for irow in bucket:
+                        if residual is None or residual(irow, orow):
+                            append(emit(irow, orow))
+                else:
+                    for irow in bucket:
+                        if residual is None or residual(orow, irow):
+                            append(emit(orow, irow))
+                if len(out) >= size:
+                    yield out
+                    out = []
+                    append = out.append
+        if out:
+            yield out
+
+    def _fused_probe(self):
+        """-> (generated fused probe kernel, inner side NULL-free) or None."""
+        if len(self.outer_positions) != 1:
+            return None
+        if self.inner_filter_exprs and len(self.inner_filter_schemas) != len(
+            self.inner_filter_exprs
+        ):
+            return None  # filters came pre-compiled, schemas unknown
+        outer_is_left = not self.flipped
+        split = len(self.inner.schema) if self.flipped else len(self.outer.schema)
+        positions = (
+            self.output_positions
+            if self.output_positions is not None
+            else range(len(self._combined))
+        )
+        specs = []
+        for p in positions:
+            on_left = p < split
+            local = p if on_left else p - split
+            specs.append((on_left == outer_is_left, local))
+        filter_specs = list(zip(self.inner_filter_exprs, self.inner_filter_schemas))
+        mixed = isinstance(self.index, HashIndex)
+        kernel = probe_kernel(
+            self._combined,
+            split,
+            outer_is_left,
+            self.outer_positions[0],
+            self.residual,
+            filter_specs,
+            specs,
+            mixed=mixed,
+        )
+        if kernel is None:
+            return None
+        # every column the conditions reference must be provably NULL-free
+        # for the kernel's guard-free body: inner refs consult the indexed
+        # base relation's cached nullability, outer refs the plan tree
+        inner_refs: set = set()
+        outer_refs: set = set()
+        for expr, schema in filter_specs:
+            for name in expr.columns():
+                inner_refs.add(schema.resolve(name))
+        if self.residual is not None:
+            for name in self.residual.columns():
+                p = self._combined.resolve(name)
+                on_left = p < split
+                local = p if on_left else p - split
+                if on_left == outer_is_left:
+                    outer_refs.add(local)
+                else:
+                    inner_refs.add(local)
+        relation = self.index.relation
+        fast = not any(
+            relation.column_has_null(q) for q in inner_refs
+        ) and not any(self.outer.column_nullable(q) for q in outer_refs)
+        lookup = (
+            self.index.mixed_table().get if mixed else self.index.lookup_fn()
+        )
+        return kernel, lookup, fast
+
+    def _column_batches(self, size: int) -> Iterator[ColumnBatch]:
+        """Columnar probe loop: the outer input arrives as column vectors
+        (only its key columns are read per row), and output columns are
+        gathered from the outer vectors and the probed index rows.
+
+        Single-column keys run the fully fused generated kernel — lookup,
+        inlined filters and residual, and direct column emit in one loop."""
+        fused = self._fused_probe()
+        if fused is not None:
+            kernel, lookup, fast = fused
+            for cb in self.outer.column_batches(size):
+                out_cols, count = kernel(lookup, cb.columns, fast)
+                if count:
+                    yield ColumnBatch(list(out_cols), count)
+            return
+        single = len(self.outer_positions) == 1
+        lookup = self.index.lookup_fn()
+        filters = self.inner_filters
+        only_filter = filters[0] if len(filters) == 1 else None
+        flipped = self.flipped
+        outer_width = len(self.outer.schema)
+        split = len(self.inner.schema) if flipped else outer_width
+        outer_is_left = not flipped
+        positions = (
+            self.output_positions
+            if self.output_positions is not None
+            else range(len(self._combined))
+        )
+        specs = []  # (from_outer_vectors, side-local position)
+        for p in positions:
+            on_left = p < split
+            local = p if on_left else p - split
+            specs.append((on_left == outer_is_left, local))
+        residual_kernel = (
+            side_kernel(
+                self.residual,
+                self._combined,
+                split,
+                "left" if outer_is_left else "right",
+            )
+            if self.residual is not None
+            else None
+        )
+        for cb in self.outer.column_batches(size):
+            ocols = cb.columns
+            n = cb.length
+            oidx: List[int] = []
+            irows: List[Row] = []
+            add_i = oidx.append
+            add_r = irows.append
+            if single:
+                # the index lookup runs at C speed over the key vector:
+                # ``map(lookup, kcol)`` — NULL keys and misses both come
+                # back falsy, so the Python-level loop only touches hits
+                kcol = ocols[self.outer_positions[0]]
+                for i, bucket in enumerate(map(lookup, kcol)):
+                    if not bucket:
+                        continue
+                    if only_filter is not None:
+                        if len(bucket) == 1:
+                            irow = bucket[0]
+                            if only_filter(irow):
+                                add_i(i)
+                                add_r(irow)
+                            continue
+                        bucket = [r for r in bucket if only_filter(r)]
+                    elif filters:
+                        bucket = [r for r in bucket if all(f(r) for f in filters)]
+                    for irow in bucket:
+                        add_i(i)
+                        add_r(irow)
+            else:
+                kcols = [ocols[p] for p in self.outer_positions]
+                for i in range(n):
+                    k = tuple(c[i] for c in kcols)
+                    if None in k:
+                        continue
+                    bucket = lookup(k)
+                    if not bucket:
+                        continue
+                    if filters:
+                        bucket = [r for r in bucket if all(f(r) for f in filters)]
+                    for irow in bucket:
+                        add_i(i)
+                        add_r(irow)
+            if not oidx:
+                continue
+            if residual_kernel is not None:
+                keep = residual_kernel(ocols, oidx, irows, len(oidx))
+                if not keep:
+                    continue
+                oidx = [oidx[j] for j in keep]
+                irows = [irows[j] for j in keep]
+            out_cols: List[List[Any]] = []
+            for from_outer, local in specs:
+                if from_outer:
+                    column = ocols[local]
+                    out_cols.append([column[i] for i in oidx])
+                else:
+                    out_cols.append([r[local] for r in irows])
+            yield ColumnBatch(out_cols, len(oidx))
+
+    def column_nullable(self, position: int) -> bool:
+        if self.output_positions is not None:
+            position = self.output_positions[position]
+        split = len(self.inner.schema) if self.flipped else len(self.outer.schema)
+        on_left = position < split
+        local = position if on_left else position - split
+        if on_left == (not self.flipped):
+            return self.outer.column_nullable(local)
+        return self.index.relation.column_has_null(local)
+
     def explain_label(self) -> str:
         return "Index Nested Loop Join"
 
@@ -754,6 +1479,8 @@ class IndexNestedLoopJoin(PhysicalPlan):
             details.append(f"Probe Filter: {shown}")
         if self.residual is not None:
             details.append(f"Join Filter: {self.residual!r}")
+        if self.output_positions is not None:
+            details.append(f"Output: {', '.join(self.schema.names)}")
         return details
 
 
@@ -928,6 +1655,18 @@ class Sort(PhysicalPlan):
         gathered.sort(key=self._key())
         return _chunks(gathered, size)
 
+    def _column_batches(self, size: int) -> Iterator[ColumnBatch]:
+        gathered: List[Row] = []
+        for batch in self.child.column_batches(size):
+            gathered.extend(batch.to_rows())
+        gathered.sort(key=self._key())
+        width = len(self.schema)
+        for chunk in _chunks(gathered, size):
+            yield ColumnBatch.from_rows(chunk, width)
+
+    def column_nullable(self, position: int) -> bool:
+        return self.child.column_nullable(position)
+
     def explain_label(self) -> str:
         return "Sort"
 
@@ -940,6 +1679,17 @@ class MergeJoin(PhysicalPlan):
 
     Kept primarily for plan-shape parity with the PostgreSQL plans shown in
     the paper (Figure 13 uses merge joins on tuple-id columns).
+
+    When *both* inputs are bare base scans (through renames) whose
+    relations carry an already-built
+    :class:`~repro.relational.index.SortedIndex` on exactly the join
+    columns, the join consumes ``SortedIndex.ordered()`` directly — no
+    per-execution drain-and-sort, and the per-row ``_sort_key`` wrappers
+    are computed once per index lifetime (cached) instead of per
+    execution.  NULL-keyed rows are absent from sorted indexes, which is
+    exactly the rows a merge join skips anyway; mixed-type key columns
+    (whose raw order differs from ``_sort_key`` order) fall back to the
+    sorting path, so answers never depend on whether an index exists.
     """
 
     def __init__(
@@ -955,14 +1705,22 @@ class MergeJoin(PhysicalPlan):
         self.right = Sort(right, [r for _, r in pairs])
         self.pairs = list(pairs)
         self.residual = residual
-        self.schema = left.schema.concat(right.schema)
+        self._combined = left.schema.concat(right.schema)
+        self.schema = self._combined
+        #: Folded downstream projection, set via :meth:`set_output`.
+        self.output_positions: Optional[List[int]] = None
         self.left_positions = [left.schema.resolve(l) for l, _ in pairs]
         self.right_positions = [right.schema.resolve(r) for _, r in pairs]
-        self._bound_residual = residual.bind(self.schema) if residual is not None else None
+        self._bound_residual = residual.bind(self._combined) if residual is not None else None
         self._compiled_residual = (
-            residual.compile(self.schema) if residual is not None else None
+            residual.compile(self._combined) if residual is not None else None
         )
         self.estimated_rows = max(left.estimated_rows, right.estimated_rows)
+
+    def set_output(self, positions: Sequence[int], schema: Schema) -> None:
+        """Fold a downstream projection into the join's emit (fusion)."""
+        self.output_positions = list(positions)
+        self.schema = schema
 
     @property
     def children(self) -> Tuple[PhysicalPlan, ...]:
@@ -973,6 +1731,11 @@ class MergeJoin(PhysicalPlan):
         right_rows = list(self.right.rows())
         lpos, rpos = self.left_positions, self.right_positions
         residual = self._bound_residual
+        project = (
+            _projector(self.output_positions)
+            if self.output_positions is not None
+            else None
+        )
 
         def lkey(row: Row):
             return _sort_key(tuple(row[i] for i in lpos))
@@ -1003,10 +1766,112 @@ class MergeJoin(PhysicalPlan):
                         for rrow in right_rows[j:j2]:
                             out = lrow + rrow
                             if residual is None or residual(out):
-                                yield out
+                                yield out if project is None else project(out)
                 i, j = i2, j2
 
+    def _presorted_input(self, sort_op: "Sort") -> Optional[SortedIndex]:
+        """A SortedIndex serving one input's order, or None.
+
+        The input must be a base scan (through pass-through renames only)
+        whose relation has an already-*built* sorted index on exactly the
+        sort columns — this execution-time peek never triggers deferred
+        index builds (lazy auto-indexing would otherwise pay for every
+        pending index just because a merge join looked).
+        """
+        node = sort_op.child
+        while node.row_passthrough:
+            node = node.children[0]
+        if not isinstance(node, SeqScan):
+            return None
+        wanted = tuple(sort_op.positions)
+        for index in built_indexes_on(node.relation):
+            if isinstance(index, SortedIndex) and index.positions == wanted:
+                return index
+        return None
+
+    @staticmethod
+    def _monotone_sortkeys(index: SortedIndex) -> Optional[List[Tuple]]:
+        """The index keys wrapped as ``_sort_key`` tuples, or None.
+
+        Merge comparisons must use the same type-tagged total order as the
+        sorting path (raw keys would let ``1`` meet ``1.0``, which
+        ``_sort_key`` keeps apart — answers must not depend on whether an
+        index exists).  The wrapping is only usable when the index's raw
+        order is also monotone under ``_sort_key`` (false for mixed-type
+        columns); the result — or the rejection — is cached on the index,
+        so repeated executions pay nothing.
+        """
+        cached = getattr(index, "_sortkey_keys", None)
+        if cached is None:
+            if index._single:
+                wrapped = [_sort_key((k,)) for k in index._keys]
+            else:
+                wrapped = [_sort_key(tuple(k)) for k in index._keys]
+            monotone = all(
+                wrapped[i] <= wrapped[i + 1] for i in range(len(wrapped) - 1)
+            )
+            cached = wrapped if monotone else False
+            index._sortkey_keys = cached
+        return cached if cached is not False else None
+
+    def _merge_presorted(
+        self,
+        left_index: SortedIndex,
+        lkeys: List[Tuple],
+        right_index: SortedIndex,
+        rkeys: List[Tuple],
+        size: int,
+    ) -> Iterator[Batch]:
+        """Merge directly over both indexes' ordered rows, streaming."""
+        left_rows = left_index.ordered()
+        right_rows = right_index.ordered()
+        residual = self._compiled_residual
+        project = (
+            _projector(self.output_positions)
+            if self.output_positions is not None
+            else None
+        )
+        out: Batch = []
+        i = j = 0
+        n, m = len(left_rows), len(right_rows)
+        while i < n and j < m:
+            lk, rk = lkeys[i], rkeys[j]
+            if lk < rk:
+                i += 1
+            elif lk > rk:
+                j += 1
+            else:
+                i2 = i
+                while i2 < n and lkeys[i2] == lk:
+                    i2 += 1
+                j2 = j
+                while j2 < m and rkeys[j2] == rk:
+                    j2 += 1
+                right_group = right_rows[j:j2]
+                for lrow in left_rows[i:i2]:
+                    for rrow in right_group:
+                        joined = lrow + rrow
+                        if residual is None or residual(joined):
+                            out.append(joined if project is None else project(joined))
+                    if len(out) >= size:
+                        yield out
+                        out = []
+                i, j = i2, j2
+        if out:
+            yield out
+
     def _batches(self, size: int) -> Iterator[Batch]:
+        left_index = self._presorted_input(self.left)
+        if left_index is not None:
+            right_index = self._presorted_input(self.right)
+            if right_index is not None:
+                lkeys = self._monotone_sortkeys(left_index)
+                rkeys = self._monotone_sortkeys(right_index)
+                if lkeys is not None and rkeys is not None:
+                    yield from self._merge_presorted(
+                        left_index, lkeys, right_index, rkeys, size
+                    )
+                    return
         left_rows = _drain(self.left, size)
         right_rows = _drain(self.right, size)
         lpos, rpos = self.left_positions, self.right_positions
@@ -1017,6 +1882,11 @@ class MergeJoin(PhysicalPlan):
         lkeys = [_sort_key(lproject(row)) for row in left_rows]
         rkeys = [_sort_key(rproject(row)) for row in right_rows]
         residual = self._compiled_residual
+        project = (
+            _projector(self.output_positions)
+            if self.output_positions is not None
+            else None
+        )
 
         out: Batch = []
         i = j = 0
@@ -1037,19 +1907,29 @@ class MergeJoin(PhysicalPlan):
                 if not any(v is None for v in lproject(left_rows[i])):
                     right_group = right_rows[j:j2]
                     for lrow in left_rows[i:i2]:
-                        if residual is None:
+                        if residual is None and project is None:
                             out.extend(lrow + rrow for rrow in right_group)
                         else:
                             for rrow in right_group:
                                 joined = lrow + rrow
-                                if residual(joined):
-                                    out.append(joined)
+                                if residual is None or residual(joined):
+                                    out.append(
+                                        joined if project is None else project(joined)
+                                    )
                         if len(out) >= size:
                             yield out
                             out = []
                 i, j = i2, j2
         if out:
             yield out
+
+    def column_nullable(self, position: int) -> bool:
+        if self.output_positions is not None:
+            position = self.output_positions[position]
+        split = len(self.left.schema)
+        if position < split:
+            return self.left.column_nullable(position)
+        return self.right.column_nullable(position - split)
 
     def explain_label(self) -> str:
         return "Merge Join"
@@ -1059,6 +1939,8 @@ class MergeJoin(PhysicalPlan):
         details = [f"Merge Cond: {cond}"]
         if self.residual is not None:
             details.append(f"Join Filter: {self.residual!r}")
+        if self.output_positions is not None:
+            details.append(f"Output: {', '.join(self.schema.names)}")
         return details
 
 
@@ -1087,6 +1969,9 @@ class Materialize(PhysicalPlan):
 
     def _batches(self, size: int) -> Iterator[Batch]:
         return _chunks(self._materialized(size), size)
+
+    def column_nullable(self, position: int) -> bool:
+        return self.child.column_nullable(position)
 
     def explain_label(self) -> str:
         return "Materialize"
@@ -1176,6 +2061,22 @@ class HashDistinct(PhysicalPlan):
             if fresh:
                 yield fresh
 
+    def _column_batches(self, size: int) -> Iterator[ColumnBatch]:
+        # dedup needs row identity: transpose at the boundary (C-speed zip),
+        # keeping the child pipeline columnar
+        width = len(self.schema)
+        seen: set = set()
+        add = seen.add
+        for batch in self.child.column_batches(size):
+            fresh = [
+                row for row in batch.to_rows() if not (row in seen or add(row))
+            ]
+            if fresh:
+                yield ColumnBatch.from_rows(fresh, width)
+
+    def column_nullable(self, position: int) -> bool:
+        return self.child.column_nullable(position)
+
     def explain_label(self) -> str:
         return "HashAggregate"
 
@@ -1205,6 +2106,13 @@ class Append(PhysicalPlan):
     def _batches(self, size: int) -> Iterator[Batch]:
         yield from self.left.batches(size)
         yield from self.right.batches(size)
+
+    def _column_batches(self, size: int) -> Iterator[ColumnBatch]:
+        yield from self.left.column_batches(size)
+        yield from self.right.column_batches(size)
+
+    def column_nullable(self, position: int) -> bool:
+        return self.left.column_nullable(position) or self.right.column_nullable(position)
 
     def explain_label(self) -> str:
         return "Append"
@@ -1241,21 +2149,33 @@ class Except(PhysicalPlan):
             if fresh:
                 yield fresh
 
+    def column_nullable(self, position: int) -> bool:
+        return self.left.column_nullable(position)
+
     def explain_label(self) -> str:
         return "SetOp Except"
 
 
 def execute(
-    plan: PhysicalPlan, mode: str = "blocks", batch_size: int = BATCH_SIZE
+    plan: PhysicalPlan, mode: str = "columns", batch_size: int = BATCH_SIZE
 ) -> Relation:
     """Run a physical plan to completion and materialize the result.
 
-    ``mode="blocks"`` (the default) uses the vectorized block-at-a-time
-    path; ``mode="rows"`` runs the legacy tuple-at-a-time iterators.  Both
-    produce identical relations.
+    ``mode="columns"`` (the default) runs the columnar executor,
+    ``mode="blocks"`` the row-batch vectorized path, and ``mode="rows"``
+    the legacy tuple-at-a-time iterators.  All three produce identical
+    relations.
     """
     if mode == "rows":
         return Relation(plan.schema, plan.rows())
-    if mode != "blocks":
-        raise ValueError(f"unknown execution mode {mode!r} (use 'rows' or 'blocks')")
-    return Relation.from_trusted(plan.schema, _drain(plan, batch_size))
+    if mode == "blocks":
+        return Relation.from_trusted(plan.schema, _drain(plan, batch_size))
+    if mode != "columns":
+        raise ValueError(
+            f"unknown execution mode {mode!r} (use 'rows', 'blocks', or 'columns')"
+        )
+    rows: List[Row] = []
+    extend = rows.extend
+    for batch in plan.column_batches(batch_size):
+        extend(batch.to_rows())
+    return Relation.from_trusted(plan.schema, rows)

@@ -66,6 +66,7 @@ from .physical import (
     Except,
     ExtendOp,
     Filter,
+    FusedPipeline,
     HashDistinct,
     HashJoin,
     IndexNestedLoopJoin,
@@ -134,17 +135,36 @@ def _resolve(schema, reference: str) -> Optional[int]:
 
 
 class Planner:
-    """Compiles logical plans to physical plans."""
+    """Compiles logical plans to physical plans.
 
-    def __init__(self, prefer_merge_join: bool = False, use_indexes: bool = True):
+    With ``fuse=True`` a post-pass collapses each maximal
+    scan→filter→project chain (through renames) into a single
+    :class:`~repro.relational.physical.FusedPipeline` and folds projections
+    that sit directly above joins into the joins' emit
+    (:meth:`~repro.relational.physical.HashJoin.set_output`) — the
+    standalone ``Project`` reorders that bracket the partition merges of
+    translated U-relation plans disappear into the join loops.  The
+    columnar execution mode enables fusion by default; the unfused tree is
+    kept for the blocks/rows baselines.
+    """
+
+    def __init__(
+        self,
+        prefer_merge_join: bool = False,
+        use_indexes: bool = True,
+        fuse: bool = False,
+    ):
         self.prefer_merge_join = prefer_merge_join
         # the merge-join profile reproduces the paper's PostgreSQL plans
         # verbatim, so it keeps the classic scan/join operators only
         self.use_indexes = use_indexes and not prefer_merge_join
+        self.fuse = fuse
 
     def compile(self, plan: Plan) -> PhysicalPlan:
         """Compile a logical plan tree into a physical operator tree."""
         physical = self._compile(plan)
+        if self.fuse:
+            physical = _fuse_tree(physical)
         return physical
 
     # ------------------------------------------------------------------
@@ -436,6 +456,7 @@ class Planner:
             flipped=flipped,
             inner_filters=[p.compile(s) for p, s in inner_filters],
             inner_filter_exprs=[p for p, _ in inner_filters],
+            inner_filter_schemas=[s for _, s in inner_filters],
         )
 
 
@@ -497,6 +518,8 @@ def _tighten(
 class _RenameOp(PhysicalPlan):
     """Physical rename: rows pass through, only the schema changes."""
 
+    row_passthrough = True
+
     def __init__(self, child: PhysicalPlan, logical: Rename):
         self.child = child
         self.schema = child.schema.rename(logical.mapping)
@@ -513,31 +536,167 @@ class _RenameOp(PhysicalPlan):
     def _batches(self, size):
         return self.child.batches(size)
 
+    def _column_batches(self, size):
+        return self.child.column_batches(size)
+
     def explain_label(self) -> str:
         return "Rename"
 
 
+# ======================================================================
+# pipeline fusion (post-pass over the physical tree)
+# ======================================================================
+def _through_renames(node: PhysicalPlan) -> PhysicalPlan:
+    """Look through pass-through (rename) wrappers.
+
+    Renames change names, never positions, so predicates and projections
+    compiled above them apply unchanged to the rows underneath.
+    """
+    while node.row_passthrough:
+        node = node.children[0]
+    return node
+
+
+def _reanchor(
+    expression: Expression,
+    from_schema,
+    to_schema,
+    position_map: Optional[Sequence[int]] = None,
+) -> Expression:
+    """Rewrite column refs from one schema to another by *position*.
+
+    ``position_map`` (a fused pipeline's output positions) translates a
+    position in ``from_schema`` to the matching position in ``to_schema``;
+    without it positions carry over unchanged (the rename case).
+    """
+
+    def rewrite(expr: Expression) -> Expression:
+        if isinstance(expr, Col):
+            position = from_schema.resolve(expr.name)
+            if position_map is not None:
+                position = position_map[position]
+            return Col(to_schema.names[position])
+        clone = expr.__class__.__new__(expr.__class__)
+        for klass in type(expr).__mro__:
+            for slot in getattr(klass, "__slots__", ()):
+                value = getattr(expr, slot)
+                if isinstance(value, Expression):
+                    value = rewrite(value)
+                elif isinstance(value, tuple) and value and isinstance(value[0], Expression):
+                    value = tuple(rewrite(v) for v in value)
+                object.__setattr__(clone, slot, value)
+        return clone
+
+    return rewrite(expression)
+
+
+_FOLDABLE_JOINS = (HashJoin, IndexNestedLoopJoin, MergeJoin)
+
+
+def _fuse_children(node: PhysicalPlan) -> None:
+    """Recursively fuse every child subtree (replacing child references)."""
+    if isinstance(
+        node, (Filter, Projection, ProjectionAs, ExtendOp, HashDistinct, _RenameOp)
+    ):
+        node.child = _fuse_tree(node.child)
+    elif isinstance(node, MergeJoin):
+        # fuse beneath the Sort wrappers the join inserted
+        node.left.child = _fuse_tree(node.left.child)
+        node.right.child = _fuse_tree(node.right.child)
+    elif isinstance(node, (HashJoin, Append, Except)):
+        node.left = _fuse_tree(node.left)
+        node.right = _fuse_tree(node.right)
+    elif isinstance(node, IndexNestedLoopJoin):
+        node.outer = _fuse_tree(node.outer)
+    elif isinstance(node, (NestedLoopJoin, SemiJoinOp)):
+        node.left = _fuse_tree(node.left)
+        node.right.child = _fuse_tree(node.right.child)  # Materialize wrapper
+
+
+def _fuse_tree(node: PhysicalPlan) -> PhysicalPlan:
+    """Fuse scan→filter→project chains and fold projections into joins.
+
+    Children are fused bottom-up first; schemas of replaced subtrees are
+    preserved exactly, so parent operators' resolved positions stay valid.
+    """
+    _fuse_children(node)
+
+    if isinstance(node, (Projection, ProjectionAs)):
+        inner = _through_renames(node.child)
+        if isinstance(inner, FusedPipeline):
+            positions = (
+                [inner.positions[p] for p in node.positions]
+                if inner.positions is not None
+                else list(node.positions)
+            )
+            fused = FusedPipeline(inner.source, inner.predicate, positions, node.schema)
+            fused.estimated_rows = node.estimated_rows
+            return fused
+        if isinstance(inner, _FOLDABLE_JOINS):
+            if inner.output_positions is not None:
+                composed = [inner.output_positions[p] for p in node.positions]
+            else:
+                composed = list(node.positions)
+            inner.set_output(composed, node.schema)
+            return inner
+        if isinstance(inner, (SeqScan, IndexScan)):
+            fused = FusedPipeline(inner, None, list(node.positions), node.schema)
+            fused.estimated_rows = node.estimated_rows
+            return fused
+        return node
+
+    if isinstance(node, Filter):
+        inner = _through_renames(node.child)
+        if isinstance(inner, FusedPipeline):
+            anchored = _reanchor(
+                node.predicate, node.child.schema, inner.source.schema, inner.positions
+            )
+            predicate = (
+                conjunction([inner.predicate, anchored])
+                if inner.predicate is not None
+                else anchored
+            )
+            fused = FusedPipeline(inner.source, predicate, inner.positions, node.schema)
+            fused.estimated_rows = node.estimated_rows
+            return fused
+        if isinstance(inner, (SeqScan, IndexScan)):
+            anchored = _reanchor(node.predicate, node.child.schema, inner.schema)
+            fused = FusedPipeline(inner, anchored, None, node.schema)
+            fused.estimated_rows = node.estimated_rows
+            return fused
+        return node
+
+    return node
+
+
 def plan_physical(
-    plan: Plan, prefer_merge_join: bool = False, use_indexes: bool = True
+    plan: Plan,
+    prefer_merge_join: bool = False,
+    use_indexes: bool = True,
+    fuse: bool = False,
 ) -> PhysicalPlan:
     """Compile a logical plan with a default-configured planner."""
-    return Planner(prefer_merge_join=prefer_merge_join, use_indexes=use_indexes).compile(plan)
+    return Planner(
+        prefer_merge_join=prefer_merge_join, use_indexes=use_indexes, fuse=fuse
+    ).compile(plan)
 
 
 def run(
     plan: Plan,
     optimize_first: bool = True,
     prefer_merge_join: bool = False,
-    mode: str = "blocks",
+    mode: str = "columns",
     batch_size: int = BATCH_SIZE,
     use_indexes: bool = True,
 ) -> Relation:
     """Optimize, compile, and execute a logical plan.
 
-    ``mode`` selects the executor: ``"blocks"`` (vectorized, default) or
-    ``"rows"`` (legacy tuple-at-a-time).  ``use_indexes=False`` disables
-    access-path selection (every scan sequential, every equi-join hashed),
-    which is the head-to-head baseline the benchmarks measure against.
+    ``mode`` selects the executor: ``"columns"`` (columnar + fused
+    pipelines, the default), ``"blocks"`` (row-batch vectorized, the PR 1/2
+    baseline — plans are compiled *without* fusion so the baseline stays
+    byte-for-byte comparable), or ``"rows"`` (legacy tuple-at-a-time).
+    ``use_indexes=False`` additionally disables access-path selection
+    (every scan sequential, every equi-join hashed).
     """
     from .optimizer import optimize
     from .physical import execute
@@ -545,6 +704,9 @@ def run(
     if optimize_first:
         plan = optimize(plan)
     physical = plan_physical(
-        plan, prefer_merge_join=prefer_merge_join, use_indexes=use_indexes
+        plan,
+        prefer_merge_join=prefer_merge_join,
+        use_indexes=use_indexes,
+        fuse=mode == "columns",
     )
     return execute(physical, mode=mode, batch_size=batch_size)

@@ -24,9 +24,18 @@ class Relation:
     """An in-memory relation: immutable schema + list of row tuples."""
 
     # ``_indexes`` holds secondary indexes attached by
-    # :mod:`repro.relational.index`; it is planner-visible state, not part
-    # of the relation's value (equality and repr ignore it).
-    __slots__ = ("schema", "rows", "_indexes")
+    # :mod:`repro.relational.index` and ``_pending_indexes`` their deferred
+    # (not yet built) definitions; ``_columns`` caches the columnar form
+    # used by the column executor.  All three are planner-visible state,
+    # not part of the relation's value (equality and repr ignore them).
+    __slots__ = (
+        "schema",
+        "rows",
+        "_indexes",
+        "_pending_indexes",
+        "_columns",
+        "_has_null",
+    )
 
     def __init__(self, schema, rows: Optional[Iterable[Sequence[Any]]] = None):
         if not isinstance(schema, Schema):
@@ -108,6 +117,39 @@ class Relation:
         """All values of one column, in row order."""
         i = self.schema.resolve(reference)
         return [row[i] for row in self.rows]
+
+    def column_store(self) -> List[tuple]:
+        """The rows transposed to per-column vectors, cached.
+
+        The column executor's sequential scans slice these vectors instead
+        of chunking row tuples.  Rows are immutable once a relation is
+        built, so the transposition is computed once per relation object.
+        """
+        store = getattr(self, "_columns", None)
+        if store is None:
+            if self.rows:
+                store = list(zip(*self.rows))
+            else:
+                store = [() for _ in range(len(self.schema))]
+            self._columns = store
+        return store
+
+    def column_has_null(self, position: int) -> bool:
+        """Whether a column contains any NULL, cached per column.
+
+        Computed with a C-speed ``in`` scan over the column vector; the
+        columnar executor uses this to prove columns NULL-free and select
+        generated kernels without per-value NULL guards.
+        """
+        cache = getattr(self, "_has_null", None)
+        if cache is None:
+            cache = {}
+            self._has_null = cache
+        known = cache.get(position)
+        if known is None:
+            known = None in self.column_store()[position]
+            cache[position] = known
+        return known
 
     def project(self, references: Sequence[str]) -> "Relation":
         """Projection (bag semantics, preserves duplicates)."""

@@ -1,0 +1,403 @@
+"""Tests for the columnar executor (``mode="columns"``).
+
+Three families:
+
+* ColumnBatch mechanics — transposition round trips at the boundaries
+  (empty, one row, zero-width schemas);
+* batch-boundary tests — every physical operator executed in all three
+  modes over inputs of size 0, 1, one batch exactly, and one batch ± 1,
+  producing identical bags;
+* property tests — randomized plans (with and without fusion, with and
+  without indexes) must evaluate identically through ``rows``, ``blocks``,
+  and ``columns`` across batch sizes {0, 1, 1023, 1024, 1025}.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.relational.algebra import (
+    Distinct,
+    Join,
+    Product,
+    Project,
+    Rename,
+    Scan,
+    Select,
+    Union,
+)
+from repro.relational.columnar import ColumnBatch
+from repro.relational.expressions import col, lit
+from repro.relational.index import ensure_index
+from repro.relational.optimizer import optimize
+from repro.relational.physical import (
+    Append,
+    Except,
+    ExtendOp,
+    Filter,
+    FusedPipeline,
+    HashDistinct,
+    HashJoin,
+    Materialize,
+    MergeJoin,
+    NestedLoopJoin,
+    Projection,
+    ProjectionAs,
+    SemiJoinOp,
+    SeqScan,
+    Sort,
+    execute,
+)
+from repro.relational.planner import plan_physical
+from repro.relational.relation import Relation
+
+B = 4
+BOUNDARY_SIZES = [0, 1, B - 1, B, B + 1]
+
+
+def left_relation(n: int) -> Relation:
+    rows = [(None if i % 3 == 2 else i % 5, f"v{i % 4}") for i in range(n)]
+    return Relation(["l.k", "l.v"], rows)
+
+
+def right_relation(n: int) -> Relation:
+    rows = [(None if i % 4 == 3 else i % 5, i * 10) for i in range(n)]
+    return Relation(["r.k", "r.w"], rows)
+
+
+def assert_columns_match_rows(plan, batch_size: int = B) -> None:
+    via_rows = execute(plan, mode="rows")
+    via_columns = execute(plan, mode="columns", batch_size=batch_size)
+    assert via_columns.schema.names == via_rows.schema.names
+    assert sorted(map(repr, via_columns.rows)) == sorted(map(repr, via_rows.rows))
+
+
+class TestColumnBatch:
+    def test_round_trip(self):
+        rows = [(1, "a"), (None, "b"), (3, None)]
+        batch = ColumnBatch.from_rows(rows, 2)
+        assert batch.length == len(batch) == 3
+        assert batch.to_rows() == rows
+
+    def test_empty(self):
+        batch = ColumnBatch.from_rows([], 2)
+        assert batch.length == 0
+        assert batch.columns == [[], []]
+        assert batch.to_rows() == []
+
+    def test_zero_width(self):
+        batch = ColumnBatch([], 3)
+        assert batch.to_rows() == [(), (), ()]
+
+
+@pytest.mark.parametrize("n", BOUNDARY_SIZES)
+class TestColumnarBatchBoundaries:
+    """Every operator, in columns mode, at every batch-boundary size."""
+
+    def test_seq_scan(self, n):
+        assert_columns_match_rows(SeqScan(left_relation(n), "l"))
+
+    def test_filter(self, n):
+        scan = SeqScan(left_relation(n), "l")
+        assert_columns_match_rows(Filter(scan, col("l.k") > lit(1)))
+
+    def test_projection(self, n):
+        scan = SeqScan(left_relation(n), "l")
+        assert_columns_match_rows(Projection(scan, ["l.v"]))
+
+    def test_projection_as(self, n):
+        scan = SeqScan(left_relation(n), "l")
+        assert_columns_match_rows(
+            ProjectionAs(scan, [("l.k", "k1"), ("l.k", "k2"), ("l.v", "v")])
+        )
+
+    def test_extend(self, n):
+        scan = SeqScan(left_relation(n), "l")
+        assert_columns_match_rows(
+            ExtendOp(scan, [("kk", col("l.k") + col("l.k")), ("one", lit(1))])
+        )
+
+    def test_fused_pipeline(self, n):
+        scan = SeqScan(left_relation(n), "l")
+        fused = FusedPipeline(
+            scan, col("l.k") > lit(0), [1, 0], scan.schema.project(["l.v", "l.k"])
+        )
+        assert_columns_match_rows(fused)
+
+    def test_fused_pipeline_filter_only(self, n):
+        scan = SeqScan(left_relation(n), "l")
+        assert_columns_match_rows(
+            FusedPipeline(scan, col("l.v").ne(lit("v1")), None, scan.schema)
+        )
+
+    def test_hash_join(self, n):
+        assert_columns_match_rows(
+            HashJoin(
+                SeqScan(left_relation(n), "l"),
+                SeqScan(right_relation(n), "r"),
+                [("l.k", "r.k")],
+            )
+        )
+
+    def test_hash_join_residual(self, n):
+        assert_columns_match_rows(
+            HashJoin(
+                SeqScan(left_relation(n), "l"),
+                SeqScan(right_relation(n), "r"),
+                [("l.k", "r.k")],
+                residual=col("r.w") > lit(0),
+            )
+        )
+
+    def test_hash_join_folded_output(self, n):
+        join = HashJoin(
+            SeqScan(left_relation(n), "l"),
+            SeqScan(right_relation(n), "r"),
+            [("l.k", "r.k")],
+            residual=col("r.w") > lit(0),
+        )
+        join.set_output([3, 1], join.schema.project(["r.w", "l.v"]))
+        assert_columns_match_rows(join)
+
+    def test_index_join_folded_output(self, n):
+        inner = right_relation(n)
+        index = ensure_index(inner, ["r.k"], kind="hash")
+        outer = SeqScan(left_relation(n), "l")
+        from repro.relational.physical import IndexNestedLoopJoin, IndexScan
+
+        probe = IndexScan(index, "r", inner.schema, probe=True)
+        join = IndexNestedLoopJoin(outer, probe, index, [0], [("l.k", "r.k")])
+        join.set_output([2, 1], join.schema.project(["r.k", "l.v"]))
+        assert_columns_match_rows(join)
+
+    def test_merge_join(self, n):
+        assert_columns_match_rows(
+            MergeJoin(
+                SeqScan(left_relation(n), "l"),
+                SeqScan(right_relation(n), "r"),
+                [("l.k", "r.k")],
+                residual=col("r.w") > lit(10),
+            )
+        )
+
+    def test_nested_loop(self, n):
+        assert_columns_match_rows(
+            NestedLoopJoin(
+                SeqScan(left_relation(n), "l"),
+                SeqScan(right_relation(min(n, B)), "r"),
+                col("l.k") < col("r.k"),
+            )
+        )
+
+    def test_semi_join(self, n):
+        assert_columns_match_rows(
+            SemiJoinOp(
+                SeqScan(left_relation(n), "l"),
+                SeqScan(right_relation(n), "r"),
+                col("l.k").eq(col("r.k")) & (col("r.w") > lit(0)),
+            )
+        )
+
+    def test_hash_distinct(self, n):
+        assert_columns_match_rows(HashDistinct(SeqScan(left_relation(n), "l")))
+
+    def test_append(self, n):
+        assert_columns_match_rows(
+            Append(
+                SeqScan(left_relation(n), "a"),
+                SeqScan(left_relation(max(n - 1, 0)), "b"),
+            )
+        )
+
+    def test_except(self, n):
+        assert_columns_match_rows(
+            Except(
+                SeqScan(left_relation(n), "a"), SeqScan(left_relation(n // 2), "b")
+            )
+        )
+
+    def test_sort(self, n):
+        assert_columns_match_rows(
+            Sort(SeqScan(left_relation(n), "l"), ["l.v", "l.k"])
+        )
+
+    def test_materialize(self, n):
+        assert_columns_match_rows(Materialize(SeqScan(left_relation(n), "l")))
+
+
+class TestMergeJoinPresorted:
+    """Merge join consuming SortedIndex.ordered instead of re-sorting."""
+
+    def test_presorted_inputs_skip_the_sorts(self):
+        left = Relation(["l.k", "l.v"], [(i % 7, i) for i in range(40)])
+        right = Relation(["r.k", "r.w"], [(i % 5, i * 2) for i in range(30)])
+        ensure_index(left, ["l.k"], kind="sorted")
+        ensure_index(right, ["r.k"], kind="sorted")
+        join = MergeJoin(
+            SeqScan(left, "l"), SeqScan(right, "r"), [("l.k", "r.k")]
+        )
+        via_columns = execute(join, mode="columns")
+        # the Sort children were never drained: the join consumed the
+        # indexes' ordered rows directly
+        assert join.left.actual_rows is None
+        assert join.right.actual_rows is None
+        reference = MergeJoin(
+            SeqScan(left, "l"), SeqScan(right, "r"), [("l.k", "r.k")]
+        )
+        via_rows = execute(reference, mode="rows")
+        assert sorted(via_columns.rows) == sorted(via_rows.rows)
+
+    def test_presorted_with_nulls_matches_sorting_path(self):
+        left = Relation(["l.k"], [(None,), (1,), (2,), (1,)])
+        right = Relation(["r.k"], [(1,), (None,), (3,)])
+        ensure_index(left, ["l.k"], kind="sorted")
+        ensure_index(right, ["r.k"], kind="sorted")
+        join = MergeJoin(SeqScan(left, "l"), SeqScan(right, "r"), [("l.k", "r.k")])
+        assert_columns_match_rows(join)
+
+    def test_one_presorted_side_falls_back(self):
+        left = Relation(["l.k"], [(2,), (1,)])
+        ensure_index(left, ["l.k"], kind="sorted")
+        right = Relation(["r.k"], [(1,), (2,)])
+        join = MergeJoin(SeqScan(left, "l"), SeqScan(right, "r"), [("l.k", "r.k")])
+        assert len(execute(join, mode="columns")) == 2
+
+    def test_cross_type_keys_match_sorting_path(self):
+        # 1 == 1.0 under raw comparison but not under _sort_key: the
+        # presorted path must agree with the index-free merge join
+        left = Relation(["l.k", "l.v"], [(1, "l")])
+        right = Relation(["r.k", "r.w"], [(1.0, "r")])
+        ensure_index(left, ["l.k"], kind="sorted")
+        ensure_index(right, ["r.k"], kind="sorted")
+        join = MergeJoin(SeqScan(left, "l"), SeqScan(right, "r"), [("l.k", "r.k")])
+        assert_columns_match_rows(join)
+        bare = MergeJoin(
+            SeqScan(Relation(["l.k", "l.v"], [(1, "l")]), "l"),
+            SeqScan(Relation(["r.k", "r.w"], [(1.0, "r")]), "r"),
+            [("l.k", "r.k")],
+        )
+        assert sorted(execute(join, mode="columns").rows) == sorted(
+            execute(bare, mode="columns").rows
+        )
+
+    def test_incomparable_sides_fall_back(self):
+        left = Relation(["l.k"], [(1,), (2,)])
+        right = Relation(["r.k"], [("a",), ("b",)])
+        ensure_index(left, ["l.k"], kind="sorted")
+        ensure_index(right, ["r.k"], kind="sorted")
+        join = MergeJoin(SeqScan(left, "l"), SeqScan(right, "r"), [("l.k", "r.k")])
+        assert execute(join, mode="columns").rows == []
+
+
+# ----------------------------------------------------------------------
+# property tests: columns == blocks == rows, fused and unfused,
+# indexed and sequential
+# ----------------------------------------------------------------------
+values = st.one_of(st.integers(min_value=0, max_value=9), st.none())
+rows_r = st.lists(st.tuples(values, values), min_size=0, max_size=30)
+rows_s = st.lists(st.tuples(values, values), min_size=0, max_size=30)
+batch_sizes = st.sampled_from([0, 1, 1023, 1024, 1025])
+
+
+@st.composite
+def predicates(draw, columns):
+    column = col(draw(st.sampled_from(columns)))
+    kind = draw(st.sampled_from(["eq", "lt", "gt", "between", "in", "isnull", "and"]))
+    v = draw(st.integers(min_value=0, max_value=9))
+    if kind == "eq":
+        return column.eq(lit(v))
+    if kind == "lt":
+        return column < lit(v)
+    if kind == "gt":
+        return column > lit(v)
+    if kind == "between":
+        lo = draw(st.integers(min_value=0, max_value=9))
+        return column.between(min(lo, v), max(lo, v))
+    if kind == "in":
+        return column.in_list([v, (v + 3) % 10])
+    if kind == "isnull":
+        return column.is_null()
+    other = col(draw(st.sampled_from(columns)))
+    return (column >= lit(min(v, 5))) & (other <= lit(max(v, 5)))
+
+
+@st.composite
+def plans(draw):
+    r = Relation(["r.a", "r.b"], draw(rows_r))
+    s = Relation(["s.c", "s.d"], draw(rows_s))
+    for rel, names in ((r, ["r.a", "r.b"]), (s, ["s.c", "s.d"])):
+        for name in names:
+            ensure_index(rel, [name], kind="hash")
+            ensure_index(rel, [name], kind="sorted")
+    r_scan, s_scan = Scan(r, "r"), Scan(s, "s")
+    shape = draw(
+        st.sampled_from(
+            [
+                "select",
+                "project_select",
+                "rename_select",
+                "join",
+                "join_select",
+                "project_join",
+                "distinct",
+                "product",
+                "union",
+            ]
+        )
+    )
+    if shape == "select":
+        return Select(r_scan, draw(predicates(["r.a", "r.b"])))
+    if shape == "project_select":
+        return Project(
+            Select(r_scan, draw(predicates(["r.a", "r.b"]))), ["r.b", "r.a", "r.b"][:2]
+        )
+    if shape == "rename_select":
+        renamed = Rename(r_scan, {"r.a": "x.a"})
+        return Project(Select(renamed, draw(predicates(["x.a", "r.b"]))), ["x.a"])
+    join = Join(
+        Select(r_scan, draw(predicates(["r.a", "r.b"]))),
+        s_scan,
+        col("r.a").eq(col("s.c")),
+    )
+    if shape == "join":
+        return join
+    if shape == "join_select":
+        return Select(join, draw(predicates(["r.b", "s.d"])))
+    if shape == "project_join":
+        return Project(join, ["r.b", "s.d"])
+    if shape == "distinct":
+        return Distinct(Project(Select(r_scan, draw(predicates(["r.a"]))), ["r.b"]))
+    if shape == "product":
+        return Select(Product(r_scan, s_scan), draw(predicates(["r.a", "s.d"])))
+    return Union(Project(r_scan, ["r.a"]), Project(s_scan, ["s.c"]))
+
+
+def bag(relation: Relation):
+    return sorted(map(repr, relation.rows))
+
+
+@given(plans(), batch_sizes, st.booleans(), st.booleans())
+@settings(max_examples=150, deadline=None)
+def test_three_modes_agree(plan, batch_size, use_indexes, optimize_first):
+    logical = optimize(plan) if optimize_first else plan
+    unfused = plan_physical(logical, use_indexes=use_indexes, fuse=False)
+    fused = plan_physical(logical, use_indexes=use_indexes, fuse=True)
+    via_rows = execute(unfused, mode="rows")
+    via_blocks = execute(unfused, mode="blocks", batch_size=batch_size)
+    via_columns = execute(fused, mode="columns", batch_size=batch_size)
+    assert bag(via_blocks) == bag(via_rows)
+    assert bag(via_columns) == bag(via_rows)
+    assert via_columns.schema.names == via_rows.schema.names
+    # the fused tree is mode-agnostic: identical answers in every mode
+    assert bag(execute(fused, mode="rows")) == bag(via_rows)
+    assert bag(execute(fused, mode="blocks", batch_size=batch_size)) == bag(via_rows)
+
+
+@given(plans(), batch_sizes, st.booleans())
+@settings(max_examples=60, deadline=None)
+def test_merge_join_profile_three_modes(plan, batch_size, fuse):
+    physical = plan_physical(optimize(plan), prefer_merge_join=True, fuse=fuse)
+    via_rows = execute(physical, mode="rows")
+    via_columns = execute(physical, mode="columns", batch_size=batch_size)
+    assert bag(via_columns) == bag(via_rows)

@@ -180,7 +180,7 @@ class TestBatchMechanics:
 
     def test_unknown_mode_rejected(self):
         with pytest.raises(ValueError):
-            execute(SeqScan(left_relation(1), "l"), mode="columns")
+            execute(SeqScan(left_relation(1), "l"), mode="vectors")
 
     def test_explain_analyze_reports_actuals(self):
         left = SeqScan(left_relation(B + 1), "l")
