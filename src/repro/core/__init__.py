@@ -84,11 +84,14 @@ from .reduction import (
     reduce_udatabase,
     reduction_plan,
 )
+from .prepared import PreparedQuery
 from .translate import (
     Translated,
     alpha_condition,
     execute_query,
+    explain_query,
     psi_condition,
+    query_structure_key,
     translate,
 )
 from .udatabase import LogicalSchema, UDatabase
@@ -125,6 +128,9 @@ __all__ = [
     "translate_late",
     "translate_early",
     "execute_query",
+    "explain_query",
+    "query_structure_key",
+    "PreparedQuery",
     "psi_condition",
     "alpha_condition",
     # equivalences

@@ -18,6 +18,7 @@ from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Seque
 
 from ..relational.database import Database
 from ..relational.index import defer_index, ensure_index, indexes_on
+from ..relational.plancache import bump_relation, watch_relation
 from ..relational.relation import Relation
 from ..relational.schema import Schema
 from .descriptor import Descriptor
@@ -105,6 +106,32 @@ class UDatabase:
         #: kind)`` restored by persistence; applied whenever the ``w``
         #: snapshot is (re)materialized in :meth:`to_database`.
         self.world_index_defs: List[Tuple[str, Tuple[str, ...], str]] = []
+        #: Mutation counter behind :attr:`catalog_version` — bumped by
+        #: schema changes here and, via the plan cache's watcher hook, by
+        #: any mutation of a partition relation (index DDL, deferred
+        #: auto-index builds, statistics refreshes).
+        self._catalog_version = 0
+        #: Prepared statements keyed by SQL text (``repro.sql.prepare`` /
+        #: ``execute_sql`` fill this so re-issued statements skip parsing
+        #: *and* planning).
+        self._statements: Dict[str, Any] = {}
+
+    @property
+    def catalog_version(self) -> int:
+        """Monotone catalog version covering schema, index, and world state.
+
+        Bumps on :meth:`add_relation`, on every index mutation of a
+        partition (including lazy auto-index first builds), on statistics
+        refreshes, and on world-table growth (its own version counter is a
+        component).  The prepared-plan cache invalidates *dependent*
+        entries exactly on each of these; the version is the observable
+        that provably moves whenever any of them happens.
+        """
+        return self._catalog_version + self.world_table.version
+
+    def _bump_catalog_version(self) -> None:
+        """Plan-cache watcher hook: a partition relation mutated."""
+        self._catalog_version += 1
 
     # ------------------------------------------------------------------
     # construction
@@ -142,9 +169,20 @@ class UDatabase:
         extra = covered - set(attributes)
         if extra:
             raise ValueError(f"partitions of {name!r} carry unknown attributes {sorted(extra)}")
+        replaced = self._partitions.get(name)
         self._schemas[name] = LogicalSchema(name, attributes)
         self._partitions[name] = partitions
         self._database = None  # the cached catalog view is stale now
+        self._catalog_version += 1
+        for part in partitions:
+            # future index builds / stats refreshes on this partition must
+            # bump this database's catalog version
+            watch_relation(part.relation, self)
+        if replaced is not None:
+            # re-registering a name swaps its partition set: evict every
+            # cached plan that scanned the old partitions
+            for part in replaced:
+                bump_relation(part.relation)
         if self.auto_index:
             for part in partitions:
                 if build_now:
@@ -192,6 +230,18 @@ class UDatabase:
         for parts in self._partitions.values():
             for part in parts:
                 indexes_on(part.relation)
+
+    def prepare(self, sql: str):
+        """Prepare a SQL statement (with optional ``$n`` parameter slots).
+
+        Returns a :class:`~repro.core.prepared.PreparedQuery`; repeated
+        ``run(...)`` calls — with any parameter bindings — reuse one
+        cached physical plan and go executor-only.  Statements are cached
+        by text, so preparing the same SQL twice returns the same object.
+        """
+        from ..sql import prepare as prepare_sql
+
+        return prepare_sql(sql, self)
 
     def world_count(self) -> int:
         return self.world_table.world_count()

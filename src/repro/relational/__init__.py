@@ -53,12 +53,16 @@ from .expressions import (
     Lit,
     Not,
     Or,
+    Param,
     col,
+    compile_cache_stats,
     conjunction,
     disjunction,
     lit,
+    reset_compile_cache,
 )
-from .optimizer import estimate_rows, optimize
+from .optimizer import estimate_rows, optimize, refresh_statistics
+from .plancache import plan_cache_stats, reset_plan_cache
 from .planner import Planner, plan_physical, run
 from .physical import BATCH_SIZE, execute
 from .relation import Relation
@@ -86,6 +90,7 @@ __all__ = [
     "Expression",
     "Col",
     "Lit",
+    "Param",
     "Comparison",
     "And",
     "Or",
@@ -122,6 +127,11 @@ __all__ = [
     # execution
     "optimize",
     "estimate_rows",
+    "refresh_statistics",
+    "plan_cache_stats",
+    "reset_plan_cache",
+    "compile_cache_stats",
+    "reset_compile_cache",
     "Planner",
     "plan_physical",
     "run",

@@ -14,19 +14,40 @@ defined on it is rebuilt over the new relation, and dropping a table drops
 its indexes.  The planner performs cost-based access-path selection against
 them — ``explain`` shows ``Index Scan using <name> on <table>`` and
 ``Index Nested Loop Join`` nodes where they win.
+
+Prepared plans: every :meth:`run`/:meth:`explain` consults the process-wide
+prepared-plan cache (:mod:`repro.relational.plancache`) keyed on the
+logical plan's structure, this catalog, and the planner knobs, so a
+repeated query skips optimization and physical planning entirely.  The
+catalog is *versioned* — :attr:`catalog_version` bumps on every mutation
+(table create/replace/drop, index DDL, statistics refresh, and the
+deferred auto-index builds that materialize during planning) and each
+mutation evicts exactly the cached plans that depend on the changed
+relation.  ``explain`` marks a plan served from the cache with
+``(cached)``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from .algebra import Plan, Scan
 from .explain import explain as _explain
 from .explain import explain_analyze as _explain_analyze
 from .index import Index, IndexRegistry
-from .optimizer import optimize
+from .optimizer import optimize, refresh_statistics
+from .plancache import (
+    build_key,
+    bump_relation,
+    cache_lookup,
+    cache_store,
+    logical_plan_key,
+    mark_cached,
+    plan_relations,
+    watch_relation,
+)
 from .planner import Planner
-from .physical import BATCH_SIZE, execute
+from .physical import BATCH_SIZE, PhysicalPlan, execute
 from .relation import Relation
 
 __all__ = ["Database"]
@@ -40,8 +61,21 @@ class Database:
         relations: Optional[Dict[str, Relation]] = None,
         registry: Optional[IndexRegistry] = None,
     ):
-        self._relations: Dict[str, Relation] = dict(relations or {})
+        self._relations: Dict[str, Relation] = {}
         self.indexes: IndexRegistry = registry if registry is not None else IndexRegistry()
+        #: Monotone catalog version: bumped by every mutation that can
+        #: change what a fresh plan over this catalog would look like.
+        #: The prepared-plan cache's invalidation is *finer* than this
+        #: (per-relation), but the version gives tests and operators one
+        #: observable number that provably moves on every DDL.
+        self.catalog_version = 0
+        for name, relation in (relations or {}).items():
+            self._relations[name] = relation
+            watch_relation(relation, self)
+
+    def _bump_catalog_version(self) -> None:
+        """Plan-cache watcher hook: a relation of this catalog mutated."""
+        self.catalog_version += 1
 
     # ------------------------------------------------------------------
     # catalog management
@@ -53,19 +87,28 @@ class Database:
         over the new relation object.  The rebuild happens *before* the
         catalog mutation: if an index definition cannot be satisfied by
         the replacement (a missing column, say), the error leaves both the
-        catalog and the registry untouched.
+        catalog and the registry untouched.  A replacement bumps
+        :attr:`catalog_version` and evicts every cached plan that scanned
+        the old relation object.
         """
         existed = name in self._relations
         if existed and not replace:
             raise KeyError(f"relation {name!r} already exists")
+        old = self._relations.get(name)
         if existed:
             self.indexes.rebuild_table(name, relation)
         self._relations[name] = relation
+        watch_relation(relation, self)
+        self.catalog_version += 1
+        if old is not None and old is not relation:
+            bump_relation(old)
 
     def drop(self, name: str) -> None:
         """Remove a relation (and its indexes) from the catalog."""
-        del self._relations[name]
+        relation = self._relations.pop(name)
         self.indexes.drop_table(name)
+        self.catalog_version += 1
+        bump_relation(relation)
 
     def get(self, name: str) -> Relation:
         """Look up a relation by name."""
@@ -116,19 +159,42 @@ class Database:
         """Create a named secondary index on a catalog relation.
 
         ``kind`` is ``"hash"`` (equality lookups) or ``"sorted"``
-        (binary-search point + range access).
+        (binary-search point + range access).  Bumps the catalog version;
+        the attach evicts cached plans over the table so the next
+        execution re-plans with the new access path.
         """
-        return self.indexes.create(
+        index = self.indexes.create(
             name, table, self.get(table), columns, kind=kind, replace=replace
         )
+        self.catalog_version += 1
+        return index
 
     def drop_index(self, name: str) -> None:
-        """Drop a named index."""
+        """Drop a named index (bumps the catalog version, evicts plans)."""
         self.indexes.drop(name)
+        self.catalog_version += 1
 
     def index_names(self, table: Optional[str] = None) -> List[str]:
         """Names of all indexes, optionally restricted to one table."""
         return self.indexes.names(table)
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def analyze(self, table: Optional[str] = None) -> None:
+        """Recompute optimizer statistics (one table, or all).
+
+        The PostgreSQL-``ANALYZE`` analogue: drops the cached
+        :class:`~repro.relational.statistics.TableStats` so the next
+        planning pass recomputes them, bumps :attr:`catalog_version`, and
+        evicts cached plans over the refreshed relations (their access
+        paths were chosen against the stale estimates).
+        """
+        targets = [self.get(table)] if table is not None else list(
+            self._relations.values()
+        )
+        for relation in targets:
+            refresh_statistics(relation)
 
     # ------------------------------------------------------------------
     # query execution
@@ -136,6 +202,42 @@ class Database:
     def scan(self, name: str, alias: Optional[str] = None) -> Scan:
         """A Scan plan node over a catalog relation."""
         return Scan(self.get(name), name=name, alias=alias)
+
+    def _cached_physical(
+        self,
+        plan: Plan,
+        optimize_first: bool,
+        prefer_merge_join: bool,
+        use_indexes: bool,
+        fuse: bool,
+    ) -> Tuple[PhysicalPlan, bool]:
+        """The physical plan for a logical plan, via the prepared-plan cache.
+
+        Returns ``(physical, was_cached)``.  Uncacheable plan shapes (an
+        unknown node or expression subclass) compile fresh every time.
+        """
+        key = build_key(
+            lambda: (
+                "db-run",
+                id(self),
+                logical_plan_key(plan),
+                optimize_first,
+                prefer_merge_join,
+                use_indexes,
+                fuse,
+            )
+        )
+        cached = cache_lookup(key)
+        if cached is not None:
+            return cached, True
+        logical = optimize(plan) if optimize_first else plan
+        physical = Planner(
+            prefer_merge_join=prefer_merge_join,
+            use_indexes=use_indexes,
+            fuse=fuse,
+        ).compile(logical)
+        cache_store(key, physical, deps=plan_relations(plan), pins=(self, plan))
+        return physical, False
 
     def run(
         self,
@@ -153,14 +255,19 @@ class Database:
         (unfused, the PR 1/2 baseline); ``mode="rows"`` the legacy
         tuple-at-a-time iterators.  ``use_indexes=False`` disables
         access-path selection (sequential scans and hash joins only).
+
+        Repeated runs of a structurally identical plan skip optimization
+        and planning entirely: the physical tree comes from the
+        prepared-plan cache (``rows`` and ``blocks`` share one unfused
+        plan; ``columns`` caches its fused plan separately).
         """
-        if optimize_first:
-            plan = optimize(plan)
-        physical = Planner(
-            prefer_merge_join=prefer_merge_join,
-            use_indexes=use_indexes,
+        physical, _ = self._cached_physical(
+            plan,
+            optimize_first,
+            prefer_merge_join,
+            use_indexes,
             fuse=mode == "columns",
-        ).compile(plan)
+        )
         return execute(physical, mode=mode, batch_size=batch_size)
 
     def explain(
@@ -182,15 +289,20 @@ class Database:
         in that mode first and each operator line reports the rows and
         batches it actually produced (fused pipelines report per-pipeline
         counts, since their fused-away operators no longer exist).
+
+        A plan served from the prepared-plan cache is marked ``(cached)``
+        on its top line; the explained plan is also *inserted* into the
+        cache, so explaining then running a query plans it exactly once.
         """
-        if optimize_first:
-            plan = optimize(plan)
-        physical = Planner(
-            prefer_merge_join=prefer_merge_join,
-            use_indexes=use_indexes,
+        physical, was_cached = self._cached_physical(
+            plan,
+            optimize_first,
+            prefer_merge_join,
+            use_indexes,
             fuse=mode == "columns",
-        ).compile(plan)
+        )
         if analyze:
             _result, text = _explain_analyze(physical, batch_size=batch_size, mode=mode)
-            return text
-        return _explain(physical)
+        else:
+            text = _explain(physical)
+        return mark_cached(text) if was_cached else text

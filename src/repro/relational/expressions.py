@@ -54,6 +54,7 @@ __all__ = [
     "Expression",
     "Col",
     "Lit",
+    "Param",
     "Comparison",
     "And",
     "Or",
@@ -187,6 +188,50 @@ class Lit(Expression):
         if isinstance(self.value, str):
             return f"'{self.value}'"
         return format_value(self.value)
+
+
+class Param(Expression):
+    """A ``$n``-style runtime parameter slot.
+
+    ``store`` is a mutable list shared by every parameter of one prepared
+    query; ``index`` is the zero-based slot (``$1`` is index 0).  The value
+    is read from the store *at evaluation time* — never inlined into
+    generated code — so a physical plan compiled once serves every
+    parameter binding: the prepared-plan cache keys parameters by store
+    identity (see :func:`structural_key`), not by value.
+
+    Rewrite passes that clone expression trees slot-by-slot (predicate
+    qualification, pushdown, re-anchoring) copy the ``store`` reference,
+    so clones inside a planned tree always see the current binding.
+    Because a parameter may be bound to NULL at any execution,
+    :func:`has_null_literal` reports ``True`` for it and codegen keeps the
+    NULL guards around every use.
+    """
+
+    __slots__ = ("index", "store")
+
+    def __init__(self, index: int, store: List[Any]):
+        if index < 0:
+            raise ValueError(f"parameter index must be >= 0, got {index}")
+        self.index = index
+        self.store = store
+        while len(store) <= index:
+            store.append(None)
+
+    @property
+    def value(self) -> Any:
+        """The currently bound value of this slot."""
+        return self.store[self.index]
+
+    def bind(self, schema: Schema) -> RowPredicate:
+        store, index = self.store, self.index
+        return lambda row: store[index]
+
+    def columns(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return f"${self.index + 1}"
 
 
 _COMPARATORS = {
@@ -594,6 +639,11 @@ class _CodeGen:
     def emit(self, expr: Expression) -> str:
         if isinstance(expr, Col):
             return self._emit_col(self.schema.resolve(expr.name))
+        if isinstance(expr, Param):
+            # read the shared store at evaluation time — the value must
+            # never be baked into cached code (plans outlive bindings)
+            name = self._constant(expr.store)
+            return f"{name}[{expr.index}]"
         if isinstance(expr, Lit):
             value = expr.value
             if type(value) in _INLINE_LITERALS:
@@ -685,6 +735,13 @@ def structural_key(expression: Expression) -> Tuple:
     """
     if isinstance(expression, Col):
         return ("col", expression.name)
+    if isinstance(expression, Param):
+        # keyed by store identity, not value: every binding of a prepared
+        # query shares one compiled kernel / cached plan.  The id is sound
+        # because cached artifacts capture the store (kernels close over
+        # it, plan-cache entries pin the query tree that holds it), so it
+        # cannot be recycled while a keyed entry is alive.
+        return ("param", expression.index, id(expression.store))
     if isinstance(expression, Lit):
         value = expression.value
         hash(value)  # may raise TypeError: unhashable literal
@@ -769,6 +826,26 @@ def expression_cache_key(
         return None
 
 
+def iter_subexpressions(expression: Expression):
+    """Yield the direct :class:`Expression` children of a node.
+
+    Walks the node's ``__slots__`` (including inherited ones), looking
+    into tuple-valued slots — the one traversal every generic analysis
+    (:func:`has_null_literal`, prepared-statement parameter collection)
+    shares, so a future expression type with a new child container shape
+    needs exactly one fix.
+    """
+    for klass in type(expression).__mro__:
+        for slot in getattr(klass, "__slots__", ()):
+            value = getattr(expression, slot, None)
+            if isinstance(value, Expression):
+                yield value
+            elif isinstance(value, tuple):
+                for item in value:
+                    if isinstance(item, Expression):
+                        yield item
+
+
 def has_null_literal(expression: Expression) -> bool:
     """Whether a NULL literal occurs anywhere in an expression tree.
 
@@ -778,17 +855,9 @@ def has_null_literal(expression: Expression) -> bool:
     """
     if isinstance(expression, Lit):
         return expression.value is None
-    for klass in type(expression).__mro__:
-        for slot in getattr(klass, "__slots__", ()):
-            value = getattr(expression, slot, None)
-            if isinstance(value, Expression):
-                if has_null_literal(value):
-                    return True
-            elif isinstance(value, tuple):
-                for item in value:
-                    if isinstance(item, Expression) and has_null_literal(item):
-                        return True
-    return False
+    if isinstance(expression, Param):
+        return True  # a parameter may be bound to NULL at any execution
+    return any(has_null_literal(child) for child in iter_subexpressions(expression))
 
 
 def compile_cache_stats() -> dict:

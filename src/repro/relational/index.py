@@ -257,7 +257,15 @@ def build_index(
 # attachment: indexes live on the relation object they cover
 # ----------------------------------------------------------------------
 def attach_index(relation: Relation, index: Index) -> None:
-    """Attach an index to its relation so planners can discover it."""
+    """Attach an index to its relation so planners can discover it.
+
+    Attaching changes the access paths a fresh plan over the relation
+    would choose, so the prepared-plan cache is told (every index build —
+    ``CREATE INDEX``, registry rebuilds, and the deferred auto-index
+    builds that materialize on first planner access — funnels through
+    here): dependent cached plans are evicted and watching catalogs bump
+    their version.
+    """
     if index.relation is not relation:
         raise ValueError("index was built over a different relation object")
     existing = getattr(relation, "_indexes", None)
@@ -265,13 +273,25 @@ def attach_index(relation: Relation, index: Index) -> None:
         relation._indexes = [index]
     elif index not in existing:
         existing.append(index)
+    else:
+        return  # already attached: no access-path change
+    from .plancache import bump_relation
+
+    bump_relation(relation)
 
 
 def detach_index(relation: Relation, index: Index) -> None:
-    """Remove an attached index (no-op if it is not attached)."""
+    """Remove an attached index (no-op if it is not attached).
+
+    Like :func:`attach_index`, a successful detach is a catalog mutation:
+    cached plans probing the index are evicted through the plan cache.
+    """
     existing = getattr(relation, "_indexes", None)
     if existing and index in existing:
         existing.remove(index)
+        from .plancache import bump_relation
+
+        bump_relation(relation)
 
 
 def default_index_name(columns: Sequence[str]) -> str:

@@ -62,6 +62,7 @@ __all__ = [
     "prune_columns",
     "estimate_rows",
     "scan_stats",
+    "refresh_statistics",
 ]
 
 
@@ -256,6 +257,21 @@ def scan_stats(scan: Scan) -> TableStats:
     statistics cache when costing candidate index scans.
     """
     return _table_stats(scan)
+
+
+def refresh_statistics(relation) -> None:
+    """Drop cached statistics for a relation (the ``ANALYZE`` analogue).
+
+    A statistics refresh is a catalog mutation for plan-caching purposes:
+    cached plans were costed against the old estimates, so the relation's
+    plan-cache epoch is bumped — dependent prepared plans are evicted and
+    watching catalogs bump their version — and the next planning pass
+    recomputes :class:`TableStats` lazily.
+    """
+    from .plancache import bump_relation
+
+    _stats_cache.pop(id(relation), None)
+    bump_relation(relation)
 
 
 def _column_stats(plan: Plan, reference: str) -> Optional[ColumnStats]:

@@ -67,7 +67,7 @@ from .columnar import (
     selection_kernel,
     side_kernel,
 )
-from .expressions import Expression, cached_kernel, compile_pair_expression
+from .expressions import Expression, Param, cached_kernel, compile_pair_expression
 from .index import HashIndex, Index, SortedIndex, built_indexes_on
 from .relation import Relation, _sort_key
 from .schema import Schema
@@ -293,6 +293,20 @@ class SeqScan(PhysicalPlan):
 _NO_POINT = object()
 
 
+def _resolve_key(point: Any) -> Any:
+    """Resolve ``$n`` parameter slots in a point-lookup key at run time.
+
+    The planner stores :class:`~repro.relational.expressions.Param`
+    objects (not their values) in cached plans; each execution reads the
+    currently bound value here, so one plan serves every binding.
+    """
+    if isinstance(point, Param):
+        return point.value
+    if isinstance(point, tuple) and any(isinstance(v, Param) for v in point):
+        return tuple(v.value if isinstance(v, Param) else v for v in point)
+    return point
+
+
 class IndexScan(PhysicalPlan):
     """Base-relation access through a secondary index.
 
@@ -359,7 +373,7 @@ class IndexScan(PhysicalPlan):
         if self.probe:
             return ()
         if self.point is not _NO_POINT:
-            return self.index.lookup(self.point)
+            return self.index.lookup(_resolve_key(self.point))
         if self.lower is None and self.upper is None:
             return self.index.ordered()  # type: ignore[union-attr]  # SortedIndex per __init__
         return self.index.range(  # type: ignore[union-attr]  # SortedIndex checked in __init__

@@ -1,0 +1,356 @@
+"""The prepared-plan cache: repeated queries go executor-only.
+
+Translation + optimization + physical planning cost a few milliseconds per
+``execute_query`` — real money once the per-execution work is microseconds
+(the compile cache already removed codegen from repeated runs; this module
+removes *planning*).  The cache maps
+
+    (normalized query structure, owner catalog, planner knobs)
+        -> fully planned physical tree
+
+so a repeated ``run``/``Database.run``/``execute_query`` skips the whole
+translate -> optimize -> plan pipeline and goes straight to the executor.
+
+Soundness rests on two facts:
+
+* **Relations are immutable values.**  A physical plan embeds the relation
+  objects it scans; as long as those objects are the catalog's current
+  ones (and their attached indexes and statistics are unchanged), the plan
+  is exactly the plan a fresh compilation would produce.
+* **Every catalog mutation funnels through a bump hook.**  Replacing a
+  table (``create(replace=True)``), dropping one, creating or dropping an
+  index (including the deferred auto-index builds that materialize on
+  first planner access), refreshing statistics, and world-table growth all
+  end up calling :func:`bump_relation` on the affected relation object —
+  which evicts *exactly* the entries whose plans depend on it and bumps
+  the catalog version of every registered watcher
+  (:class:`~repro.relational.database.Database` /
+  :class:`~repro.core.udatabase.UDatabase` instances register themselves
+  via :func:`watch_relation`).
+
+Entries additionally record the per-relation *epoch* of each dependency at
+insert time and re-validate on lookup, so even a hypothetical missed bump
+cannot surface a stale plan — the belt to the eviction hooks' braces.
+
+Keys identify base relations by ``id()``.  That is sound precisely because
+every entry holds strong references to its dependency relations: an id can
+only be recycled after the object dies, and a dependency object cannot die
+while its entry is alive.
+
+:func:`plan_cache_stats` / :func:`reset_plan_cache` mirror the expression
+compile cache's introspection hooks (tests and benchmarks use them to
+prove second-run queries are planning-free).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+from weakref import WeakSet
+
+from .algebra import (
+    Difference,
+    Distinct,
+    Extend,
+    Join,
+    Plan,
+    Product,
+    Project,
+    ProjectAs,
+    Rename,
+    Scan,
+    Select,
+    SemiJoin,
+    Union,
+)
+from .expressions import structural_key
+from .relation import Relation
+
+__all__ = [
+    "plan_cache_stats",
+    "reset_plan_cache",
+    "bump_relation",
+    "relation_epoch",
+    "watch_relation",
+    "cache_lookup",
+    "cache_store",
+    "cache_contains",
+    "build_key",
+    "mark_cached",
+    "logical_plan_key",
+    "plan_relations",
+]
+
+
+#: Entries beyond this are handled by wholesale clearing (planning is cheap
+#: enough that an occasional cold restart beats LRU bookkeeping — the same
+#: policy as the expression compile cache).
+_PLAN_CACHE_LIMIT = 256
+
+
+class _Entry:
+    __slots__ = ("key", "payload", "deps", "pins")
+
+    def __init__(
+        self,
+        key: Tuple,
+        payload: Any,
+        deps: Sequence[Tuple[Relation, int]],
+        pins: Tuple,
+    ):
+        self.key = key
+        self.payload = payload
+        #: (relation, epoch-at-insert) per base relation the plan scans or
+        #: probes.  The strong reference is what keeps ``id()``-based keys
+        #: sound; the epoch is the lookup-time staleness backstop.
+        self.deps = list(deps)
+        #: Extra strong references (the owning catalog, the query object —
+        #: which keeps parameter stores alive for ``$n`` plans).
+        self.pins = pins
+
+
+_entries: Dict[Tuple, _Entry] = {}
+#: Reverse dependency map: id(relation) -> keys of entries scanning it.
+#: Sound and leak-free because every mapped id belongs to a relation some
+#: live entry pins; the mapping is removed with its last entry.
+_by_relation: Dict[int, Set[Tuple]] = {}
+
+_hits = 0
+_misses = 0
+_invalidations = 0
+
+
+# ----------------------------------------------------------------------
+# versioning hooks
+# ----------------------------------------------------------------------
+# The per-relation mutation epoch and watcher set live *on the relation
+# object* (``_plan_epoch`` / ``_plan_watchers`` slots), so their lifetime
+# is exactly the relation's — no global registry to prune, no id-recycling
+# corner cases.
+
+
+def relation_epoch(relation: Relation) -> int:
+    """The relation's current mutation epoch (0 until first bump)."""
+    return getattr(relation, "_plan_epoch", 0)
+
+
+def watch_relation(relation: Relation, owner: Any) -> None:
+    """Register ``owner`` to have ``_bump_catalog_version()`` called when
+    this relation object mutates (index built/dropped, stats refreshed,
+    replaced in a catalog).  Held weakly — watching never pins a catalog."""
+    watchers = getattr(relation, "_plan_watchers", None)
+    if watchers is None:
+        watchers = WeakSet()
+        relation._plan_watchers = watchers
+    watchers.add(owner)
+
+
+def bump_relation(relation: Relation) -> int:
+    """Record a mutation of ``relation``: bump its epoch, notify watching
+    catalogs, and evict exactly the cache entries whose plans depend on it.
+
+    Returns the number of entries evicted.  This is *the* invalidation
+    hook: every catalog mutation (table replacement/drop, index DDL, lazy
+    index materialization, statistics refresh, world-table refresh)
+    reaches the cache through here.
+    """
+    global _invalidations
+    relation._plan_epoch = getattr(relation, "_plan_epoch", 0) + 1
+    for owner in tuple(getattr(relation, "_plan_watchers", None) or ()):
+        bump = getattr(owner, "_bump_catalog_version", None)
+        if bump is not None:
+            bump()
+    evicted = 0
+    for entry_key in tuple(_by_relation.get(id(relation), ())):
+        entry = _entries.get(entry_key)
+        if entry is not None and any(dep is relation for dep, _ in entry.deps):
+            _remove(entry)
+            evicted += 1
+    _invalidations += evicted
+    return evicted
+
+
+# ----------------------------------------------------------------------
+# the cache proper
+# ----------------------------------------------------------------------
+def _remove(entry: _Entry) -> None:
+    _entries.pop(entry.key, None)
+    for dep, _epoch in entry.deps:
+        keys = _by_relation.get(id(dep))
+        if keys is not None:
+            keys.discard(entry.key)
+            if not keys:
+                _by_relation.pop(id(dep), None)
+
+
+def _valid(entry: _Entry) -> bool:
+    return all(relation_epoch(dep) == epoch for dep, epoch in entry.deps)
+
+
+def cache_lookup(key: Optional[Tuple]) -> Optional[Any]:
+    """The cached payload for ``key``, or ``None`` (counted as a miss).
+
+    A ``None`` key (an uncacheable query shape) always misses.  Entries
+    whose dependency epochs drifted — which the eviction hooks should have
+    removed already — are dropped here rather than returned stale.
+    """
+    global _hits, _misses, _invalidations
+    if key is None:
+        _misses += 1
+        return None
+    entry = _entries.get(key)
+    if entry is None:
+        _misses += 1
+        return None
+    if not _valid(entry):  # pragma: no cover - backstop; hooks evict first
+        _remove(entry)
+        _invalidations += 1
+        _misses += 1
+        return None
+    _hits += 1
+    return entry.payload
+
+
+def cache_store(
+    key: Optional[Tuple],
+    payload: Any,
+    deps: Sequence[Relation],
+    pins: Tuple = (),
+) -> None:
+    """Insert a planned payload under ``key`` (``None`` key: not cached).
+
+    ``deps`` are the base relations the plan reads; their *current* epochs
+    are recorded, so a store that races a mutation during its own planning
+    (a lazy index build, say) self-describes correctly.
+    """
+    if key is None:
+        return
+    if len(_entries) >= _PLAN_CACHE_LIMIT:
+        _entries.clear()
+        _by_relation.clear()
+    entry = _Entry(key, payload, [(dep, relation_epoch(dep)) for dep in deps], pins)
+    _entries[key] = entry
+    for dep in deps:
+        _by_relation.setdefault(id(dep), set()).add(key)
+
+
+def cache_contains(key: Optional[Tuple]) -> bool:
+    """Whether a valid entry exists for ``key`` (no stats counted)."""
+    if key is None:
+        return False
+    entry = _entries.get(key)
+    return entry is not None and _valid(entry)
+
+
+def plan_cache_stats() -> dict:
+    """Hit/miss/invalidation counters and current size of the plan cache."""
+    return {
+        "hits": _hits,
+        "misses": _misses,
+        "invalidations": _invalidations,
+        "size": len(_entries),
+    }
+
+
+def reset_plan_cache() -> None:
+    """Empty the plan cache and zero its counters (test/bench hook).
+
+    Epochs and watcher registrations live on the relation objects
+    themselves and survive: they describe live catalog state, not cached
+    plans, and resetting them could resurrect the very staleness the
+    epochs guard against.
+    """
+    global _hits, _misses, _invalidations
+    _entries.clear()
+    _by_relation.clear()
+    _hits = 0
+    _misses = 0
+    _invalidations = 0
+
+
+def mark_cached(text: str) -> str:
+    """Append the ``(cached)`` marker to an EXPLAIN text's top line."""
+    first, _, rest = text.partition("\n")
+    return first + "  (cached)" + ("\n" + rest if rest else "")
+
+
+def build_key(builder: Callable[[], Tuple]) -> Optional[Tuple]:
+    """Run a key builder, mapping ``TypeError`` (uncacheable shape) to None.
+
+    The shared front half of the cache protocol: callers build their key
+    with :func:`logical_plan_key` /
+    :func:`repro.core.translate.query_structure_key` inside ``builder``
+    and get ``None`` — "plan uncached" — for unknown node or expression
+    shapes instead of handling the exception at every call site.
+    """
+    try:
+        return builder()
+    except TypeError:
+        return None
+
+
+# ----------------------------------------------------------------------
+# normalized keys and dependency extraction for logical plans
+# ----------------------------------------------------------------------
+def logical_plan_key(plan: Plan) -> Tuple:
+    """A hashable key identifying a logical plan up to structure.
+
+    Base relations are identified by object id (sound because cache
+    entries pin them — see the module docstring); predicates use
+    :func:`~repro.relational.expressions.structural_key`, so ``$n``
+    parameter slots key by their store identity, not their current values.
+    Raises ``TypeError`` for unknown node or expression shapes — callers
+    treat that as "not cacheable" and plan uncached.
+    """
+    if isinstance(plan, Scan):
+        return ("scan", id(plan.relation), plan.name, plan.alias)
+    if isinstance(plan, Select):
+        return ("select", logical_plan_key(plan.child), structural_key(plan.predicate))
+    if isinstance(plan, Project):
+        return ("project", logical_plan_key(plan.child), tuple(plan.columns))
+    if isinstance(plan, ProjectAs):
+        return ("project-as", logical_plan_key(plan.child), tuple(plan.items))
+    if isinstance(plan, Extend):
+        return (
+            "extend",
+            logical_plan_key(plan.child),
+            tuple((name, structural_key(expr)) for name, expr in plan.items),
+        )
+    if isinstance(plan, Join):
+        return (
+            "join",
+            logical_plan_key(plan.left),
+            logical_plan_key(plan.right),
+            structural_key(plan.predicate),
+        )
+    if isinstance(plan, SemiJoin):
+        return (
+            "semijoin",
+            logical_plan_key(plan.left),
+            logical_plan_key(plan.right),
+            structural_key(plan.predicate),
+        )
+    if isinstance(plan, Product):
+        return ("product", logical_plan_key(plan.left), logical_plan_key(plan.right))
+    if isinstance(plan, Union):
+        return ("union", logical_plan_key(plan.left), logical_plan_key(plan.right))
+    if isinstance(plan, Difference):
+        return ("difference", logical_plan_key(plan.left), logical_plan_key(plan.right))
+    if isinstance(plan, Distinct):
+        return ("distinct", logical_plan_key(plan.child))
+    if isinstance(plan, Rename):
+        return (
+            "rename",
+            logical_plan_key(plan.child),
+            tuple(sorted(plan.mapping.items())),
+        )
+    raise TypeError(f"no plan-cache key for {type(plan).__name__}")
+
+
+def plan_relations(plan: Plan) -> List[Relation]:
+    """Every base relation a logical plan scans (the entry's dependencies)."""
+    if isinstance(plan, Scan):
+        return [plan.relation]
+    out: List[Relation] = []
+    for child in plan.children:
+        out.extend(plan_relations(child))
+    return out

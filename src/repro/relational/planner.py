@@ -54,6 +54,7 @@ from .expressions import (
     Comparison,
     Expression,
     Lit,
+    Param,
     conjunction,
     equijoin_pairs,
     split_conjuncts,
@@ -260,7 +261,11 @@ class Planner:
             column = stats.column(base_names[p])
             selectivity *= column.eq_selectivity() if column else EQUALITY_DEFAULT
         if any(v is None for v in values):
-            selectivity = 0.0  # equality with NULL matches nothing
+            # equality with a NULL literal matches nothing.  A Param slot
+            # is never None here (it is the Param object itself; its value
+            # resolves per execution), so parameterized point lookups keep
+            # the column's equality selectivity.
+            selectivity = 0.0
         point = values[0] if len(values) == 1 else tuple(values)
         cond = conjunction([eq[p][1] for p in index.positions])
         node = self._index_scan_node(
@@ -468,23 +473,32 @@ def _classify_conjuncts(
     Returns ``(eq, ranges)`` keyed by column *position* in the schema (and
     therefore in the base relation — renames preserve positions).  Only
     column-vs-literal shapes are classified; everything else stays
-    unclassified and lands in the residual.
+    unclassified and lands in the residual.  A ``$n`` parameter slot
+    counts as a literal for *equality* (the point key stores the Param
+    object and the index lookup resolves its value per execution, so one
+    cached plan serves every binding); parameterized range bounds stay in
+    the residual — bound tightening needs plan-time values.
     """
     eq: Dict[int, Tuple[Any, Expression]] = {}
     ranges: Dict[int, List[Tuple[str, Any, Expression]]] = {}
     for conjunct in conjuncts:
         if isinstance(conjunct, Comparison):
             cmp = conjunct
-            if isinstance(cmp.left, Lit) and isinstance(cmp.right, Col):
+            if isinstance(cmp.left, (Lit, Param)) and isinstance(cmp.right, Col):
                 cmp = cmp.flipped()
-            if not (isinstance(cmp.left, Col) and isinstance(cmp.right, Lit)):
+            if not (isinstance(cmp.left, Col) and isinstance(cmp.right, (Lit, Param))):
                 continue
             position = _resolve(schema, cmp.left.name)
             if position is None:
                 continue
             if cmp.op == "=":
-                eq.setdefault(position, (cmp.right.value, conjunct))
-            elif cmp.op in ("<", "<=", ">", ">="):
+                key = (
+                    cmp.right
+                    if isinstance(cmp.right, Param)
+                    else cmp.right.value
+                )
+                eq.setdefault(position, (key, conjunct))
+            elif cmp.op in ("<", "<=", ">", ">=") and isinstance(cmp.right, Lit):
                 ranges.setdefault(position, []).append((cmp.op, cmp.right.value, conjunct))
         elif (
             isinstance(conjunct, Between)

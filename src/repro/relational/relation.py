@@ -26,8 +26,12 @@ class Relation:
     # ``_indexes`` holds secondary indexes attached by
     # :mod:`repro.relational.index` and ``_pending_indexes`` their deferred
     # (not yet built) definitions; ``_columns`` caches the columnar form
-    # used by the column executor.  All three are planner-visible state,
-    # not part of the relation's value (equality and repr ignore them).
+    # used by the column executor; ``_plan_epoch``/``_plan_watchers`` are
+    # the prepared-plan cache's per-relation mutation counter and weakly
+    # held watcher catalogs (:mod:`repro.relational.plancache`) — kept on
+    # the relation object so their lifetime is automatic.  All are
+    # planner-visible state, not part of the relation's value (equality
+    # and repr ignore them).
     __slots__ = (
         "schema",
         "rows",
@@ -35,6 +39,8 @@ class Relation:
         "_pending_indexes",
         "_columns",
         "_has_null",
+        "_plan_epoch",
+        "_plan_watchers",
     )
 
     def __init__(self, schema, rows: Optional[Iterable[Sequence[Any]]] = None):

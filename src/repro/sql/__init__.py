@@ -20,6 +20,9 @@ the Figure 4 translation, and the relational optimizer compose without any
 uncertainty-specific operators in the engine.
 """
 
+from typing import Optional, Sequence
+
+from ..core.prepared import PreparedQuery
 from ..core.translate import execute_query
 from ..core.udatabase import UDatabase
 from .lexer import SqlSyntaxError, tokenize
@@ -27,20 +30,66 @@ from .parser import CreateIndex, DropIndex, parse
 
 __all__ = [
     "parse",
+    "prepare",
     "execute_sql",
     "tokenize",
     "SqlSyntaxError",
     "CreateIndex",
     "DropIndex",
+    "PreparedQuery",
 ]
 
+#: Per-database prepared-statement cap.  Ad-hoc workloads that inline
+#: literals produce a distinct text per query; bounding the per-udb map by
+#: wholesale clearing (the plan/compile cache policy) keeps such workloads
+#: flat while real prepared statements re-enter the cache on next use.
+_STATEMENT_CACHE_LIMIT = 256
 
-def execute_sql(sql: str, udb: UDatabase, optimize: bool = True):
+
+def _cache_statement(udb: UDatabase, sql: str, prepared: PreparedQuery) -> None:
+    if len(udb._statements) >= _STATEMENT_CACHE_LIMIT:
+        udb._statements.clear()
+    udb._statements[sql] = prepared
+
+
+def prepare(sql: str, udb: UDatabase) -> PreparedQuery:
+    """Prepare a SQL query (with optional ``$n`` parameter slots).
+
+    The statement is parsed once and the resulting
+    :class:`~repro.core.prepared.PreparedQuery` cached on the database by
+    SQL text, so ``prepare`` is idempotent; its first ``run`` plans the
+    query and inserts the physical tree into the prepared-plan cache,
+    after which every execution — under any parameter binding — is
+    executor-only.  DDL cannot be prepared.
+    """
+    cached = udb._statements.get(sql)
+    if cached is not None:
+        return cached
+    statement = parse(sql)
+    if isinstance(statement, (CreateIndex, DropIndex)):
+        raise ValueError("cannot prepare DDL; pass it to execute_sql instead")
+    prepared = PreparedQuery(statement, udb, sql=sql)
+    _cache_statement(udb, sql, prepared)
+    return prepared
+
+
+def execute_sql(
+    sql: str,
+    udb: UDatabase,
+    optimize: bool = True,
+    params: Optional[Sequence] = None,
+):
     """Parse and run a SQL statement against a U-relational database.
 
     Returns a plain :class:`~repro.relational.relation.Relation` for
     ``possible``/``certain`` statements, a
     :class:`~repro.core.urelation.URelation` otherwise.
+
+    Queries are prepared transparently: the parsed statement is cached on
+    the database by SQL text and its physical plan in the prepared-plan
+    cache, so re-issuing the same text (with the same or different
+    ``params`` bound to its ``$n`` slots) skips parsing, translation,
+    optimization, and planning.
 
     Index DDL (``CREATE INDEX name ON rel (cols) [USING HASH|SORTED]``,
     ``DROP INDEX name``) addresses the representation relations (the
@@ -51,20 +100,24 @@ def execute_sql(sql: str, udb: UDatabase, optimize: bool = True):
     the built :class:`~repro.relational.index.Index`; ``DROP INDEX``
     returns ``None``.
     """
-    statement = parse(sql)
-    if isinstance(statement, CreateIndex):
-        db = udb.to_database()
-        # no replace: re-issuing an identical definition is idempotent,
-        # but a name collision with a *different* definition (e.g. a typo
-        # hitting an auto-created tid index) errors instead of silently
-        # destroying the existing access path
-        return db.create_index(
-            statement.name,
-            statement.table,
-            list(statement.columns),
-            kind=statement.kind,
-        )
-    if isinstance(statement, DropIndex):
-        udb.to_database().drop_index(statement.name)
-        return None
-    return execute_query(statement, udb, optimize=optimize)
+    prepared = udb._statements.get(sql)
+    if prepared is None:
+        statement = parse(sql)
+        if isinstance(statement, CreateIndex):
+            db = udb.to_database()
+            # no replace: re-issuing an identical definition is idempotent,
+            # but a name collision with a *different* definition (e.g. a
+            # typo hitting an auto-created tid index) errors instead of
+            # silently destroying the existing access path
+            return db.create_index(
+                statement.name,
+                statement.table,
+                list(statement.columns),
+                kind=statement.kind,
+            )
+        if isinstance(statement, DropIndex):
+            udb.to_database().drop_index(statement.name)
+            return None
+        prepared = PreparedQuery(statement, udb, sql=sql)
+        _cache_statement(udb, sql, prepared)
+    return prepared.run(*(params or ()), optimize=optimize)

@@ -2,7 +2,8 @@
 
 Handles keywords (case-insensitive), identifiers (optionally dotted),
 numeric literals, single-quoted string literals (with ``''`` escaping),
-and the operator/punctuation set used by select-project-join queries.
+``$1``-style parameter placeholders (for prepared statements), and the
+operator/punctuation set used by select-project-join queries.
 """
 
 from __future__ import annotations
@@ -22,6 +23,7 @@ class TokenKind:
     IDENT = "ident"
     NUMBER = "number"
     STRING = "string"
+    PARAM = "param"
     OP = "op"
     PUNCT = "punct"
     END = "end"
@@ -38,6 +40,7 @@ _TOKEN_RE = re.compile(
     r"""
     (?P<ws>\s+)
   | (?P<number>\d+\.\d+|\.\d+|\d+)
+  | (?P<param>\$\d+)
   | (?P<ident>[A-Za-z_][A-Za-z_0-9]*(\.[A-Za-z_][A-Za-z_0-9]*)?)
   | (?P<string>'(?:[^']|'')*')
   | (?P<op><>|<=|>=|!=|=|<|>)
@@ -75,6 +78,13 @@ def tokenize(sql: str) -> List[Token]:
         text = match.group()
         if match.lastgroup == "number":
             tokens.append(Token(TokenKind.NUMBER, text, match.start()))
+        elif match.lastgroup == "param":
+            if int(text[1:]) == 0:
+                raise SqlSyntaxError(
+                    f"parameter slots start at $1 (found {text} at "
+                    f"position {match.start()})"
+                )
+            tokens.append(Token(TokenKind.PARAM, text, match.start()))
         elif match.lastgroup == "ident":
             lowered = text.lower()
             if lowered in KEYWORDS:

@@ -19,11 +19,14 @@ select-project-join queries with ``possible``), plus ``certain`` and
                 | operand [NOT] IN '(' literal (',' literal)* ')'
                 | operand IS [NOT] NULL
                 | NOT predicate | '(' condition ')'
-    operand    := column | literal
+    operand    := column | literal | parameter
     literal    := number | 'text' | DATE 'YYYY-MM-DD'
+    parameter  := '$' digits                  -- $1 is the first slot
 
 String literals shaped like ISO dates are parsed as dates (the paper
-writes ``o.orderdate > '1995-03-15'``).
+writes ``o.orderdate > '1995-03-15'``).  ``$n`` parameters (prepared
+statements) may stand anywhere a literal can, except inside IN lists;
+all slots of one statement share a single binding store.
 
 The FROM list becomes a left-deep chain of :class:`UJoin` nodes with a
 trivially-true predicate; the WHERE clause sits above as one
@@ -44,6 +47,7 @@ from ..relational.expressions import (
     InList,
     IsNull,
     Not,
+    Param,
     TRUE,
     col,
     conjunction,
@@ -94,6 +98,10 @@ class _Parser:
     def __init__(self, tokens: List[Token]):
         self.tokens = tokens
         self.index = 0
+        #: Shared store backing every ``$n`` slot of this statement — one
+        #: parse yields one store, which is what lets a prepared query's
+        #: plan be cached once and rebound per execution.
+        self.param_store: List[Any] = []
 
     # ------------------------------------------------------------------
     # token utilities
@@ -308,9 +316,12 @@ class _Parser:
         if token.kind == TokenKind.IDENT:
             self.advance()
             return col(token.text)
-        return self._literal()
+        return self._literal()  # handles $n parameter slots too
 
     def _literal(self) -> Expression:
+        if self.current.kind == TokenKind.PARAM:
+            token = self.advance()
+            return Param(int(token.text[1:]) - 1, self.param_store)
         return lit(self._literal_value())
 
     def _literal_value(self) -> Any:
