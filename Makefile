@@ -5,6 +5,10 @@
 #                      including the plan-cache warm-vs-cold and
 #                      rows-vs-blocks executor head-to-heads; one command
 #                      to spot a perf regression
+#   make bench-serve - serving throughput: requests/sec on the Figure 12
+#                      queries over the TCP protocol at 1/4/8 client
+#                      threads (gates on >= 2x at 4 clients; appends to
+#                      benchmarks/results/BENCH_serve.json)
 #   make coverage    - the tier-1 suite under coverage with the CI ratchet
 #                      (needs pytest-cov: pip install -r requirements-dev.txt)
 #   make bench       - the full benchmark suite (slow)
@@ -16,7 +20,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 #: Measured ~91% today; raise as coverage grows, never lower.
 COVERAGE_FLOOR ?= 85
 
-.PHONY: test coverage bench-smoke bench
+.PHONY: test coverage bench-smoke bench-serve bench
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -26,6 +30,9 @@ coverage:
 
 bench-smoke:
 	REPRO_BENCH_SCALE=0.0005 $(PYTHON) -m pytest benchmarks/bench_fig12_query_times.py -q --benchmark-disable-gc
+
+bench-serve:
+	REPRO_BENCH_SCALE=0.001 $(PYTHON) -m pytest benchmarks/bench_serve.py -q
 
 # bench_*.py does not match pytest's default test-file pattern, so the
 # files must be passed explicitly (directory collection finds nothing)

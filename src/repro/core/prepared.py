@@ -18,6 +18,7 @@ leaving a repeated query with nothing but executor work.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, List, Optional, Tuple
 
 from ..relational.expressions import Expression, Param, iter_subexpressions
@@ -72,6 +73,13 @@ class PreparedQuery:
         self.udb = udb
         self.sql = sql
         self._store, self.parameter_count = collect_params(query)
+        #: Serializes bind+execute for *parameterized* statements: the
+        #: ``$n`` store is shared mutable state read at evaluation time, so
+        #: two threads running one PreparedQuery object with different
+        #: bindings must not interleave.  Sessions avoid the contention by
+        #: owning their statements (each parse gets its own store);
+        #: parameter-free statements skip the lock entirely.
+        self._lock = threading.Lock()
 
     def bind(self, params: Tuple[Any, ...]) -> None:
         """Write parameter values into the shared store (``$1`` first)."""
@@ -90,6 +98,7 @@ class PreparedQuery:
         mode: str = "columns",
         use_indexes: bool = True,
         batch_size: Optional[int] = None,
+        parallel: int = 0,
     ):
         """Bind parameters and execute.
 
@@ -98,17 +107,35 @@ class PreparedQuery:
         :func:`~repro.core.translate.execute_query` returns — a plain
         relation for ``possible``/``certain`` statements, a U-relation
         otherwise.
+
+        Thread-safe: parameterized statements hold an internal lock across
+        bind+execute, so concurrent callers sharing one object serialize
+        instead of reading each other's bindings (per-session statements —
+        the serving layer's normal shape — never contend).
         """
-        self.bind(params)
-        return execute_query(
-            self.query,
-            self.udb,
-            optimize=optimize,
-            prefer_merge_join=prefer_merge_join,
-            mode=mode,
-            use_indexes=use_indexes,
-            batch_size=batch_size,
-        )
+        if self.parameter_count == 0 and not params:
+            return execute_query(
+                self.query,
+                self.udb,
+                optimize=optimize,
+                prefer_merge_join=prefer_merge_join,
+                mode=mode,
+                use_indexes=use_indexes,
+                batch_size=batch_size,
+                parallel=parallel,
+            )
+        with self._lock:
+            self.bind(params)
+            return execute_query(
+                self.query,
+                self.udb,
+                optimize=optimize,
+                prefer_merge_join=prefer_merge_join,
+                mode=mode,
+                use_indexes=use_indexes,
+                batch_size=batch_size,
+                parallel=parallel,
+            )
 
     def explain(
         self,

@@ -81,6 +81,7 @@ __all__ = [
     "execute_query",
     "explain_query",
     "query_structure_key",
+    "query_cache_key",
     "psi_condition",
     "alpha_condition",
 ]
@@ -475,6 +476,39 @@ def query_structure_key(query: UQuery) -> Tuple:
     raise TypeError(f"no plan-cache key for {type(query).__name__}")
 
 
+def query_cache_key(
+    query: UQuery,
+    udb: UDatabase,
+    optimize: bool = True,
+    prefer_merge_join: bool = False,
+    mode: str = "columns",
+    use_indexes: bool = True,
+    parallel: int = 0,
+):
+    """The prepared-plan cache key this query would plan under, or None.
+
+    ``None`` means the query shape is uncacheable (an unknown node or
+    expression subclass).  The serving layer's admission controller uses
+    this to peek at a request's cached cost class *before* admitting it —
+    building the key costs a tree walk, never a translation.
+    """
+    from ..relational.plancache import build_key
+
+    fuse = mode == "columns"
+    return build_key(
+        lambda: (
+            "uquery",
+            id(udb),
+            query_structure_key(query),
+            optimize,
+            prefer_merge_join,
+            use_indexes,
+            fuse,
+            parallel,
+        )
+    )
+
+
 def _cached_physical(
     query: UQuery,
     udb: UDatabase,
@@ -482,6 +516,7 @@ def _cached_physical(
     prefer_merge_join: bool,
     mode: str,
     use_indexes: bool,
+    parallel: int = 0,
 ):
     """The fully planned physical tree for a logical query, via the cache.
 
@@ -496,32 +531,28 @@ def _cached_physical(
     plan (``rows`` and ``blocks`` share one unfused plan; ``columns``
     caches its fused plan separately).  Invalidation is exact: any catalog
     mutation of a relation the plan scans evicts the entry (see
-    :mod:`repro.relational.plancache`).
+    :mod:`repro.relational.plancache`).  Entries record planning time
+    (the eviction weight) and the plan's admission cost class.
     """
+    import time
+
     from ..relational.optimizer import optimize as optimize_plan
     from ..relational.plancache import (
-        build_key,
         cache_lookup,
         cache_store,
+        cost_class_of,
         plan_relations,
     )
     from ..relational.planner import plan_physical
 
     fuse = mode == "columns"
-    key = build_key(
-        lambda: (
-            "uquery",
-            id(udb),
-            query_structure_key(query),
-            optimize,
-            prefer_merge_join,
-            use_indexes,
-            fuse,
-        )
+    key = query_cache_key(
+        query, udb, optimize, prefer_merge_join, mode, use_indexes, parallel
     )
     cached = cache_lookup(key)
     if cached is not None:
         return cached, True
+    started = time.perf_counter()
     if isinstance(query, Poss):
         inner = translate(query.child, udb)
         plan: Plan = Distinct(Project(inner.plan, list(inner.value_names)))
@@ -543,11 +574,19 @@ def _cached_physical(
         prefer_merge_join=prefer_merge_join,
         use_indexes=use_indexes,
         fuse=fuse,
+        parallel=parallel,
     )
     payload = (physical, wrap)
     # pin the query tree (it holds any $n parameter stores) and the udb
     # (id-keyed owners must outlive their entries)
-    cache_store(key, payload, deps, pins=(udb, query))
+    cache_store(
+        key,
+        payload,
+        deps,
+        pins=(udb, query),
+        cost_class=cost_class_of(physical),
+        plan_cost=time.perf_counter() - started,
+    )
     return payload, False
 
 
@@ -562,6 +601,7 @@ def execute_query(
     mode: str = "columns",
     use_indexes: bool = True,
     batch_size: Optional[int] = None,
+    parallel: int = 0,
 ):
     """Translate and run a query against a U-relational database.
 
@@ -582,11 +622,18 @@ def execute_query(
         from .certain import certain_answers
 
         inner = execute_query(
-            query.child, udb, optimize, prefer_merge_join, mode, use_indexes, batch_size
+            query.child,
+            udb,
+            optimize,
+            prefer_merge_join,
+            mode,
+            use_indexes,
+            batch_size,
+            parallel,
         )
         return certain_answers(inner, udb.world_table)
     (physical, wrap), _was_cached = _cached_physical(
-        query, udb, optimize, prefer_merge_join, mode, use_indexes
+        query, udb, optimize, prefer_merge_join, mode, use_indexes, parallel
     )
     relation = execute(
         physical, mode=mode, batch_size=BATCH_SIZE if batch_size is None else batch_size
@@ -608,6 +655,7 @@ def explain_query(
     mode: str = "columns",
     use_indexes: bool = True,
     analyze: bool = False,
+    parallel: int = 0,
 ) -> str:
     """EXPLAIN output for a logical query against a U-relational database.
 
@@ -623,10 +671,17 @@ def explain_query(
 
     if isinstance(query, Certain):
         return explain_query(
-            query.child, udb, optimize, prefer_merge_join, mode, use_indexes, analyze
+            query.child,
+            udb,
+            optimize,
+            prefer_merge_join,
+            mode,
+            use_indexes,
+            analyze,
+            parallel,
         )
     (physical, _wrap), was_cached = _cached_physical(
-        query, udb, optimize, prefer_merge_join, mode, use_indexes
+        query, udb, optimize, prefer_merge_join, mode, use_indexes, parallel
     )
     if analyze:
         _result, text = explain_analyze(physical, mode=mode)

@@ -243,6 +243,30 @@ class UDatabase:
 
         return prepare_sql(sql, self)
 
+    def session(self, **knobs):
+        """Open a standalone :class:`~repro.server.session.Session` here.
+
+        The session owns its prepared-statement namespace and ``$n``
+        binding stores (concurrent sessions never share parameter state)
+        and offers catalog-version snapshot reads.  Statements execute
+        inline on the calling thread; for pooled execution with admission
+        control, open sessions through a
+        :class:`~repro.server.server.QueryServer` instead.
+        """
+        from ..server.session import Session
+
+        return Session(self, **knobs)
+
+    def serve(self, **knobs):
+        """A :class:`~repro.server.server.QueryServer` over this database.
+
+        Keyword arguments are the server's (``workers``, ``policy``,
+        ``coalesce``, ``mode``, ``use_indexes``, ``parallel``).
+        """
+        from ..server import QueryServer
+
+        return QueryServer(self, **knobs)
+
     def world_count(self) -> int:
         return self.world_table.world_count()
 
@@ -286,7 +310,12 @@ class UDatabase:
         db = self._database
         stale = self._database_world_version != self.world_table.version
         if stale or "w" not in db:
-            db.create("w", self.world_table.relation(), replace="w" in db)
+            world_relation = self.world_table.relation()
+            db.create("w", world_relation, replace="w" in db)
+            # index DDL and statistics refreshes on the world snapshot must
+            # move this database's catalog version too (session snapshot
+            # reads validate against it)
+            watch_relation(world_relation, self)
             if self.auto_index:
                 db.create_index("idx_w_var", "w", ["var"], kind="hash", replace=True)
             # restore persisted user-created world-table indexes; replacing

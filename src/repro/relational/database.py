@@ -41,6 +41,7 @@ from .plancache import (
     bump_relation,
     cache_lookup,
     cache_store,
+    cost_class_of,
     logical_plan_key,
     mark_cached,
     plan_relations,
@@ -210,12 +211,17 @@ class Database:
         prefer_merge_join: bool,
         use_indexes: bool,
         fuse: bool,
+        parallel: int = 0,
     ) -> Tuple[PhysicalPlan, bool]:
         """The physical plan for a logical plan, via the prepared-plan cache.
 
         Returns ``(physical, was_cached)``.  Uncacheable plan shapes (an
         unknown node or expression subclass) compile fresh every time.
+        The entry records how long planning took (the cache's eviction
+        weight) and the plan's admission cost class.
         """
+        import time
+
         key = build_key(
             lambda: (
                 "db-run",
@@ -225,18 +231,28 @@ class Database:
                 prefer_merge_join,
                 use_indexes,
                 fuse,
+                parallel,
             )
         )
         cached = cache_lookup(key)
         if cached is not None:
             return cached, True
+        started = time.perf_counter()
         logical = optimize(plan) if optimize_first else plan
         physical = Planner(
             prefer_merge_join=prefer_merge_join,
             use_indexes=use_indexes,
             fuse=fuse,
+            parallel=parallel,
         ).compile(logical)
-        cache_store(key, physical, deps=plan_relations(plan), pins=(self, plan))
+        cache_store(
+            key,
+            physical,
+            deps=plan_relations(plan),
+            pins=(self, plan),
+            cost_class=cost_class_of(physical),
+            plan_cost=time.perf_counter() - started,
+        )
         return physical, False
 
     def run(
@@ -247,6 +263,7 @@ class Database:
         mode: str = "columns",
         batch_size: int = BATCH_SIZE,
         use_indexes: bool = True,
+        parallel: int = 0,
     ) -> Relation:
         """Optimize, compile, and execute a logical plan.
 
@@ -267,6 +284,7 @@ class Database:
             prefer_merge_join,
             use_indexes,
             fuse=mode == "columns",
+            parallel=parallel,
         )
         return execute(physical, mode=mode, batch_size=batch_size)
 
@@ -279,6 +297,7 @@ class Database:
         batch_size: int = BATCH_SIZE,
         use_indexes: bool = True,
         mode: str = "columns",
+        parallel: int = 0,
     ) -> str:
         """EXPLAIN output for a logical plan (after optimization).
 
@@ -300,6 +319,7 @@ class Database:
             prefer_merge_join,
             use_indexes,
             fuse=mode == "columns",
+            parallel=parallel,
         )
         if analyze:
             _result, text = _explain_analyze(physical, batch_size=batch_size, mode=mode)

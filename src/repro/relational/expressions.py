@@ -45,6 +45,7 @@ from __future__ import annotations
 import ast
 import math
 import operator
+import threading
 from typing import Any, Callable, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from .schema import Schema
@@ -786,12 +787,19 @@ def structural_key(expression: Expression) -> Tuple:
 #: enough that an occasional cold restart beats LRU bookkeeping.
 _KERNEL_CACHE: dict = {}
 _KERNEL_CACHE_LIMIT = 4096
+_KERNEL_CACHE_LOCK = threading.Lock()
 _cache_hits = 0
 _cache_misses = 0
 
 
 def cached_kernel(key: Optional[Tuple], builder: Callable[[], Any]) -> Any:
-    """Memoize ``builder()`` under ``key`` (``None`` key skips the cache)."""
+    """Memoize ``builder()`` under ``key`` (``None`` key skips the cache).
+
+    Thread-safe for the serving layer: the racy section (evict + insert)
+    runs under a lock, while ``builder()`` itself runs outside it — two
+    threads missing on the same key may both compile, which is merely
+    duplicated work; the kernels are interchangeable and last-write wins.
+    """
     global _cache_hits, _cache_misses
     if key is None:
         _cache_misses += 1
@@ -806,9 +814,10 @@ def cached_kernel(key: Optional[Tuple], builder: Callable[[], Any]) -> Any:
         return cached
     _cache_misses += 1
     built = builder()
-    if len(_KERNEL_CACHE) >= _KERNEL_CACHE_LIMIT:
-        _KERNEL_CACHE.clear()
-    _KERNEL_CACHE[key] = built
+    with _KERNEL_CACHE_LOCK:
+        if len(_KERNEL_CACHE) >= _KERNEL_CACHE_LIMIT:
+            _KERNEL_CACHE.clear()
+        _KERNEL_CACHE[key] = built
     return built
 
 

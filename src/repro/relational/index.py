@@ -31,6 +31,7 @@ equality or range lookup can never return it).
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_left, bisect_right
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -256,6 +257,15 @@ def build_index(
 # ----------------------------------------------------------------------
 # attachment: indexes live on the relation object they cover
 # ----------------------------------------------------------------------
+#: Serializes attach/detach and deferred-build materialization.  One
+#: process-wide RLock (builds can re-enter through ``ensure_index`` →
+#: ``indexes_on``): concurrent planners discovering access paths while a
+#: DDL thread creates/drops indexes must never observe a half-attached
+#: list, and a deferred auto-index must be built exactly once even when N
+#: sessions hit the first planner access simultaneously.
+_ATTACH_LOCK = threading.RLock()
+
+
 def attach_index(relation: Relation, index: Index) -> None:
     """Attach an index to its relation so planners can discover it.
 
@@ -268,16 +278,17 @@ def attach_index(relation: Relation, index: Index) -> None:
     """
     if index.relation is not relation:
         raise ValueError("index was built over a different relation object")
-    existing = getattr(relation, "_indexes", None)
-    if existing is None:
-        relation._indexes = [index]
-    elif index not in existing:
-        existing.append(index)
-    else:
-        return  # already attached: no access-path change
-    from .plancache import bump_relation
+    with _ATTACH_LOCK:
+        existing = getattr(relation, "_indexes", None)
+        if existing is None:
+            relation._indexes = [index]
+        elif index not in existing:
+            existing.append(index)
+        else:
+            return  # already attached: no access-path change
+        from .plancache import bump_relation
 
-    bump_relation(relation)
+        bump_relation(relation)
 
 
 def detach_index(relation: Relation, index: Index) -> None:
@@ -286,12 +297,13 @@ def detach_index(relation: Relation, index: Index) -> None:
     Like :func:`attach_index`, a successful detach is a catalog mutation:
     cached plans probing the index are evicted through the plan cache.
     """
-    existing = getattr(relation, "_indexes", None)
-    if existing and index in existing:
-        existing.remove(index)
-        from .plancache import bump_relation
+    with _ATTACH_LOCK:
+        existing = getattr(relation, "_indexes", None)
+        if existing and index in existing:
+            existing.remove(index)
+            from .plancache import bump_relation
 
-        bump_relation(relation)
+            bump_relation(relation)
 
 
 def default_index_name(columns: Sequence[str]) -> str:
@@ -315,16 +327,17 @@ def defer_index(
     materialization time, matching the eager auto-indexing policy.
     """
     effective = name or default_index_name(columns)
-    for index in getattr(relation, "_indexes", None) or ():
-        if index.name == effective:
+    with _ATTACH_LOCK:
+        for index in getattr(relation, "_indexes", None) or ():
+            if index.name == effective:
+                return
+        pending = getattr(relation, "_pending_indexes", None)
+        if pending is None:
+            pending = []
+            relation._pending_indexes = pending
+        if any((d[2] or default_index_name(d[0])) == effective for d in pending):
             return
-    pending = getattr(relation, "_pending_indexes", None)
-    if pending is None:
-        pending = []
-        relation._pending_indexes = pending
-    if any((d[2] or default_index_name(d[0])) == effective for d in pending):
-        return
-    pending.append((tuple(columns), kind, name))
+        pending.append((tuple(columns), kind, name))
 
 
 def _materialize_pending(relation: Relation) -> None:
@@ -333,36 +346,45 @@ def _materialize_pending(relation: Relation) -> None:
     pending = getattr(relation, "_pending_indexes", None)
     if not pending:
         return
-    # detach the list first: ensure_index consults indexes_on, which would
-    # otherwise re-enter this function once per remaining definition
-    relation._pending_indexes = []
-    while pending:
-        columns, kind, name = pending.pop(0)
-        try:
-            ensure_index(relation, list(columns), kind=kind, name=name)
-        except (TypeError, SchemaError):
-            # unsortable column / stale definition (e.g. schema drift in a
-            # persisted directory): this index stays unavailable, the
-            # relation stays queryable via sequential scans
-            pass
-        except BaseException:
-            # an unexpected error loses only the definition that raised —
-            # re-attach the ones still queued behind it
-            relation._pending_indexes = pending
-            raise
+    with _ATTACH_LOCK:
+        # re-read under the lock: another planner thread may have built
+        # (and detached) the pending list while we waited
+        pending = getattr(relation, "_pending_indexes", None)
+        if not pending:
+            return
+        # detach the list first: ensure_index consults indexes_on, which
+        # would otherwise re-enter this function once per remaining
+        # definition
+        relation._pending_indexes = []
+        while pending:
+            columns, kind, name = pending.pop(0)
+            try:
+                ensure_index(relation, list(columns), kind=kind, name=name)
+            except (TypeError, SchemaError):
+                # unsortable column / stale definition (e.g. schema drift
+                # in a persisted directory): this index stays unavailable,
+                # the relation stays queryable via sequential scans
+                pass
+            except BaseException:
+                # an unexpected error loses only the definition that raised
+                # — re-attach the ones still queued behind it
+                relation._pending_indexes = pending
+                raise
 
 
 def indexes_on(relation: Relation) -> Tuple[Index, ...]:
     """All indexes attached to a relation (hash indexes first).
 
     This is the planner's discovery hook: any index definitions deferred
-    by :func:`defer_index` are built here, on first access.
+    by :func:`defer_index` are built here, on first access (exactly once,
+    even under concurrent planning — see :data:`_ATTACH_LOCK`).
     """
     _materialize_pending(relation)
-    existing = getattr(relation, "_indexes", None)
-    if not existing:
-        return ()
-    return tuple(sorted(existing, key=lambda i: i.kind != "hash"))
+    with _ATTACH_LOCK:
+        existing = getattr(relation, "_indexes", None)
+        if not existing:
+            return ()
+        return tuple(sorted(existing, key=lambda i: i.kind != "hash"))
 
 
 def built_indexes_on(relation: Relation) -> Tuple[Index, ...]:
@@ -372,10 +394,11 @@ def built_indexes_on(relation: Relation) -> Tuple[Index, ...]:
     path) use this so an execution-time peek cannot force the lazy
     auto-index builds that :func:`defer_index` postponed.
     """
-    existing = getattr(relation, "_indexes", None)
-    if not existing:
-        return ()
-    return tuple(existing)
+    with _ATTACH_LOCK:
+        existing = getattr(relation, "_indexes", None)
+        if not existing:
+            return ()
+        return tuple(existing)
 
 
 def attached_index_defs(relation: Relation) -> List[Tuple[Tuple[str, ...], str, str]]:

@@ -57,6 +57,9 @@ EXPLAIN output.
 
 from __future__ import annotations
 
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from operator import itemgetter
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -80,6 +83,7 @@ __all__ = [
     "SeqScan",
     "IndexScan",
     "FusedPipeline",
+    "ParallelScan",
     "Filter",
     "Projection",
     "ProjectionAs",
@@ -258,30 +262,53 @@ def _drain(plan: PhysicalPlan, size: int) -> List[Row]:
 
 
 class SeqScan(PhysicalPlan):
-    """Sequential scan over a materialized base relation."""
+    """Sequential scan over a materialized base relation.
 
-    def __init__(self, relation: Relation, name: str = "relation", alias: Optional[str] = None):
+    ``start``/``stop`` bound the scan to a contiguous row range — the
+    partition a :class:`ParallelScan` worker covers.  The default covers
+    the whole relation; bounded scans slice the same cached column store,
+    so the partitions of a parallel scan share one store.
+    """
+
+    def __init__(
+        self,
+        relation: Relation,
+        name: str = "relation",
+        alias: Optional[str] = None,
+        start: int = 0,
+        stop: Optional[int] = None,
+    ):
         self.relation = relation
         self.name = name
         self.alias = alias
+        total = len(relation.rows)
+        self.start = max(0, start)
+        self.stop = total if stop is None else min(stop, total)
         self.schema = relation.schema.qualify(alias) if alias else relation.schema
-        self.estimated_rows = float(len(relation))
+        self.estimated_rows = float(max(self.stop - self.start, 0))
 
     def rows(self) -> Iterator[Row]:
-        return iter(self.relation.rows)
+        if self.start == 0 and self.stop == len(self.relation.rows):
+            return iter(self.relation.rows)
+        return iter(self.relation.rows[self.start : self.stop])
 
     def _batches(self, size: int) -> Iterator[Batch]:
-        return _chunks(self.relation.rows, size)
+        rows = self.relation.rows
+        for s in range(self.start, self.stop, size):
+            yield rows[s : min(s + size, self.stop)]
 
     def _column_batches(self, size: int) -> Iterator[ColumnBatch]:
         store = self.relation.column_store()
-        total = len(self.relation.rows)
-        for start in range(0, total, size):
-            end = min(start + size, total)
-            yield ColumnBatch([c[start:end] for c in store], end - start)
+        for s in range(self.start, self.stop, size):
+            e = min(s + size, self.stop)
+            yield ColumnBatch([c[s:e] for c in store], e - s)
 
     def column_nullable(self, position: int) -> bool:
         return self.relation.column_has_null(position)
+
+    def bounded(self, start: int, stop: int) -> "SeqScan":
+        """A copy of this scan restricted to ``[start, stop)``."""
+        return SeqScan(self.relation, self.name, self.alias, start=start, stop=stop)
 
     def explain_label(self) -> str:
         if self.alias:
@@ -521,6 +548,124 @@ class FusedPipeline(PhysicalPlan):
         if self.positions is not None:
             position = self.positions[position]
         return self.source.column_nullable(position)
+
+
+#: Shared worker pool for partition-parallel scans, created on first use.
+#: One process-wide pool (not per-plan): cached plans are executed by many
+#: sessions concurrently and must not each spin up threads.  Scan tasks
+#: are leaves — they never submit to the pool themselves — so the pool
+#: cannot deadlock on itself.
+_SCAN_POOL: Optional[ThreadPoolExecutor] = None
+_SCAN_POOL_LOCK = threading.Lock()
+
+#: A partition below this many rows is not worth a thread handoff.
+PARALLEL_MIN_PARTITION_ROWS = 256
+
+
+def _scan_pool() -> ThreadPoolExecutor:
+    global _SCAN_POOL
+    if _SCAN_POOL is None:
+        with _SCAN_POOL_LOCK:
+            if _SCAN_POOL is None:
+                workers = max(2, min(8, os.cpu_count() or 1))
+                _SCAN_POOL = ThreadPoolExecutor(
+                    max_workers=workers, thread_name_prefix="repro-scan"
+                )
+    return _SCAN_POOL
+
+
+class ParallelScan(PhysicalPlan):
+    """Partition-parallel scan: a gather over K range partitions.
+
+    The planner wraps a :class:`FusedPipeline` over a :class:`SeqScan` (or
+    a bare ``SeqScan``) when the scanned relation is large enough
+    (``Planner(parallel=K)``).  Execution splits the relation's row range
+    into K contiguous partitions, runs the *same* fused
+    scan→filter→project pipeline per partition on the shared worker pool
+    (each worker slices the one cached column store — no data is copied),
+    and concatenates the partitions' batch streams in partition order, so
+    output order is byte-identical to the serial scan.
+
+    The operator is re-entrant like every other: partition clones and
+    futures are per-execution state, so one cached plan serves N
+    concurrent sessions.  On a GIL build the win is overlap (a long scan
+    no longer monopolizes a serving thread between batches) rather than
+    CPU parallelism; on free-threaded builds the partitions genuinely run
+    in parallel.  Falls back to the serial pipeline when the relation is
+    too small to be worth the thread handoff.
+    """
+
+    def __init__(self, pipeline: PhysicalPlan, workers: int):
+        if isinstance(pipeline, FusedPipeline):
+            source = pipeline.source
+        else:
+            source = pipeline
+        if not isinstance(source, SeqScan):
+            raise ValueError("ParallelScan requires a (fused) sequential base scan")
+        self.pipeline = pipeline
+        self.source = source
+        self.workers = max(2, int(workers))
+        self.schema = pipeline.schema
+        self.estimated_rows = pipeline.estimated_rows
+
+    @property
+    def children(self) -> Tuple[PhysicalPlan, ...]:
+        return (self.pipeline,)
+
+    def _partitions(self) -> Optional[List[Tuple[int, int]]]:
+        """Contiguous ``[start, stop)`` ranges, or None for serial."""
+        start, stop = self.source.start, self.source.stop
+        total = stop - start
+        k = min(self.workers, total // PARALLEL_MIN_PARTITION_ROWS)
+        if k <= 1:
+            return None
+        step = (total + k - 1) // k
+        return [(s, min(s + step, stop)) for s in range(start, stop, step)]
+
+    def _clone(self, start: int, stop: int) -> PhysicalPlan:
+        bounded = self.source.bounded(start, stop)
+        if isinstance(self.pipeline, FusedPipeline):
+            return FusedPipeline(
+                bounded,
+                self.pipeline.predicate,
+                self.pipeline.positions,
+                self.pipeline.schema,
+            )
+        return bounded
+
+    def _gather(self, size: int, method: str) -> Iterator[Any]:
+        """Run the per-partition pipelines on the pool, merge in order."""
+        ranges = self._partitions()
+        if ranges is None:
+            yield from getattr(self.pipeline, method)(size)
+            return
+        pool = _scan_pool()
+
+        def work(bounds: Tuple[int, int]) -> List[Any]:
+            clone = self._clone(*bounds)
+            return list(getattr(clone, method)(size))
+
+        futures = [pool.submit(work, bounds) for bounds in ranges]
+        for future in futures:  # partition order == relation order
+            yield from future.result()
+
+    def rows(self) -> Iterator[Row]:
+        return self.pipeline.rows()
+
+    def _batches(self, size: int) -> Iterator[Batch]:
+        return self._gather(size, "batches")
+
+    def _column_batches(self, size: int) -> Iterator[ColumnBatch]:
+        return self._gather(size, "column_batches")
+
+    def column_nullable(self, position: int) -> bool:
+        return self.pipeline.column_nullable(position)
+
+    def explain_label(self) -> str:
+        return "Gather"
+
+    def explain_details(self) -> List[str]:
+        return [f"Workers Planned: {self.workers}"]
 
 
 class Filter(PhysicalPlan):

@@ -37,6 +37,26 @@ every entry holds strong references to its dependency relations: an id can
 only be recycled after the object dies, and a dependency object cannot die
 while its entry is alive.
 
+Serving-layer duties (PR 5):
+
+* **Thread safety.**  Every cache operation — lookup, store, invalidation,
+  stats — runs under one module lock, so N sessions executing cached plans
+  concurrently (and a DDL thread bumping relations under them) never see a
+  torn cache.  The lock is held for dict bookkeeping only, never during
+  planning or execution.
+* **LRU eviction with planning-cost weights and a hot-set pin.**  A full
+  cache no longer clears wholesale: the victim is the cheapest-to-replan
+  entry among the least-recently-used few (a GreedyDual-style compromise —
+  recency decides the candidate window, replan cost decides inside it),
+  and entries hit often enough are *pinned* (up to half the capacity) so a
+  burst of one-off ad-hoc shapes cannot wash out the serving hot set.
+* **Per-entry cost class.**  :func:`cost_class_of` classifies a physical
+  tree (``point`` / ``scan`` / ``join`` / ``heavy``) and the class is
+  stored on the entry; the admission layer reads it back through
+  :func:`cached_cost_class` to pick per-class concurrency limits before
+  executing (a cached point lookup is not rate-limited like a cold
+  six-way join).
+
 :func:`plan_cache_stats` / :func:`reset_plan_cache` mirror the expression
 compile cache's introspection hooks (tests and benchmarks use them to
 prove second-run queries are planning-free).
@@ -44,6 +64,8 @@ prove second-run queries are planning-free).
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 from weakref import WeakSet
 
@@ -74,21 +96,48 @@ __all__ = [
     "cache_lookup",
     "cache_store",
     "cache_contains",
+    "cached_cost_class",
+    "cost_class_of",
     "build_key",
     "mark_cached",
     "logical_plan_key",
     "plan_relations",
+    "COST_CLASSES",
 ]
 
 
-#: Entries beyond this are handled by wholesale clearing (planning is cheap
-#: enough that an occasional cold restart beats LRU bookkeeping — the same
-#: policy as the expression compile cache).
+#: Cache capacity.  Eviction is LRU with planning-cost weights (see
+#: :func:`_evict_one`), not wholesale clearing — a serving workload churns
+#: ad-hoc shapes through the cache and must not lose its hot set.
 _PLAN_CACHE_LIMIT = 256
+
+#: Entries hit at least this often join the pinned hot set (exempt from
+#: LRU eviction, still evicted by invalidation).
+_HOT_PIN_HITS = 8
+
+#: At most this many entries may be pinned (half the capacity), so the
+#: unpinned remainder always leaves room for new shapes.
+_HOT_PIN_CAP = _PLAN_CACHE_LIMIT // 2
+
+#: Eviction scans this many least-recently-used unpinned entries and
+#: evicts the one that was cheapest to plan (recency picks the window,
+#: replan cost picks the victim inside it).
+_EVICT_WINDOW = 8
+
+#: The admission-relevant cost classes, cheapest first.
+COST_CLASSES = ("point", "scan", "join", "heavy")
+
+#: A root estimate at or below this (with no joins) counts as a point
+#: lookup even without an index-point access path.
+_POINT_ROWS_LIMIT = 64.0
+
+#: Join plans estimated above this (or with > 2 joins) are "heavy".
+_HEAVY_ROWS_LIMIT = 50_000.0
+_HEAVY_JOIN_COUNT = 2
 
 
 class _Entry:
-    __slots__ = ("key", "payload", "deps", "pins")
+    __slots__ = ("key", "payload", "deps", "pins", "cost_class", "plan_cost", "hits", "hot")
 
     def __init__(
         self,
@@ -96,6 +145,8 @@ class _Entry:
         payload: Any,
         deps: Sequence[Tuple[Relation, int]],
         pins: Tuple,
+        cost_class: str,
+        plan_cost: float,
     ):
         self.key = key
         self.payload = payload
@@ -106,9 +157,22 @@ class _Entry:
         #: Extra strong references (the owning catalog, the query object —
         #: which keeps parameter stores alive for ``$n`` plans).
         self.pins = pins
+        #: Admission cost class of the cached plan (see :data:`COST_CLASSES`).
+        self.cost_class = cost_class
+        #: Seconds the optimize+plan pipeline took — the eviction weight
+        #: (evicting a plan that took 10 ms to build costs ten 1 ms plans).
+        self.plan_cost = plan_cost
+        self.hits = 0
+        #: True once the entry joined the pinned hot set.
+        self.hot = False
 
 
-_entries: Dict[Tuple, _Entry] = {}
+#: One lock for all cache state.  RLock: ``bump_relation`` can re-enter
+#: through watcher callbacks that consult the cache.
+_lock = threading.RLock()
+
+#: Key -> entry in least-recently-used-first order (lookups move-to-end).
+_entries: "OrderedDict[Tuple, _Entry]" = OrderedDict()
 #: Reverse dependency map: id(relation) -> keys of entries scanning it.
 #: Sound and leak-free because every mapped id belongs to a relation some
 #: live entry pins; the mapping is removed with its last entry.
@@ -117,6 +181,8 @@ _by_relation: Dict[int, Set[Tuple]] = {}
 _hits = 0
 _misses = 0
 _invalidations = 0
+_evictions = 0
+_pinned = 0
 
 
 # ----------------------------------------------------------------------
@@ -137,11 +203,12 @@ def watch_relation(relation: Relation, owner: Any) -> None:
     """Register ``owner`` to have ``_bump_catalog_version()`` called when
     this relation object mutates (index built/dropped, stats refreshed,
     replaced in a catalog).  Held weakly — watching never pins a catalog."""
-    watchers = getattr(relation, "_plan_watchers", None)
-    if watchers is None:
-        watchers = WeakSet()
-        relation._plan_watchers = watchers
-    watchers.add(owner)
+    with _lock:
+        watchers = getattr(relation, "_plan_watchers", None)
+        if watchers is None:
+            watchers = WeakSet()
+            relation._plan_watchers = watchers
+        watchers.add(owner)
 
 
 def bump_relation(relation: Relation) -> int:
@@ -151,29 +218,34 @@ def bump_relation(relation: Relation) -> int:
     Returns the number of entries evicted.  This is *the* invalidation
     hook: every catalog mutation (table replacement/drop, index DDL, lazy
     index materialization, statistics refresh, world-table refresh)
-    reaches the cache through here.
+    reaches the cache through here.  Thread-safe: concurrent executions of
+    already-looked-up plans are unaffected (they hold their own physical
+    trees), while the next lookup re-plans.
     """
     global _invalidations
-    relation._plan_epoch = getattr(relation, "_plan_epoch", 0) + 1
-    for owner in tuple(getattr(relation, "_plan_watchers", None) or ()):
-        bump = getattr(owner, "_bump_catalog_version", None)
-        if bump is not None:
-            bump()
-    evicted = 0
-    for entry_key in tuple(_by_relation.get(id(relation), ())):
-        entry = _entries.get(entry_key)
-        if entry is not None and any(dep is relation for dep, _ in entry.deps):
-            _remove(entry)
-            evicted += 1
-    _invalidations += evicted
-    return evicted
+    with _lock:
+        relation._plan_epoch = getattr(relation, "_plan_epoch", 0) + 1
+        for owner in tuple(getattr(relation, "_plan_watchers", None) or ()):
+            bump = getattr(owner, "_bump_catalog_version", None)
+            if bump is not None:
+                bump()
+        evicted = 0
+        for entry_key in tuple(_by_relation.get(id(relation), ())):
+            entry = _entries.get(entry_key)
+            if entry is not None and any(dep is relation for dep, _ in entry.deps):
+                _remove(entry)
+                evicted += 1
+        _invalidations += evicted
+        return evicted
 
 
 # ----------------------------------------------------------------------
 # the cache proper
 # ----------------------------------------------------------------------
 def _remove(entry: _Entry) -> None:
-    _entries.pop(entry.key, None)
+    global _pinned
+    if _entries.pop(entry.key, None) is not None and entry.hot:
+        _pinned -= 1
     for dep, _epoch in entry.deps:
         keys = _by_relation.get(id(dep))
         if keys is not None:
@@ -186,28 +258,57 @@ def _valid(entry: _Entry) -> bool:
     return all(relation_epoch(dep) == epoch for dep, epoch in entry.deps)
 
 
+def _evict_one() -> None:
+    """Evict one entry: the cheapest-to-replan among the LRU few.
+
+    Pinned (hot) entries are skipped; if every candidate is pinned the LRU
+    head goes regardless (progress beats pinning).  Caller holds the lock.
+    """
+    global _evictions
+    window: List[_Entry] = []
+    for entry in _entries.values():  # iterates LRU-first
+        if not entry.hot:
+            window.append(entry)
+            if len(window) >= _EVICT_WINDOW:
+                break
+    if window:
+        victim = min(window, key=lambda e: e.plan_cost)
+    else:  # everything pinned: evict the stalest entry anyway
+        victim = next(iter(_entries.values()))
+    _remove(victim)
+    _evictions += 1
+
+
 def cache_lookup(key: Optional[Tuple]) -> Optional[Any]:
     """The cached payload for ``key``, or ``None`` (counted as a miss).
 
     A ``None`` key (an uncacheable query shape) always misses.  Entries
     whose dependency epochs drifted — which the eviction hooks should have
-    removed already — are dropped here rather than returned stale.
+    removed already — are dropped here rather than returned stale.  A hit
+    refreshes the entry's LRU position and, past :data:`_HOT_PIN_HITS`
+    hits, pins it into the hot set.
     """
-    global _hits, _misses, _invalidations
-    if key is None:
-        _misses += 1
-        return None
-    entry = _entries.get(key)
-    if entry is None:
-        _misses += 1
-        return None
-    if not _valid(entry):  # pragma: no cover - backstop; hooks evict first
-        _remove(entry)
-        _invalidations += 1
-        _misses += 1
-        return None
-    _hits += 1
-    return entry.payload
+    global _hits, _misses, _invalidations, _pinned
+    with _lock:
+        if key is None:
+            _misses += 1
+            return None
+        entry = _entries.get(key)
+        if entry is None:
+            _misses += 1
+            return None
+        if not _valid(entry):  # pragma: no cover - backstop; hooks evict first
+            _remove(entry)
+            _invalidations += 1
+            _misses += 1
+            return None
+        _hits += 1
+        entry.hits += 1
+        if not entry.hot and entry.hits >= _HOT_PIN_HITS and _pinned < _HOT_PIN_CAP:
+            entry.hot = True
+            _pinned += 1
+        _entries.move_to_end(key)
+        return entry.payload
 
 
 def cache_store(
@@ -215,40 +316,69 @@ def cache_store(
     payload: Any,
     deps: Sequence[Relation],
     pins: Tuple = (),
+    cost_class: str = "scan",
+    plan_cost: float = 0.0,
 ) -> None:
     """Insert a planned payload under ``key`` (``None`` key: not cached).
 
     ``deps`` are the base relations the plan reads; their *current* epochs
     are recorded, so a store that races a mutation during its own planning
-    (a lazy index build, say) self-describes correctly.
+    (a lazy index build, say) self-describes correctly.  ``plan_cost``
+    (seconds spent planning) weights eviction; ``cost_class`` is the
+    admission classification served back by :func:`cached_cost_class`.
     """
     if key is None:
         return
-    if len(_entries) >= _PLAN_CACHE_LIMIT:
-        _entries.clear()
-        _by_relation.clear()
-    entry = _Entry(key, payload, [(dep, relation_epoch(dep)) for dep in deps], pins)
-    _entries[key] = entry
-    for dep in deps:
-        _by_relation.setdefault(id(dep), set()).add(key)
+    entry = _Entry(
+        key, payload, [(dep, relation_epoch(dep)) for dep in deps], pins,
+        cost_class, plan_cost,
+    )
+    with _lock:
+        old = _entries.get(key)
+        if old is not None:
+            _remove(old)
+        while len(_entries) >= _PLAN_CACHE_LIMIT:
+            _evict_one()
+        _entries[key] = entry
+        for dep in deps:
+            _by_relation.setdefault(id(dep), set()).add(key)
 
 
 def cache_contains(key: Optional[Tuple]) -> bool:
     """Whether a valid entry exists for ``key`` (no stats counted)."""
-    if key is None:
-        return False
-    entry = _entries.get(key)
-    return entry is not None and _valid(entry)
+    with _lock:
+        if key is None:
+            return False
+        entry = _entries.get(key)
+        return entry is not None and _valid(entry)
+
+
+def cached_cost_class(key: Optional[Tuple]) -> Optional[str]:
+    """The cost class of a *valid* cached entry, or ``None`` when cold.
+
+    The admission layer's peek: no stats are counted and the LRU order is
+    untouched, so classifying a request never perturbs the cache.
+    """
+    with _lock:
+        if key is None:
+            return None
+        entry = _entries.get(key)
+        if entry is None or not _valid(entry):
+            return None
+        return entry.cost_class
 
 
 def plan_cache_stats() -> dict:
-    """Hit/miss/invalidation counters and current size of the plan cache."""
-    return {
-        "hits": _hits,
-        "misses": _misses,
-        "invalidations": _invalidations,
-        "size": len(_entries),
-    }
+    """Hit/miss/invalidation/eviction counters and sizes of the plan cache."""
+    with _lock:
+        return {
+            "hits": _hits,
+            "misses": _misses,
+            "invalidations": _invalidations,
+            "evictions": _evictions,
+            "pinned": _pinned,
+            "size": len(_entries),
+        }
 
 
 def reset_plan_cache() -> None:
@@ -259,12 +389,15 @@ def reset_plan_cache() -> None:
     plans, and resetting them could resurrect the very staleness the
     epochs guard against.
     """
-    global _hits, _misses, _invalidations
-    _entries.clear()
-    _by_relation.clear()
-    _hits = 0
-    _misses = 0
-    _invalidations = 0
+    global _hits, _misses, _invalidations, _evictions, _pinned
+    with _lock:
+        _entries.clear()
+        _by_relation.clear()
+        _hits = 0
+        _misses = 0
+        _invalidations = 0
+        _evictions = 0
+        _pinned = 0
 
 
 def mark_cached(text: str) -> str:
@@ -286,6 +419,61 @@ def build_key(builder: Callable[[], Tuple]) -> Optional[Tuple]:
         return builder()
     except TypeError:
         return None
+
+
+# ----------------------------------------------------------------------
+# cost classification
+# ----------------------------------------------------------------------
+def cost_class_of(physical: Any) -> str:
+    """Classify a physical plan for admission control.
+
+    * ``point`` — no joins and either an index point/range access or a
+      tiny estimated answer: the cached-point-lookup class a server can
+      admit by the hundreds,
+    * ``scan``  — a join-free pipeline over one relation,
+    * ``join``  — up to :data:`_HEAVY_JOIN_COUNT` joins with a moderate
+      estimate (the partition-merge shape of translated U-queries),
+    * ``heavy`` — deeper join trees or large estimates (the cold six-way
+      join a server must not admit unboundedly).
+
+    Derived from the plan alone (operator shapes + the optimizer's
+    ``estimate_rows`` results attached to the nodes), so the class is
+    stable across executions and safe to cache on the entry.
+    """
+    from .physical import (
+        HashJoin,
+        IndexNestedLoopJoin,
+        IndexScan,
+        MergeJoin,
+        NestedLoopJoin,
+        SemiJoinOp,
+        _NO_POINT,
+    )
+
+    joins = 0
+    indexed_access = False
+    stack = [physical]
+    while stack:
+        node = stack.pop()
+        if isinstance(
+            node, (HashJoin, IndexNestedLoopJoin, MergeJoin, NestedLoopJoin, SemiJoinOp)
+        ):
+            joins += 1
+        if isinstance(node, IndexScan) and not node.probe and (
+            node.point is not _NO_POINT
+            or node.lower is not None
+            or node.upper is not None
+        ):
+            indexed_access = True
+        stack.extend(node.children)
+    estimate = float(getattr(physical, "estimated_rows", 0.0) or 0.0)
+    if joins == 0:
+        if indexed_access or estimate <= _POINT_ROWS_LIMIT:
+            return "point"
+        return "scan"
+    if joins <= _HEAVY_JOIN_COUNT and estimate <= _HEAVY_ROWS_LIMIT:
+        return "join"
+    return "heavy"
 
 
 # ----------------------------------------------------------------------

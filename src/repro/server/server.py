@@ -1,0 +1,349 @@
+"""The query-serving frontend: in-process API plus a TCP line protocol.
+
+:class:`QueryServer` composes the serving subsystem over one shared
+:class:`~repro.core.udatabase.UDatabase`:
+
+* sessions (:meth:`QueryServer.session`) own per-connection statements
+  and bindings (:mod:`repro.server.session`),
+* an :class:`~repro.server.admission.AdmissionController` classifies each
+  request by plan-cache cost class and bounds per-class concurrency,
+* a :class:`~repro.server.executor.ConcurrentExecutor` runs cached plans
+  on a worker pool, coalescing identical in-flight requests.
+
+The TCP mode (:meth:`QueryServer.serve_tcp`, or ``python -m
+repro.server``) speaks newline-delimited JSON — one request object per
+line, one response object per line::
+
+    -> {"op": "query",   "sql": "possible (select ...)", "params": []}
+    <- {"ok": true, "columns": ["a"], "rows": [[1], [2]]}
+    -> {"op": "prepare", "name": "q1", "sql": "... where x = $1"}
+    <- {"ok": true, "prepared": "q1", "parameters": 1}
+    -> {"op": "execute", "name": "q1", "params": [7]}
+    <- {"ok": true, "columns": [...], "rows": [...]}
+    -> {"op": "stats"}
+    <- {"ok": true, "stats": {...}}
+
+A shed request answers ``{"ok": false, "kind": "overloaded", ...}``
+immediately — load shedding is a *response*, not a dropped connection.
+Values without a JSON representation (dates, decimals) are serialized
+through ``str``.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from ..core.prepared import PreparedQuery
+from ..core.query import Certain
+from ..core.translate import query_cache_key
+from ..core.udatabase import UDatabase
+from ..core.urelation import URelation
+from ..relational.plancache import cached_cost_class, plan_cache_stats
+from ..relational.relation import Relation
+from .admission import AdmissionController, AdmissionPolicy, Overloaded
+from .executor import ConcurrentExecutor
+from .session import Session, SnapshotChanged
+
+__all__ = ["QueryServer", "TCPHandle"]
+
+
+class QueryServer:
+    """Serves queries over one shared UDatabase from many sessions."""
+
+    def __init__(
+        self,
+        udb: UDatabase,
+        workers: int = 4,
+        policy: Optional[AdmissionPolicy] = None,
+        coalesce: bool = True,
+        mode: str = "columns",
+        use_indexes: bool = True,
+        parallel: int = 0,
+    ):
+        self.udb = udb
+        self.mode = mode
+        self.use_indexes = use_indexes
+        #: Partition-parallel scan fan-out handed to the planner for every
+        #: statement executed through this server (0 = serial plans).
+        self.parallel = parallel
+        self.admission = AdmissionController(policy)
+        self.executor = ConcurrentExecutor(workers=workers, coalesce=coalesce)
+        self._sessions_opened = 0
+        # RLock: ``query`` opens its default session while holding the lock
+        self._lock = threading.RLock()
+        self._default_session: Optional[Session] = None
+        #: Rendered-response cache for the TCP frontend: result object ->
+        #: serialized JSON line.  Coalesced requests share one immutable
+        #: result; serializing it once per *result* instead of once per
+        #: waiter removes the dominant per-request cost of hot cached
+        #: queries.  Keys are object ids, sound because the entry pins the
+        #: result (bounded, LRU).
+        self._render_lock = threading.Lock()
+        self._render_cache: "OrderedDict[int, Tuple[Any, bytes]]" = OrderedDict()
+        self._render_limit = 64
+
+    # ------------------------------------------------------------------
+    # sessions
+    # ------------------------------------------------------------------
+    def session(self, **overrides: Any) -> Session:
+        """Open a new session bound to this server's executor and limits."""
+        with self._lock:
+            self._sessions_opened += 1
+        return Session(
+            self.udb,
+            server=self,
+            mode=overrides.get("mode", self.mode),
+            use_indexes=overrides.get("use_indexes", self.use_indexes),
+            parallel=overrides.get("parallel", self.parallel),
+        )
+
+    def query(self, sql: str, params: Sequence[Any] = ()):
+        """Convenience one-shot query through a server-owned session."""
+        with self._lock:
+            if self._default_session is None:
+                self._default_session = self.session()
+            session = self._default_session
+        return session.execute(sql, params)
+
+    # ------------------------------------------------------------------
+    # the request path: classify -> admit -> (coalesced) execute
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        prepared: PreparedQuery,
+        params: Tuple[Any, ...] = (),
+        session: Optional[Session] = None,
+    ):
+        """Run a prepared statement through admission + the worker pool.
+
+        The admission class comes from the prepared-plan cache: a valid
+        cached entry serves its recorded cost class, anything else is
+        ``cold`` (it is about to pay planning).  Identical in-flight
+        requests (same plan-cache key, bindings, and catalog version)
+        coalesce onto one execution.
+        """
+        mode = session.mode if session is not None else self.mode
+        use_indexes = session.use_indexes if session is not None else self.use_indexes
+        parallel = session.parallel if session is not None else self.parallel
+        # classification peeks at the plan cache under the key the
+        # execution path actually stores: execute_query strips Certain
+        # wrappers and plans (and caches) their relational core
+        classify_query = prepared.query
+        while isinstance(classify_query, Certain):
+            classify_query = classify_query.child
+        class_key = query_cache_key(
+            classify_query,
+            self.udb,
+            mode=mode,
+            use_indexes=use_indexes,
+            parallel=parallel,
+        )
+        cost_class = cached_cost_class(class_key) or "cold"
+        # coalescing keys the *full* tree (a certain(q) answer is not the
+        # answer of its core — the two must never share one flight)
+        key = (
+            class_key
+            if classify_query is prepared.query
+            else query_cache_key(
+                prepared.query,
+                self.udb,
+                mode=mode,
+                use_indexes=use_indexes,
+                parallel=parallel,
+            )
+        )
+        coalesce_key: Optional[Tuple[Any, ...]]
+        if key is None:
+            coalesce_key = None
+        else:
+            coalesce_key = (key, params, self.udb.catalog_version)
+            try:
+                hash(coalesce_key)
+            except TypeError:  # unhashable binding: execute un-coalesced
+                coalesce_key = None
+
+        def work():
+            return prepared.run(
+                *params, mode=mode, use_indexes=use_indexes, parallel=parallel
+            )
+
+        # join an identical in-flight execution without consuming an
+        # admission slot — a waiter costs nothing, and hot-query bursts
+        # must coalesce even when their class admits only two executions
+        inflight = self.executor.peek(coalesce_key)
+        if inflight is not None:
+            return inflight.result()
+        with self.admission.admit(cost_class):
+            return self.executor.run(work, key=coalesce_key)
+
+    def render_result(self, result: Any) -> bytes:
+        """The serialized JSON response line for a statement result.
+
+        Memoized per result object (see ``_render_cache``): the N-1
+        coalesced waiters of a single-flight execution — and every later
+        request served the same cached result — reuse one serialization.
+        """
+        key = id(result)
+        with self._render_lock:
+            hit = self._render_cache.get(key)
+            if hit is not None and hit[0] is result:
+                self._render_cache.move_to_end(key)
+                return hit[1]
+        line = json.dumps(_result_payload(result), default=str).encode("utf-8") + b"\n"
+        with self._render_lock:
+            self._render_cache[key] = (result, line)
+            self._render_cache.move_to_end(key)
+            while len(self._render_cache) > self._render_limit:
+                self._render_cache.popitem(last=False)
+        return line
+
+    # ------------------------------------------------------------------
+    # observability / lifecycle
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """Admission, executor, and plan-cache counters in one snapshot."""
+        return {
+            "sessions_opened": self._sessions_opened,
+            "admission": self.admission.stats(),
+            "executor": self.executor.stats(),
+            "plan_cache": plan_cache_stats(),
+            "catalog_version": self.udb.catalog_version,
+        }
+
+    def close(self) -> None:
+        self.executor.shutdown()
+
+    def __enter__(self) -> "QueryServer":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # TCP mode
+    # ------------------------------------------------------------------
+    def serve_tcp(self, host: str = "127.0.0.1", port: int = 0) -> "TCPHandle":
+        """Start the line-protocol TCP frontend on a background thread.
+
+        ``port=0`` binds an ephemeral port; the returned handle exposes
+        the bound ``address`` and a ``close()`` that stops the listener
+        (sessions die with their connections).
+        """
+        tcp = _TCPServer((host, port), _ConnectionHandler)
+        tcp.query_server = self
+        thread = threading.Thread(
+            target=tcp.serve_forever, name="repro-serve-tcp", daemon=True
+        )
+        thread.start()
+        return TCPHandle(tcp, thread)
+
+
+class TCPHandle:
+    """A running TCP frontend: its bound address and a clean shutdown."""
+
+    def __init__(self, tcp: "_TCPServer", thread: threading.Thread):
+        self._tcp = tcp
+        self._thread = thread
+        self.address: Tuple[str, int] = tcp.server_address
+
+    def close(self) -> None:
+        self._tcp.shutdown()
+        self._tcp.server_close()
+        self._thread.join(timeout=5)
+
+    def __enter__(self) -> "TCPHandle":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+class _TCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+    query_server: QueryServer  # attached by serve_tcp
+
+
+def _result_payload(result: Any) -> Dict[str, Any]:
+    """JSON-shape a statement result (relation, U-relation, index, None)."""
+    if isinstance(result, URelation):
+        relation = result.relation
+        return {
+            "ok": True,
+            "columns": list(relation.schema.names),
+            "rows": [list(row) for row in relation.rows],
+            "urelation": True,
+        }
+    if isinstance(result, Relation):
+        return {
+            "ok": True,
+            "columns": list(result.schema.names),
+            "rows": [list(row) for row in result.rows],
+        }
+    # index DDL returns the Index (CREATE) or None (DROP); an Index must
+    # not be mistaken for a result set (it carries a .relation too)
+    return {"ok": True, "result": None if result is None else str(result)}
+
+
+class _ConnectionHandler(socketserver.StreamRequestHandler):
+    """One TCP connection == one session; JSON objects, one per line."""
+
+    def handle(self) -> None:
+        self.request.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        server: QueryServer = self.server.query_server
+        session = server.session()
+        for raw in self.rfile:
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                response = self._dispatch(server, session, json.loads(line))
+            except Overloaded as error:
+                response = {
+                    "ok": False,
+                    "kind": "overloaded",
+                    "class": error.cost_class,
+                    "error": str(error),
+                }
+            except SnapshotChanged as error:
+                response = {"ok": False, "kind": "snapshot", "error": str(error)}
+            except Exception as error:  # protocol survives bad statements
+                response = {"ok": False, "kind": "error", "error": str(error)}
+            if response is None:  # close requested
+                break
+            if not isinstance(response, bytes):  # pre-rendered results skip dumps
+                response = json.dumps(response, default=str).encode("utf-8") + b"\n"
+            self.wfile.write(response)
+            self.wfile.flush()
+
+    def _dispatch(
+        self, server: QueryServer, session: Session, request: Dict[str, Any]
+    ) -> Any:  # a response dict, pre-rendered bytes, or None (close)
+        op = request.get("op", "query")
+        if op == "ping":
+            return {"ok": True, "pong": True}
+        if op == "close":
+            return None
+        if op == "stats":
+            return {"ok": True, "stats": server.stats()}
+        if op == "prepare":
+            prepared = session.prepare(request["name"], request["sql"])
+            return {
+                "ok": True,
+                "prepared": request["name"],
+                "parameters": prepared.parameter_count,
+            }
+        if op == "execute":
+            result = session.execute_prepared(
+                request["name"], *tuple(request.get("params", ()))
+            )
+            return server.render_result(result)
+        if op == "query":
+            result = session.execute(request["sql"], tuple(request.get("params", ())))
+            return server.render_result(result)
+        return {"ok": False, "kind": "error", "error": f"unknown op {op!r}"}

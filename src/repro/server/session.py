@@ -1,0 +1,261 @@
+"""Per-connection sessions: statement namespaces, bindings, snapshots.
+
+A :class:`Session` is the unit of client state on a shared
+:class:`~repro.core.udatabase.UDatabase`.  It owns:
+
+* **a prepared-statement namespace** — ``PREPARE``-style named statements
+  (:meth:`Session.prepare`) plus a transparent by-text statement cache
+  (:meth:`Session.execute`).  Each session *parses its own statements*,
+  which is not a nicety but the concurrency mechanism: every parse gets
+  its own ``$n`` binding store, so two sessions running ``where x = $1``
+  with different bindings never touch each other's parameters.  (The
+  physical plan is still shared across sessions for parameter-free
+  statements — structural keys are equal — while parameterized statements
+  plan once per session, keyed by store identity, and then go
+  executor-only for every binding.)
+* **read consistency via catalog-version snapshots** — there is no
+  ``BEGIN``: within one statement, consistency is automatic (a plan
+  embeds the immutable relation objects it was planned over, so a
+  concurrent table replacement cannot tear a running query).  *Across*
+  statements, :meth:`Session.snapshot` gives optimistic repeatable reads:
+  it records the catalog version, and every statement in the block
+  verifies the version is unchanged before executing, raising
+  :class:`SnapshotChanged` when concurrent DDL moved the catalog under
+  the session.
+
+Sessions serialize their own statements (one client speaks one protocol
+connection); different sessions run fully in parallel through the
+server's executor.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from ..core.prepared import PreparedQuery
+from ..core.udatabase import UDatabase
+
+__all__ = ["Session", "SnapshotChanged"]
+
+#: Per-session by-text statement cap (mirrors the per-udb cap in
+#: :mod:`repro.sql`): ad-hoc texts with inline literals must not grow the
+#: namespace without bound.
+_SESSION_STATEMENT_LIMIT = 256
+
+
+class SnapshotChanged(RuntimeError):
+    """Concurrent DDL moved the catalog under a snapshot read."""
+
+    def __init__(self, expected: int, current: int):
+        super().__init__(
+            f"catalog version moved from {expected} to {current} during a "
+            f"snapshot read; re-issue the statement outside the snapshot "
+            f"or take a new one"
+        )
+        self.expected = expected
+        self.current = current
+
+
+class Session:
+    """One client's statements, bindings, and snapshot on a shared UDatabase."""
+
+    def __init__(
+        self,
+        udb: UDatabase,
+        server: Optional[Any] = None,
+        mode: str = "columns",
+        use_indexes: bool = True,
+        parallel: int = 0,
+    ):
+        self.udb = udb
+        #: The owning :class:`~repro.server.server.QueryServer`, or None
+        #: for a standalone session (statements then execute inline on the
+        #: calling thread, without admission control or coalescing).
+        self.server = server
+        self.mode = mode
+        self.use_indexes = use_indexes
+        self.parallel = parallel
+        self._named: Dict[str, PreparedQuery] = {}
+        self._by_text: Dict[str, PreparedQuery] = {}
+        #: Serializes this session's statements (a session models one
+        #: connection; its requests are a sequence, not a pool).
+        self._lock = threading.RLock()
+        self._snapshot_version: Optional[int] = None
+        self.statements_run = 0
+
+    # ------------------------------------------------------------------
+    # statement namespace
+    # ------------------------------------------------------------------
+    def _parse(self, sql: str) -> PreparedQuery:
+        """Parse SQL into a session-owned PreparedQuery (own ``$n`` store)."""
+        from ..sql.parser import CreateIndex, DropIndex, parse
+
+        statement = parse(sql)
+        if isinstance(statement, (CreateIndex, DropIndex)):
+            raise ValueError("cannot prepare DDL; use Session.execute_ddl")
+        return PreparedQuery(statement, self.udb, sql=sql)
+
+    def prepare(self, name: str, sql: str) -> PreparedQuery:
+        """Register a named prepared statement in this session's namespace.
+
+        Re-preparing a name replaces it (the PostgreSQL ``PREPARE``
+        convention is an error; replacement is friendlier for a serving
+        loop and costs nothing).  The statement belongs to this session:
+        its ``$n`` bindings are invisible to every other session.
+        """
+        prepared = self._parse(sql)
+        with self._lock:
+            self._named[name] = prepared
+        return prepared
+
+    def deallocate(self, name: str) -> None:
+        """Drop a named prepared statement (KeyError when absent)."""
+        with self._lock:
+            del self._named[name]
+
+    def statement(self, name: str) -> PreparedQuery:
+        """Look up a named prepared statement."""
+        with self._lock:
+            try:
+                return self._named[name]
+            except KeyError:
+                raise KeyError(
+                    f"no prepared statement {name!r} in this session; "
+                    f"have {sorted(self._named)}"
+                ) from None
+
+    def _by_text_statement(self, sql: str) -> PreparedQuery:
+        with self._lock:
+            cached = self._by_text.get(sql)
+            if cached is None:
+                cached = self._parse(sql)
+                if len(self._by_text) >= _SESSION_STATEMENT_LIMIT:
+                    self._by_text.clear()
+                self._by_text[sql] = cached
+            return cached
+
+    # ------------------------------------------------------------------
+    # snapshots
+    # ------------------------------------------------------------------
+    def snapshot(self) -> "_Snapshot":
+        """Optimistic repeatable reads: ``with session.snapshot(): ...``.
+
+        Statements inside the block verify the catalog version they
+        started under is still current; concurrent DDL raises
+        :class:`SnapshotChanged` instead of silently mixing pre- and
+        post-DDL answers across the block's statements.
+        """
+        return _Snapshot(self)
+
+    def _check_snapshot(self) -> None:
+        expected = self._snapshot_version
+        if expected is not None:
+            current = self.udb.catalog_version
+            if current != expected:
+                raise SnapshotChanged(expected, current)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def execute(self, sql: str, params: Sequence[Any] = ()):
+        """Run a SQL statement (queries and index DDL), returning its result.
+
+        Queries are prepared transparently (cached by text in this
+        session) and routed through the server's admission + executor
+        layers when the session is server-bound.  DDL executes inline and
+        is rejected inside a snapshot block (it would break the
+        snapshot's own guarantee).
+        """
+        from ..sql.parser import CreateIndex, DropIndex, parse
+
+        with self._lock:
+            self._check_snapshot()
+            head = sql.lstrip().lower()
+            if head.startswith(("create", "drop")):
+                statement = parse(sql)
+                if isinstance(statement, (CreateIndex, DropIndex)):
+                    return self._apply_ddl(statement)
+            prepared = self._by_text_statement(sql)
+            return self._run(prepared, tuple(params))
+
+    def execute_prepared(self, name: str, *params: Any):
+        """Run a named prepared statement with the given bindings."""
+        with self._lock:
+            self._check_snapshot()
+            return self._run(self.statement(name), params)
+
+    def run(self, prepared: PreparedQuery, *params: Any):
+        """Run a session-owned :class:`PreparedQuery` (from :meth:`prepare`)."""
+        with self._lock:
+            self._check_snapshot()
+            return self._run(prepared, params)
+
+    def execute_ddl(self, sql: str):
+        """Apply index DDL to the shared database (never inside a snapshot)."""
+        from ..sql.parser import CreateIndex, DropIndex, parse
+
+        statement = parse(sql)
+        if not isinstance(statement, (CreateIndex, DropIndex)):
+            raise ValueError("execute_ddl takes CREATE INDEX / DROP INDEX only")
+        with self._lock:
+            return self._apply_ddl(statement)
+
+    def _apply_ddl(self, statement):
+        """Apply a parsed DDL statement (caller holds the session lock).
+
+        Mirrors :func:`repro.sql.execute_sql`'s DDL branch — no replace on
+        CREATE, so a name collision with a different definition errors
+        instead of destroying an existing access path.
+        """
+        from ..sql.parser import CreateIndex
+
+        if self._snapshot_version is not None:
+            raise SnapshotChanged(self._snapshot_version, self.udb.catalog_version)
+        db = self.udb.to_database()
+        if isinstance(statement, CreateIndex):
+            return db.create_index(
+                statement.name,
+                statement.table,
+                list(statement.columns),
+                kind=statement.kind,
+            )
+        db.drop_index(statement.name)
+        return None
+
+    def _run(self, prepared: PreparedQuery, params: Tuple[Any, ...]):
+        self.statements_run += 1
+        if self.server is not None:
+            return self.server.execute(prepared, params, session=self)
+        return prepared.run(
+            *params,
+            mode=self.mode,
+            use_indexes=self.use_indexes,
+            parallel=self.parallel,
+        )
+
+    def __repr__(self) -> str:
+        bound = "server-bound" if self.server is not None else "standalone"
+        return (
+            f"Session({bound}, named={sorted(self._named)}, "
+            f"statements_run={self.statements_run})"
+        )
+
+
+class _Snapshot:
+    """Context manager recording/clearing a session's snapshot version."""
+
+    def __init__(self, session: Session):
+        self._session = session
+
+    def __enter__(self) -> Session:
+        session = self._session
+        with session._lock:
+            if session._snapshot_version is not None:
+                raise RuntimeError("session snapshots do not nest")
+            session._snapshot_version = session.udb.catalog_version
+        return session
+
+    def __exit__(self, *exc: Any) -> None:
+        with self._session._lock:
+            self._session._snapshot_version = None

@@ -1,0 +1,144 @@
+"""Partition-parallel scans: identical answers, preserved order, gating.
+
+The :class:`~repro.relational.physical.ParallelScan` gather must be
+invisible semantically: for every plan, mode, batch size, and worker
+count, the parallel execution produces byte-identical output (same rows,
+same order) to the serial one.  The planner only inserts it for scans
+worth parallelizing, and EXPLAIN shows it as a ``Gather`` node.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational import planner as planner_module
+from repro.relational import physical as physical_module
+from repro.relational.algebra import Join, Project, Select
+from repro.relational.database import Database
+from repro.relational.expressions import col, lit
+from repro.relational.physical import ParallelScan, SeqScan
+from repro.relational.relation import Relation
+
+
+def make_db(rows: int = 6000, seed: int = 7) -> Database:
+    rng = random.Random(seed)
+    data = [(i, rng.randint(0, 99), f"g{i % 13}") for i in range(rows)]
+    dims = [(g, f"name-{g}") for g in range(13)]
+    return Database(
+        {
+            "fact": Relation(["a", "b", "c"], data),
+            "dim": Relation(["g", "label"], [(f"g{g}", n) for g, n in dims]),
+        }
+    )
+
+
+@pytest.fixture()
+def low_thresholds(monkeypatch):
+    """Force parallelization of small relations so tests stay fast."""
+    monkeypatch.setattr(planner_module, "PARALLEL_SCAN_MIN_ROWS", 64.0)
+    monkeypatch.setattr(physical_module, "PARALLEL_MIN_PARTITION_ROWS", 16)
+
+
+@given(
+    threshold=st.integers(min_value=0, max_value=99),
+    batch_size=st.sampled_from([0, 1, 7, 1023, 1024, 1025]),
+    workers=st.integers(min_value=2, max_value=6),
+    mode=st.sampled_from(["rows", "blocks", "columns"]),
+)
+@settings(max_examples=25, deadline=None)
+def test_parallel_equals_serial_property(threshold, batch_size, workers, mode):
+    db = make_db(rows=3000)
+    plan = Project(Select(db.scan("fact"), col("b") < lit(threshold)), ["a", "c"])
+    serial = db.run(plan, mode=mode, batch_size=batch_size, use_indexes=False)
+    parallel = db.run(
+        plan, mode=mode, batch_size=batch_size, use_indexes=False, parallel=workers
+    )
+    assert list(serial.rows) == list(parallel.rows)  # byte-identical, ordered
+    assert serial.schema.names == parallel.schema.names
+
+
+def test_parallel_under_join_identical(low_thresholds):
+    db = make_db(rows=2000)
+    plan = Join(
+        Select(db.scan("fact", alias="f"), col("f.b") < lit(60)),
+        db.scan("dim", alias="d"),
+        col("f.c").eq(col("d.g")),
+    )
+    serial = db.run(plan, use_indexes=False)
+    parallel = db.run(plan, use_indexes=False, parallel=4)
+    assert list(serial.rows) == list(parallel.rows)
+
+
+def test_explain_shows_gather(low_thresholds):
+    db = make_db(rows=2000)
+    plan = Project(Select(db.scan("fact"), col("b") < lit(50)), ["a"])
+    text = db.explain(plan, use_indexes=False, parallel=4)
+    assert "Gather" in text
+    assert "Workers Planned: 4" in text
+    assert "Fused Pipeline" in text
+
+
+def test_small_relations_stay_serial():
+    db = make_db(rows=200)  # below PARALLEL_SCAN_MIN_ROWS
+    plan = Project(Select(db.scan("fact"), col("b") < lit(50)), ["a"])
+    text = db.explain(plan, use_indexes=False, parallel=4)
+    assert "Gather" not in text
+
+
+def test_parallel_zero_never_gathers():
+    db = make_db(rows=6000)
+    plan = Select(db.scan("fact"), col("b") < lit(50))
+    assert "Gather" not in db.explain(plan, use_indexes=False)
+
+
+def test_bounded_seq_scan_partitions_cover_exactly():
+    relation = Relation(["a"], [(i,) for i in range(100)])
+    scan = SeqScan(relation, "t")
+    parts = [scan.bounded(s, min(s + 33, 100)) for s in range(0, 100, 33)]
+    gathered = [row for part in parts for batch in part.batches(10) for row in batch]
+    assert gathered == list(relation.rows)
+    # columnar path agrees
+    columnar = [
+        row
+        for part in parts
+        for batch in part.column_batches(10)
+        for row in batch.to_rows()
+    ]
+    assert columnar == list(relation.rows)
+
+
+def test_gather_is_reentrant_across_threads(low_thresholds):
+    """One cached parallel plan executed by many threads concurrently."""
+    import threading
+
+    db = make_db(rows=2000)
+    plan = Project(Select(db.scan("fact"), col("b") < lit(70)), ["a", "b"])
+    expected = list(db.run(plan, use_indexes=False).rows)
+    failures = []
+
+    def worker():
+        for _ in range(5):
+            got = list(db.run(plan, use_indexes=False, parallel=3).rows)
+            if got != expected:
+                failures.append(len(got))
+
+    threads = [threading.Thread(target=worker) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+    assert not failures
+
+
+def test_parallel_scan_rejects_non_scan_pipelines():
+    relation = Relation(["a"], [(i,) for i in range(10)])
+    db = Database({"t": relation})
+    physical = db._cached_physical(
+        Select(db.scan("t"), col("a") < lit(5)), True, False, False, fuse=False
+    )[0]
+    with pytest.raises(ValueError):
+        ParallelScan(physical, 2)  # a Filter, not a (fused) base scan

@@ -131,7 +131,14 @@ class TestMechanics:
         db.run(query(db))
         reset_plan_cache()
         stats = plan_cache_stats()
-        assert stats == {"hits": 0, "misses": 0, "invalidations": 0, "size": 0}
+        assert stats == {
+            "hits": 0,
+            "misses": 0,
+            "invalidations": 0,
+            "evictions": 0,
+            "pinned": 0,
+            "size": 0,
+        }
 
     def test_logical_plan_key_distinguishes_structure(self):
         db = make_db()
@@ -363,7 +370,7 @@ def test_cached_equals_fresh(plan, batch_size, use_indexes, mode):
     assert bag(warm_again) == bag(fresh)
     assert warm.schema.names == fresh.schema.names
     assert cache_contains(
-        ("db-run", id(db), logical_plan_key(plan), True, False, use_indexes, fuse)
+        ("db-run", id(db), logical_plan_key(plan), True, False, use_indexes, fuse, 0)
     )
 
 

@@ -1,0 +1,147 @@
+"""Plan-cache eviction: LRU order, planning-cost weights, hot-set pin.
+
+PR 4's wholesale clear at 256 entries is gone: a serving workload churns
+ad-hoc statement shapes through the cache, and clearing would throw away
+the hot prepared statements along with the one-offs.  These tests drive
+the cache through its module API with synthetic entries (empty dependency
+lists keep them epoch-valid forever).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relational import plancache
+
+
+@pytest.fixture()
+def tiny_cache(monkeypatch):
+    """Shrink capacity/windows so eviction is observable with few entries."""
+    monkeypatch.setattr(plancache, "_PLAN_CACHE_LIMIT", 4)
+    monkeypatch.setattr(plancache, "_HOT_PIN_CAP", 2)
+    monkeypatch.setattr(plancache, "_HOT_PIN_HITS", 3)
+    monkeypatch.setattr(plancache, "_EVICT_WINDOW", 2)
+    plancache.reset_plan_cache()
+    yield
+    plancache.reset_plan_cache()
+
+
+def store(name, cost=1.0, cls="scan"):
+    plancache.cache_store((name,), f"payload-{name}", deps=[], cost_class=cls, plan_cost=cost)
+
+
+def present(name):
+    return plancache.cache_contains((name,))
+
+
+def test_capacity_is_respected_without_wholesale_clear(tiny_cache):
+    for i in range(10):
+        store(f"q{i}")
+    stats = plancache.plan_cache_stats()
+    assert stats["size"] == 4
+    assert stats["evictions"] == 6
+    # the newest entries survived — no wholesale clear
+    assert present("q9") and present("q8")
+
+
+def test_eviction_prefers_the_lru_end(tiny_cache):
+    for name in ("a", "b", "c", "d"):
+        store(name)
+    assert plancache.cache_lookup(("a",)) is not None  # refresh a: now MRU
+    store("e")  # evicts from the LRU window (b, c) — never a
+    assert present("a") and present("e")
+    assert not (present("b") and present("c"))
+
+
+def test_planning_cost_picks_the_victim_inside_the_window(tiny_cache):
+    store("cheap", cost=0.001)
+    store("expensive", cost=1.0)
+    store("x", cost=0.5)
+    store("y", cost=0.5)
+    store("z", cost=0.5)  # window is (cheap, expensive): cheap goes
+    assert not present("cheap")
+    assert present("expensive")
+
+
+def test_hot_entries_are_pinned_against_eviction(tiny_cache):
+    store("hot", cost=0.0)  # cheapest: the default victim
+    for _ in range(3):  # _HOT_PIN_HITS lookups pin it
+        assert plancache.cache_lookup(("hot",)) is not None
+    assert plancache.plan_cache_stats()["pinned"] == 1
+    for i in range(8):
+        store(f"filler{i}", cost=1.0)
+    assert present("hot")  # survived 8 insertions at capacity 4
+
+
+def test_pin_cap_bounds_the_hot_set(tiny_cache):
+    for name in ("h1", "h2", "h3"):
+        store(name)
+        for _ in range(3):
+            plancache.cache_lookup((name,))
+    assert plancache.plan_cache_stats()["pinned"] == 2  # cap, not 3
+
+
+def test_invalidation_still_evicts_pinned_entries(tiny_cache):
+    from repro.relational.relation import Relation
+
+    relation = Relation(["a"], [(1,)])
+    plancache.cache_store(("dep",), "payload", deps=[relation], plan_cost=1.0)
+    for _ in range(3):
+        plancache.cache_lookup(("dep",))
+    assert plancache.plan_cache_stats()["pinned"] == 1
+    plancache.bump_relation(relation)
+    assert not present("dep")
+    assert plancache.plan_cache_stats()["pinned"] == 0
+
+
+def test_restore_replaces_in_place(tiny_cache):
+    store("q", cost=0.1)
+    store("q", cost=0.9)
+    assert plancache.plan_cache_stats()["size"] == 1
+    assert plancache.cache_lookup(("q",)) == "payload-q"
+
+
+def test_everything_pinned_still_makes_progress(tiny_cache, monkeypatch):
+    monkeypatch.setattr(plancache, "_HOT_PIN_CAP", 10)  # pin without bound
+    for name in ("a", "b", "c", "d"):
+        store(name)
+        for _ in range(3):
+            plancache.cache_lookup((name,))
+    assert plancache.plan_cache_stats()["pinned"] == 4
+    store("new")  # all candidates pinned: the stalest entry goes anyway
+    assert present("new")
+    assert plancache.plan_cache_stats()["size"] == 4
+
+
+def test_concurrent_store_lookup_invalidate_is_safe(tiny_cache, monkeypatch):
+    """A stress belt for the lock: stores, lookups, and bumps from many
+    threads never corrupt the cache maps (sizes stay bounded, no
+    exceptions escape)."""
+    import threading
+
+    from repro.relational.relation import Relation
+
+    monkeypatch.setattr(plancache, "_PLAN_CACHE_LIMIT", 16)
+    relations = [Relation(["a"], [(i,)]) for i in range(4)]
+    errors = []
+
+    def churn(thread_id):
+        try:
+            for i in range(200):
+                relation = relations[(thread_id + i) % 4]
+                plancache.cache_store(
+                    (thread_id, i % 8), i, deps=[relation], plan_cost=0.1
+                )
+                plancache.cache_lookup((thread_id, (i + 1) % 8))
+                if i % 17 == 0:
+                    plancache.bump_relation(relation)
+        except Exception as error:  # pragma: no cover - the assertion
+            errors.append(error)
+
+    threads = [threading.Thread(target=churn, args=(t,)) for t in range(6)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+    assert not errors
+    assert plancache.plan_cache_stats()["size"] <= 16

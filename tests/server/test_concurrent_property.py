@@ -1,0 +1,244 @@
+"""Concurrent correctness: parallel answers identical to serial execution.
+
+The serving subsystem's core promise: N threads running a mix of cached,
+prepared, and cold queries — through raw ``execute_query`` and through
+server-bound sessions, across all three execution modes — always receive
+answers identical to serial execution, even while a DDL thread bumps the
+catalog (index create/drop, statistics refresh) under them.
+
+Index DDL never changes *what* a query answers, only how it executes, so
+the serial baseline is well-defined throughout.  Without DDL the
+comparison is byte-identical (same rows, same order, per mode); under
+concurrent DDL a plan may legitimately switch access paths mid-run, which
+can permute row order, so that comparison is on row multisets.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+
+import pytest
+
+from repro.core import execute_query
+from repro.core.query import Poss, Rel, UJoin, UProject, USelect
+from repro.relational.expressions import col, lit
+from repro.server import QueryServer
+
+from tests.conftest import build_vehicles_udb
+
+MODES = ["rows", "blocks", "columns"]
+
+
+def _query_pool():
+    """(name, query builder) pairs covering selection/join/projection mixes."""
+
+    def by_type(value):
+        return Poss(USelect(Rel("r"), col("type").eq(lit(value))))
+
+    def by_faction(value):
+        return Poss(
+            UProject(USelect(Rel("r"), col("faction").eq(lit(value))), ["id"])
+        )
+
+    def self_join():
+        return Poss(
+            UProject(
+                UJoin(
+                    Rel("r", "x"),
+                    Rel("r", "y"),
+                    col("x.type").eq(col("y.type")),
+                ),
+                ["x.id", "y.id"],
+            )
+        )
+
+    def by_id_threshold(k):
+        return Poss(USelect(Rel("r"), col("id") > lit(k)))
+
+    pool = [
+        ("tank", by_type("Tank")),
+        ("transport", by_type("Transport")),
+        ("friend", by_faction("Friend")),
+        ("enemy", by_faction("Enemy")),
+        ("self-join", self_join()),
+    ]
+    # distinct literals => distinct plan-cache entries: the "cold" mix
+    pool.extend((f"cold-{k}", by_id_threshold(k)) for k in range(4))
+    return pool
+
+
+def _rows_of(result):
+    relation = getattr(result, "relation", result)
+    return list(relation.rows)
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_threads_running_mixed_queries_match_serial_exactly(mode):
+    """No DDL: every concurrent answer is byte-identical (ordered) to the
+    serial answer in the same mode."""
+    udb = build_vehicles_udb()
+    pool = _query_pool()
+    expected = {name: _rows_of(execute_query(q, udb, mode=mode)) for name, q in pool}
+    mismatches = []
+
+    def worker(offset):
+        for i in range(12):
+            name, query = pool[(offset + i) % len(pool)]
+            got = _rows_of(execute_query(query, udb, mode=mode))
+            if got != expected[name]:
+                mismatches.append((name, mode))
+
+    threads = [threading.Thread(target=worker, args=(t,)) for t in range(6)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120)
+    assert not mismatches
+
+
+def test_threads_with_concurrent_ddl_match_serial_multisets():
+    """A DDL thread creates/drops indexes and refreshes statistics while
+    six query threads run the mixed workload across all modes; answers
+    stay multiset-identical to serial."""
+    udb = build_vehicles_udb()
+    db = udb.to_database()
+    pool = _query_pool()
+    expected = {
+        name: Counter(_rows_of(execute_query(q, udb))) for name, q in pool
+    }
+    mismatches = []
+    errors = []
+    stop = threading.Event()
+
+    def ddl_thread():
+        try:
+            toggle = 0
+            while not stop.is_set():
+                name = f"i_churn_{toggle % 2}"
+                db.create_index(name, "w", ["var"], kind="sorted", replace=True)
+                db.analyze("u_r_id")
+                db.drop_index(name)
+                toggle += 1
+        except Exception as error:  # pragma: no cover - the assertion
+            errors.append(error)
+
+    def worker(offset):
+        try:
+            for i in range(15):
+                name, query = pool[(offset + i) % len(pool)]
+                mode = MODES[(offset + i) % len(MODES)]
+                got = Counter(_rows_of(execute_query(query, udb, mode=mode)))
+                if got != expected[name]:
+                    mismatches.append((name, mode))
+        except Exception as error:  # pragma: no cover - the assertion
+            errors.append(error)
+
+    churner = threading.Thread(target=ddl_thread)
+    workers = [threading.Thread(target=worker, args=(t,)) for t in range(6)]
+    churner.start()
+    for t in workers:
+        t.start()
+    for t in workers:
+        t.join(timeout=120)
+    stop.set()
+    churner.join(timeout=30)
+    assert not errors
+    assert not mismatches
+
+
+def test_server_sessions_with_ddl_match_serial_multisets():
+    """The same guarantee through the full serving stack: server-bound
+    sessions (admission + pool + coalescing) with a DDL churner."""
+    udb = build_vehicles_udb()
+    db = udb.to_database()
+    statements = {
+        "tank": ("possible (select id, type from r where type = $1)", ("Tank",)),
+        "transport": (
+            "possible (select id, type from r where type = $1)",
+            ("Transport",),
+        ),
+        "enemy": ("possible (select id from r where faction = 'Enemy')", ()),
+        "all": ("possible (select id, type, faction from r)", ()),
+    }
+    baseline_session = udb.session()
+    expected = {
+        name: Counter(_rows_of(baseline_session.execute(sql, params)))
+        for name, (sql, params) in statements.items()
+    }
+    server = QueryServer(udb, workers=4)
+    mismatches = []
+    errors = []
+    stop = threading.Event()
+
+    def ddl_thread():
+        try:
+            toggle = 0
+            while not stop.is_set():
+                name = f"i_serve_{toggle % 2}"
+                db.create_index(name, "w", ["var"], kind="sorted", replace=True)
+                db.drop_index(name)
+                toggle += 1
+        except Exception as error:  # pragma: no cover
+            errors.append(error)
+
+    def client(offset):
+        try:
+            session = server.session()
+            names = sorted(statements)
+            for i in range(20):
+                name = names[(offset + i) % len(names)]
+                sql, params = statements[name]
+                got = Counter(_rows_of(session.execute(sql, params)))
+                if got != expected[name]:
+                    mismatches.append(name)
+        except Exception as error:  # pragma: no cover
+            errors.append(error)
+
+    churner = threading.Thread(target=ddl_thread)
+    clients = [threading.Thread(target=client, args=(t,)) for t in range(5)]
+    churner.start()
+    for t in clients:
+        t.start()
+    for t in clients:
+        t.join(timeout=120)
+    stop.set()
+    churner.join(timeout=30)
+    server.close()
+    assert not errors
+    assert not mismatches
+
+
+def test_lazy_index_builds_race_free():
+    """Many threads planning over a fresh UDatabase trigger the deferred
+    auto-index builds concurrently; every index is built exactly once and
+    every answer is correct."""
+    udb = build_vehicles_udb()  # auto-index definitions are still pending
+    expected = Counter(
+        _rows_of(execute_query(Poss(USelect(Rel("r"), col("type").eq(lit("Tank")))), udb))
+    )
+    fresh = build_vehicles_udb()
+    results = []
+    errors = []
+
+    def worker():
+        try:
+            query = Poss(USelect(Rel("r"), col("type").eq(lit("Tank"))))
+            results.append(Counter(_rows_of(execute_query(query, fresh))))
+        except Exception as error:  # pragma: no cover
+            errors.append(error)
+
+    threads = [threading.Thread(target=worker) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+    assert not errors
+    assert all(r == expected for r in results)
+    # exactly one tid index + one value index per partition (no duplicates
+    # from racing builds)
+    from repro.relational.index import built_indexes_on
+
+    for part in fresh.partitions("r"):
+        names = [index.name for index in built_indexes_on(part.relation)]
+        assert len(names) == len(set(names))
