@@ -9,6 +9,11 @@
 #                      queries over the TCP protocol at 1/4/8 client
 #                      threads (gates on >= 2x at 4 clients; appends to
 #                      benchmarks/results/BENCH_serve.json)
+#   make bench-ingest - read-write serving: mixed insert/point-lookup mix
+#                      at 1/4/8 clients (verifies every insert landed and
+#                      that the latest BENCH_serve read-only numbers still
+#                      meet their bar; appends to
+#                      benchmarks/results/BENCH_ingest.json)
 #   make coverage    - the tier-1 suite under coverage with the CI ratchet
 #                      (needs pytest-cov: pip install -r requirements-dev.txt)
 #   make bench       - the full benchmark suite (slow)
@@ -20,7 +25,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 #: Measured ~91% today; raise as coverage grows, never lower.
 COVERAGE_FLOOR ?= 85
 
-.PHONY: test coverage bench-smoke bench-serve bench
+.PHONY: test coverage bench-smoke bench-serve bench-ingest bench
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -33,6 +38,9 @@ bench-smoke:
 
 bench-serve:
 	REPRO_BENCH_SCALE=0.001 $(PYTHON) -m pytest benchmarks/bench_serve.py -q
+
+bench-ingest:
+	$(PYTHON) -m pytest benchmarks/bench_ingest.py -q
 
 # bench_*.py does not match pytest's default test-file pattern, so the
 # files must be passed explicitly (directory collection finds nothing)

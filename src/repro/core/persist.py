@@ -1,28 +1,53 @@
-"""Saving and loading U-relational databases.
+"""Saving and loading U-relational databases (log-structured).
 
-A :class:`~repro.core.udatabase.UDatabase` persists to a directory of CSV
-files — one per vertical partition plus the world table and a small
-``manifest.csv`` describing the logical schemas and partition layout:
+A :class:`~repro.core.udatabase.UDatabase` persists to a directory whose
+layout mirrors the in-memory write path: every vertical partition is a
+list of **immutable segments** plus a **delete vector**, so saving after
+DML appends new segment files and rewrites vectors — it never rewrites a
+base segment.
+
+Segment-log layout (manifest format v2)::
 
     <dir>/
-      manifest.csv                      relation, attribute, partition file
-      indexes.csv                       secondary-index definitions
-      w.csv                             the world table (Var, Rng[, P])
-      u_<relation>_<attributes>.csv     one per partition
+      manifest.csv                  relation, attributes, partition_values,
+                                    part, d_width, segments ("id:rows|...")
+      indexes.csv                   secondary-index definitions
+      w.csv                         the world table (Var, Rng[, P])
+      u_<relation>_<attributes>/    one directory per partition
+        seg_000000.csv              the base segment (typed CSV)
+        seg_000001.csv              one file per appended segment
+        deleted.csv                 global ordinals marked deleted (absent
+                                    when the delete vector is empty)
 
-The layout intentionally mirrors the naming of the paper's experiment
-tables (``u_l_shipdate`` etc. in Figure 13): the representation *is* plain
-relations, so plain CSV is a faithful serialization.  ``indexes.csv``
-records every secondary index *definition* — built or still pending from
-lazy auto-indexing — of every partition (file, index name, columns, kind),
-plus the definitions on the ``w`` world-table snapshot (recorded under
-file ``w.csv``).  Saving never forces a deferred index build, and loading
-defers every recorded definition again, so a save/load round trip costs no
-index construction at all; the definitions materialize on first planner
-access.  User-created world-table indexes are re-applied whenever
-``to_database`` (re)materializes the ``w`` snapshot, so they survive both
-world-table growth and the round trip.  Directories written before the
-index subsystem existed simply lack the file and load fine.
+Write-path contract:
+
+* **Segments are immutable**: a ``seg_<id>.csv`` whose row count matches
+  the manifest entry is never rewritten — save after N inserts leaves
+  every base segment file byte-identical and writes only the new
+  appended-segment files.  A save directory therefore belongs to one
+  database *lineage* (load → DML → save back); to save an unrelated
+  database under the same path, start from an empty directory.
+* **Delete vectors are tiny and rewritten every save** (``deleted.csv``
+  holds one global ordinal per row, over the concatenation of all
+  segment rows in segment order; the file is removed when no tuple is
+  deleted).
+* **The manifest is versioned by its header**: v2 rows carry a ``part``
+  directory and a ``segments`` column (``"<id>:<rows>|..."``).  v1
+  directories — written before the segment log existed, one whole-CSV
+  ``file`` per partition — are detected by their ``file`` column and
+  load unchanged (each becomes a single base segment in memory, so the
+  *next* save upgrades them to the v2 layout in a fresh directory or
+  in place with the whole old CSV left behind as dead weight).
+
+``indexes.csv`` records every secondary index *definition* — built or
+still pending from lazy auto-indexing — keyed by partition directory
+(v2) or partition file (v1), plus the definitions on the ``w``
+world-table snapshot (recorded under ``w.csv``).  Saving never forces a
+deferred index build, and loading defers every recorded definition
+again, so a save/load round trip costs no index construction at all.
+User-created world-table indexes are re-applied whenever
+``to_database`` (re)materializes the ``w`` snapshot, so they survive
+both world-table growth and the round trip.
 """
 
 from __future__ import annotations
@@ -33,7 +58,8 @@ from typing import Dict, List, Tuple, Union
 
 from ..relational.csvio import read_csv, write_csv
 from ..relational.index import attached_index_defs, defer_index
-from ..relational.relation import Relation
+from ..relational.relation import Relation, Segment
+from ..relational.schema import Schema
 from .udatabase import UDatabase
 from .urelation import URelation, tid_column
 from .worldtable import WorldTable
@@ -42,9 +68,44 @@ __all__ = ["save_udatabase", "load_udatabase"]
 
 PathLike = Union[str, pathlib.Path]
 
+_MANIFEST_HEADER_V2 = [
+    "relation",
+    "attributes",
+    "partition_values",
+    "part",
+    "d_width",
+    "segments",
+]
+
+
+def _segment_filename(segment_id: int) -> str:
+    return f"seg_{segment_id:06d}.csv"
+
+
+def _csv_data_rows(path: pathlib.Path) -> int:
+    """Fast line-based data-row count of a CSV file (header excluded).
+
+    Used only to decide whether an on-disk segment file can be *skipped*
+    (it already holds this immutable segment); a miscount — e.g. quoted
+    embedded newlines — merely causes a redundant rewrite, never a skip
+    of changed data within one database lineage.
+    """
+    count = 0
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            count += chunk.count(b"\n")
+    return max(0, count - 1)
+
 
 def save_udatabase(udb: UDatabase, directory: PathLike) -> None:
-    """Write a U-relational database to a directory of CSV files."""
+    """Write a U-relational database as a segment log (see module doc).
+
+    Idempotent and incremental: re-saving into the directory of an
+    earlier save of the same database lineage rewrites the manifest, the
+    world table, and the delete vectors, but skips every segment file
+    already present with the expected row count — base segments stay
+    byte-identical across saves.
+    """
     directory = pathlib.Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
 
@@ -54,24 +115,46 @@ def save_udatabase(udb: UDatabase, directory: PathLike) -> None:
         directory / "w.csv",
     )
 
-    manifest_rows: List[Tuple[str, str, str, str, int]] = []
+    manifest_rows: List[Tuple[str, str, str, str, int, str]] = []
     index_rows: List[Tuple[str, str, str, str]] = []
     for name in udb.relation_names():
         schema = udb.logical_schema(name)
-        for index, part in enumerate(udb.partitions(name)):
-            filename = f"u_{name}_" + "_".join(part.value_names) + ".csv"
-            write_csv(part.relation, directory / filename)
+        for part in udb.partitions(name):
+            part_key = f"u_{name}_" + "_".join(part.value_names)
+            part_dir = directory / part_key
+            part_dir.mkdir(exist_ok=True)
+            relation = part.relation
+            entries: List[str] = []
+            for segment in relation.segments():
+                entries.append(f"{segment.segment_id}:{len(segment.rows)}")
+                target = part_dir / _segment_filename(segment.segment_id)
+                if target.exists() and _csv_data_rows(target) == len(segment.rows):
+                    continue  # immutable segment already persisted
+                write_csv(
+                    Relation.from_trusted(relation.schema, list(segment.rows)),
+                    target,
+                )
+            deleted = sorted(relation.deleted_ordinals())
+            deleted_path = part_dir / "deleted.csv"
+            if deleted:
+                write_csv(
+                    Relation(Schema(("ordinal",)), [(o,) for o in deleted]),
+                    deleted_path,
+                )
+            elif deleted_path.exists():
+                deleted_path.unlink()
             manifest_rows.append(
                 (
                     name,
                     "|".join(schema.attributes),
                     "|".join(part.value_names),
-                    filename,
+                    part_key,
                     part.d_width,
+                    "|".join(entries),
                 )
             )
-            for columns, kind, idx_name in attached_index_defs(part.relation):
-                index_rows.append((filename, idx_name, "|".join(columns), kind))
+            for columns, kind, idx_name in attached_index_defs(relation):
+                index_rows.append((part_key, idx_name, "|".join(columns), kind))
 
     # world-table index definitions (the snapshot lives in the cached
     # database view; absent when no view was ever materialized)
@@ -86,7 +169,7 @@ def save_udatabase(udb: UDatabase, directory: PathLike) -> None:
 
     with open(directory / "manifest.csv", "w", newline="", encoding="utf-8") as handle:
         writer = csv.writer(handle)
-        writer.writerow(["relation", "attributes", "partition_values", "file", "d_width"])
+        writer.writerow(_MANIFEST_HEADER_V2)
         writer.writerows(manifest_rows)
 
     with open(directory / "indexes.csv", "w", newline="", encoding="utf-8") as handle:
@@ -95,8 +178,38 @@ def save_udatabase(udb: UDatabase, directory: PathLike) -> None:
         writer.writerows(index_rows)
 
 
+def _load_partition_v2(directory: pathlib.Path, entry: Dict[str, str]) -> Relation:
+    """Assemble one partition relation from its segment directory."""
+    part_dir = directory / entry["part"]
+    segments: List[Segment] = []
+    schema = None
+    for item in entry["segments"].split("|"):
+        segment_id, _, expected = item.partition(":")
+        loaded = read_csv(part_dir / _segment_filename(int(segment_id)))
+        if schema is None:
+            schema = loaded.schema
+        if expected and len(loaded.rows) != int(expected):
+            raise ValueError(
+                f"{part_dir}: segment {segment_id} holds {len(loaded.rows)} "
+                f"rows, manifest expects {expected}"
+            )
+        segments.append(Segment(int(segment_id), tuple(loaded.rows)))
+    if schema is None:
+        raise ValueError(f"{part_dir}: manifest lists no segments")
+    deleted_path = part_dir / "deleted.csv"
+    deleted: List[int] = []
+    if deleted_path.exists():
+        deleted = [row[0] for row in read_csv(deleted_path).rows]
+    return Relation.from_segments(schema, segments, deleted)
+
+
 def load_udatabase(directory: PathLike) -> UDatabase:
-    """Load a U-relational database saved by :func:`save_udatabase`."""
+    """Load a U-relational database saved by :func:`save_udatabase`.
+
+    Reads both manifest formats: v2 segment-log directories and the
+    pre-segment v1 layout (one whole CSV per partition), which loads as
+    single-base-segment relations.
+    """
     directory = pathlib.Path(directory)
     world_relation = read_csv(directory / "w.csv")
     world = WorldTable.from_relation(world_relation)
@@ -107,14 +220,20 @@ def load_udatabase(directory: PathLike) -> UDatabase:
         header = next(reader)
         entries = [dict(zip(header, row)) for row in reader]
 
+    segmented = "segments" in header  # v2; v1 has a whole-CSV "file" column
     grouped: Dict[str, Tuple[List[str], List[URelation]]] = {}
-    by_file: Dict[str, Relation] = {}
+    by_key: Dict[str, Relation] = {}
     for entry in entries:
         name = entry["relation"]
         attributes = entry["attributes"].split("|")
         values = entry["partition_values"].split("|")
-        relation = read_csv(directory / entry["file"])
-        by_file[entry["file"]] = relation
+        if segmented:
+            key = entry["part"]
+            relation = _load_partition_v2(directory, entry)
+        else:
+            key = entry["file"]
+            relation = read_csv(directory / key)
+        by_key[key] = relation
         part = URelation(
             relation, int(entry["d_width"]), [tid_column(name)], values
         )
@@ -146,7 +265,7 @@ def load_udatabase(directory: PathLike) -> UDatabase:
                             )
                         )
                     continue
-                relation = by_file.get(entry["file"])
+                relation = by_key.get(entry["file"])
                 if relation is None:
                     continue
                 defer_index(

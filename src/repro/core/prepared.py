@@ -22,10 +22,11 @@ import threading
 from typing import Any, List, Optional, Tuple
 
 from ..relational.expressions import Expression, Param, iter_subexpressions
+from .dml import DMLResult, collect_dml_params, execute_dml
 from .query import UJoin, UQuery, USelect
 from .translate import execute_query, explain_query
 
-__all__ = ["PreparedQuery", "collect_params"]
+__all__ = ["PreparedQuery", "PreparedDML", "collect_params"]
 
 
 def _expression_params(expression: Expression, out: List[Param]) -> None:
@@ -167,3 +168,62 @@ class PreparedQuery:
     def __repr__(self) -> str:
         label = self.sql if self.sql is not None else type(self.query).__name__
         return f"PreparedQuery({label!r}, params={self.parameter_count})"
+
+
+class PreparedDML:
+    """A parsed DML statement bound to a UDatabase, run many times.
+
+    The symmetric write-side sibling of :class:`PreparedQuery`: parsing
+    happens once, ``$n`` slots (in VALUES cells, SET values, and WHERE
+    conditions) share one binding store, and repeated ``run`` calls with
+    fresh bindings reuse the parse.  The WHERE condition of an UPDATE or
+    DELETE executes as an ordinary translated query, so *its* physical
+    plan lands in the prepared-plan cache keyed by the shared ``Param``
+    objects — repeated parameterized DML is planner-free too.
+    """
+
+    def __init__(self, statement, udb, sql: Optional[str] = None):
+        self.statement = statement
+        self.udb = udb
+        self.sql = sql
+        params = collect_dml_params(statement)
+        if params:
+            stores = {id(p.store): p.store for p in params}
+            if len(stores) > 1:
+                raise ValueError(
+                    "statement mixes parameter slots from different stores; "
+                    "all $n parameters of one prepared statement must come "
+                    "from one parse"
+                )
+            self._store = next(iter(stores.values()))
+        else:
+            self._store = []
+        self.parameter_count = len(self._store)
+        self._lock = threading.Lock()
+
+    def bind(self, params: Tuple[Any, ...]) -> None:
+        """Write parameter values into the shared store (``$1`` first)."""
+        if len(params) != self.parameter_count:
+            raise ValueError(
+                f"prepared statement takes {self.parameter_count} parameter(s), "
+                f"got {len(params)}"
+            )
+        self._store[:] = params
+
+    def run(self, *params: Any, **_ignored_knobs: Any) -> DMLResult:
+        """Bind parameters and apply the statement to the database.
+
+        Execution knobs (``mode``/``use_indexes``/...) are accepted for
+        interface parity with :class:`PreparedQuery` and ignored — the
+        write path's own work is not executor-shaped; only its WHERE
+        matching runs through the executor, under default knobs.
+        """
+        if self.parameter_count == 0 and not params:
+            return execute_dml(self.statement, self.udb)
+        with self._lock:
+            self.bind(params)
+            return execute_dml(self.statement, self.udb)
+
+    def __repr__(self) -> str:
+        label = self.sql if self.sql is not None else type(self.statement).__name__
+        return f"PreparedDML({label!r}, params={self.parameter_count})"

@@ -14,10 +14,18 @@ world).
 from __future__ import annotations
 
 import itertools
-from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+import threading
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..relational.database import Database
-from ..relational.index import defer_index, ensure_index, indexes_on
+from ..relational.index import (
+    attach_index,
+    build_index,
+    built_indexes_on,
+    defer_index,
+    ensure_index,
+    indexes_on,
+)
 from ..relational.plancache import bump_relation, watch_relation
 from ..relational.relation import Relation
 from ..relational.schema import Schema
@@ -88,17 +96,50 @@ def _defer_index_partition(name: str, part: URelation) -> None:
         )
 
 
+def _merge_tid_index_name(name: str, part: URelation) -> str:
+    """Deterministic name of the ``auto_index="merge"`` sorted tid index."""
+    return f"idx_u_{name}_{'_'.join(part.value_names)}_tid_sorted"
+
+
+def _merge_index_partition(name: str, part: URelation) -> None:
+    """Eagerly build the sorted tuple-id index of the ``"merge"`` policy.
+
+    The merge-join profile (``prefer_merge_join=True``) consumes an
+    already-*built* sorted index on exactly the join columns — and never
+    triggers deferred builds — so this policy builds the index now rather
+    than deferring.  Checked against *built* indexes only (``ensure_index``
+    would force every pending lazy definition just to look).
+    """
+    target = _merge_tid_index_name(name, part)
+    for index in built_indexes_on(part.relation):
+        if index.name == target:
+            return  # carried over incrementally by the write path
+    index = build_index(
+        part.relation, [tid_column(name)], kind="sorted", name=target
+    )
+    attach_index(part.relation, index)
+
+
 class UDatabase:
     """A U-relational database (Definition 2.2)."""
 
-    def __init__(self, world_table: Optional[WorldTable] = None, auto_index: bool = True):
+    def __init__(
+        self,
+        world_table: Optional[WorldTable] = None,
+        auto_index: Union[bool, str] = True,
+    ):
         self.world_table = world_table or WorldTable()
         self._partitions: Dict[str, List[URelation]] = {}
         self._schemas: Dict[str, LogicalSchema] = {}
         #: Mirror the paper's experiment setup: every vertical partition
         #: gets a hash index on its tuple-id column (and the world table
         #: one on Var), so the tid-equijoins that reassemble partitions
-        #: run as index probes.
+        #: run as index probes.  ``"merge"`` extends the policy with an
+        #: eagerly built *sorted* tuple-id index per partition, so the
+        #: merge-join profile (``prefer_merge_join=True``, which never
+        #: builds deferred indexes) hits the presorted merge path without
+        #: manual ``CREATE INDEX`` — the paper's Figure 13 plans (merge
+        #: joins over tid order) then run sort-free.
         self.auto_index = auto_index
         self._database: Optional[Database] = None
         self._database_world_version: Optional[int] = None
@@ -115,6 +156,16 @@ class UDatabase:
         #: ``execute_sql`` fill this so re-issued statements skip parsing
         #: *and* planning).
         self._statements: Dict[str, Any] = {}
+        #: Next tuple id to hand out per relation, computed lazily from
+        #: the partitions' tid columns on first INSERT and invalidated on
+        #: :meth:`add_relation` (external replacement may renumber).
+        self._next_tid: Dict[str, int] = {}
+        #: Serializes DML statements: the write path is read-derive-swap
+        #: over the partition lists, so concurrent writers must not
+        #: interleave (readers never take this — they work off immutable
+        #: relation objects).  RLock because UPDATE/DELETE matching runs a
+        #: translated query while the statement holds the lock.
+        self._write_lock = threading.RLock()
 
     @property
     def catalog_version(self) -> int:
@@ -173,6 +224,7 @@ class UDatabase:
         self._schemas[name] = LogicalSchema(name, attributes)
         self._partitions[name] = partitions
         self._database = None  # the cached catalog view is stale now
+        self._next_tid.pop(name, None)
         self._catalog_version += 1
         for part in partitions:
             # future index builds / stats refreshes on this partition must
@@ -189,6 +241,84 @@ class UDatabase:
                     _auto_index_partition(name, part)
                 else:
                     _defer_index_partition(name, part)
+                if self.auto_index == "merge":
+                    _merge_index_partition(name, part)
+
+    # ------------------------------------------------------------------
+    # the write path (see :mod:`repro.core.dml`)
+    # ------------------------------------------------------------------
+    def replace_partitions(self, name: str, partitions: Sequence[URelation]) -> None:
+        """Swap a relation's partition set for DML-derived replacements.
+
+        The lightweight sibling of :meth:`add_relation` for the write
+        path: the logical schema is unchanged and the replacements were
+        *derived* from the current partitions (appended segments and/or
+        delete vectors), carrying their index structures or deferred
+        definitions with them — so no re-validation and no auto-index
+        re-deferral happens here.  Partitions whose relation object is
+        reused (untouched by the statement) are not bumped; each actually
+        replaced relation goes through :func:`bump_relation`, which evicts
+        exactly the cached plans that scanned it and moves this database's
+        :attr:`catalog_version` through the watcher hook.
+        """
+        old = self.partitions(name)
+        if len(old) != len(partitions):
+            raise ValueError(
+                f"replacement for {name!r} must keep its {len(old)} partitions"
+            )
+        self._partitions[name] = list(partitions)
+        self._database = None  # the cached catalog view is stale now
+        kept = {id(part.relation) for part in partitions}
+        for part in partitions:
+            watch_relation(part.relation, self)
+        for part in old:
+            if id(part.relation) not in kept:
+                bump_relation(part.relation)
+        if self.auto_index == "merge":
+            # keep the presorted-merge access path alive across writes:
+            # append-derived relations carried the extended sorted index
+            # (no-op here); delete/update-derived ones rebuild it eagerly
+            for part in partitions:
+                _merge_index_partition(name, part)
+
+    def allocate_tids(self, name: str, count: int) -> int:
+        """Reserve ``count`` fresh tuple ids; returns the first.
+
+        The high-water mark is read once from the partitions' integer tid
+        columns (non-integer tids are ignored) and advanced in memory
+        afterwards, so repeated inserts don't rescan.
+        """
+        self.logical_schema(name)
+        next_tid = self._next_tid.get(name)
+        if next_tid is None:
+            highest = 0
+            tid_name = tid_column(name)
+            for part in self._partitions[name]:
+                position = part.relation.schema.resolve(tid_name)
+                for row in part.relation.rows:
+                    tid = row[position]
+                    if isinstance(tid, int) and tid > highest:
+                        highest = tid
+            next_tid = highest + 1
+        self._next_tid[name] = next_tid + count
+        return next_tid
+
+    def fresh_variable(self, name: str, tid: Any, attribute: str) -> str:
+        """A world-table variable name no existing variable collides with."""
+        base = f"{name}_{tid}_{attribute}"
+        var = base
+        suffix = 2
+        while var in self.world_table:
+            var = f"{base}_{suffix}"
+            suffix += 1
+        return var
+
+    def insert(self, name: str, *rows: Sequence[Any]):
+        """Insert logical tuples; see :func:`repro.core.dml.insert_rows`."""
+        from .dml import insert_rows
+
+        with self._write_lock:
+            return insert_rows(self, name, rows)
 
     @classmethod
     def from_certain(

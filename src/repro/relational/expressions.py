@@ -45,7 +45,6 @@ from __future__ import annotations
 import ast
 import math
 import operator
-import threading
 from typing import Any, Callable, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from .schema import Schema
@@ -783,29 +782,42 @@ def structural_key(expression: Expression) -> Tuple:
 
 
 #: Compiled-kernel cache: (flavor, schema names, structural key, extras) ->
-#: generated callable.  Bounded by wholesale clearing — codegen is cheap
-#: enough that an occasional cold restart beats LRU bookkeeping.
-_KERNEL_CACHE: dict = {}
+#: generated callable.  Bounded by the plan cache's LRU + hot-pin policy
+#: (:class:`~repro.relational.plancache.LruHotCache`): reaching capacity
+#: evicts the least-recently-used cold kernel instead of clearing
+#: wholesale, and frequently hit kernels pin into a hot set — a burst of
+#: ad-hoc shapes no longer recompiles a serving workload's entire hot
+#: path.  Built lazily (plancache imports this module at load time).
+_KERNEL_CACHE: Optional[Any] = None
 _KERNEL_CACHE_LIMIT = 4096
-_KERNEL_CACHE_LOCK = threading.Lock()
 _cache_hits = 0
 _cache_misses = 0
+
+
+def _kernel_cache():
+    global _KERNEL_CACHE
+    if _KERNEL_CACHE is None:
+        from .plancache import LruHotCache
+
+        _KERNEL_CACHE = LruHotCache(_KERNEL_CACHE_LIMIT)
+    return _KERNEL_CACHE
 
 
 def cached_kernel(key: Optional[Tuple], builder: Callable[[], Any]) -> Any:
     """Memoize ``builder()`` under ``key`` (``None`` key skips the cache).
 
-    Thread-safe for the serving layer: the racy section (evict + insert)
-    runs under a lock, while ``builder()`` itself runs outside it — two
-    threads missing on the same key may both compile, which is merely
-    duplicated work; the kernels are interchangeable and last-write wins.
+    Thread-safe for the serving layer: lookups and inserts go through the
+    cache's own lock, while ``builder()`` runs outside it — two threads
+    missing on the same key may both compile, which is merely duplicated
+    work; the kernels are interchangeable and last-write wins.
     """
     global _cache_hits, _cache_misses
     if key is None:
         _cache_misses += 1
         return builder()
+    cache = _kernel_cache()
     try:
-        cached = _KERNEL_CACHE.get(key)
+        cached = cache.get(key)
     except TypeError:  # unhashable component sneaked in
         _cache_misses += 1
         return builder()
@@ -814,10 +826,7 @@ def cached_kernel(key: Optional[Tuple], builder: Callable[[], Any]) -> Any:
         return cached
     _cache_misses += 1
     built = builder()
-    with _KERNEL_CACHE_LOCK:
-        if len(_KERNEL_CACHE) >= _KERNEL_CACHE_LIMIT:
-            _KERNEL_CACHE.clear()
-        _KERNEL_CACHE[key] = built
+    cache.put(key, built)
     return built
 
 
@@ -871,13 +880,20 @@ def has_null_literal(expression: Expression) -> bool:
 
 def compile_cache_stats() -> dict:
     """Hit/miss/size counters of the expression/kernel compile cache."""
-    return {"hits": _cache_hits, "misses": _cache_misses, "size": len(_KERNEL_CACHE)}
+    cache = _KERNEL_CACHE
+    return {
+        "hits": _cache_hits,
+        "misses": _cache_misses,
+        "size": 0 if cache is None else len(cache),
+        "pinned": 0 if cache is None else cache.pinned,
+        "evictions": 0 if cache is None else cache.evictions,
+    }
 
 
 def reset_compile_cache() -> None:
     """Empty the compile cache and zero its counters (test/bench hook)."""
-    global _cache_hits, _cache_misses
-    _KERNEL_CACHE.clear()
+    global _cache_hits, _cache_misses, _KERNEL_CACHE
+    _KERNEL_CACHE = None  # rebuilt lazily, with fresh pin/eviction counters
     _cache_hits = 0
     _cache_misses = 0
 

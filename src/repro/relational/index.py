@@ -51,6 +51,8 @@ __all__ = [
     "attached_index_defs",
     "default_index_name",
     "ensure_index",
+    "carry_indexes_appended",
+    "carry_index_defs",
 ]
 
 Row = Tuple[Any, ...]
@@ -90,6 +92,30 @@ class Index:
         return key
 
     def _build(self) -> None:
+        raise NotImplementedError
+
+    def _derived_shell(self, relation: Relation) -> "Index":
+        """A structure-less clone of this index over a replacement relation.
+
+        Incremental maintenance (:func:`carry_indexes_appended`) fills the
+        access structure in without re-running :meth:`_build`; the target
+        relation must share the source relation's schema.
+        """
+        clone = type(self).__new__(type(self))
+        clone.relation = relation
+        clone.positions = self.positions
+        clone.columns = self.columns
+        clone.name = self.name
+        clone._single = self._single
+        return clone
+
+    def extended(self, relation: Relation, start: int, appended: Sequence[Row]) -> "Index":
+        """This index plus ``appended`` rows (live ordinals from ``start``).
+
+        Used when ``relation`` was derived from this index's relation by a
+        pure segment append: existing entries are carried over without
+        touching the old rows, only the appended segment is indexed.
+        """
         raise NotImplementedError
 
     def lookup(self, key: Any) -> Sequence[Row]:
@@ -132,6 +158,35 @@ class HashIndex(Index):
             count += 1
         self._table = table
         self._count = count
+
+    def extended(self, relation: Relation, start: int, appended: Sequence[Row]) -> "HashIndex":
+        """Incremental append maintenance: O(existing keys + new rows).
+
+        The bucket dict is copied shallowly (pointer copy, no re-hashing of
+        old rows); a bucket is deep-copied only when an appended row lands
+        in it, so the old index's buckets are never mutated.
+        """
+        clone = self._derived_shell(relation)
+        table = dict(self._table)
+        copied: set = set()
+        key_of = clone.key_of
+        count = self._count
+        for row in appended:
+            key = key_of(row)
+            if key is None:
+                continue
+            bucket = table.get(key)
+            if bucket is None:
+                table[key] = [row]
+            elif key in copied:
+                bucket.append(row)
+            else:
+                table[key] = bucket + [row]
+                copied.add(key)
+            count += 1
+        clone._table = table
+        clone._count = count
+        return clone
 
     def lookup(self, key: Any) -> Sequence[Row]:
         if key is None:
@@ -192,6 +247,52 @@ class SortedIndex(Index):
         self._first: List[Any] = (
             self._keys if self._single else [k[0] for k in self._keys]
         )
+
+    def extended(self, relation: Relation, start: int, appended: Sequence[Row]) -> "SortedIndex":
+        """Incremental append maintenance: sort only the new rows, then
+        merge the two key-sorted runs in one linear pass.
+
+        Raises ``TypeError`` when an appended key does not compare against
+        the existing keys (mixed types); callers fall back to a deferred
+        rebuild in that case, like the eager auto-index policy does.
+        """
+        clone = self._derived_shell(relation)
+        key_of = clone.key_of
+        fresh = [
+            (key, start + offset, row)
+            for offset, row in enumerate(appended)
+            if (key := key_of(row)) is not None
+        ]
+        fresh.sort(key=lambda e: e[0])
+        old_keys, old_ordinals, old_rows = self._keys, self._ordinals, self._rows
+        keys: List[Any] = []
+        ordinals: List[int] = []
+        rows: List[Row] = []
+        i = j = 0
+        n, m = len(old_keys), len(fresh)
+        while i < n and j < m:
+            if fresh[j][0] < old_keys[i]:  # may raise TypeError: caller rebuilds
+                key, ordinal, row = fresh[j]
+                j += 1
+            else:
+                key, ordinal, row = old_keys[i], old_ordinals[i], old_rows[i]
+                i += 1
+            keys.append(key)
+            ordinals.append(ordinal)
+            rows.append(row)
+        if i < n:
+            keys.extend(old_keys[i:])
+            ordinals.extend(old_ordinals[i:])
+            rows.extend(old_rows[i:])
+        for key, ordinal, row in fresh[j:]:
+            keys.append(key)
+            ordinals.append(ordinal)
+            rows.append(row)
+        clone._keys = keys
+        clone._ordinals = ordinals
+        clone._rows = rows
+        clone._first = keys if clone._single else [k[0] for k in keys]
+        return clone
 
     def lookup(self, key: Any) -> Sequence[Row]:
         if key is None:
@@ -436,6 +537,52 @@ def ensure_index(
     index = build_index(relation, columns, kind=kind, name=name)
     attach_index(relation, index)
     return index
+
+
+# ----------------------------------------------------------------------
+# write-path maintenance: carry access paths onto a derived relation
+# ----------------------------------------------------------------------
+def carry_indexes_appended(old: Relation, new: Relation, appended_count: int) -> None:
+    """Maintain ``old``'s indexes incrementally onto an append-derived ``new``.
+
+    ``new`` must be ``old`` plus ``appended_count`` rows at the end of
+    ``new.rows`` (a pure segment append: same delete vector, same live
+    prefix).  Built indexes are *extended* — per appended segment, never a
+    rebuild over the old rows; still-pending (deferred) definitions are
+    copied over as pending.  An index whose new keys do not merge
+    (``TypeError``) degrades to a deferred rebuild of just that index.
+
+    No plan-cache bump happens here: ``new`` is a fresh, unpublished
+    relation object, so no cached plan can depend on it yet.  The caller
+    bumps ``old`` when it swaps the catalog entry.
+    """
+    start = len(new.rows) - appended_count
+    appended = new.rows[start:]
+    with _ATTACH_LOCK:
+        built = list(getattr(old, "_indexes", None) or ())
+        pending = list(getattr(old, "_pending_indexes", None) or ())
+    derived: List[Index] = []
+    for index in built:
+        try:
+            derived.append(index.extended(new, start, appended))
+        except (TypeError, NotImplementedError):
+            pending.append((index.columns, index.kind, index.name))
+    with _ATTACH_LOCK:
+        if derived:
+            new._indexes = derived
+        if pending:
+            new._pending_indexes = pending
+
+
+def carry_index_defs(old: Relation, new: Relation) -> None:
+    """Re-defer every index of ``old`` (built or pending) onto ``new``.
+
+    The fallback for derivations that invalidate stored ordinals (delete
+    vectors, updates): definitions survive, structures rebuild lazily on
+    the next planner access, serialized on the build lock as usual.
+    """
+    for columns, kind, name in attached_index_defs(old):
+        defer_index(new, columns, kind=kind, name=name)
 
 
 # ----------------------------------------------------------------------

@@ -57,6 +57,7 @@ EXPLAIN output.
 
 from __future__ import annotations
 
+import bisect
 import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
@@ -403,8 +404,20 @@ class IndexScan(PhysicalPlan):
             return self.index.lookup(_resolve_key(self.point))
         if self.lower is None and self.upper is None:
             return self.index.ordered()  # type: ignore[union-attr]  # SortedIndex per __init__
+        # ``$n`` bounds resolve per execution, so one cached plan serves
+        # ``BETWEEN $1 AND $2`` under every binding; a bound resolving to
+        # NULL matches nothing (SQL comparison semantics)
+        lower, upper = self.lower, self.upper
+        if isinstance(lower, Param):
+            lower = lower.value
+            if lower is None:
+                return ()
+        if isinstance(upper, Param):
+            upper = upper.value
+            if upper is None:
+                return ()
         return self.index.range(  # type: ignore[union-attr]  # SortedIndex checked in __init__
-            self.lower, self.upper, self.lower_inclusive, self.upper_inclusive
+            lower, upper, self.lower_inclusive, self.upper_inclusive
         )
 
     def rows(self) -> Iterator[Row]:
@@ -613,14 +626,36 @@ class ParallelScan(PhysicalPlan):
         return (self.pipeline,)
 
     def _partitions(self) -> Optional[List[Tuple[int, int]]]:
-        """Contiguous ``[start, stop)`` ranges, or None for serial."""
+        """Contiguous ``[start, stop)`` ranges, or None for serial.
+
+        Cut points snap to the scanned relation's *segment boundaries*
+        (when one lies within half a partition step): a worker whose
+        slice starts at a segment start reads whole cached per-segment
+        column runs instead of straddling two appended segments.  The
+        snap is best-effort — a relation that is one giant base segment
+        still splits evenly rather than collapsing to a serial scan.
+        """
         start, stop = self.source.start, self.source.stop
         total = stop - start
         k = min(self.workers, total // PARALLEL_MIN_PARTITION_ROWS)
         if k <= 1:
             return None
         step = (total + k - 1) // k
-        return [(s, min(s + step, stop)) for s in range(start, stop, step)]
+        cuts = list(range(start + step, stop, step))
+        boundaries = [
+            b for b in self.source.relation.segment_boundaries() if start < b < stop
+        ]
+        if boundaries:
+            snapped = []
+            for cut in cuts:
+                i = bisect.bisect_left(boundaries, cut)
+                near = boundaries[max(0, i - 1) : i + 1]
+                best = min(near, key=lambda b: abs(b - cut))
+                snapped.append(best if abs(best - cut) * 2 <= step else cut)
+            cuts = snapped
+        edges = [start] + sorted(set(cuts)) + [stop]
+        ranges = [(a, b) for a, b in zip(edges, edges[1:]) if b > a]
+        return ranges if len(ranges) > 1 else None
 
     def _clone(self, start: int, stop: int) -> PhysicalPlan:
         bounded = self.source.bounded(start, stop)

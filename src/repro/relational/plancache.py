@@ -88,6 +88,7 @@ from .expressions import structural_key
 from .relation import Relation
 
 __all__ = [
+    "LruHotCache",
     "plan_cache_stats",
     "reset_plan_cache",
     "bump_relation",
@@ -134,6 +135,98 @@ _POINT_ROWS_LIMIT = 64.0
 #: Join plans estimated above this (or with > 2 joins) are "heavy".
 _HEAVY_ROWS_LIMIT = 50_000.0
 _HEAVY_JOIN_COUNT = 2
+
+
+class LruHotCache:
+    """A bounded LRU cache with a pinned hot set — the reusable half of
+    this module's eviction policy.
+
+    Recency picks the victim (least-recently-used first); entries hit at
+    least ``hot_hits`` times are *pinned* (up to ``pin_cap``, half the
+    capacity by default) and skipped by eviction, so a burst of one-off
+    shapes cannot wash out a serving workload's hot set.  When every
+    entry is pinned the LRU head goes regardless — progress beats
+    pinning.  Thread-safe; values must not be ``None`` (``get`` returns
+    ``None`` for a miss).
+
+    The plan cache itself layers dependency tracking, epoch validation,
+    and plan-cost weights on top of this shape; simpler compile caches
+    (the expression kernel cache) use this class directly instead of
+    wholesale clearing at capacity.
+    """
+
+    __slots__ = (
+        "capacity",
+        "hot_hits",
+        "pin_cap",
+        "evictions",
+        "_lock",
+        "_entries",
+        "_pinned",
+    )
+
+    def __init__(
+        self,
+        capacity: int,
+        hot_hits: Optional[int] = None,
+        pin_cap: Optional[int] = None,
+    ):
+        self.capacity = max(1, int(capacity))
+        self.hot_hits = _HOT_PIN_HITS if hot_hits is None else hot_hits
+        self.pin_cap = self.capacity // 2 if pin_cap is None else pin_cap
+        self.evictions = 0
+        self._lock = threading.Lock()
+        #: key -> [value, hits, pinned] in least-recently-used-first order.
+        self._entries: "OrderedDict[Any, list]" = OrderedDict()
+        self._pinned = 0
+
+    def get(self, key: Any) -> Optional[Any]:
+        with self._lock:
+            slot = self._entries.get(key)
+            if slot is None:
+                return None
+            slot[1] += 1
+            if not slot[2] and slot[1] >= self.hot_hits and self._pinned < self.pin_cap:
+                slot[2] = True
+                self._pinned += 1
+            self._entries.move_to_end(key)
+            return slot[0]
+
+    def put(self, key: Any, value: Any) -> None:
+        with self._lock:
+            slot = self._entries.get(key)
+            if slot is not None:
+                slot[0] = value
+                self._entries.move_to_end(key)
+                return
+            while len(self._entries) >= self.capacity:
+                self._evict_one()
+            self._entries[key] = [value, 0, False]
+
+    def _evict_one(self) -> None:
+        """Evict the LRU unpinned entry (caller holds the lock)."""
+        victim = None
+        for key, slot in self._entries.items():  # iterates LRU-first
+            if not slot[2]:
+                victim = key
+                break
+        if victim is None:  # everything pinned: evict the stalest anyway
+            victim = next(iter(self._entries))
+            self._pinned -= 1
+        self._entries.pop(victim)
+        self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._pinned = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def pinned(self) -> int:
+        return self._pinned
 
 
 class _Entry:

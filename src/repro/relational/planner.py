@@ -291,16 +291,35 @@ class Planner:
     def _range_candidate(
         self, index, ranges, conjuncts, schema, scan, stats, base_names, table_rows
     ) -> Optional[Tuple[float, IndexScan]]:
+        """Build a range IndexScan from the column's bound conjuncts.
+
+        Literal bounds tighten at plan time as before.  A ``$n`` Param
+        bound cannot be compared now, so it is *deferred*: it becomes the
+        side's bound only when no literal already bounds that side and it
+        is the side's sole parameterized bound (a second one could not be
+        intersected without plan-time values) — the IndexScan then
+        resolves the Param at execution, so one cached plan serves
+        ``BETWEEN $1 AND $2`` across all bindings.  Unused Param bounds
+        stay in the residual.
+        """
         position = index.positions[0]
         column = stats.column(base_names[position])
         lower: Optional[Tuple[Any, bool]] = None
         upper: Optional[Tuple[Any, bool]] = None
         applied: Dict[int, List[bool]] = {}
+        deferred: Dict[bool, List[Tuple[Param, bool, Expression]]] = {
+            True: [],
+            False: [],
+        }
         for op, value, conjunct in ranges[position]:
+            is_lower = op in (">", ">=")
+            if isinstance(value, Param):
+                deferred[is_lower].append((value, op in (">=", "<="), conjunct))
+                continue
             outcome = False
             if value is not None:
                 try:
-                    if op in (">", ">="):
+                    if is_lower:
                         lower = _tighten(lower, (value, op == ">="), is_lower=True)
                     else:
                         upper = _tighten(upper, (value, op == "<="), is_lower=False)
@@ -308,9 +327,27 @@ class Planner:
                 except TypeError:
                     outcome = False  # incomparable bound: leave it to the residual
             applied.setdefault(id(conjunct), []).append(outcome)
+        parameterized = False
+        for is_lower, entries in deferred.items():
+            side = lower if is_lower else upper
+            usable = side is None and len(entries) == 1
+            for param, inclusive, conjunct in entries:
+                applied.setdefault(id(conjunct), []).append(usable)
+            if usable:
+                param, inclusive, _ = entries[0]
+                parameterized = True
+                if is_lower:
+                    lower = (param, inclusive)
+                else:
+                    upper = (param, inclusive)
         if lower is None and upper is None:
             return None
-        if column is not None:
+        if parameterized:
+            # bound values are unknown until execution: default estimates
+            selectivity = (
+                RANGE_DEFAULT if (lower is None or upper is None) else RANGE_DEFAULT / 2
+            )
+        elif column is not None:
             selectivity = column.interval_selectivity(
                 lower[0] if lower else None, upper[0] if upper else None
             )
@@ -489,13 +526,18 @@ def _classify_conjuncts(
     therefore in the base relation — renames preserve positions).  Only
     column-vs-literal shapes are classified; everything else stays
     unclassified and lands in the residual.  A ``$n`` parameter slot
-    counts as a literal for *equality* (the point key stores the Param
-    object and the index lookup resolves its value per execution, so one
-    cached plan serves every binding); parameterized range bounds stay in
-    the residual — bound tightening needs plan-time values.
+    counts as a literal for equality *and* range bounds: the classified
+    value is the Param object itself, and the index lookup resolves it
+    per execution, so one cached plan serves every binding (see
+    :meth:`_range_candidate` for how deferred bounds combine with
+    plan-time tightening).
     """
     eq: Dict[int, Tuple[Any, Expression]] = {}
     ranges: Dict[int, List[Tuple[str, Any, Expression]]] = {}
+
+    def bound(value):
+        return value if isinstance(value, Param) else value.value
+
     for conjunct in conjuncts:
         if isinstance(conjunct, Comparison):
             cmp = conjunct
@@ -507,25 +549,22 @@ def _classify_conjuncts(
             if position is None:
                 continue
             if cmp.op == "=":
-                key = (
-                    cmp.right
-                    if isinstance(cmp.right, Param)
-                    else cmp.right.value
+                eq.setdefault(position, (bound(cmp.right), conjunct))
+            elif cmp.op in ("<", "<=", ">", ">="):
+                ranges.setdefault(position, []).append(
+                    (cmp.op, bound(cmp.right), conjunct)
                 )
-                eq.setdefault(position, (key, conjunct))
-            elif cmp.op in ("<", "<=", ">", ">=") and isinstance(cmp.right, Lit):
-                ranges.setdefault(position, []).append((cmp.op, cmp.right.value, conjunct))
         elif (
             isinstance(conjunct, Between)
             and isinstance(conjunct.operand, Col)
-            and isinstance(conjunct.low, Lit)
-            and isinstance(conjunct.high, Lit)
+            and isinstance(conjunct.low, (Lit, Param))
+            and isinstance(conjunct.high, (Lit, Param))
         ):
             position = _resolve(schema, conjunct.operand.name)
             if position is None:
                 continue
-            ranges.setdefault(position, []).append((">=", conjunct.low.value, conjunct))
-            ranges.setdefault(position, []).append(("<=", conjunct.high.value, conjunct))
+            ranges.setdefault(position, []).append((">=", bound(conjunct.low), conjunct))
+            ranges.setdefault(position, []).append(("<=", bound(conjunct.high), conjunct))
     return eq, ranges
 
 

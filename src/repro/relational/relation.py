@@ -17,7 +17,38 @@ from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequ
 from .schema import Attribute, Schema, SchemaError
 from .types import DataType, format_value, infer_type
 
-__all__ = ["Relation"]
+__all__ = ["Relation", "Segment"]
+
+
+class Segment:
+    """One immutable run of appended rows inside a segmented relation.
+
+    Segments are shared *by identity* between relation versions: appending
+    to a relation produces a new :class:`Relation` whose segment tuple is
+    the old tuple plus one new segment.  The per-segment columnar
+    transposition is cached on the segment itself, so every relation
+    version built from the same segment reuses the same vectors.
+    """
+
+    __slots__ = ("segment_id", "rows", "_columns")
+
+    def __init__(self, segment_id: int, rows: Iterable[Tuple[Any, ...]]):
+        self.segment_id = int(segment_id)
+        self.rows: Tuple[Tuple[Any, ...], ...] = tuple(rows)
+        self._columns: Optional[List[tuple]] = None
+
+    def column_store(self, width: int) -> List[tuple]:
+        cols = self._columns
+        if cols is None:
+            if self.rows:
+                cols = list(zip(*self.rows))
+            else:
+                cols = [() for _ in range(width)]
+            self._columns = cols
+        return cols
+
+    def __repr__(self) -> str:
+        return f"Segment({self.segment_id}, {len(self.rows)} rows)"
 
 
 class Relation:
@@ -32,6 +63,9 @@ class Relation:
     # the relation object so their lifetime is automatic.  All are
     # planner-visible state, not part of the relation's value (equality
     # and repr ignore them).
+    # ``_segments``/``_deleted`` carry the write path's log-structured
+    # form (immutable appended segments plus a delete vector of global
+    # ordinals); when unset the relation is its own single base segment.
     __slots__ = (
         "schema",
         "rows",
@@ -41,6 +75,8 @@ class Relation:
         "_has_null",
         "_plan_epoch",
         "_plan_watchers",
+        "_segments",
+        "_deleted",
     )
 
     def __init__(self, schema, rows: Optional[Iterable[Sequence[Any]]] = None):
@@ -92,6 +128,118 @@ class Relation:
         """An empty relation over the given schema."""
         return cls(schema, [])
 
+    @classmethod
+    def from_segments(
+        cls,
+        schema,
+        segments: Sequence[Segment],
+        deleted: Iterable[int] = (),
+    ) -> "Relation":
+        """Build a relation as immutable segments plus a delete vector.
+
+        ``deleted`` holds *global ordinals* over the concatenation of all
+        segment rows (in segment order, before deletion).  ``rows`` is the
+        materialized live view, so every existing executor — row, block,
+        columnar, parallel scans — works on segmented relations unchanged.
+        """
+        if not isinstance(schema, Schema):
+            schema = Schema(schema)
+        deleted = frozenset(deleted)
+        live: List[Tuple[Any, ...]] = []
+        ordinal = 0
+        for segment in segments:
+            if deleted:
+                for row in segment.rows:
+                    if ordinal not in deleted:
+                        live.append(row)
+                    ordinal += 1
+            else:
+                live.extend(segment.rows)
+        relation = cls.from_trusted(schema, live)
+        relation._segments = tuple(segments)
+        relation._deleted = deleted
+        return relation
+
+    # ------------------------------------------------------------------
+    # segmented (write-path) view
+    # ------------------------------------------------------------------
+    def segments(self) -> Tuple[Segment, ...]:
+        """The relation's segments; a plain relation is one base segment."""
+        segments = getattr(self, "_segments", None)
+        if segments is None:
+            segments = (Segment(0, tuple(self.rows)),)
+            self._segments = segments
+            self._deleted = frozenset()
+        return segments
+
+    def deleted_ordinals(self) -> frozenset:
+        """Global ordinals (over concatenated segment rows) marked deleted."""
+        return getattr(self, "_deleted", None) or frozenset()
+
+    def live_ordinals(self) -> List[int]:
+        """Global ordinal of each live row, in ``rows`` order."""
+        deleted = self.deleted_ordinals()
+        total = sum(len(s.rows) for s in self.segments())
+        return [o for o in range(total) if o not in deleted]
+
+    def segment_boundaries(self) -> List[int]:
+        """Offsets into ``rows`` where each segment's live run begins.
+
+        Parallel scans snap partition cut points to these so one worker
+        never straddles a segment (its slice stays within one cached
+        per-segment column run).
+        """
+        deleted = self.deleted_ordinals()
+        boundaries: List[int] = []
+        live = 0
+        ordinal = 0
+        for segment in self.segments():
+            boundaries.append(live)
+            for _ in segment.rows:
+                if ordinal not in deleted:
+                    live += 1
+                ordinal += 1
+        return boundaries
+
+    def with_appended(self, rows: Iterable[Sequence[Any]]) -> "Relation":
+        """A new relation value with one fresh segment appended.
+
+        The receiver is untouched (in-flight plans and pinned snapshots
+        keep reading the old value); existing segments are shared by
+        identity, so their cached column vectors carry over.
+        """
+        width = len(self.schema)
+        appended: List[Tuple[Any, ...]] = []
+        for row in rows:
+            row_t = tuple(row)
+            if len(row_t) != width:
+                raise SchemaError(
+                    f"row arity {len(row_t)} does not match schema arity {width}: {row_t!r}"
+                )
+            appended.append(row_t)
+        segments = self.segments()
+        next_id = max(s.segment_id for s in segments) + 1 if segments else 0
+        return Relation.from_segments(
+            self.schema,
+            segments + (Segment(next_id, appended),),
+            self.deleted_ordinals(),
+        )
+
+    def with_deleted(self, live_positions: Iterable[int]) -> "Relation":
+        """A new relation value with the given live rows marked deleted.
+
+        ``live_positions`` index into ``rows``; they are translated to
+        global ordinals and merged into the delete vector.  Segments are
+        shared untouched.
+        """
+        mapping = self.live_ordinals()
+        extra = {mapping[i] for i in live_positions}
+        if not extra:
+            return self
+        return Relation.from_segments(
+            self.schema, self.segments(), self.deleted_ordinals() | extra
+        )
+
     # ------------------------------------------------------------------
     # container protocol
     # ------------------------------------------------------------------
@@ -130,13 +278,39 @@ class Relation:
         The column executor's sequential scans slice these vectors instead
         of chunking row tuples.  Rows are immutable once a relation is
         built, so the transposition is computed once per relation object.
+        Segmented relations concatenate the *live* run of each segment's
+        cached per-segment vectors, so appending a segment transposes only
+        the new rows.
         """
         store = getattr(self, "_columns", None)
         if store is None:
-            if self.rows:
-                store = list(zip(*self.rows))
+            segments = getattr(self, "_segments", None)
+            if segments is None:
+                if self.rows:
+                    store = list(zip(*self.rows))
+                else:
+                    store = [() for _ in range(len(self.schema))]
             else:
-                store = [() for _ in range(len(self.schema))]
+                width = len(self.schema)
+                deleted = self.deleted_ordinals()
+                runs: List[List[tuple]] = [[] for _ in range(width)]
+                base = 0
+                for segment in segments:
+                    cols = segment.column_store(width)
+                    count = len(segment.rows)
+                    if deleted:
+                        keep = [
+                            i for i in range(count) if base + i not in deleted
+                        ]
+                        if len(keep) != count:
+                            cols = [tuple(c[i] for i in keep) for c in cols]
+                    for run, col in zip(runs, cols):
+                        run.append(col)
+                    base += count
+                store = [
+                    run[0] if len(run) == 1 else tuple(v for part in run for v in part)
+                    for run in runs
+                ]
             self._columns = store
         return store
 

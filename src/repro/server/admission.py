@@ -36,12 +36,16 @@ __all__ = ["AdmissionPolicy", "AdmissionController", "Overloaded", "DEFAULT_LIMI
 
 #: Default per-class concurrent-execution limits.  Cached point lookups
 #: are effectively unthrottled; cold planning and heavy joins are scarce.
+#: DML has its own class (writers serialize on the database's write lock,
+#: so admitting many would only deepen the lock queue — bound it early
+#: and keep write bursts from occupying read slots).
 DEFAULT_LIMITS: Mapping[str, int] = {
     "point": 64,
     "scan": 16,
     "join": 8,
     "heavy": 2,
     "cold": 4,
+    "dml": 4,
 }
 
 

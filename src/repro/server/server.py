@@ -20,8 +20,15 @@ line, one response object per line::
     <- {"ok": true, "prepared": "q1", "parameters": 1}
     -> {"op": "execute", "name": "q1", "params": [7]}
     <- {"ok": true, "columns": [...], "rows": [...]}
+    -> {"op": "query",   "sql": "insert into r values (9, $1)", "params": ["x"]}
+    <- {"ok": true, "dml": "INSERT", "count": 1, "variables": []}
     -> {"op": "stats"}
     <- {"ok": true, "stats": {...}}
+
+DML (INSERT/UPDATE/DELETE) rides the same ``query``/``prepare``/
+``execute`` ops: it admits under the dedicated ``dml`` cost class and is
+*never* coalesced — two identical INSERTs are two writes, not one shared
+flight.
 
 A shed request answers ``{"ok": false, "kind": "overloaded", ...}``
 immediately — load shedding is a *response*, not a dropped connection.
@@ -38,7 +45,8 @@ import threading
 from collections import OrderedDict
 from typing import Any, Dict, Optional, Sequence, Tuple
 
-from ..core.prepared import PreparedQuery
+from ..core.dml import DMLResult
+from ..core.prepared import PreparedDML, PreparedQuery
 from ..core.query import Certain
 from ..core.translate import query_cache_key
 from ..core.udatabase import UDatabase
@@ -130,6 +138,14 @@ class QueryServer:
         mode = session.mode if session is not None else self.mode
         use_indexes = session.use_indexes if session is not None else self.use_indexes
         parallel = session.parallel if session is not None else self.parallel
+        if isinstance(prepared, PreparedDML):
+            # writes admit under their own class and never coalesce:
+            # two identical INSERTs are two writes, not one shared flight
+            def dml_work():
+                return prepared.run(*params)
+
+            with self.admission.admit("dml"):
+                return self.executor.run(dml_work, key=None)
         # classification peeks at the plan cache under the key the
         # execution path actually stores: execute_query strips Certain
         # wrappers and plans (and caches) their relational core
@@ -284,6 +300,13 @@ def _result_payload(result: Any) -> Dict[str, Any]:
             "ok": True,
             "columns": list(result.schema.names),
             "rows": [list(row) for row in result.rows],
+        }
+    if isinstance(result, DMLResult):
+        return {
+            "ok": True,
+            "dml": result.statement.upper(),
+            "count": result.count,
+            "variables": list(result.variables),
         }
     # index DDL returns the Index (CREATE) or None (DROP); an Index must
     # not be mistaken for a result set (it carries a .relation too)

@@ -33,7 +33,7 @@ from __future__ import annotations
 import threading
 from typing import Any, Dict, Optional, Sequence, Tuple
 
-from ..core.prepared import PreparedQuery
+from ..core.prepared import PreparedDML, PreparedQuery
 from ..core.udatabase import UDatabase
 
 __all__ = ["Session", "SnapshotChanged"]
@@ -88,12 +88,20 @@ class Session:
     # statement namespace
     # ------------------------------------------------------------------
     def _parse(self, sql: str) -> PreparedQuery:
-        """Parse SQL into a session-owned PreparedQuery (own ``$n`` store)."""
+        """Parse SQL into a session-owned statement (own ``$n`` store).
+
+        Queries become :class:`PreparedQuery`, DML becomes
+        :class:`PreparedDML` — both session-owned, so concurrent sessions
+        binding ``$n`` slots of identical texts never share state.
+        """
+        from ..core.dml import Delete, Insert, Update
         from ..sql.parser import CreateIndex, DropIndex, parse
 
         statement = parse(sql)
         if isinstance(statement, (CreateIndex, DropIndex)):
             raise ValueError("cannot prepare DDL; use Session.execute_ddl")
+        if isinstance(statement, (Insert, Update, Delete)):
+            return PreparedDML(statement, self.udb, sql=sql)
         return PreparedQuery(statement, self.udb, sql=sql)
 
     def prepare(self, name: str, sql: str) -> PreparedQuery:
@@ -159,13 +167,13 @@ class Session:
     # execution
     # ------------------------------------------------------------------
     def execute(self, sql: str, params: Sequence[Any] = ()):
-        """Run a SQL statement (queries and index DDL), returning its result.
+        """Run a SQL statement (queries, DML, index DDL), returning its result.
 
-        Queries are prepared transparently (cached by text in this
-        session) and routed through the server's admission + executor
-        layers when the session is server-bound.  DDL executes inline and
-        is rejected inside a snapshot block (it would break the
-        snapshot's own guarantee).
+        Queries and DML are prepared transparently (cached by text in
+        this session) and routed through the server's admission + executor
+        layers when the session is server-bound.  DDL executes inline;
+        DDL and DML are rejected inside a snapshot block (the session's
+        own write would break the snapshot's guarantee).
         """
         from ..sql.parser import CreateIndex, DropIndex, parse
 
@@ -224,6 +232,10 @@ class Session:
         return None
 
     def _run(self, prepared: PreparedQuery, params: Tuple[Any, ...]):
+        if isinstance(prepared, PreparedDML) and self._snapshot_version is not None:
+            # a session's own write would invalidate the snapshot it is
+            # reading under — same contract as DDL
+            raise SnapshotChanged(self._snapshot_version, self.udb.catalog_version)
         self.statements_run += 1
         if self.server is not None:
             return self.server.execute(prepared, params, session=self)

@@ -20,9 +20,10 @@ the Figure 4 translation, and the relational optimizer compose without any
 uncertainty-specific operators in the engine.
 """
 
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
-from ..core.prepared import PreparedQuery
+from ..core.dml import Delete, DMLResult, Insert, UncertainValue, Update
+from ..core.prepared import PreparedDML, PreparedQuery
 from ..core.translate import execute_query
 from ..core.udatabase import UDatabase
 from .lexer import SqlSyntaxError, tokenize
@@ -36,8 +37,17 @@ __all__ = [
     "SqlSyntaxError",
     "CreateIndex",
     "DropIndex",
+    "Insert",
+    "Update",
+    "Delete",
+    "UncertainValue",
+    "DMLResult",
     "PreparedQuery",
+    "PreparedDML",
 ]
+
+#: Statement records the write path executes (rather than the query path).
+_DML_TYPES = (Insert, Update, Delete)
 
 #: Per-database prepared-statement cap.  Ad-hoc workloads that inline
 #: literals produce a distinct text per query; bounding the per-udb map by
@@ -52,15 +62,18 @@ def _cache_statement(udb: UDatabase, sql: str, prepared: PreparedQuery) -> None:
     udb._statements[sql] = prepared
 
 
-def prepare(sql: str, udb: UDatabase) -> PreparedQuery:
-    """Prepare a SQL query (with optional ``$n`` parameter slots).
+def prepare(sql: str, udb: UDatabase) -> Union[PreparedQuery, PreparedDML]:
+    """Prepare a SQL query or DML statement (with optional ``$n`` slots).
 
     The statement is parsed once and the resulting
-    :class:`~repro.core.prepared.PreparedQuery` cached on the database by
-    SQL text, so ``prepare`` is idempotent; its first ``run`` plans the
-    query and inserts the physical tree into the prepared-plan cache,
-    after which every execution — under any parameter binding — is
-    executor-only.  DDL cannot be prepared.
+    :class:`~repro.core.prepared.PreparedQuery` (or, for
+    INSERT/UPDATE/DELETE, :class:`~repro.core.prepared.PreparedDML`)
+    cached on the database by SQL text, so ``prepare`` is idempotent.  A
+    prepared query's first ``run`` plans it and inserts the physical tree
+    into the prepared-plan cache, after which every execution — under any
+    parameter binding — is executor-only; prepared DML reuses its parse
+    the same way, and its WHERE matching rides the same plan cache.  DDL
+    cannot be prepared.
     """
     cached = udb._statements.get(sql)
     if cached is not None:
@@ -68,7 +81,12 @@ def prepare(sql: str, udb: UDatabase) -> PreparedQuery:
     statement = parse(sql)
     if isinstance(statement, (CreateIndex, DropIndex)):
         raise ValueError("cannot prepare DDL; pass it to execute_sql instead")
-    prepared = PreparedQuery(statement, udb, sql=sql)
+    if isinstance(statement, _DML_TYPES):
+        prepared: Union[PreparedQuery, PreparedDML] = PreparedDML(
+            statement, udb, sql=sql
+        )
+    else:
+        prepared = PreparedQuery(statement, udb, sql=sql)
     _cache_statement(udb, sql, prepared)
     return prepared
 
@@ -83,7 +101,10 @@ def execute_sql(
 
     Returns a plain :class:`~repro.relational.relation.Relation` for
     ``possible``/``certain`` statements, a
-    :class:`~repro.core.urelation.URelation` otherwise.
+    :class:`~repro.core.urelation.URelation` for bare queries, and a
+    :class:`~repro.core.dml.DMLResult` for INSERT/UPDATE/DELETE (which
+    re-execute on every call — the statement cache skips only their
+    parsing).
 
     Queries are prepared transparently: the parsed statement is cached on
     the database by SQL text and its physical plan in the prepared-plan
@@ -118,6 +139,9 @@ def execute_sql(
         if isinstance(statement, DropIndex):
             udb.to_database().drop_index(statement.name)
             return None
-        prepared = PreparedQuery(statement, udb, sql=sql)
+        if isinstance(statement, _DML_TYPES):
+            prepared = PreparedDML(statement, udb, sql=sql)
+        else:
+            prepared = PreparedQuery(statement, udb, sql=sql)
         _cache_statement(udb, sql, prepared)
     return prepared.run(*(params or ()), optimize=optimize)

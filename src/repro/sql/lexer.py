@@ -34,6 +34,8 @@ KEYWORDS = {
     "null", "as", "possible", "certain", "union", "date", "distinct",
     # index DDL
     "create", "drop", "index", "on", "using",
+    # DML
+    "insert", "into", "values", "update", "set", "delete",
 }
 
 _TOKEN_RE = re.compile(
@@ -44,7 +46,7 @@ _TOKEN_RE = re.compile(
   | (?P<ident>[A-Za-z_][A-Za-z_0-9]*(\.[A-Za-z_][A-Za-z_0-9]*)?)
   | (?P<string>'(?:[^']|'')*')
   | (?P<op><>|<=|>=|!=|=|<|>)
-  | (?P<punct>[(),.*])
+  | (?P<punct>[(),.*{}])
     """,
     re.VERBOSE,
 )

@@ -9,6 +9,13 @@ select-project-join queries with ``possible``), plus ``certain`` and
                 | CREATE INDEX name ON table '(' column (',' column)* ')'
                   [USING (HASH | SORTED)]
                 | DROP INDEX name
+                | INSERT INTO table VALUES row (',' row)*
+                | UPDATE table SET column '=' cell (',' column '=' cell)*
+                  [WHERE condition]
+                | DELETE FROM table [WHERE condition]
+    row        := '(' cell (',' cell)* ')'
+    cell       := literal | parameter
+                | '{' literal (',' literal)* '}'   -- uncertain alternatives
     select     := SELECT [DISTINCT] targets FROM tables [WHERE condition]
                   [UNION select]
     targets    := '*' | column (',' column)*
@@ -32,6 +39,11 @@ The FROM list becomes a left-deep chain of :class:`UJoin` nodes with a
 trivially-true predicate; the WHERE clause sits above as one
 :class:`USelect` — the optimizer then pushes conjuncts into the joins and
 scans, exactly the division of labour the paper relies on PostgreSQL for.
+
+DML statements address *logical* relations; a braced INSERT cell like
+``{'Tank', 'Transport'}`` lists mutually exclusive alternatives, which
+execution turns into a fresh world-table variable (see
+:mod:`repro.core.dml`).
 """
 
 from __future__ import annotations
@@ -54,10 +66,19 @@ from ..relational.expressions import (
     disjunction,
     lit,
 )
+from ..core.dml import Delete, Insert, UncertainValue, Update
 from ..relational.types import Date
 from .lexer import SqlSyntaxError, Token, TokenKind, tokenize
 
-__all__ = ["parse", "SqlSyntaxError", "CreateIndex", "DropIndex"]
+__all__ = [
+    "parse",
+    "SqlSyntaxError",
+    "CreateIndex",
+    "DropIndex",
+    "Insert",
+    "Update",
+    "Delete",
+]
 
 _DATE_RE = re.compile(r"^\d{4}-\d{2}-\d{2}$")
 
@@ -156,6 +177,12 @@ class _Parser:
             return self._create_index()
         if self.accept_keyword("drop"):
             return self._drop_index()
+        if self.accept_keyword("insert"):
+            return self._insert()
+        if self.accept_keyword("update"):
+            return self._update()
+        if self.accept_keyword("delete"):
+            return self._delete()
         if self.accept_keyword("possible"):
             return Poss(self._wrapped_select())
         if self.accept_keyword("certain"):
@@ -194,6 +221,69 @@ class _Parser:
     def _drop_index(self) -> DropIndex:
         self.expect_keyword("index")
         return DropIndex(self._name("an index name"))
+
+    # -- DML ------------------------------------------------------------
+    def _insert(self) -> Insert:
+        self.expect_keyword("into")
+        table = self._name("a table name")
+        self.expect_keyword("values")
+        rows = [self._value_row()]
+        while self.accept_punct(","):
+            rows.append(self._value_row())
+        return Insert(table, tuple(rows))
+
+    def _value_row(self) -> Tuple[Any, ...]:
+        self.expect_punct("(")
+        cells = [self._insert_cell()]
+        while self.accept_punct(","):
+            cells.append(self._insert_cell())
+        self.expect_punct(")")
+        return tuple(cells)
+
+    def _insert_cell(self) -> Any:
+        if self.accept_punct("{"):
+            alternatives = [self._literal_value()]
+            while self.accept_punct(","):
+                alternatives.append(self._literal_value())
+            self.expect_punct("}")
+            try:
+                return UncertainValue(alternatives)
+            except ValueError as error:
+                raise SqlSyntaxError(str(error)) from None
+        return self._cell()
+
+    def _cell(self) -> Any:
+        """One certain DML value: a literal, or a ``$n`` parameter slot."""
+        if self.current.kind == TokenKind.PARAM:
+            token = self.advance()
+            return Param(int(token.text[1:]) - 1, self.param_store)
+        return self._literal_value()
+
+    def _update(self) -> Update:
+        table = self._name("a table name")
+        self.expect_keyword("set")
+        assignments = [self._assignment()]
+        while self.accept_punct(","):
+            assignments.append(self._assignment())
+        condition = self._condition() if self.accept_keyword("where") else None
+        return Update(table, tuple(assignments), condition)
+
+    def _assignment(self) -> Tuple[str, Any]:
+        column = self._column_name()
+        token = self.current
+        if token.kind != TokenKind.OP or token.text != "=":
+            raise SqlSyntaxError(
+                f"expected '=' in SET assignment, found {token.text!r} "
+                f"at position {token.position}"
+            )
+        self.advance()
+        return column, self._cell()
+
+    def _delete(self) -> Delete:
+        self.expect_keyword("from")
+        table = self._name("a table name")
+        condition = self._condition() if self.accept_keyword("where") else None
+        return Delete(table, condition)
 
     def _wrapped_select(self) -> UQuery:
         parenthesized = self.accept_punct("(")

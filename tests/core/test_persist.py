@@ -32,9 +32,12 @@ class TestRoundTrip:
     def test_files_mirror_paper_naming(self, vehicles_udb, tmp_path):
         save_udatabase(vehicles_udb, tmp_path / "db")
         names = {p.name for p in (tmp_path / "db").iterdir()}
-        assert "u_r_id.csv" in names
-        assert "u_r_type.csv" in names
+        assert "u_r_id" in names
+        assert "u_r_type" in names
         assert "w.csv" in names and "manifest.csv" in names
+        # each partition directory holds its base segment file
+        assert (tmp_path / "db" / "u_r_id" / "seg_000000.csv").exists()
+        assert (tmp_path / "db" / "u_r_type" / "seg_000000.csv").exists()
 
     def test_probabilities_roundtrip(self, tmp_path):
         world = WorldTable({"x": [1, 2]}, probabilities={"x": [0.75, 0.25]})
@@ -77,3 +80,84 @@ class TestRoundTrip:
         back = load_udatabase(tmp_path / "g")
         assert back.total_representation_rows() == bundle.udb.total_representation_rows()
         assert back.world_count() == bundle.udb.world_count()
+
+
+class TestSegmentLog:
+    """The log-structured contract: re-saving after DML appends, never
+    rewrites."""
+
+    def _snapshot(self, directory):
+        return {
+            path.relative_to(directory): (path.stat().st_mtime_ns, path.read_bytes())
+            for path in directory.rglob("*")
+            if path.is_file()
+        }
+
+    def test_save_after_inserts_rewrites_no_base_segment(
+        self, vehicles_udb, tmp_path
+    ):
+        from repro.sql import execute_sql
+
+        target = tmp_path / "db"
+        save_udatabase(vehicles_udb, target)
+        before = self._snapshot(target)
+        for i in range(3):
+            execute_sql(
+                f"insert into r values ({100 + i}, 'Tank', 'Friend')", vehicles_udb
+            )
+        save_udatabase(vehicles_udb, target)
+        after = self._snapshot(target)
+        # every base segment file survives byte- and mtime-identical
+        for path, (mtime, data) in before.items():
+            if path.name.startswith("seg_"):
+                assert after[path] == (mtime, data), path
+        # each partition gained one appended segment file per statement
+        for part in ("u_r_id", "u_r_type", "u_r_faction"):
+            new = [
+                p
+                for p in after
+                if p.parts[0] == part and p.name.startswith("seg_") and p not in before
+            ]
+            assert len(new) == 3, part
+
+    def test_save_after_delete_touches_only_delete_vectors(
+        self, vehicles_udb, tmp_path
+    ):
+        from repro.sql import execute_sql
+
+        target = tmp_path / "db"
+        save_udatabase(vehicles_udb, target)
+        before = self._snapshot(target)
+        execute_sql("delete from r where id = 1", vehicles_udb)
+        save_udatabase(vehicles_udb, target)
+        after = self._snapshot(target)
+        for path, payload in before.items():
+            if path.name.startswith("seg_"):
+                assert after[path] == payload, path
+        assert any(path.name == "deleted.csv" for path in after)
+
+    def test_dml_roundtrip_preserves_answers_and_segments(
+        self, vehicles_udb, tmp_path
+    ):
+        from repro.core import Poss, Rel, UProject, execute_query
+        from repro.sql import execute_sql
+
+        execute_sql("insert into r values (9, {'Tank', 'Jeep'}, 'Friend')", vehicles_udb)
+        execute_sql("update r set faction = 'Enemy' where id = 9", vehicles_udb)
+        execute_sql("delete from r where id = 1", vehicles_udb)
+        save_udatabase(vehicles_udb, tmp_path / "db")
+        back = load_udatabase(tmp_path / "db")
+        # segment structure, delete vectors, and the minted variable survive
+        for a, b in zip(
+            sorted(vehicles_udb.partitions("r"), key=lambda p: p.value_names),
+            sorted(back.partitions("r"), key=lambda p: p.value_names),
+        ):
+            assert [s.rows for s in a.relation.segments()] == [
+                s.rows for s in b.relation.segments()
+            ]
+            assert a.relation.deleted_ordinals() == b.relation.deleted_ordinals()
+        assert back.world_count() == vehicles_udb.world_count()
+        query = Poss(UProject(Rel("r"), ["id", "type", "faction"]))
+        assert set(execute_query(query, back).rows) == set(
+            execute_query(query, vehicles_udb).rows
+        )

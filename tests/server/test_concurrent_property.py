@@ -24,6 +24,7 @@ from repro.core import execute_query
 from repro.core.query import Poss, Rel, UJoin, UProject, USelect
 from repro.relational.expressions import col, lit
 from repro.server import QueryServer
+from repro.sql import execute_sql
 
 from tests.conftest import build_vehicles_udb
 
@@ -242,3 +243,164 @@ def test_lazy_index_builds_race_free():
     for part in fresh.partitions("r"):
         names = [index.name for index in built_indexes_on(part.relation)]
         assert len(names) == len(set(names))
+
+
+def test_concurrent_dml_readers_see_only_statement_boundaries():
+    """A writer thread appends rows one statement at a time while reader
+    threads query in all three modes; every answer equals the serial
+    answer *after some prefix of the statements* — never a torn state
+    where one vertical partition has a row the others lack."""
+    inserts = [(100 + i, "Tank" if i % 2 else "Jeep", "Friend") for i in range(12)]
+    query = Poss(UProject(Rel("r"), ["id", "type", "faction"]))
+
+    # serial twin: replay the statements to enumerate every valid state
+    twin = build_vehicles_udb()
+    valid = [frozenset(_rows_of(execute_query(query, twin)))]
+    for row in inserts:
+        execute_sql("insert into r values (%d, '%s', '%s')" % row, twin)
+        valid.append(frozenset(_rows_of(execute_query(query, twin))))
+    states = set(valid)
+
+    udb = build_vehicles_udb()
+    torn = []
+    errors = []
+    done = threading.Event()
+
+    def writer():
+        try:
+            for row in inserts:
+                execute_sql("insert into r values (%d, '%s', '%s')" % row, udb)
+        except Exception as error:  # pragma: no cover
+            errors.append(error)
+        finally:
+            done.set()
+
+    def reader(offset):
+        try:
+            i = 0
+            while not done.is_set() or i < 6:
+                mode = MODES[(offset + i) % len(MODES)]
+                answer = frozenset(_rows_of(execute_query(query, udb, mode=mode)))
+                if answer not in states:
+                    torn.append((mode, sorted(answer)))
+                i += 1
+        except Exception as error:  # pragma: no cover
+            errors.append(error)
+
+    writer_thread = threading.Thread(target=writer)
+    readers = [threading.Thread(target=reader, args=(t,)) for t in range(4)]
+    writer_thread.start()
+    for t in readers:
+        t.start()
+    writer_thread.join(timeout=120)
+    for t in readers:
+        t.join(timeout=120)
+    assert not errors
+    assert not torn
+    # the final state is the full serial application, in every mode
+    for mode in MODES:
+        assert frozenset(_rows_of(execute_query(query, udb, mode=mode))) == valid[-1]
+
+
+def test_snapshot_reads_stable_under_concurrent_dml():
+    """Inside ``session.snapshot()`` a reader either sees answers
+    identical to one serial state on every statement, or gets
+    ``SnapshotChanged`` — concurrent DML can never mix pre- and
+    post-write answers within one snapshot block."""
+    from repro.server.session import SnapshotChanged
+
+    inserts = [(200 + i, "Tank", "Friend") for i in range(10)]
+    sql = "possible (select id, type, faction from r)"
+
+    twin = build_vehicles_udb()
+    states = {frozenset(_rows_of(twin.session().execute(sql, ())))}
+    for row in inserts:
+        execute_sql("insert into r values (%d, '%s', '%s')" % row, twin)
+        states.add(frozenset(_rows_of(twin.session().execute(sql, ()))))
+
+    udb = build_vehicles_udb()
+    mismatches = []
+    errors = []
+    retries = [0]
+    done = threading.Event()
+
+    def writer():
+        try:
+            session = udb.session()
+            for row in inserts:
+                session.execute("insert into r values (%d, '%s', '%s')" % row, ())
+        except Exception as error:  # pragma: no cover
+            errors.append(error)
+        finally:
+            done.set()
+
+    def reader():
+        try:
+            session = udb.session()
+            while not done.is_set():
+                try:
+                    with session.snapshot():
+                        seen = [
+                            frozenset(_rows_of(session.execute(sql, ())))
+                            for _ in range(3)
+                        ]
+                except SnapshotChanged:
+                    retries[0] += 1
+                    continue
+                if len(set(seen)) != 1 or seen[0] not in states:
+                    mismatches.append(sorted(seen[0]))
+        except Exception as error:  # pragma: no cover
+            errors.append(error)
+
+    writer_thread = threading.Thread(target=writer)
+    readers = [threading.Thread(target=reader) for _ in range(4)]
+    writer_thread.start()
+    for t in readers:
+        t.start()
+    writer_thread.join(timeout=120)
+    for t in readers:
+        t.join(timeout=120)
+    assert not errors
+    assert not mismatches
+    # and a quiesced snapshot sees exactly the fully-written state
+    session = udb.session()
+    with session.snapshot():
+        final = frozenset(_rows_of(session.execute(sql, ())))
+    assert final == frozenset(_rows_of(twin.session().execute(sql, ())))
+
+
+def test_prepared_writers_interleave_without_lost_updates():
+    """N sessions hammer one prepared INSERT concurrently; every logical
+    tuple lands (writes serialize on the write lock, and identical DML
+    texts never coalesce into one shared flight)."""
+    udb = build_vehicles_udb()
+    server = QueryServer(udb, workers=4)
+    errors = []
+
+    def client(offset):
+        try:
+            session = server.session()
+            for i in range(10):
+                result = session.execute(
+                    "insert into r values ($1, 'Tank', 'Friend')",
+                    (1000 + offset * 10 + i,),
+                )
+                assert result.count == 1
+        except Exception as error:  # pragma: no cover
+            errors.append(error)
+
+    clients = [threading.Thread(target=client, args=(t,)) for t in range(5)]
+    for t in clients:
+        t.start()
+    for t in clients:
+        t.join(timeout=120)
+    server.close()
+    assert not errors
+    answer = _rows_of(
+        execute_query(Poss(UProject(Rel("r"), ["id"])), udb)
+    )
+    inserted = {row[0] for row in answer if isinstance(row[0], int) and row[0] >= 1000}
+    assert inserted == set(range(1000, 1050))
+    stats = server.stats()
+    assert stats["admission"]["dml"]["admitted"] == 50
+    assert stats["executor"]["coalesced"] == 0  # DML never coalesces

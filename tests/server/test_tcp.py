@@ -203,3 +203,34 @@ def test_overload_is_a_response_not_a_hang():
         release.set()
         handle.close()
         server.close()
+
+
+def test_dml_over_tcp(served):
+    server, address = served
+    client = Client(address)
+    try:
+        ack = client.rpc(
+            op="query", sql="insert into r values (9, {'Tank', 'Jeep'}, 'Friend')"
+        )
+        assert ack["ok"] and ack["dml"] == "INSERT" and ack["count"] == 1
+        assert len(ack["variables"]) == 1 and ack["variables"][0].endswith("_type")
+
+        assert client.rpc(
+            op="prepare", name="add", sql="insert into r values ($1, $2, $3)"
+        ) == {"ok": True, "prepared": "add", "parameters": 3}
+        ack = client.rpc(op="execute", name="add", params=[10, "Tank", "Friend"])
+        assert ack == {"ok": True, "dml": "INSERT", "count": 1, "variables": []}
+
+        ack = client.rpc(op="query", sql="update r set faction = 'Enemy' where id = 10")
+        assert ack == {"ok": True, "dml": "UPDATE", "count": 1, "variables": []}
+        ack = client.rpc(op="query", sql="delete from r where id = 9")
+        assert ack == {"ok": True, "dml": "DELETE", "count": 1, "variables": []}
+
+        answer = client.rpc(
+            op="query", sql="possible (select id, faction from r where id = 10)"
+        )
+        assert sorted(map(tuple, answer["rows"])) == [(10, "Enemy")]
+        stats = client.rpc(op="stats")["stats"]
+        assert stats["admission"]["dml"]["admitted"] == 4
+    finally:
+        client.close()
