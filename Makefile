@@ -3,8 +3,10 @@
 #   make test        - the tier-1 test suite (what CI must keep green)
 #   make bench-smoke - the Figure 12 query-time benchmark at a tiny scale,
 #                      including the plan-cache warm-vs-cold and
-#                      rows-vs-blocks executor head-to-heads; one command
-#                      to spot a perf regression
+#                      rows-vs-blocks executor head-to-heads plus the
+#                      observability-overhead gate (obs on vs REPRO_OBS=off
+#                      must stay within 5% on Q1/Q2); one command to spot
+#                      a perf regression
 #   make bench-serve - serving throughput: requests/sec on the Figure 12
 #                      queries over the TCP protocol at 1/4/8 client
 #                      threads (gates on >= 2x at 4 clients; appends to

@@ -53,6 +53,13 @@ INDEX_BENCH_PAIRS = 7
 PLAN_BENCH_SCALE = 0.001
 PLAN_BENCH_PAIRS = 9
 
+#: Config for the observability-overhead gate.  Warm-cache (executor-only)
+#: runs at the access-path scale: per-run work small enough that the
+#: fixed per-query obs cost (trace spans, counter bumps, histogram
+#: observes) shows up in the ratio, large enough that timings are stable.
+OBS_BENCH_PAIRS = 9
+OBS_OVERHEAD_CEILING = 1.05
+
 
 def append_bench_run(kind: str, payload: dict) -> None:
     """Append a timestamped run to ``BENCH_fig12.json`` (trajectory).
@@ -454,3 +461,96 @@ def test_fig12_plan_cache_speedup(benchmark):
     # matter (Q1/Q2; Q3's six-way join planning is also its biggest win)
     assert queries["Q1"]["speedup_median"] > 1.0
     assert queries["Q2"]["speedup_median"] > 1.0
+
+
+def test_fig12_obs_overhead(benchmark):
+    """Observability must be nearly free: <= 5% on Figure 12 medians.
+
+    Times each query with the obs layer fully engaged — a request trace
+    owning the run (spans, per-operator actuals, histogram observe,
+    counter bumps) — against the same run with observability disabled
+    (``set_enabled(False)``, the ``REPRO_OBS=off`` switch).  Both arms use
+    a warm plan cache, so the measured work is executor-only: the regime
+    where the fixed per-query obs cost weighs the most.  Runs interleave
+    in off/on pairs; the gate takes ``min(median per-pair ratio, ratio of
+    medians)`` so one scheduler hiccup in either estimator cannot flake
+    the suite, and answers must be identical in both arms.
+    """
+    from repro.obs import request_trace, set_enabled
+
+    bundle = uncertain_db(INDEX_BENCH_SCALE, INDEX_BENCH_X, INDEX_BENCH_Z)
+
+    def traced_run(query, label):
+        with request_trace(sql=label):
+            return execute_query(query, bundle.udb)
+
+    def compare():
+        table = Table(
+            ["query", "obs off (median)", "obs on (median)", "overhead", "answers"],
+            title="Figure 12 addendum: observability overhead, on vs off",
+        )
+        queries = {}
+        for label, builder in QUERIES.items():
+            query = builder()
+            # warm the plan cache and prove both arms answer identically
+            answer_on = traced_run(query, label)
+            previous = set_enabled(False)
+            try:
+                answer_off = traced_run(query, label)
+            finally:
+                set_enabled(previous)
+            assert answer_on == answer_off  # identical bags, NULL-safe
+            off, on = [], []
+            for _ in range(OBS_BENCH_PAIRS):
+                previous = set_enabled(False)
+                try:
+                    elapsed, _ = timed(lambda: traced_run(query, label))
+                finally:
+                    set_enabled(previous)
+                off.append(elapsed)
+                elapsed, _ = timed(lambda: traced_run(query, label))
+                on.append(elapsed)
+            ratio_of_medians = statistics.median(on) / statistics.median(off)
+            median_pair_ratio = statistics.median(
+                n / f for n, f in zip(on, off)
+            )
+            entry = {
+                "off_median_s": statistics.median(off),
+                "on_median_s": statistics.median(on),
+                "off_best_s": min(off),
+                "on_best_s": min(on),
+                "overhead_ratio_of_medians": ratio_of_medians,
+                "overhead_median_pair_ratio": median_pair_ratio,
+                "overhead_gated": min(ratio_of_medians, median_pair_ratio),
+                "answer_rows": len(answer_on),
+                "identical_answers": True,
+            }
+            queries[label] = entry
+            table.add(
+                label,
+                format_seconds(entry["off_median_s"]),
+                format_seconds(entry["on_median_s"]),
+                f"{(entry['overhead_gated'] - 1) * 100:+.1f}%",
+                entry["answer_rows"],
+            )
+        append_bench_run(
+            "obs-overhead",
+            {
+                "baseline": "observability disabled (REPRO_OBS=off switch)",
+                "config": {
+                    "scale": INDEX_BENCH_SCALE,
+                    "x": INDEX_BENCH_X,
+                    "z": INDEX_BENCH_Z,
+                    "seed": 42,
+                    "interleaved_pairs": OBS_BENCH_PAIRS,
+                },
+                "queries": queries,
+            },
+        )
+        write_result("fig12_obs_overhead.txt", table.render())
+        return queries
+
+    queries = benchmark.pedantic(compare, rounds=1, iterations=1)
+    # CI gate: the full obs layer costs at most 5% on Q1 and Q2
+    assert queries["Q1"]["overhead_gated"] <= OBS_OVERHEAD_CEILING
+    assert queries["Q2"]["overhead_gated"] <= OBS_OVERHEAD_CEILING

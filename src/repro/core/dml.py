@@ -36,8 +36,10 @@ descriptors and tuple ids; DELETE removes the tuple from every partition
 
 from __future__ import annotations
 
+import functools
 from typing import Any, Dict, List, NamedTuple, Optional, Sequence, Tuple
 
+from ..obs import counter as _counter
 from ..relational.expressions import Expression, Param
 from ..relational.index import carry_index_defs, carry_indexes_appended
 from .descriptor import Descriptor, encode_descriptor
@@ -143,6 +145,35 @@ def _resolve(value: Any) -> Any:
     return value
 
 
+def _counted(fn):
+    """Meter a DML funnel function from its :class:`DMLResult`.
+
+    Every write — SQL DML, prepared DML, and the programmatic
+    ``udb.insert`` — exits through one of the three decorated funnels, so
+    ``dml_statements_total{op}`` / ``dml_rows_total{op}`` count all of
+    them exactly once.
+    """
+
+    @functools.wraps(fn)
+    def wrapper(*args: Any, **kwargs: Any) -> DMLResult:
+        result = fn(*args, **kwargs)
+        _counter("dml_statements_total", "DML statements executed by op").inc(
+            op=result.statement
+        )
+        if result.count:
+            _counter("dml_rows_total", "Logical tuples written by op").inc(
+                result.count, op=result.statement
+            )
+        if result.variables:
+            _counter(
+                "dml_variables_minted_total",
+                "World-table variables minted by uncertain inserts",
+            ).inc(len(result.variables))
+        return result
+
+    return wrapper
+
+
 def execute_dml(statement, udb) -> DMLResult:
     """Dispatch a parsed DML statement record to its executor.
 
@@ -193,6 +224,7 @@ def collect_dml_params(statement) -> List[Param]:
     return params
 
 
+@_counted
 def insert_rows(udb, name: str, value_rows: Sequence[Sequence[Any]]) -> DMLResult:
     """Insert logical tuples (possibly with uncertain cells) into ``name``.
 
@@ -286,6 +318,7 @@ def _matching_tids(udb, name: str, condition: Optional[Expression]) -> set:
     return {row[position] for row in result.relation.rows}
 
 
+@_counted
 def update_where(
     udb,
     name: str,
@@ -352,6 +385,7 @@ def update_where(
     return DMLResult("update", len(tids))
 
 
+@_counted
 def delete_where(
     udb, name: str, condition: Optional[Expression] = None
 ) -> DMLResult:

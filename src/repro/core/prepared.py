@@ -21,6 +21,7 @@ from __future__ import annotations
 import threading
 from typing import Any, List, Optional, Tuple
 
+from ..obs import request_trace
 from ..relational.expressions import Expression, Param, iter_subexpressions
 from .dml import DMLResult, collect_dml_params, execute_dml
 from .query import UJoin, UQuery, USelect
@@ -114,29 +115,30 @@ class PreparedQuery:
         instead of reading each other's bindings (per-session statements —
         the serving layer's normal shape — never contend).
         """
-        if self.parameter_count == 0 and not params:
-            return execute_query(
-                self.query,
-                self.udb,
-                optimize=optimize,
-                prefer_merge_join=prefer_merge_join,
-                mode=mode,
-                use_indexes=use_indexes,
-                batch_size=batch_size,
-                parallel=parallel,
-            )
-        with self._lock:
-            self.bind(params)
-            return execute_query(
-                self.query,
-                self.udb,
-                optimize=optimize,
-                prefer_merge_join=prefer_merge_join,
-                mode=mode,
-                use_indexes=use_indexes,
-                batch_size=batch_size,
-                parallel=parallel,
-            )
+        with request_trace(sql=self.sql or ""):
+            if self.parameter_count == 0 and not params:
+                return execute_query(
+                    self.query,
+                    self.udb,
+                    optimize=optimize,
+                    prefer_merge_join=prefer_merge_join,
+                    mode=mode,
+                    use_indexes=use_indexes,
+                    batch_size=batch_size,
+                    parallel=parallel,
+                )
+            with self._lock:
+                self.bind(params)
+                return execute_query(
+                    self.query,
+                    self.udb,
+                    optimize=optimize,
+                    prefer_merge_join=prefer_merge_join,
+                    mode=mode,
+                    use_indexes=use_indexes,
+                    batch_size=batch_size,
+                    parallel=parallel,
+                )
 
     def explain(
         self,
@@ -218,11 +220,12 @@ class PreparedDML:
         write path's own work is not executor-shaped; only its WHERE
         matching runs through the executor, under default knobs.
         """
-        if self.parameter_count == 0 and not params:
-            return execute_dml(self.statement, self.udb)
-        with self._lock:
-            self.bind(params)
-            return execute_dml(self.statement, self.udb)
+        with request_trace(sql=self.sql or "", cost_class="dml"):
+            if self.parameter_count == 0 and not params:
+                return execute_dml(self.statement, self.udb)
+            with self._lock:
+                self.bind(params)
+                return execute_dml(self.statement, self.udb)
 
     def __repr__(self) -> str:
         label = self.sql if self.sql is not None else type(self.statement).__name__

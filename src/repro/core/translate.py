@@ -536,6 +536,7 @@ def _cached_physical(
     """
     import time
 
+    from ..obs import span as obs_span
     from ..relational.optimizer import optimize as optimize_plan
     from ..relational.plancache import (
         cache_lookup,
@@ -549,45 +550,48 @@ def _cached_physical(
     key = query_cache_key(
         query, udb, optimize, prefer_merge_join, mode, use_indexes, parallel
     )
-    cached = cache_lookup(key)
-    if cached is not None:
-        return cached, True
-    started = time.perf_counter()
-    if isinstance(query, Poss):
-        inner = translate(query.child, udb)
-        plan: Plan = Distinct(Project(inner.plan, list(inner.value_names)))
-        wrap = None
-    else:
-        inner = translate(query, udb)
-        plan = inner.plan
-        wrap = (
-            inner.d_width,
-            inner.tid_names,
-            inner.value_names,
-            inner.canonical_names(),
+    with obs_span("plan") as sp:
+        cached = cache_lookup(key)
+        if cached is not None:
+            sp.set(cached=True)
+            return cached, True, key
+        sp.set(cached=False)
+        started = time.perf_counter()
+        if isinstance(query, Poss):
+            inner = translate(query.child, udb)
+            plan: Plan = Distinct(Project(inner.plan, list(inner.value_names)))
+            wrap = None
+        else:
+            inner = translate(query, udb)
+            plan = inner.plan
+            wrap = (
+                inner.d_width,
+                inner.tid_names,
+                inner.value_names,
+                inner.canonical_names(),
+            )
+        deps = plan_relations(plan)
+        if optimize:
+            plan = optimize_plan(plan)
+        physical = plan_physical(
+            plan,
+            prefer_merge_join=prefer_merge_join,
+            use_indexes=use_indexes,
+            fuse=fuse,
+            parallel=parallel,
         )
-    deps = plan_relations(plan)
-    if optimize:
-        plan = optimize_plan(plan)
-    physical = plan_physical(
-        plan,
-        prefer_merge_join=prefer_merge_join,
-        use_indexes=use_indexes,
-        fuse=fuse,
-        parallel=parallel,
-    )
-    payload = (physical, wrap)
-    # pin the query tree (it holds any $n parameter stores) and the udb
-    # (id-keyed owners must outlive their entries)
-    cache_store(
-        key,
-        payload,
-        deps,
-        pins=(udb, query),
-        cost_class=cost_class_of(physical),
-        plan_cost=time.perf_counter() - started,
-    )
-    return payload, False
+        payload = (physical, wrap)
+        # pin the query tree (it holds any $n parameter stores) and the udb
+        # (id-keyed owners must outlive their entries)
+        cache_store(
+            key,
+            payload,
+            deps,
+            pins=(udb, query),
+            cost_class=cost_class_of(physical),
+            plan_cost=time.perf_counter() - started,
+        )
+    return payload, False, key
 
 
 # ----------------------------------------------------------------------
@@ -616,7 +620,9 @@ def execute_query(
     query structure ran before against an unchanged catalog, so repeated
     executions skip translate → optimize → plan entirely.
     """
+    from ..obs import counter, current_span, current_trace
     from ..relational.physical import BATCH_SIZE, execute
+    from ..relational.plancache import cost_class_of, record_observed_rows
 
     if isinstance(query, Certain):
         from .certain import certain_answers
@@ -632,12 +638,23 @@ def execute_query(
             parallel,
         )
         return certain_answers(inner, udb.world_table)
-    (physical, wrap), _was_cached = _cached_physical(
+    (physical, wrap), was_cached, key = _cached_physical(
         query, udb, optimize, prefer_merge_join, mode, use_indexes, parallel
     )
     relation = execute(
         physical, mode=mode, batch_size=BATCH_SIZE if batch_size is None else batch_size
     )
+    # feed the estimate-vs-actual loop and the trace from the accounting
+    # the batch iterators already did — no re-run, no extra measurement
+    record_observed_rows(key, physical.estimated_rows, physical.actual_rows)
+    cost_class = cost_class_of(physical)
+    counter("queries_total", "Queries executed by class and plan-cache outcome").inc(
+        cls=cost_class, cached=str(was_cached).lower()
+    )
+    trace = current_trace()
+    if trace is not None:
+        trace.root.attrs.setdefault("cost_class", cost_class)
+        current_span().set(operators=physical.actuals())
     if wrap is None:
         return relation
     d_width, tid_names, value_names, canonical = wrap
@@ -656,7 +673,8 @@ def explain_query(
     use_indexes: bool = True,
     analyze: bool = False,
     parallel: int = 0,
-) -> str:
+    trace: bool = False,
+):
     """EXPLAIN output for a logical query against a U-relational database.
 
     A plan served from the prepared-plan cache is marked ``(cached)`` on
@@ -664,6 +682,11 @@ def explain_query(
     explaining then running plans exactly once.  ``Certain`` queries show
     the plan of their relational core (the Lemma 4.3 pipeline on top is
     not a relational plan).
+
+    ``trace=True`` (with ``analyze=True``) returns ``(text, data)`` where
+    ``data`` is the structured span/operator tree from
+    :func:`repro.relational.explain.explain_analyze` — the machine-readable
+    sibling of the rendered text.
     """
     from ..relational.explain import explain as explain_physical
     from ..relational.explain import explain_analyze
@@ -679,10 +702,14 @@ def explain_query(
             use_indexes,
             analyze,
             parallel,
+            trace,
         )
-    (physical, _wrap), was_cached = _cached_physical(
+    (physical, _wrap), was_cached, _key = _cached_physical(
         query, udb, optimize, prefer_merge_join, mode, use_indexes, parallel
     )
+    if analyze and trace:
+        _result, text, data = explain_analyze(physical, mode=mode, trace=True)
+        return (mark_cached(text) if was_cached else text), data
     if analyze:
         _result, text = explain_analyze(physical, mode=mode)
     else:

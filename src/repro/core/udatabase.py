@@ -350,6 +350,59 @@ class UDatabase:
         self.logical_schema(name)
         return list(self._partitions[name])
 
+    def segment_health(self, publish: bool = True) -> Dict[str, Dict[str, Any]]:
+        """Per-partition write-path health, optionally published as gauges.
+
+        For every vertical partition (keyed ``relation/part<i>``):
+        ``segment_count`` (appended segments accumulated since the last
+        base rewrite), ``live_rows``, ``deleted_rows``, and
+        ``deleted_ratio`` (dead fraction of all appended rows) — exactly
+        the inputs a compaction trigger needs (ROADMAP's write-path
+        follow-on).  With ``publish=True`` (default) each value is also
+        set on the ``segment_*`` gauges, labeled by partition, so the
+        metrics snapshot carries the write path's state.
+
+        Reading is cheap and never forces segment materialization: a
+        relation the write path has not touched reports one base segment
+        with nothing deleted, without copying its rows.
+        """
+        from ..obs import gauge
+
+        out: Dict[str, Dict[str, Any]] = {}
+        for name, parts in sorted(self._partitions.items()):
+            for i, part in enumerate(parts):
+                relation = part.relation
+                segments = getattr(relation, "_segments", None)
+                if segments is None:  # untouched: one implicit base segment
+                    segment_count = 1
+                    live = len(relation.rows)
+                    deleted = 0
+                else:
+                    segment_count = len(segments)
+                    live = len(relation.rows)
+                    deleted = len(relation.deleted_ordinals())
+                total = live + deleted
+                key = f"{name}/part{i}"
+                out[key] = {
+                    "segment_count": segment_count,
+                    "live_rows": live,
+                    "deleted_rows": deleted,
+                    "deleted_ratio": (deleted / total) if total else 0.0,
+                }
+        if publish:
+            count_gauge = gauge(
+                "segment_count", "Segments per partition (1 = compacted base)"
+            )
+            live_gauge = gauge("segment_live_rows", "Live rows per partition")
+            ratio_gauge = gauge(
+                "segment_deleted_ratio", "Dead fraction of appended rows"
+            )
+            for key, health in out.items():
+                count_gauge.set(health["segment_count"], partition=key)
+                live_gauge.set(health["live_rows"], partition=key)
+                ratio_gauge.set(health["deleted_ratio"], partition=key)
+        return out
+
     def build_indexes(self) -> None:
         """Force-build every deferred partition index now.
 

@@ -1,0 +1,76 @@
+"""``repro.obs`` — the unified observability layer.
+
+Three always-on, low-overhead pieces threaded through the whole serving
+stack (SQL front-end, sessions, admission, executor, plan cache, DML,
+segment log):
+
+* :mod:`repro.obs.metrics` — a process-wide **metrics registry**: named
+  counters, gauges, and bucketed latency histograms with label support
+  (``queries_total{class="join",cached="true"}``), thread-safe with
+  *exact* counts, exposed as a JSON snapshot (with p50/p95/p99 per
+  histogram series) and Prometheus-style text.
+* :mod:`repro.obs.trace` — **query-lifecycle tracing**: a per-request
+  :class:`~repro.obs.trace.Trace` of timed spans (``parse`` →
+  ``admission`` → ``execute`` → [``plan``] → ``render``) propagated
+  across the session / admission / worker-pool layers via a context
+  variable, with per-operator actual row counts captured from the
+  executor's existing accounting (no re-run).
+* :mod:`repro.obs.slowlog` — a **slow-query log**: a bounded buffer of
+  the N slowest traces plus a threshold-triggered structured log line on
+  the ``repro.obs.slowlog`` logger.
+
+The escape hatch: ``REPRO_OBS=off`` in the environment (or
+:func:`set_enabled` at runtime) turns every metric update and implicit
+trace into a no-op; explicit ``{"op": "trace"}`` requests still trace
+(the caller asked).  The ``make bench-smoke`` gate holds the enabled-mode
+overhead on the Figure 12 queries to <= 5%.
+"""
+
+from .metrics import (
+    MetricsRegistry,
+    counter,
+    enabled,
+    gauge,
+    histogram,
+    metrics_snapshot,
+    registry,
+    render_prometheus,
+    reset_metrics,
+    set_enabled,
+)
+from .slowlog import reset_slow_queries, slow_queries
+from .trace import (
+    Span,
+    Trace,
+    activate,
+    current_span,
+    current_trace,
+    record_finished,
+    request_trace,
+    span,
+    start_trace,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "registry",
+    "counter",
+    "gauge",
+    "histogram",
+    "metrics_snapshot",
+    "render_prometheus",
+    "reset_metrics",
+    "enabled",
+    "set_enabled",
+    "Trace",
+    "Span",
+    "start_trace",
+    "activate",
+    "span",
+    "current_trace",
+    "current_span",
+    "request_trace",
+    "record_finished",
+    "slow_queries",
+    "reset_slow_queries",
+]

@@ -1,0 +1,264 @@
+"""Query-lifecycle tracing: per-request span trees.
+
+A :class:`Trace` is one request's journey through the serving stack; a
+:class:`Span` is one timed step.  The canonical tree for a served SQL
+query::
+
+    query                       (root; attrs: sql, cost_class, cached)
+      parse                     (attrs: cached — statement-text cache hit?)
+      admission                 (attrs: cost_class, queued — wait only)
+      execute                   (attrs: coalesced?)
+        plan                    (attrs: cached — plan-cache hit?)
+                                (attrs: operators — per-operator actual rows)
+      render                    (attrs: bytes)
+
+Propagation is a :mod:`contextvars` context variable holding
+``(trace, active_span)``.  Context vars do **not** flow into
+``ThreadPoolExecutor`` workers automatically, so the executor boundary
+captures the pair in the request thread and re-installs it in the worker
+via :func:`activate`.
+
+Instrumentation sites never check "is tracing on?" — they call
+:func:`span`, which returns a shared no-op span when no trace is active,
+so the disabled cost is one contextvar read.  Entry surfaces
+(``execute_sql``, ``Session``, ``PreparedQuery.run``, the TCP handler)
+call :func:`request_trace`, which starts a trace only when observability
+is enabled and none is already active — nested calls join the enclosing
+trace instead of forking their own.
+
+Finished root spans feed the slow-query log (see
+:mod:`repro.obs.slowlog`) and the ``query_seconds`` histogram.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from . import metrics as _metrics
+
+__all__ = [
+    "Span",
+    "Trace",
+    "start_trace",
+    "activate",
+    "span",
+    "current_trace",
+    "current_span",
+    "request_trace",
+    "record_finished",
+]
+
+_trace_ids = itertools.count(1)
+
+#: (trace, active span) for the current logical context; None outside any
+#: traced request.
+_current: "contextvars.ContextVar[Optional[Tuple[Trace, Span]]]" = contextvars.ContextVar(
+    "repro_obs_trace", default=None
+)
+
+
+class Span:
+    """One timed step of a trace, possibly with children and attributes."""
+
+    __slots__ = ("name", "start", "end", "attrs", "children")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.start = time.perf_counter()
+        self.end: Optional[float] = None
+        self.attrs: Dict[str, Any] = {}
+        self.children: List[Span] = []
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds (to now if the span is still open)."""
+        return (self.end if self.end is not None else time.perf_counter()) - self.start
+
+    def set(self, **attrs: Any) -> "Span":
+        self.attrs.update(attrs)
+        return self
+
+    def finish(self) -> None:
+        if self.end is None:
+            self.end = time.perf_counter()
+
+    def find(self, name: str) -> Optional["Span"]:
+        """Depth-first search for the first descendant (or self) named `name`."""
+        if self.name == name:
+            return self
+        for child in self.children:
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "duration_ms": round(self.duration * 1000, 4),
+        }
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.children:
+            out["children"] = [child.to_dict() for child in self.children]
+        return out
+
+
+class _NoopSpan(Span):
+    """Shared do-nothing span returned when no trace is active.
+
+    Mutations are swallowed so instrumentation sites can unconditionally
+    ``span.set(...)`` without branching on trace presence.
+    """
+
+    __slots__ = ()
+
+    def __init__(self):  # noqa: D107 - fixed identity, no timing
+        object.__setattr__(self, "name", "noop")
+        object.__setattr__(self, "start", 0.0)
+        object.__setattr__(self, "end", 0.0)
+        object.__setattr__(self, "attrs", {})
+        object.__setattr__(self, "children", [])
+
+    def set(self, **attrs: Any) -> "Span":
+        return self
+
+    def finish(self) -> None:
+        pass
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Trace:
+    """A request's span tree plus identity metadata."""
+
+    __slots__ = ("trace_id", "root")
+
+    def __init__(self, root_name: str = "query"):
+        self.trace_id = next(_trace_ids)
+        self.root = Span(root_name)
+
+    @property
+    def duration(self) -> float:
+        return self.root.duration
+
+    def finish(self) -> None:
+        self.root.finish()
+
+    def find(self, name: str) -> Optional[Span]:
+        return self.root.find(name)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"trace_id": self.trace_id, **self.root.to_dict()}
+
+
+def current_trace() -> Optional[Trace]:
+    state = _current.get()
+    return state[0] if state is not None else None
+
+
+def current_span() -> Span:
+    """The active span, or the shared no-op span outside any trace."""
+    state = _current.get()
+    return state[1] if state is not None else NOOP_SPAN
+
+
+@contextmanager
+def start_trace(root_name: str = "query", force: bool = False) -> Iterator[Optional[Trace]]:
+    """Open a fresh trace and make its root the active span.
+
+    Yields None (tracing nothing) when observability is disabled, unless
+    ``force=True`` — explicit ``{"op": "trace"}`` requests trace even
+    under ``REPRO_OBS=off`` because the caller asked for it.
+    """
+    if not force and not _metrics.enabled():
+        yield None
+        return
+    trace = Trace(root_name)
+    token = _current.set((trace, trace.root))
+    try:
+        yield trace
+    finally:
+        trace.finish()
+        _current.reset(token)
+
+
+@contextmanager
+def activate(trace: Trace, parent: Span) -> Iterator[Span]:
+    """Re-install a (trace, span) pair in this thread's context.
+
+    The worker-pool bridge: the request thread captures
+    ``(current_trace(), current_span())`` into the work closure, and the
+    pool thread wraps execution in ``activate`` so plan/operator spans
+    land under the request's execute span.
+    """
+    token = _current.set((trace, parent))
+    try:
+        yield parent
+    finally:
+        _current.reset(token)
+
+
+@contextmanager
+def span(name: str, **attrs: Any) -> Iterator[Span]:
+    """Open a child span under the active one; no-op outside a trace."""
+    state = _current.get()
+    if state is None:
+        yield NOOP_SPAN
+        return
+    trace, parent = state
+    child = Span(name)
+    if attrs:
+        child.attrs.update(attrs)
+    parent.children.append(child)
+    token = _current.set((trace, child))
+    try:
+        yield child
+    finally:
+        child.finish()
+        _current.reset(token)
+
+
+@contextmanager
+def request_trace(root_name: str = "query", **attrs: Any) -> Iterator[Optional[Trace]]:
+    """Trace this request unless one is already active (then join it).
+
+    The entry-surface helper: `execute_sql`, `Session.execute`,
+    `PreparedQuery.run`, and the TCP handler all pass through here, and
+    only the outermost one owns the trace.  On close, the owned trace is
+    recorded (``query_seconds`` histogram + slow-query log).
+    """
+    if _current.get() is not None or not _metrics.enabled():
+        yield None
+        return
+    with start_trace(root_name) as trace:
+        if attrs and trace is not None:
+            trace.root.attrs.update(attrs)
+        try:
+            yield trace
+        finally:
+            if trace is not None:
+                trace.finish()
+                record_finished(trace)
+
+
+def record_finished(trace: Trace) -> None:
+    """Feed a finished trace to ``query_seconds`` and the slow-query log.
+
+    Request-owned traces get this automatically on close; explicit
+    ``{"op": "trace"}`` requests call it directly so their queries count
+    in the same histograms as implicit ones.
+    """
+    from . import slowlog
+
+    seconds = trace.duration
+    cost_class = trace.root.attrs.get("cost_class", "unknown")
+    _metrics.histogram(
+        "query_seconds", "End-to-end latency of traced requests"
+    ).observe(seconds, cls=cost_class)
+    slowlog.record(trace)

@@ -212,15 +212,18 @@ class Database:
         use_indexes: bool,
         fuse: bool,
         parallel: int = 0,
-    ) -> Tuple[PhysicalPlan, bool]:
+    ) -> Tuple[PhysicalPlan, bool, Optional[Tuple]]:
         """The physical plan for a logical plan, via the prepared-plan cache.
 
-        Returns ``(physical, was_cached)``.  Uncacheable plan shapes (an
-        unknown node or expression subclass) compile fresh every time.
-        The entry records how long planning took (the cache's eviction
-        weight) and the plan's admission cost class.
+        Returns ``(physical, was_cached, cache_key)``.  Uncacheable plan
+        shapes (an unknown node or expression subclass) compile fresh every
+        time under a ``None`` key.  The entry records how long planning
+        took (the cache's eviction weight) and the plan's admission cost
+        class.
         """
         import time
+
+        from ..obs import span as obs_span
 
         key = build_key(
             lambda: (
@@ -234,26 +237,29 @@ class Database:
                 parallel,
             )
         )
-        cached = cache_lookup(key)
-        if cached is not None:
-            return cached, True
-        started = time.perf_counter()
-        logical = optimize(plan) if optimize_first else plan
-        physical = Planner(
-            prefer_merge_join=prefer_merge_join,
-            use_indexes=use_indexes,
-            fuse=fuse,
-            parallel=parallel,
-        ).compile(logical)
-        cache_store(
-            key,
-            physical,
-            deps=plan_relations(plan),
-            pins=(self, plan),
-            cost_class=cost_class_of(physical),
-            plan_cost=time.perf_counter() - started,
-        )
-        return physical, False
+        with obs_span("plan") as sp:
+            cached = cache_lookup(key)
+            if cached is not None:
+                sp.set(cached=True)
+                return cached, True, key
+            sp.set(cached=False)
+            started = time.perf_counter()
+            logical = optimize(plan) if optimize_first else plan
+            physical = Planner(
+                prefer_merge_join=prefer_merge_join,
+                use_indexes=use_indexes,
+                fuse=fuse,
+                parallel=parallel,
+            ).compile(logical)
+            cache_store(
+                key,
+                physical,
+                deps=plan_relations(plan),
+                pins=(self, plan),
+                cost_class=cost_class_of(physical),
+                plan_cost=time.perf_counter() - started,
+            )
+        return physical, False, key
 
     def run(
         self,
@@ -278,7 +284,10 @@ class Database:
         prepared-plan cache (``rows`` and ``blocks`` share one unfused
         plan; ``columns`` caches its fused plan separately).
         """
-        physical, _ = self._cached_physical(
+        from ..obs import current_span
+        from .plancache import record_observed_rows
+
+        physical, _, key = self._cached_physical(
             plan,
             optimize_first,
             prefer_merge_join,
@@ -286,7 +295,10 @@ class Database:
             fuse=mode == "columns",
             parallel=parallel,
         )
-        return execute(physical, mode=mode, batch_size=batch_size)
+        result = execute(physical, mode=mode, batch_size=batch_size)
+        record_observed_rows(key, physical.estimated_rows, physical.actual_rows)
+        current_span().set(operators=physical.actuals())
+        return result
 
     def explain(
         self,
@@ -313,7 +325,7 @@ class Database:
         on its top line; the explained plan is also *inserted* into the
         cache, so explaining then running a query plans it exactly once.
         """
-        physical, was_cached = self._cached_physical(
+        physical, was_cached, _key = self._cached_physical(
             plan,
             optimize_first,
             prefer_merge_join,

@@ -41,8 +41,11 @@ def explain(plan: Union[PhysicalPlan, Plan]) -> str:
 
 
 def explain_analyze(
-    plan: PhysicalPlan, batch_size: int = BATCH_SIZE, mode: str = "columns"
-) -> Tuple[Relation, str]:
+    plan: PhysicalPlan,
+    batch_size: int = BATCH_SIZE,
+    mode: str = "columns",
+    trace: bool = False,
+):
     """Execute a physical plan and render it with actual row counts.
 
     Returns ``(result, text)`` where every operator line carries the rows
@@ -54,9 +57,29 @@ def explain_analyze(
     because the fused-away operators no longer exist to count separately.
     Operators that a presorted merge join skipped draining (its ``Sort``
     children) report no actuals.
+
+    With ``trace=True`` returns ``(result, text, data)`` where ``data`` is
+    the structured span/operator form the observability layer uses: the
+    execution's span tree (``{"name": "explain_analyze", "children":
+    [...], ...}``) plus an ``operators`` entry — the nested
+    estimate-vs-actual dict of :meth:`PhysicalPlan.actuals` — instead of
+    only the rendered text.
     """
+    from ..obs import span as obs_span
+    from ..obs import start_trace
+
     if mode == "rows":
         mode = "blocks"  # rows mode keeps no counters; blocks is equivalent
+    if trace:
+        with start_trace("explain_analyze", force=True) as trace_obj:
+            with obs_span("execute") as exec_span:
+                result = execute(plan, mode=mode, batch_size=batch_size)
+                exec_span.set(operators=plan.actuals())
+        lines: List[str] = []
+        _render_physical(plan, lines, depth=0, arrow=False, analyze=True)
+        data = trace_obj.to_dict()
+        data["operators"] = plan.actuals()
+        return result, "\n".join(lines), data
     result = execute(plan, mode=mode, batch_size=batch_size)
     lines: List[str] = []
     _render_physical(plan, lines, depth=0, arrow=False, analyze=True)

@@ -234,6 +234,24 @@ class PhysicalPlan:
         """Extra indented lines under the node header in EXPLAIN output."""
         return []
 
+    def actuals(self) -> dict:
+        """The operator tree's runtime accounting as a nested dict.
+
+        Reads the ``actual_rows``/``actual_batches`` counters the batch
+        iterators already maintain — free to call after an execution, no
+        re-run.  Nodes that never produced (e.g. the unexecuted branches
+        of an early-exited plan) report ``None``.  This is what query
+        traces attach under the ``operators`` attribute and what
+        ``explain_analyze(trace=True)`` returns structurally.
+        """
+        return {
+            "operator": self.explain_label(),
+            "estimated_rows": self.estimated_rows,
+            "actual_rows": self.actual_rows,
+            "actual_batches": self.actual_batches,
+            "children": [child.actuals() for child in self.children],
+        }
+
     def column_nullable(self, position: int) -> bool:
         """Whether an output column can contain NULL (conservative).
 

@@ -98,6 +98,8 @@ __all__ = [
     "cache_store",
     "cache_contains",
     "cached_cost_class",
+    "record_observed_rows",
+    "plan_cache_entries",
     "cost_class_of",
     "build_key",
     "mark_cached",
@@ -230,7 +232,10 @@ class LruHotCache:
 
 
 class _Entry:
-    __slots__ = ("key", "payload", "deps", "pins", "cost_class", "plan_cost", "hits", "hot")
+    __slots__ = (
+        "key", "payload", "deps", "pins", "cost_class", "plan_cost", "hits", "hot",
+        "estimated_rows", "observed_rows", "observed_runs",
+    )
 
     def __init__(
         self,
@@ -258,6 +263,14 @@ class _Entry:
         self.hits = 0
         #: True once the entry joined the pinned hot set.
         self.hot = False
+        #: Estimate-vs-actual feedback (see :func:`record_observed_rows`):
+        #: the optimizer's root-row estimate, the most recent actual row
+        #: count, and how many executions have reported one.  This is the
+        #: raw input for the ROADMAP plan-feedback loop (re-optimize plans
+        #: whose estimates diverge from actuals).
+        self.estimated_rows: Optional[float] = None
+        self.observed_rows: Optional[int] = None
+        self.observed_runs = 0
 
 
 #: One lock for all cache state.  RLock: ``bump_relation`` can re-enter
@@ -459,6 +472,49 @@ def cached_cost_class(key: Optional[Tuple]) -> Optional[str]:
         if entry is None or not _valid(entry):
             return None
         return entry.cost_class
+
+
+def record_observed_rows(
+    key: Optional[Tuple], estimated: Optional[float], actual: Optional[int]
+) -> None:
+    """Record one execution's estimate-vs-actual root row counts on the
+    entry for ``key`` (no-op for uncached keys or evicted entries).
+
+    Called by ``execute_query`` after every cached execution, reusing the
+    ``actual_rows`` counts the physical operators already maintain — no
+    extra measurement run.  The accumulated deltas are readable through
+    :func:`plan_cache_entries` and surface as the
+    ``plan_estimate_error_rows`` gauge.
+    """
+    if key is None or actual is None:
+        return
+    with _lock:
+        entry = _entries.get(key)
+        if entry is None:
+            return
+        entry.estimated_rows = None if estimated is None else float(estimated)
+        entry.observed_rows = int(actual)
+        entry.observed_runs += 1
+
+
+def plan_cache_entries() -> List[dict]:
+    """Per-entry introspection: cost class, hits, plan cost, and the
+    estimate-vs-actual feedback recorded so far (MRU first)."""
+    with _lock:
+        out = []
+        for entry in reversed(_entries.values()):  # MRU first
+            out.append(
+                {
+                    "cost_class": entry.cost_class,
+                    "plan_cost": entry.plan_cost,
+                    "hits": entry.hits,
+                    "hot": entry.hot,
+                    "estimated_rows": entry.estimated_rows,
+                    "observed_rows": entry.observed_rows,
+                    "observed_runs": entry.observed_runs,
+                }
+            )
+        return out
 
 
 def plan_cache_stats() -> dict:

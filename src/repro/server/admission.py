@@ -27,9 +27,14 @@ context managers and never touches plans or relations.
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional
+
+from ..obs import counter as obs_counter
+from ..obs import histogram as obs_histogram
+from ..obs import span as obs_span
 
 __all__ = ["AdmissionPolicy", "AdmissionController", "Overloaded", "DEFAULT_LIMITS"]
 
@@ -117,27 +122,49 @@ class AdmissionController:
         the request with :class:`Overloaded`.
         """
         gate = self._gate(cost_class)
-        if gate.semaphore.acquire(blocking=False):
-            with gate.lock:
-                gate.admitted += 1
-        else:
-            with gate.lock:
-                if gate.waiting >= self.policy.queue_limit:
-                    gate.shed += 1
-                    raise Overloaded(cost_class, "admission queue full")
-                gate.waiting += 1
-                gate.queued += 1
-            try:
-                acquired = gate.semaphore.acquire(timeout=self.policy.queue_timeout)
-            finally:
+        # the span covers slot *acquisition* only (the wait a client can
+        # see), so it closes before execution and sits as a sibling of the
+        # execute span in the trace
+        with obs_span("admission", cost_class=cost_class) as sp:
+            if gate.semaphore.acquire(blocking=False):
                 with gate.lock:
-                    gate.waiting -= 1
-            if not acquired:
+                    gate.admitted += 1
+                sp.set(queued=False)
+            else:
+                sp.set(queued=True)
                 with gate.lock:
-                    gate.shed += 1
-                raise Overloaded(cost_class, "timed out waiting for a slot")
-            with gate.lock:
-                gate.admitted += 1
+                    if gate.waiting >= self.policy.queue_limit:
+                        gate.shed += 1
+                        obs_counter(
+                            "admission_shed_total", "Requests shed by class"
+                        ).inc(cls=cost_class)
+                        raise Overloaded(cost_class, "admission queue full")
+                    gate.waiting += 1
+                    gate.queued += 1
+                started = time.perf_counter()
+                try:
+                    acquired = gate.semaphore.acquire(
+                        timeout=self.policy.queue_timeout
+                    )
+                finally:
+                    with gate.lock:
+                        gate.waiting -= 1
+                    obs_histogram(
+                        "admission_wait_seconds",
+                        "Seconds queued requests waited for a slot",
+                    ).observe(time.perf_counter() - started, cls=cost_class)
+                if not acquired:
+                    with gate.lock:
+                        gate.shed += 1
+                    obs_counter(
+                        "admission_shed_total", "Requests shed by class"
+                    ).inc(cls=cost_class)
+                    raise Overloaded(cost_class, "timed out waiting for a slot")
+                with gate.lock:
+                    gate.admitted += 1
+            obs_counter(
+                "admission_admitted_total", "Requests admitted by class"
+            ).inc(cls=cost_class)
         try:
             yield
         finally:

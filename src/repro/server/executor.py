@@ -38,6 +38,8 @@ import threading
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Any, Callable, Dict, Hashable, Optional, Tuple
 
+from ..obs import counter as obs_counter
+
 __all__ = ["ConcurrentExecutor"]
 
 
@@ -70,7 +72,12 @@ class ConcurrentExecutor:
             future = self._inflight.get(key)
             if future is not None:
                 self._coalesced += 1
-            return future
+        if future is not None:
+            obs_counter(
+                "executor_coalesced_total",
+                "Requests that joined an identical in-flight execution",
+            ).inc()
+        return future
 
     def submit(
         self, fn: Callable[[], Any], key: Optional[Tuple[Hashable, ...]] = None
@@ -89,15 +96,27 @@ class ConcurrentExecutor:
         if not self.coalesce or key is None:
             with self._lock:
                 self._executed += 1
+            obs_counter(
+                "executor_executed_total", "Executions scheduled on the pool"
+            ).inc()
             return self._pool.submit(fn)
         with self._lock:
             existing = self._inflight.get(key)
             if existing is not None:
                 self._coalesced += 1
-                return existing
-            future: Future = Future()
-            self._inflight[key] = future
-            self._executed += 1
+            else:
+                future = Future()
+                self._inflight[key] = future
+                self._executed += 1
+        if existing is not None:
+            obs_counter(
+                "executor_coalesced_total",
+                "Requests that joined an identical in-flight execution",
+            ).inc()
+            return existing
+        obs_counter(
+            "executor_executed_total", "Executions scheduled on the pool"
+        ).inc()
 
         def leader() -> None:
             try:

@@ -24,6 +24,10 @@ line, one response object per line::
     <- {"ok": true, "dml": "INSERT", "count": 1, "variables": []}
     -> {"op": "stats"}
     <- {"ok": true, "stats": {...}}
+    -> {"op": "trace",   "sql": "possible (select ...)"}
+    <- {"ok": true, "columns": [...], "rows": [...], "trace": {...span tree...}}
+    -> {"op": "metrics"}
+    <- {"ok": true, "metrics": "...Prometheus text..."}
 
 DML (INSERT/UPDATE/DELETE) rides the same ``query``/``prepare``/
 ``execute`` ops: it admits under the dedicated ``dml`` cost class and is
@@ -51,6 +55,18 @@ from ..core.query import Certain
 from ..core.translate import query_cache_key
 from ..core.udatabase import UDatabase
 from ..core.urelation import URelation
+from ..obs import (
+    activate,
+    counter as obs_counter,
+    current_trace,
+    metrics_snapshot,
+    record_finished,
+    render_prometheus,
+    request_trace,
+    slow_queries,
+    span as obs_span,
+    start_trace,
+)
 from ..relational.plancache import cached_cost_class, plan_cache_stats
 from ..relational.relation import Relation
 from .admission import AdmissionController, AdmissionPolicy, Overloaded
@@ -102,6 +118,7 @@ class QueryServer:
         """Open a new session bound to this server's executor and limits."""
         with self._lock:
             self._sessions_opened += 1
+        obs_counter("sessions_opened_total", "Sessions opened on this process").inc()
         return Session(
             self.udb,
             server=self,
@@ -138,14 +155,18 @@ class QueryServer:
         mode = session.mode if session is not None else self.mode
         use_indexes = session.use_indexes if session is not None else self.use_indexes
         parallel = session.parallel if session is not None else self.parallel
+        trace = current_trace()
         if isinstance(prepared, PreparedDML):
             # writes admit under their own class and never coalesce:
             # two identical INSERTs are two writes, not one shared flight
-            def dml_work():
-                return prepared.run(*params)
-
+            if trace is not None:
+                trace.root.set(cost_class="dml")
             with self.admission.admit("dml"):
-                return self.executor.run(dml_work, key=None)
+                with obs_span("execute") as exec_span:
+                    return self.executor.run(
+                        self._bridged(lambda: prepared.run(*params), trace, exec_span),
+                        key=None,
+                    )
         # classification peeks at the plan cache under the key the
         # execution path actually stores: execute_query strips Certain
         # wrappers and plans (and caches) their relational core
@@ -183,6 +204,9 @@ class QueryServer:
             except TypeError:  # unhashable binding: execute un-coalesced
                 coalesce_key = None
 
+        if trace is not None:
+            trace.root.set(cost_class=cost_class)
+
         def work():
             return prepared.run(
                 *params, mode=mode, use_indexes=use_indexes, parallel=parallel
@@ -193,9 +217,35 @@ class QueryServer:
         # must coalesce even when their class admits only two executions
         inflight = self.executor.peek(coalesce_key)
         if inflight is not None:
-            return inflight.result()
+            # a waiter has no execution internals of its own — the leader
+            # owns the plan/operator spans
+            with obs_span("execute", coalesced=True):
+                return inflight.result()
         with self.admission.admit(cost_class):
-            return self.executor.run(work, key=coalesce_key)
+            with obs_span("execute") as exec_span:
+                return self.executor.run(
+                    self._bridged(work, trace, exec_span), key=coalesce_key
+                )
+
+    @staticmethod
+    def _bridged(work, trace, exec_span):
+        """Carry the request's trace context onto the worker pool.
+
+        ``ThreadPoolExecutor`` does not propagate context variables, so
+        the request thread captures ``(trace, execute-span)`` here and the
+        pool thread re-installs them — plan and operator spans then nest
+        under the request's execute span.  A coalesced follower may run
+        under the *leader's* bridge; only the leader's trace sees the
+        execution internals, which is exactly what happened.
+        """
+        if trace is None:
+            return work
+
+        def bridged():
+            with activate(trace, exec_span):
+                return work()
+
+        return bridged
 
     def render_result(self, result: Any) -> bytes:
         """The serialized JSON response line for a statement result.
@@ -222,13 +272,24 @@ class QueryServer:
     # observability / lifecycle
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, Any]:
-        """Admission, executor, and plan-cache counters in one snapshot."""
+        """The unified observability snapshot (schema: server/README.md).
+
+        Stable keys: ``sessions_opened``, ``admission``, ``executor``,
+        ``plan_cache``, ``catalog_version`` (the pre-obs surface, shapes
+        unchanged) plus ``metrics`` (the registry snapshot with
+        p50/p95/p99 per histogram series), ``segment_log`` (per-partition
+        write-path health, refreshed by this call), and ``slow_queries``
+        (the slowest traces, slowest first).
+        """
         return {
             "sessions_opened": self._sessions_opened,
             "admission": self.admission.stats(),
             "executor": self.executor.stats(),
             "plan_cache": plan_cache_stats(),
             "catalog_version": self.udb.catalog_version,
+            "metrics": metrics_snapshot(),
+            "segment_log": self.udb.segment_health(),
+            "slow_queries": slow_queries(limit=5),
         }
 
     def close(self) -> None:
@@ -354,6 +415,8 @@ class _ConnectionHandler(socketserver.StreamRequestHandler):
             return None
         if op == "stats":
             return {"ok": True, "stats": server.stats()}
+        if op == "metrics":
+            return {"ok": True, "metrics": render_prometheus()}
         if op == "prepare":
             prepared = session.prepare(request["name"], request["sql"])
             return {
@@ -362,11 +425,45 @@ class _ConnectionHandler(socketserver.StreamRequestHandler):
                 "parameters": prepared.parameter_count,
             }
         if op == "execute":
-            result = session.execute_prepared(
-                request["name"], *tuple(request.get("params", ()))
-            )
-            return server.render_result(result)
+            # the handler owns the trace so the render span joins it
+            # (session-started traces would close before serialization)
+            with request_trace():
+                result = session.execute_prepared(
+                    request["name"], *tuple(request.get("params", ()))
+                )
+                return self._render(server, result)
         if op == "query":
-            result = session.execute(request["sql"], tuple(request.get("params", ())))
-            return server.render_result(result)
+            with request_trace(sql=request["sql"]):
+                result = session.execute(
+                    request["sql"], tuple(request.get("params", ()))
+                )
+                return self._render(server, result)
+        if op == "trace":
+            # an explicit trace request: runs the statement like "query"
+            # but returns the span tree alongside the result.  force=True
+            # makes this work even under REPRO_OBS=off — the caller asked.
+            with start_trace(force=True) as trace:
+                trace.root.set(sql=request.get("sql", ""))
+                if "name" in request:
+                    result = session.execute_prepared(
+                        request["name"], *tuple(request.get("params", ()))
+                    )
+                else:
+                    result = session.execute(
+                        request["sql"], tuple(request.get("params", ()))
+                    )
+                with obs_span("render") as sp:
+                    payload = _result_payload(result)
+                    sp.set(rows=len(payload.get("rows", ())))
+            record_finished(trace)
+            payload["trace"] = trace.to_dict()
+            return payload
         return {"ok": False, "kind": "error", "error": f"unknown op {op!r}"}
+
+    @staticmethod
+    def _render(server: QueryServer, result: Any) -> bytes:
+        """Serialize a result under a ``render`` span on the active trace."""
+        with obs_span("render") as sp:
+            line = server.render_result(result)
+            sp.set(bytes=len(line))
+        return line

@@ -35,6 +35,9 @@ from typing import Any, Dict, Optional, Sequence, Tuple
 
 from ..core.prepared import PreparedDML, PreparedQuery
 from ..core.udatabase import UDatabase
+from ..obs import counter as obs_counter
+from ..obs import current_trace, request_trace
+from ..obs import span as obs_span
 
 __all__ = ["Session", "SnapshotChanged"]
 
@@ -55,6 +58,12 @@ class SnapshotChanged(RuntimeError):
         )
         self.expected = expected
         self.current = current
+        # every optimistic-read conflict is constructed here, whichever
+        # session method detects it — one counter covers them all
+        obs_counter(
+            "snapshot_conflicts_total",
+            "Optimistic snapshot reads aborted by concurrent catalog movement",
+        ).inc()
 
 
 class Session:
@@ -135,13 +144,15 @@ class Session:
 
     def _by_text_statement(self, sql: str) -> PreparedQuery:
         with self._lock:
-            cached = self._by_text.get(sql)
-            if cached is None:
-                cached = self._parse(sql)
-                if len(self._by_text) >= _SESSION_STATEMENT_LIMIT:
-                    self._by_text.clear()
-                self._by_text[sql] = cached
-            return cached
+            with obs_span("parse") as sp:
+                cached = self._by_text.get(sql)
+                sp.set(cached=cached is not None)
+                if cached is None:
+                    cached = self._parse(sql)
+                    if len(self._by_text) >= _SESSION_STATEMENT_LIMIT:
+                        self._by_text.clear()
+                    self._by_text[sql] = cached
+                return cached
 
     # ------------------------------------------------------------------
     # snapshots
@@ -179,25 +190,34 @@ class Session:
 
         with self._lock:
             self._check_snapshot()
-            head = sql.lstrip().lower()
-            if head.startswith(("create", "drop")):
-                statement = parse(sql)
-                if isinstance(statement, (CreateIndex, DropIndex)):
-                    return self._apply_ddl(statement)
-            prepared = self._by_text_statement(sql)
-            return self._run(prepared, tuple(params))
+            with request_trace(sql=sql):
+                head = sql.lstrip().lower()
+                if head.startswith(("create", "drop")):
+                    statement = parse(sql)
+                    if isinstance(statement, (CreateIndex, DropIndex)):
+                        trace = current_trace()
+                        if trace is not None:
+                            trace.root.set(cost_class="ddl")
+                        return self._apply_ddl(statement)
+                prepared = self._by_text_statement(sql)
+                return self._run(prepared, tuple(params))
 
     def execute_prepared(self, name: str, *params: Any):
         """Run a named prepared statement with the given bindings."""
         with self._lock:
             self._check_snapshot()
-            return self._run(self.statement(name), params)
+            prepared = self.statement(name)
+            with request_trace(sql=prepared.sql or ""):
+                with obs_span("parse", cached=True):
+                    pass  # parsed at PREPARE time; keep the span present
+                return self._run(prepared, params)
 
     def run(self, prepared: PreparedQuery, *params: Any):
         """Run a session-owned :class:`PreparedQuery` (from :meth:`prepare`)."""
         with self._lock:
             self._check_snapshot()
-            return self._run(prepared, params)
+            with request_trace(sql=prepared.sql or ""):
+                return self._run(prepared, params)
 
     def execute_ddl(self, sql: str):
         """Apply index DDL to the shared database (never inside a snapshot)."""

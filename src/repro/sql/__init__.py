@@ -26,6 +26,8 @@ from ..core.dml import Delete, DMLResult, Insert, UncertainValue, Update
 from ..core.prepared import PreparedDML, PreparedQuery
 from ..core.translate import execute_query
 from ..core.udatabase import UDatabase
+from ..obs import request_trace
+from ..obs import span as obs_span
 from .lexer import SqlSyntaxError, tokenize
 from .parser import CreateIndex, DropIndex, parse
 
@@ -121,27 +123,39 @@ def execute_sql(
     the built :class:`~repro.relational.index.Index`; ``DROP INDEX``
     returns ``None``.
     """
-    prepared = udb._statements.get(sql)
-    if prepared is None:
-        statement = parse(sql)
-        if isinstance(statement, CreateIndex):
-            db = udb.to_database()
-            # no replace: re-issuing an identical definition is idempotent,
-            # but a name collision with a *different* definition (e.g. a
-            # typo hitting an auto-created tid index) errors instead of
-            # silently destroying the existing access path
-            return db.create_index(
-                statement.name,
-                statement.table,
-                list(statement.columns),
-                kind=statement.kind,
-            )
-        if isinstance(statement, DropIndex):
+    with request_trace(sql=sql):
+        with obs_span("parse") as sp:
+            prepared = udb._statements.get(sql)
+            sp.set(cached=prepared is not None)
+            if prepared is None:
+                statement = parse(sql)
+                if isinstance(statement, (CreateIndex, DropIndex)):
+                    prepared = None
+                elif isinstance(statement, _DML_TYPES):
+                    prepared = PreparedDML(statement, udb, sql=sql)
+                else:
+                    prepared = PreparedQuery(statement, udb, sql=sql)
+                if prepared is not None:
+                    _cache_statement(udb, sql, prepared)
+        if prepared is None:  # DDL: applied immediately, never cached
+            from ..obs import current_trace
+
+            trace = current_trace()
+            if trace is not None:
+                trace.root.set(cost_class="ddl")
+            if isinstance(statement, CreateIndex):
+                db = udb.to_database()
+                # no replace: re-issuing an identical definition is
+                # idempotent, but a name collision with a *different*
+                # definition (e.g. a typo hitting an auto-created tid
+                # index) errors instead of silently destroying the
+                # existing access path
+                return db.create_index(
+                    statement.name,
+                    statement.table,
+                    list(statement.columns),
+                    kind=statement.kind,
+                )
             udb.to_database().drop_index(statement.name)
             return None
-        if isinstance(statement, _DML_TYPES):
-            prepared = PreparedDML(statement, udb, sql=sql)
-        else:
-            prepared = PreparedQuery(statement, udb, sql=sql)
-        _cache_statement(udb, sql, prepared)
-    return prepared.run(*(params or ()), optimize=optimize)
+        return prepared.run(*(params or ()), optimize=optimize)

@@ -24,6 +24,7 @@ from repro.core import (
     WorldTable,
     evaluate_in_world,
 )
+from repro.obs import reset_metrics, reset_slow_queries
 from repro.relational import reset_compile_cache, reset_plan_cache
 
 __all__ = ["vehicles_udb", "brute_force_poss", "brute_force_certain"]
@@ -31,15 +32,17 @@ __all__ = ["vehicles_udb", "brute_force_poss", "brute_force_certain"]
 
 @pytest.fixture(autouse=True)
 def _fresh_caches():
-    """Empty the compile and plan caches before every test.
+    """Empty the compile/plan caches and the obs state before every test.
 
-    Both caches are process-wide; without the reset, any test asserting
-    on their hit/miss counters (or on cold-path behaviour like "the first
-    run plans, the second doesn't") would depend on which tests happened
-    to run earlier in the collection order.
+    All four stores are process-wide; without the reset, any test
+    asserting on their counters (or on cold-path behaviour like "the
+    first run plans, the second doesn't") would depend on which tests
+    happened to run earlier in the collection order.
     """
     reset_compile_cache()
     reset_plan_cache()
+    reset_metrics()
+    reset_slow_queries()
     yield
 
 

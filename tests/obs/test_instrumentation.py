@@ -1,0 +1,143 @@
+"""Observability hooks in the engine itself: explain traces, the
+plan-cache estimate-vs-actual loop, and segment-log health gauges."""
+
+from __future__ import annotations
+
+from repro.core import execute_query
+from repro.core.query import Poss, Rel, USelect
+from repro.core.translate import explain_query
+from repro.obs import gauge, metrics_snapshot
+from repro.relational.expressions import col, lit
+from repro.relational.physical import HashJoin, SeqScan
+from repro.relational.plancache import plan_cache_entries
+from repro.relational.relation import Relation
+from repro.sql import execute_sql
+
+from tests.conftest import build_vehicles_udb
+
+
+def _tank_query():
+    return Poss(USelect(Rel("r"), col("type").eq(lit("Tank"))))
+
+
+# ----------------------------------------------------------------------
+# explain_analyze(trace=True)
+# ----------------------------------------------------------------------
+def test_explain_analyze_trace_returns_structured_data():
+    from repro.relational.explain import explain_analyze
+
+    left = SeqScan(Relation(["l.k", "l.a"], [(i, i) for i in range(8)]), "l")
+    right = SeqScan(Relation(["r.k", "r.b"], [(i, -i) for i in range(4)]), "r")
+    plan = HashJoin(left, right, [("l.k", "r.k")])
+
+    result, text, data = explain_analyze(plan, trace=True)
+    assert len(result) == 4
+    assert "actual rows=" in text
+
+    assert data["name"] == "explain_analyze"
+    assert data["trace_id"] >= 1
+    execute_span = data["children"][0]
+    assert execute_span["name"] == "execute"
+    assert execute_span["duration_ms"] >= 0
+
+    operators = data["operators"]
+    assert operators["operator"].startswith("Hash Join")
+    assert operators["actual_rows"] == 4
+    assert len(operators["children"]) == 2
+    for child in operators["children"]:
+        assert child["operator"].startswith("Seq Scan")
+
+
+def test_explain_query_analyze_trace():
+    udb = build_vehicles_udb()
+    text, data = explain_query(_tank_query(), udb, analyze=True, trace=True)
+    assert "actual rows=" in text
+    assert data["name"] == "explain_analyze"
+    assert data["operators"]["actual_rows"] is not None
+    # estimate and actual are both present on every node, so a consumer
+    # can compute row-estimate deltas without re-parsing the text
+    def walk(node):
+        assert "estimated_rows" in node and "actual_rows" in node
+        for child in node.get("children", ()):
+            walk(child)
+
+    walk(data["operators"])
+
+
+def test_explain_query_without_trace_keeps_old_shape():
+    udb = build_vehicles_udb()
+    text = explain_query(_tank_query(), udb, analyze=True)
+    assert isinstance(text, str) and "actual rows=" in text
+    plain = explain_query(_tank_query(), udb)
+    assert isinstance(plain, str)
+
+
+# ----------------------------------------------------------------------
+# plan cache: estimate-vs-actual feedback
+# ----------------------------------------------------------------------
+def test_plan_cache_records_observed_rows():
+    udb = build_vehicles_udb()
+    query = _tank_query()
+    execute_query(query, udb)
+    entries = plan_cache_entries()
+    assert len(entries) == 1
+    entry = entries[0]
+    assert entry["observed_runs"] == 1
+    assert entry["observed_rows"] is not None
+    assert entry["estimated_rows"] is not None
+    assert entry["cost_class"] in ("point", "scan", "join", "heavy")
+
+    execute_query(query, udb)
+    entry = plan_cache_entries()[0]
+    assert entry["observed_runs"] == 2
+    assert entry["hits"] >= 1
+
+
+def test_plan_cache_entries_are_mru_first():
+    udb = build_vehicles_udb()
+    first = _tank_query()
+    second = Poss(USelect(Rel("r"), col("faction").eq(lit("Enemy"))))
+    execute_query(first, udb)
+    execute_query(second, udb)
+    execute_query(first, udb)  # touch: back to the front
+    entries = plan_cache_entries()
+    assert len(entries) == 2
+    assert entries[0]["hits"] == 1  # the re-run entry leads
+    assert entries[1]["hits"] == 0
+
+
+# ----------------------------------------------------------------------
+# segment-log health
+# ----------------------------------------------------------------------
+def test_segment_health_untouched_partitions():
+    udb = build_vehicles_udb()
+    health = udb.segment_health(publish=False)
+    assert set(health) == {"r/part0", "r/part1", "r/part2"}
+    for entry in health.values():
+        assert entry["segment_count"] == 1
+        assert entry["live_rows"] > 0
+        assert entry["deleted_rows"] == 0
+        assert entry["deleted_ratio"] == 0.0
+    # publish=False must not create the gauges
+    assert "segment_count" not in metrics_snapshot()["gauges"]
+
+
+def test_segment_health_tracks_dml():
+    udb = build_vehicles_udb()
+    execute_sql("insert into r values (9, 'Tank', 'Friend')", udb)
+    execute_sql("insert into r values (10, 'Jeep', 'Enemy')", udb)
+    execute_sql("delete from r where id = 9", udb)
+
+    health = udb.segment_health()
+    for entry in health.values():
+        assert entry["segment_count"] >= 2  # base + appended delta(s)
+        assert entry["deleted_rows"] >= 1
+        assert 0.0 < entry["deleted_ratio"] < 1.0
+
+    # published as labeled gauges for the metrics snapshot
+    for key, entry in health.items():
+        assert gauge("segment_count").value(partition=key) == entry["segment_count"]
+        assert gauge("segment_live_rows").value(partition=key) == entry["live_rows"]
+        assert gauge("segment_deleted_ratio").value(partition=key) == (
+            entry["deleted_ratio"]
+        )

@@ -1,0 +1,154 @@
+"""The metrics registry: counters, gauges, histograms, exposition."""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    counter,
+    enabled,
+    gauge,
+    histogram,
+    metrics_snapshot,
+    registry,
+    render_prometheus,
+    set_enabled,
+)
+from repro.obs.metrics import DEFAULT_BUCKETS, MetricsRegistry
+
+
+def test_counter_inc_and_labels():
+    c = counter("requests_total")
+    c.inc()
+    c.inc(2)
+    c.inc(cls="join")
+    c.inc(cls="join")
+    assert c.value() == 3
+    assert c.value(cls="join") == 2
+    assert c.total() == 5
+
+
+def test_label_order_is_canonical():
+    c = counter("ordered_total")
+    c.inc(a="1", b="2")
+    c.inc(b="2", a="1")
+    assert c.value(a="1", b="2") == 2
+    assert c.snapshot() == {"a=1,b=2": 2}
+
+
+def test_cls_spells_class():
+    c = counter("classy_total")
+    c.inc(cls="point")
+    assert c.snapshot() == {"class=point": 1}
+    assert 'classy_total{class="point"} 1' in render_prometheus()
+
+
+def test_gauge_set_and_add():
+    g = gauge("depth")
+    g.set(5)
+    g.add(-2)
+    assert g.value() == 3
+    g.set(7, partition="r/part0")
+    assert g.value(partition="r/part0") == 7
+
+
+def test_histogram_percentiles_bracket_observations():
+    h = histogram("lat_seconds")
+    for value in (0.001, 0.002, 0.003, 0.004, 0.100):
+        h.observe(value)
+    assert h.count() == 5
+    p50 = h.percentile(50)
+    p99 = h.percentile(99)
+    assert 0.001 <= p50 <= 0.01
+    assert p50 < p99 <= 0.100
+    snap = h.snapshot()[""]
+    assert snap["count"] == 5
+    assert snap["min"] == 0.001
+    assert snap["max"] == 0.100
+
+
+def test_histogram_percentile_empty_is_none():
+    h = histogram("empty_seconds")
+    assert h.percentile(50) is None
+
+
+def test_histogram_single_observation_percentiles_exact():
+    h = histogram("single_seconds")
+    h.observe(0.42)
+    # min/max clamping pins every percentile of a 1-sample series
+    assert h.percentile(50) == pytest.approx(0.42)
+    assert h.percentile(99) == pytest.approx(0.42)
+
+
+def test_snapshot_shape():
+    counter("a_total").inc()
+    gauge("b").set(1)
+    histogram("c_seconds").observe(0.01)
+    snap = metrics_snapshot()
+    assert snap["counters"]["a_total"] == {"": 1}
+    assert snap["gauges"]["b"] == {"": 1}
+    series = snap["histograms"]["c_seconds"][""]
+    assert {"count", "sum", "min", "max", "p50", "p95", "p99"} <= set(series)
+
+
+def test_prometheus_exposition_histogram_buckets():
+    h = histogram("h_seconds")
+    h.observe(0.0002, cls="point")
+    text = render_prometheus()
+    assert "# TYPE h_seconds histogram" in text
+    assert 'h_seconds_bucket{class="point",le="+Inf"} 1' in text
+    assert 'h_seconds_count{class="point"} 1' in text
+    # cumulative: every bucket at or above the owning one counts the obs
+    assert f'le="{DEFAULT_BUCKETS[-1]}"' in text
+
+
+def test_type_clash_is_an_error():
+    counter("clashing")
+    with pytest.raises(TypeError):
+        gauge("clashing")
+
+
+def test_get_or_create_returns_same_object():
+    assert counter("same_total") is counter("same_total")
+    assert registry().counter("same_total") is counter("same_total")
+
+
+def test_disabled_updates_are_noops():
+    previous = set_enabled(False)
+    try:
+        assert not enabled()
+        counter("dark_total").inc()
+        gauge("dark").set(9)
+        histogram("dark_seconds").observe(0.5)
+        assert counter("dark_total").value() == 0
+        assert gauge("dark").value() == 0
+        assert histogram("dark_seconds").count() == 0
+        # metrics that never recorded stay out of both exports
+        assert metrics_snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+        assert render_prometheus() == ""
+    finally:
+        set_enabled(previous)
+    assert enabled() == previous
+
+
+def test_exact_counts_under_threads():
+    c = counter("hammered_total")
+    threads = [
+        threading.Thread(target=lambda: [c.inc(cls="t") for _ in range(5000)])
+        for _ in range(6)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert c.value(cls="t") == 30000
+
+
+def test_isolated_registry_reset():
+    reg = MetricsRegistry()
+    reg.counter("x_total").inc()
+    assert reg.snapshot()["counters"]["x_total"] == {"": 1}
+    reg.reset()
+    assert reg.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}

@@ -1,0 +1,142 @@
+"""Span trees: nesting, join semantics, the thread-pool bridge."""
+
+import threading
+import time
+
+from repro.obs import (
+    activate,
+    counter,
+    current_span,
+    current_trace,
+    histogram,
+    request_trace,
+    set_enabled,
+    span,
+    start_trace,
+)
+from repro.obs.trace import NOOP_SPAN
+
+
+def test_no_trace_outside_context():
+    assert current_trace() is None
+    assert current_span() is NOOP_SPAN
+
+
+def test_span_is_noop_outside_trace():
+    with span("orphan") as sp:
+        assert sp is NOOP_SPAN
+        sp.set(ignored=True)
+    assert NOOP_SPAN.attrs == {}
+    assert NOOP_SPAN.children == []
+
+
+def test_start_trace_nesting_and_to_dict():
+    with start_trace("query") as trace:
+        assert current_trace() is trace
+        assert current_span() is trace.root
+        with span("parse", cached=False):
+            pass
+        with span("execute") as exec_span:
+            assert current_span() is exec_span
+            with span("plan") as plan_span:
+                plan_span.set(cached=True)
+        with span("render") as render_span:
+            render_span.set(bytes=42)
+    assert current_trace() is None
+    assert [child.name for child in trace.root.children] == [
+        "parse",
+        "execute",
+        "render",
+    ]
+    assert trace.root.children[1].children[0].name == "plan"
+    assert trace.find("plan").attrs == {"cached": True}
+
+    data = trace.to_dict()
+    assert data["name"] == "query"
+    assert data["trace_id"] == trace.trace_id
+    names = [child["name"] for child in data["children"]]
+    assert names == ["parse", "execute", "render"]
+    assert data["children"][2]["attrs"] == {"bytes": 42}
+    assert data["duration_ms"] >= 0
+
+
+def test_span_durations_are_monotone():
+    with start_trace() as trace:
+        with span("work"):
+            time.sleep(0.002)
+    work = trace.find("work")
+    assert work.end is not None
+    assert work.duration >= 0.002
+    assert trace.duration >= work.duration
+
+
+def test_request_trace_outermost_owns_inner_joins():
+    with request_trace(sql="outer") as outer:
+        assert outer is not None
+        assert outer.root.attrs["sql"] == "outer"
+        with request_trace(sql="inner") as inner:
+            # already traced: the nested entry surface joins, not forks
+            assert inner is None
+            assert current_trace() is outer
+    assert current_trace() is None
+
+
+def test_request_trace_records_query_seconds():
+    h = histogram("query_seconds")
+    with request_trace(sql="select 1") as trace:
+        trace.root.set(cost_class="point")
+    assert h.count(cls="point") == 1
+    with request_trace(sql="select 2"):
+        pass  # no cost_class set -> falls in the "unknown" series
+    assert h.count(cls="unknown") == 1
+
+
+def test_request_trace_disabled_yields_none():
+    previous = set_enabled(False)
+    try:
+        with request_trace(sql="x") as trace:
+            assert trace is None
+        with start_trace() as t2:
+            assert t2 is None
+    finally:
+        set_enabled(previous)
+
+
+def test_start_trace_force_overrides_disabled():
+    previous = set_enabled(False)
+    try:
+        with start_trace(force=True) as trace:
+            assert trace is not None
+            with span("execute"):
+                pass
+        assert trace.find("execute") is not None
+        # forced tracing still must not write metrics while disabled
+        assert counter("queries_total").total() == 0
+    finally:
+        set_enabled(previous)
+
+
+def test_activate_bridges_worker_threads():
+    """Context vars don't cross thread starts; activate() re-installs them."""
+    results = {}
+
+    with start_trace() as trace:
+        with span("execute") as exec_span:
+            def worker():
+                results["before"] = current_trace()
+                with activate(trace, exec_span):
+                    with span("plan") as plan_span:
+                        plan_span.set(cached=False)
+                        results["inside"] = current_trace()
+                results["after"] = current_trace()
+
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+
+    assert results["before"] is None
+    assert results["inside"] is trace
+    assert results["after"] is None
+    plan = trace.find("plan")
+    assert plan is not None
+    assert plan in trace.find("execute").children

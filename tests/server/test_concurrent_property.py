@@ -404,3 +404,97 @@ def test_prepared_writers_interleave_without_lost_updates():
     stats = server.stats()
     assert stats["admission"]["dml"]["admitted"] == 50
     assert stats["executor"]["coalesced"] == 0  # DML never coalesces
+
+
+def test_metrics_are_exact_under_concurrency():
+    """Six session threads run a fixed workload; afterwards every counter
+    equals the arithmetic total — no lost increments under contention —
+    and the answers still match serial execution.
+
+    Coalescing is off so each request is its own execution: the expected
+    counts are exact, not bounds.
+    """
+    udb = build_vehicles_udb()
+    server = QueryServer(udb, workers=4, coalesce=False)
+    statements = [
+        "possible (select id from r where type = 'Tank')",
+        "possible (select id from r where type = 'Transport')",
+        "possible (select id from r where faction = 'Enemy')",
+        "possible (select id, type, faction from r)",
+    ]
+    baseline = udb.session()
+    expected = {
+        sql: Counter(_rows_of(baseline.execute(sql, ()))) for sql in statements
+    }
+    THREADS, LOOPS = 6, 12
+    mismatches = []
+    errors = []
+
+    sessions = [server.session() for _ in range(THREADS)]
+
+    def reader(offset):
+        try:
+            session = sessions[offset]
+            for i in range(LOOPS):
+                sql = statements[(offset + i) % len(statements)]
+                got = Counter(_rows_of(session.execute(sql, ())))
+                if got != expected[sql]:
+                    mismatches.append(sql)
+        except Exception as error:  # pragma: no cover
+            errors.append(error)
+
+    def writer(offset):
+        try:
+            # one insert per thread, unique id: exact DML totals
+            sessions[offset].execute(
+                "insert into r values ($1, 'Tank', 'Friend')", (500 + offset,)
+            )
+        except Exception as error:  # pragma: no cover
+            errors.append(error)
+
+    from repro.obs import metrics_snapshot, reset_metrics
+    from repro.relational import reset_plan_cache
+
+    # drop the session-setup and baseline increments: count the workload
+    # only; empty the plan cache so "each text plans exactly once" is a
+    # property of the concurrent run, not of the serial baseline
+    reset_metrics()
+    reset_plan_cache()
+
+    # queries first, then writes — concurrent inserts would change the
+    # expected answers out from under the readers
+    for phase in (reader, writer):
+        threads = [
+            threading.Thread(target=phase, args=(t,)) for t in range(THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+    server.close()
+    assert not errors
+    assert not mismatches
+
+    queries = THREADS * LOOPS
+    requests = queries + THREADS  # + one insert per thread
+    snap = metrics_snapshot()
+    counters = snap["counters"]
+
+    assert sum(counters["queries_total"].values()) == queries
+    # the 4 distinct texts plan exactly once each across all threads
+    cold = sum(
+        count
+        for labels, count in counters["queries_total"].items()
+        if "cached=false" in labels
+    )
+    assert cold == len(statements)
+    assert "sessions_opened_total" not in counters  # all opened pre-reset
+    assert counters["dml_statements_total"] == {"op=insert": THREADS}
+    assert counters["dml_rows_total"] == {"op=insert": THREADS}
+    assert sum(counters["admission_admitted_total"].values()) == requests
+    assert counters["executor_executed_total"] == {"": requests}
+    assert "executor_coalesced_total" not in counters  # coalescing was off
+
+    # every request was traced and timed exactly once
+    latency = snap["histograms"]["query_seconds"]
+    assert sum(series["count"] for series in latency.values()) == requests
