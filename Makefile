@@ -16,6 +16,11 @@
 #                      that the latest BENCH_serve read-only numbers still
 #                      meet their bar; appends to
 #                      benchmarks/results/BENCH_ingest.json)
+#   make bench-conf  - confidence computation: vectorized exact kernel vs
+#                      the old tuple-at-a-time path (>= 3x gate), approx
+#                      within epsilon on >= 95% of seeds, and a heavy
+#                      lineage answered under the admission deadline
+#                      (appends to benchmarks/results/BENCH_conf.json)
 #   make coverage    - the tier-1 suite under coverage with the CI ratchet
 #                      (needs pytest-cov: pip install -r requirements-dev.txt)
 #   make bench       - the full benchmark suite (slow)
@@ -27,7 +32,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 #: Measured ~91% today; raise as coverage grows, never lower.
 COVERAGE_FLOOR ?= 85
 
-.PHONY: test coverage bench-smoke bench-serve bench-ingest bench
+.PHONY: test coverage bench-smoke bench-serve bench-ingest bench-conf bench
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -43,6 +48,9 @@ bench-serve:
 
 bench-ingest:
 	$(PYTHON) -m pytest benchmarks/bench_ingest.py -q
+
+bench-conf:
+	$(PYTHON) -m pytest benchmarks/bench_conf.py -q
 
 # bench_*.py does not match pytest's default test-file pattern, so the
 # files must be passed explicitly (directory collection finds nothing)

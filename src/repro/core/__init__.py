@@ -8,8 +8,9 @@ The package implements:
   uncertain relations and whole databases, with possible-world semantics,
 * the logical query algebra (:class:`Rel`, :class:`USelect`,
   :class:`UProject`, :class:`UJoin`, :class:`UUnion`, :class:`UMerge`,
-  :class:`Poss`, :class:`Certain`) and the Figure 4 translation to plain
-  relational algebra (:func:`translate`, :func:`execute_query`),
+  :class:`Poss`, :class:`Certain`, :class:`Conf`) and the Figure 4
+  translation to plain relational algebra (:func:`translate`,
+  :func:`execute_query`),
 * reduction (Prop. 3.3), normalization (Algorithm 1), certain answers
   (Lemma 4.3), and probabilistic confidence computation (Section 7).
 
@@ -60,6 +61,11 @@ from .normalization import (
     variable_components,
 )
 from .probability import (
+    ConfidenceAnswer,
+    ConfidenceEngine,
+    approx_confidence,
+    assignment_space_size,
+    confidence_engine,
     confidence_relation,
     exact_confidence,
     monte_carlo_confidence,
@@ -67,6 +73,7 @@ from .probability import (
 )
 from .query import (
     Certain,
+    Conf,
     Poss,
     Rel,
     UJoin,
@@ -121,6 +128,7 @@ __all__ = [
     "UMerge",
     "Poss",
     "Certain",
+    "Conf",
     "evaluate_in_world",
     # translation
     "Translated",
@@ -156,9 +164,14 @@ __all__ = [
     "load_udatabase",
     # probability
     "exact_confidence",
+    "approx_confidence",
     "monte_carlo_confidence",
     "tuple_confidences",
     "confidence_relation",
+    "ConfidenceEngine",
+    "ConfidenceAnswer",
+    "confidence_engine",
+    "assignment_space_size",
     # aggregation (future-work extension)
     "expected_count",
     "expected_sum",

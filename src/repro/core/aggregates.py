@@ -20,6 +20,10 @@ U-relations:
   the aggregate's distribution (the object confidence computation
   generalizes).
 
+All confidence lookups go through the world table's shared memoized
+:class:`~repro.core.probability.ConfidenceEngine`, so identical descriptor
+sets across groups (and across calls) are computed once.
+
 These semantics follow the standard treatment of aggregation in
 probabilistic databases; they compose with every query this package can
 translate because they operate on result U-relations.
@@ -27,11 +31,12 @@ translate because they operate on result U-relations.
 
 from __future__ import annotations
 
+import itertools
 import random
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .descriptor import Descriptor
-from .probability import exact_confidence
+from .probability import EXACT_SPACE_LIMIT, assignment_space_size, confidence_engine
 from .urelation import URelation
 from .worldtable import WorldTable
 
@@ -50,10 +55,9 @@ def expected_count(result: URelation, world_table: WorldTable) -> float:
     Distinct value tuples are the counted objects (set semantics, matching
     ``poss``); each contributes its confidence.
     """
+    engine = confidence_engine(world_table)
     groups = _group_descriptors(result)
-    return sum(
-        exact_confidence(descriptors, world_table) for descriptors in groups.values()
-    )
+    return sum(engine.confidence(descriptors) for descriptors in groups.values())
 
 
 def expected_sum(
@@ -61,19 +65,21 @@ def expected_sum(
 ) -> float:
     """E[sum of ``attribute`` over the answer] — exact, by linearity."""
     index = list(result.value_names).index(attribute)
+    engine = confidence_engine(world_table)
     groups = _group_descriptors(result)
     total = 0.0
     for values, descriptors in groups.items():
         value = values[index]
         if value is None:
             continue
-        total += value * exact_confidence(descriptors, world_table)
+        total += value * engine.confidence(descriptors)
     return total
 
 
 #: Exact bounds enumerate assignments of the touched variables; beyond this
 #: many combinations the cheaper independence bounds are used instead.
-EXACT_BOUND_LIMIT = 1 << 16
+#: Shared with the confidence engine's auto method selection.
+EXACT_BOUND_LIMIT = EXACT_SPACE_LIMIT
 
 
 def count_bounds(result: URelation, world_table: WorldTable) -> Tuple[int, int]:
@@ -88,11 +94,12 @@ def count_bounds(result: URelation, world_table: WorldTable) -> Tuple[int, int]:
     exact = _exact_extrema(result, world_table, lambda values: 1)
     if exact is not None:
         return int(exact[0]), int(exact[1])
+    engine = confidence_engine(world_table)
     groups = _group_descriptors(result)
     minimum = 0
     maximum = 0
     for descriptors in groups.values():
-        confidence = exact_confidence(descriptors, world_table)
+        confidence = engine.confidence(descriptors)
         if confidence > 1.0 - 1e-12:
             minimum += 1
         if confidence > 0.0:
@@ -118,6 +125,7 @@ def sum_bounds(
     exact = _exact_extrema(result, world_table, weigh)
     if exact is not None:
         return exact
+    engine = confidence_engine(world_table)
     groups = _group_descriptors(result)
     minimum = 0.0
     maximum = 0.0
@@ -125,7 +133,7 @@ def sum_bounds(
         value = values[index]
         if value is None:
             continue
-        confidence = exact_confidence(descriptors, world_table)
+        confidence = engine.confidence(descriptors)
         certain = confidence > 1.0 - 1e-12
         possible = confidence > 0.0
         if value >= 0:
@@ -149,16 +157,11 @@ def _exact_extrema(
     """Exact (min, max) of ``sum(weight(t))`` over distinct present tuples,
     by enumerating assignments of the touched variables; ``None`` when the
     assignment space exceeds :data:`EXACT_BOUND_LIMIT`."""
-    import itertools
-
     touched = sorted(
         {var for descriptor, _t, _v in result for var in descriptor.variables()}
     )
-    space = 1
-    for var in touched:
-        space *= len(world_table.domain(var))
-        if space > EXACT_BOUND_LIMIT:
-            return None
+    if assignment_space_size(touched, world_table, EXACT_BOUND_LIMIT) is None:
+        return None
     triples = [(d, v) for d, _t, v in result]
     minimum: Optional[float] = None
     maximum: Optional[float] = None
@@ -190,20 +193,25 @@ def aggregate_distribution(
     ``aggregate`` receives the list of *distinct* value tuples present in a
     sampled world and returns the aggregate value; the result maps
     aggregate values to estimated probabilities.  Only the variables the
-    result actually touches are sampled.
+    result actually touches are sampled; each variable's whole sample
+    column is drawn in one call against domain/cumulative-weight vectors
+    fetched once from the engine's caches.
     """
     touched = sorted(
         {var for descriptor, _t, _v in result for var in descriptor.variables()}
     )
     triples = [(d, v) for d, _t, v in result]
+    engine = confidence_engine(world_table)
     rng = random.Random(seed)
+    columns = [
+        rng.choices(engine._domain(var), cum_weights=engine._cum_vector(var), k=samples)
+        for var in touched
+    ]
     histogram: Dict[Any, int] = {}
-    for _ in range(samples):
+    for row in range(samples):
         assignment = {"_t": 0}
-        for var in touched:
-            domain = world_table.domain(var)
-            weights = [world_table.probability(var, value) for value in domain]
-            assignment[var] = rng.choices(domain, weights=weights, k=1)[0]
+        for var, column in zip(touched, columns):
+            assignment[var] = column[row]
         present = {
             values
             for descriptor, values in triples

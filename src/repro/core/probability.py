@@ -1,4 +1,4 @@
-"""Probabilistic U-relations (Section 7).
+"""Probabilistic U-relations (Section 7): confidence computation.
 
 The probabilistic extension adds a probability column ``P`` to the world
 table such that each variable's probabilities sum to one; variables are
@@ -7,24 +7,45 @@ confidence computation is new:
 
     conf(t) = P( union of the world-sets of t's ws-descriptors )
 
-Confidence computation is #P-hard in general (the paper cites [10]), so we
-provide:
+Confidence computation is #P-hard in general (the paper cites [10]).  This
+module provides a memoized confidence engine plus bounded-error sampling:
 
-* :func:`exact_confidence` — exact by variable elimination over the
-  (usually few) variables a tuple's descriptors touch: enumerate the joint
-  assignments of the touched variables and add up the probabilities of
-  assignments satisfying at least one descriptor,
-* :func:`monte_carlo_confidence` — naive Monte-Carlo estimation by sampling
-  total valuations of the touched variables, and
-* :func:`tuple_confidences` — confidences for every possible tuple of a
-  query-result U-relation (grouping rows by value tuple).
+* :class:`ConfidenceEngine` — the shared, memoized computation kernel.
+  Per-variable domain/probability vectors are fetched from the
+  :class:`WorldTable` once (world tables are append-only, so the vectors
+  never go stale), descriptor → satisfying-assignment index sets are
+  cached by descriptor structural key, and assignment-space probability
+  vectors are shared across all groups that touch the same variable set —
+  the common case after normalization.  Descriptor unions are first split
+  into independent components (descriptors sharing no variable multiply:
+  ``P(A ∪ B) = 1 - (1-P(A))(1-P(B))``), so enumeration is exponential only
+  in the largest *connected* variable set, not in all touched variables.
+* the **exact** path — component-wise enumeration over the touched
+  assignment space (indexed through the caches above, streaming beyond
+  :data:`EXACT_SPACE_LIMIT`),
+* the **approx** path — a Karp–Luby-style union sampler over the
+  descriptor world-sets with an absolute ``(epsilon, delta)`` guarantee:
+  with probability at least ``1 - delta`` the estimate is within
+  ``epsilon`` of the true confidence (Hoeffding sample count over the
+  coverage estimator; components needing sampling split the budget),
+* ``method="auto"`` — exact per component while the component's assignment
+  space fits :data:`EXACT_SPACE_LIMIT`, sampling beyond it, and
+* :func:`monte_carlo_confidence` — the direct (naive) sampler over touched
+  variables, kept as the measurement baseline and fallback; its per-sample
+  domain/weight refetch loop is hoisted.
+
+:func:`tuple_confidences` / :func:`confidence_relation` group a query
+result by value tuple and compute per-group confidences through one shared
+engine, so identical descriptor sets across groups are computed once.
 """
 
 from __future__ import annotations
 
+import bisect
 import itertools
+import math
 import random
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..relational.relation import Relation
 from ..relational.schema import Schema
@@ -33,37 +54,500 @@ from .urelation import URelation
 from .worldtable import WorldTable
 
 __all__ = [
+    "ConfidenceEngine",
+    "ConfidenceAnswer",
+    "confidence_engine",
     "exact_confidence",
+    "approx_confidence",
     "monte_carlo_confidence",
     "tuple_confidences",
     "confidence_relation",
+    "assignment_space_size",
+    "EXACT_SPACE_LIMIT",
+    "DEFAULT_EPSILON",
+    "DEFAULT_DELTA",
 ]
 
+#: Assignment spaces up to this many joint assignments are enumerated
+#: exactly (and their probability vectors cached); ``method="auto"``
+#: switches a larger component to the bounded-error sampler.  Shared with
+#: the aggregate bounds (``repro.core.aggregates.EXACT_BOUND_LIMIT``).
+EXACT_SPACE_LIMIT = 1 << 16
 
+#: Default absolute error target of the approximate path.
+DEFAULT_EPSILON = 0.01
+#: Default failure probability of the approximate path.
+DEFAULT_DELTA = 0.05
+
+#: Methods :func:`tuple_confidences` accepts (``monte-carlo`` is the
+#: legacy direct sampler, kept for measurement).
+_METHODS = ("exact", "approx", "auto", "monte-carlo")
+
+#: A descriptor's structural key: its sorted ``(variable, value)`` items.
+_DescKey = Tuple[Tuple[str, Any], ...]
+
+
+def assignment_space_size(
+    variables: Sequence[str],
+    world_table: WorldTable,
+    limit: Optional[int] = None,
+) -> Optional[int]:
+    """Product of the variables' domain sizes, or ``None`` beyond ``limit``.
+
+    The one shared feasibility test for exact enumeration: the aggregate
+    bounds (:func:`repro.core.aggregates.count_bounds` and friends) and the
+    engine's ``auto`` method selection both call this.
+    """
+    space = 1
+    for var in variables:
+        space *= len(world_table.domain(var))
+        if limit is not None and space > limit:
+            return None
+    return space
+
+
+class ConfidenceEngine:
+    """Memoized confidence computation over one :class:`WorldTable`.
+
+    All caches are sound under the world table's append-only mutation
+    model (``add_variable`` never changes an existing variable), so one
+    engine instance can serve every query against its table for the
+    table's whole lifetime; :func:`confidence_engine` maintains that
+    singleton.
+    """
+
+    def __init__(self, world_table: WorldTable, exact_limit: int = EXACT_SPACE_LIMIT):
+        self.world_table = world_table
+        self.exact_limit = int(exact_limit)
+        # per-variable vectors, fetched from the world table exactly once
+        self._domains: Dict[str, Tuple[Any, ...]] = {}
+        self._probs: Dict[str, Tuple[float, ...]] = {}
+        self._value_index: Dict[str, Dict[Any, int]] = {}
+        self._cum_weights: Dict[str, List[float]] = {}
+        # descriptor-level caches (structural key -> result)
+        self._descriptor_prob: Dict[_DescKey, float] = {}
+        self._satisfying: Dict[Tuple[Tuple[str, ...], _DescKey], FrozenSet[int]] = {}
+        # shared per-variable-set subexpressions
+        self._space_probs: Dict[Tuple[str, ...], List[float]] = {}
+        # component / group result caches
+        self._component_exact: Dict[Tuple[_DescKey, ...], float] = {}
+        self._group_exact: Dict[FrozenSet[_DescKey], float] = {}
+        self._group_option: Dict[Tuple, Tuple[float, str]] = {}
+        # introspection counters
+        self.groups_total = 0
+        self.exact_groups = 0
+        self.approx_groups = 0
+        self.cache_hits = 0
+
+    # ------------------------------------------------------------------
+    # per-variable vectors
+    # ------------------------------------------------------------------
+    def _domain(self, var: str) -> Tuple[Any, ...]:
+        domain = self._domains.get(var)
+        if domain is None:
+            domain = self.world_table.domain(var)
+            self._domains[var] = domain
+            self._probs[var] = tuple(
+                self.world_table.probability(var, value) for value in domain
+            )
+            self._value_index[var] = {value: i for i, value in enumerate(domain)}
+        return domain
+
+    def _prob_vector(self, var: str) -> Tuple[float, ...]:
+        self._domain(var)
+        return self._probs[var]
+
+    def _cum_vector(self, var: str) -> List[float]:
+        cum = self._cum_weights.get(var)
+        if cum is None:
+            cum = list(itertools.accumulate(self._prob_vector(var)))
+            self._cum_weights[var] = cum
+        return cum
+
+    def _index_of(self, var: str, value: Any) -> int:
+        self._domain(var)
+        try:
+            return self._value_index[var][value]
+        except KeyError:
+            raise KeyError(f"{value!r} not in domain of {var!r}") from None
+
+    def descriptor_probability(self, key: _DescKey) -> float:
+        """P(world-set of one descriptor) — product over its assignments."""
+        p = self._descriptor_prob.get(key)
+        if p is None:
+            p = 1.0
+            for var, value in key:
+                p *= self._prob_vector(var)[self._index_of(var, value)]
+            self._descriptor_prob[key] = p
+        return p
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def confidence(
+        self,
+        descriptors: Sequence[Descriptor],
+        method: str = "exact",
+        epsilon: float = DEFAULT_EPSILON,
+        delta: float = DEFAULT_DELTA,
+        seed: int = 0,
+    ) -> float:
+        value, _used = self.confidence_detail(descriptors, method, epsilon, delta, seed)
+        return value
+
+    def confidence_detail(
+        self,
+        descriptors: Sequence[Descriptor],
+        method: str = "exact",
+        epsilon: float = DEFAULT_EPSILON,
+        delta: float = DEFAULT_DELTA,
+        seed: int = 0,
+    ) -> Tuple[float, str]:
+        """``(confidence, method_used)`` for a union of descriptors.
+
+        ``method_used`` is ``"exact"`` or ``"approx"`` — a group counts as
+        approximate when *any* of its components was sampled.
+        """
+        if method not in ("exact", "approx", "auto"):
+            raise ValueError(
+                f"unknown method {method!r}; use 'exact', 'approx', or 'auto'"
+            )
+        self.groups_total += 1
+        keys = {d.items() for d in descriptors}
+        if not keys:
+            self.exact_groups += 1
+            return 0.0, "exact"
+        if () in keys:
+            self.exact_groups += 1
+            return 1.0, "exact"
+        group = frozenset(keys)
+        if method == "exact":
+            cached = self._group_exact.get(group)
+            if cached is not None:
+                self.cache_hits += 1
+                self.exact_groups += 1
+                return cached, "exact"
+        else:
+            if epsilon <= 0.0 or delta <= 0.0 or delta >= 1.0:
+                raise ValueError(
+                    f"need epsilon > 0 and 0 < delta < 1; got ({epsilon}, {delta})"
+                )
+            option_key = (group, method, epsilon, delta, seed)
+            hit = self._group_option.get(option_key)
+            if hit is not None:
+                self.cache_hits += 1
+                if hit[1] == "approx":
+                    self.approx_groups += 1
+                else:
+                    self.exact_groups += 1
+                return hit
+        components = self._components(group)
+        sampled = [comp for comp in components if self._should_sample(comp, method)]
+        miss = 1.0
+        if not sampled:
+            for comp in components:
+                miss *= 1.0 - self._component_union_exact(comp)
+            value = 1.0 - miss
+            self._group_exact[group] = value
+            if method != "exact":
+                self._group_option[(group, method, epsilon, delta, seed)] = (
+                    value,
+                    "exact",
+                )
+            self.exact_groups += 1
+            return value, "exact"
+        # split the error budget over the sampled components: each |error|
+        # <= eps_i with prob >= 1 - delta_i, and the product combination
+        # 1 - prod(1 - P_c) is 1-Lipschitz in every P_c, so a union bound
+        # gives the whole group its (epsilon, delta) guarantee
+        eps_i = epsilon / len(sampled)
+        delta_i = delta / len(sampled)
+        to_sample = set(sampled)
+        for comp in components:
+            if comp in to_sample:
+                p = self._component_union_approx(comp, eps_i, delta_i, seed)
+            else:
+                p = self._component_union_exact(comp)
+            miss *= 1.0 - p
+        value = 1.0 - miss
+        self._group_option[(group, method, epsilon, delta, seed)] = (value, "approx")
+        self.approx_groups += 1
+        return value, "approx"
+
+    def stats(self) -> Dict[str, int]:
+        """Cumulative engine counters (for tests and observability)."""
+        return {
+            "groups_total": self.groups_total,
+            "exact_groups": self.exact_groups,
+            "approx_groups": self.approx_groups,
+            "cache_hits": self.cache_hits,
+            "cached_descriptors": len(self._descriptor_prob),
+            "cached_variable_sets": len(self._space_probs),
+            "cached_components": len(self._component_exact),
+        }
+
+    # ------------------------------------------------------------------
+    # independent-component decomposition
+    # ------------------------------------------------------------------
+    def _components(self, group: FrozenSet[_DescKey]) -> List[Tuple[_DescKey, ...]]:
+        """Partition descriptors into variable-connected components.
+
+        Descriptors in different components touch disjoint variable sets;
+        independence of the variables makes the components independent
+        events, so their union probabilities multiply.
+        """
+        parent: Dict[str, str] = {}
+
+        def find(v: str) -> str:
+            root = v
+            while parent[root] != root:
+                root = parent[root]
+            while parent[v] != root:
+                parent[v], v = root, parent[v]
+            return root
+
+        keys = sorted(group)
+        for key in keys:
+            anchor: Optional[str] = None
+            for var, _val in key:
+                if var not in parent:
+                    parent[var] = var
+                if anchor is None:
+                    anchor = var
+                else:
+                    parent[find(var)] = find(anchor)
+        buckets: Dict[str, List[_DescKey]] = {}
+        for key in keys:
+            root = find(key[0][0])
+            buckets.setdefault(root, []).append(key)
+        return [tuple(bucket) for bucket in buckets.values()]
+
+    def _component_variables(self, comp: Tuple[_DescKey, ...]) -> Tuple[str, ...]:
+        return tuple(sorted({var for key in comp for var, _val in key}))
+
+    def _should_sample(self, comp: Tuple[_DescKey, ...], method: str) -> bool:
+        if len(comp) == 1:
+            return False  # a single descriptor is a closed-form product
+        if method == "approx":
+            return True
+        if method == "exact":
+            return False
+        space = assignment_space_size(
+            self._component_variables(comp), self.world_table, self.exact_limit
+        )
+        return space is None
+
+    # ------------------------------------------------------------------
+    # exact path
+    # ------------------------------------------------------------------
+    def _component_union_exact(self, comp: Tuple[_DescKey, ...]) -> float:
+        if len(comp) == 1:
+            return self.descriptor_probability(comp[0])
+        cached = self._component_exact.get(comp)
+        if cached is not None:
+            return cached
+        vars_key = self._component_variables(comp)
+        space = assignment_space_size(vars_key, self.world_table, self.exact_limit)
+        if space is None:
+            value = self._union_exact_streaming(comp, vars_key)
+        else:
+            value = self._union_exact_indexed(comp, vars_key)
+        self._component_exact[comp] = value
+        return value
+
+    def _union_exact_indexed(
+        self, comp: Tuple[_DescKey, ...], vars_key: Tuple[str, ...]
+    ) -> float:
+        """Union probability via cached satisfying-index sets.
+
+        Assignments of the variable set are numbered row-major; each
+        descriptor's satisfying set is materialized once (size = space /
+        product of its constrained domain sizes) and reused by every other
+        group touching the same variables.
+        """
+        sizes = [len(self._domain(v)) for v in vars_key]
+        strides = [1] * len(sizes)
+        for i in range(len(sizes) - 2, -1, -1):
+            strides[i] = strides[i + 1] * sizes[i + 1]
+        union: set = set()
+        for key in comp:
+            union |= self._satisfying_indices(vars_key, sizes, strides, key)
+        probs = self._assignment_probs(vars_key)
+        return sum(probs[i] for i in union)
+
+    def _satisfying_indices(
+        self,
+        vars_key: Tuple[str, ...],
+        sizes: List[int],
+        strides: List[int],
+        key: _DescKey,
+    ) -> FrozenSet[int]:
+        cache_key = (vars_key, key)
+        cached = self._satisfying.get(cache_key)
+        if cached is not None:
+            return cached
+        position = {var: i for i, var in enumerate(vars_key)}
+        fixed = 0
+        constrained = set()
+        for var, value in key:
+            i = position[var]
+            fixed += strides[i] * self._index_of(var, value)
+            constrained.add(i)
+        free = [i for i in range(len(vars_key)) if i not in constrained]
+        if not free:
+            result = frozenset((fixed,))
+        else:
+            free_strides = [strides[i] for i in free]
+            result = frozenset(
+                fixed + sum(s * t for s, t in zip(free_strides, combo))
+                for combo in itertools.product(*(range(sizes[i]) for i in free))
+            )
+        self._satisfying[cache_key] = result
+        return result
+
+    def _assignment_probs(self, vars_key: Tuple[str, ...]) -> List[float]:
+        probs = self._space_probs.get(vars_key)
+        if probs is None:
+            vectors = [self._prob_vector(v) for v in vars_key]
+            prod = math.prod
+            probs = [prod(ps) for ps in itertools.product(*vectors)]
+            self._space_probs[vars_key] = probs
+        return probs
+
+    def _union_exact_streaming(
+        self, comp: Tuple[_DescKey, ...], vars_key: Tuple[str, ...]
+    ) -> float:
+        """Forced-exact fallback beyond the indexable space limit.
+
+        Iterates the assignment space without materializing index sets or
+        probability vectors; positional constraint tuples replace the old
+        per-assignment dict construction.
+        """
+        position = {var: i for i, var in enumerate(vars_key)}
+        constraints = [
+            tuple((position[var], value) for var, value in key) for key in comp
+        ]
+        domains = [self._domain(v) for v in vars_key]
+        vectors = [self._prob_vector(v) for v in vars_key]
+        prod = math.prod
+        total = 0.0
+        for combo, ps in zip(
+            itertools.product(*domains), itertools.product(*vectors)
+        ):
+            if any(
+                all(combo[i] == value for i, value in cons) for cons in constraints
+            ):
+                total += prod(ps)
+        return total
+
+    # ------------------------------------------------------------------
+    # approximate path (Karp–Luby-style union sampling)
+    # ------------------------------------------------------------------
+    def _component_union_approx(
+        self, comp: Tuple[_DescKey, ...], epsilon: float, delta: float, seed: int
+    ) -> float:
+        """Bounded-error estimate of one component's union probability.
+
+        The coverage estimator: draw descriptor ``i`` with probability
+        ``p_i / T`` (``T = sum p_j``), draw a world conditioned on ``i``
+        (free variables sampled from their marginals), and average
+        ``T / |{j : world satisfies d_j}|`` — an unbiased estimator of the
+        union probability with every sample in ``[T/n, T]``.  Hoeffding
+        over that range yields the sample count for an absolute
+        ``(epsilon, delta)`` guarantee.
+        """
+        probs = [self.descriptor_probability(key) for key in comp]
+        total = sum(probs)
+        if total <= 0.0:
+            return 0.0
+        lower = max(probs)
+        upper = min(1.0, total)
+        if upper - lower <= 2 * epsilon or total <= epsilon:
+            # the feasible interval is already inside the error budget
+            return (lower + upper) / 2.0
+        n = len(comp)
+        spread = total * (1.0 - 1.0 / n)  # sample range: [T/n, T]
+        samples = max(
+            1, math.ceil(spread * spread * math.log(2.0 / delta) / (2.0 * epsilon * epsilon))
+        )
+        rng = random.Random(f"{seed}|{comp!r}")
+        cum_desc = list(itertools.accumulate(probs))
+        vars_key = self._component_variables(comp)
+        var_domains = [self._domain(v) for v in vars_key]
+        var_cums = [self._cum_vector(v) for v in vars_key]
+        var_totals = [cum[-1] for cum in var_cums]
+        assignments = [dict(key) for key in comp]
+        random_ = rng.random
+        bisect_ = bisect.bisect
+        inverse_coverage = 0.0
+        world: Dict[str, Any] = {}
+        for _ in range(samples):
+            pick = bisect_(cum_desc, random_() * total)
+            if pick >= n:
+                pick = n - 1
+            base = assignments[pick]
+            world.clear()
+            world.update(base)
+            for var, domain, cum, var_total in zip(
+                vars_key, var_domains, var_cums, var_totals
+            ):
+                if var not in base:
+                    idx = bisect_(cum, random_() * var_total)
+                    if idx >= len(domain):
+                        idx = len(domain) - 1
+                    world[var] = domain[idx]
+            covered = 0
+            for candidate in assignments:
+                for var, value in candidate.items():
+                    if world[var] != value:
+                        break
+                else:
+                    covered += 1
+            inverse_coverage += 1.0 / covered
+        estimate = total * inverse_coverage / samples
+        return min(upper, max(lower, estimate))
+
+
+def confidence_engine(world_table: WorldTable) -> ConfidenceEngine:
+    """The shared (memoizing) engine of a world table, created lazily.
+
+    The engine lives on the table, so its caches — valid for the table's
+    whole lifetime under append-only mutation — are shared by every query,
+    aggregate, and physical operator computing confidences against it.
+    """
+    engine = getattr(world_table, "_confidence_engine", None)
+    if engine is None:
+        engine = ConfidenceEngine(world_table)
+        world_table._confidence_engine = engine
+    return engine
+
+
+# ----------------------------------------------------------------------
+# module-level entry points
+# ----------------------------------------------------------------------
 def exact_confidence(descriptors: Sequence[Descriptor], world_table: WorldTable) -> float:
     """Exact probability of the union of descriptor world-sets.
 
-    Complexity is exponential only in the number of *distinct variables
-    touched by the descriptors*, not in the world-table size — exactly the
-    locality normalization exploits (Section 7 notes normalization matters
-    for confidence computation).
+    Complexity is exponential only in the largest *connected* variable set
+    the descriptors touch, not in the world-table size — the locality
+    normalization exploits (Section 7), sharpened by independent-component
+    factorization.  Memoized through the table's shared engine.
     """
-    descriptors = [d for d in descriptors]
-    if not descriptors:
-        return 0.0
-    if any(d.empty for d in descriptors):
-        return 1.0
-    touched = sorted({var for d in descriptors for var in d.variables()})
-    domains = [world_table.domain(v) for v in touched]
-    total = 0.0
-    for combo in itertools.product(*domains):
-        assignment = dict(zip(touched, combo))
-        if any(d.extended_by({**assignment, "_t": 0}) for d in descriptors):
-            p = 1.0
-            for var, value in assignment.items():
-                p *= world_table.probability(var, value)
-            total += p
-    return total
+    return confidence_engine(world_table).confidence(descriptors, method="exact")
+
+
+def approx_confidence(
+    descriptors: Sequence[Descriptor],
+    world_table: WorldTable,
+    epsilon: float = DEFAULT_EPSILON,
+    delta: float = DEFAULT_DELTA,
+    seed: int = 0,
+) -> float:
+    """Karp–Luby-style estimate: ``|answer - conf| <= epsilon`` with
+    probability at least ``1 - delta``."""
+    return confidence_engine(world_table).confidence(
+        descriptors, method="approx", epsilon=epsilon, delta=delta, seed=seed
+    )
 
 
 def monte_carlo_confidence(
@@ -72,10 +556,13 @@ def monte_carlo_confidence(
     samples: int = 10_000,
     seed: int = 0,
 ) -> float:
-    """Monte-Carlo estimate of the union probability.
+    """Direct Monte-Carlo estimate of the union probability.
 
     Samples assignments of the touched variables only; the estimator is
-    unbiased with standard error ``sqrt(p(1-p)/samples)``.
+    unbiased with standard error ``sqrt(p(1-p)/samples)``.  Domains and
+    cumulative weights are fetched once per variable (not per sample), and
+    each variable's whole sample column is drawn in one C-level
+    ``choices`` call.
     """
     descriptors = [d for d in descriptors]
     if not descriptors:
@@ -83,15 +570,19 @@ def monte_carlo_confidence(
     if any(d.empty for d in descriptors):
         return 1.0
     touched = sorted({var for d in descriptors for var in d.variables()})
+    engine = confidence_engine(world_table)
     rng = random.Random(seed)
+    columns = [
+        rng.choices(engine._domain(var), cum_weights=engine._cum_vector(var), k=samples)
+        for var in touched
+    ]
+    position = {var: i for i, var in enumerate(touched)}
+    constraints = [
+        tuple((position[var], value) for var, value in d.items()) for d in descriptors
+    ]
     hits = 0
-    for _ in range(samples):
-        assignment = {"_t": 0}
-        for var in touched:
-            domain = world_table.domain(var)
-            weights = [world_table.probability(var, v) for v in domain]
-            assignment[var] = rng.choices(domain, weights=weights, k=1)[0]
-        if any(d.extended_by(assignment) for d in descriptors):
+    for combo in zip(*columns):
+        if any(all(combo[i] == value for i, value in cons) for cons in constraints):
             hits += 1
     return hits / samples
 
@@ -102,21 +593,34 @@ def tuple_confidences(
     method: str = "exact",
     samples: int = 10_000,
     seed: int = 0,
+    epsilon: float = DEFAULT_EPSILON,
+    delta: float = DEFAULT_DELTA,
 ) -> Dict[Tuple[Any, ...], float]:
-    """Confidence of every possible value tuple of a result U-relation."""
+    """Confidence of every possible value tuple of a result U-relation.
+
+    ``method`` is ``"exact"``, ``"approx"``, ``"auto"`` (exact while the
+    touched assignment space is small, sampling beyond
+    :data:`EXACT_SPACE_LIMIT`), or ``"monte-carlo"`` (the direct sampler;
+    ``samples`` applies to it only).  All groups share one memoized
+    engine, so identical descriptor sets across groups compute once.
+    """
+    if method not in _METHODS:
+        raise ValueError(f"unknown method {method!r}; use one of {_METHODS}")
     groups: Dict[Tuple[Any, ...], List[Descriptor]] = {}
     for descriptor, _tids, values in result:
         groups.setdefault(values, []).append(descriptor)
     out: Dict[Tuple[Any, ...], float] = {}
-    for values, descriptors in groups.items():
-        if method == "exact":
-            out[values] = exact_confidence(descriptors, world_table)
-        elif method == "monte-carlo":
+    if method == "monte-carlo":
+        for values, descriptors in groups.items():
             out[values] = monte_carlo_confidence(
                 descriptors, world_table, samples=samples, seed=seed
             )
-        else:
-            raise ValueError(f"unknown method {method!r}; use 'exact' or 'monte-carlo'")
+        return out
+    engine = confidence_engine(world_table)
+    for values, descriptors in groups.items():
+        out[values] = engine.confidence(
+            descriptors, method=method, epsilon=epsilon, delta=delta, seed=seed
+        )
     return out
 
 
@@ -126,10 +630,18 @@ def confidence_relation(
     method: str = "exact",
     samples: int = 10_000,
     seed: int = 0,
+    epsilon: float = DEFAULT_EPSILON,
+    delta: float = DEFAULT_DELTA,
 ) -> Relation:
     """Possible tuples with a trailing ``conf`` column, sorted by confidence."""
     confidences = tuple_confidences(
-        result, world_table, method=method, samples=samples, seed=seed
+        result,
+        world_table,
+        method=method,
+        samples=samples,
+        seed=seed,
+        epsilon=epsilon,
+        delta=delta,
     )
     schema = Schema(list(result.value_names) + ["conf"])
     rows = sorted(
@@ -137,3 +649,20 @@ def confidence_relation(
         key=lambda row: (-row[-1], tuple(map(repr, row[:-1]))),
     )
     return Relation(schema, rows)
+
+
+class ConfidenceAnswer(Relation):
+    """A confidence-query result: a plain relation plus a ``conf`` summary.
+
+    The summary dict carries the method actually used, the error budget,
+    and per-method group counts; the serving layer exposes it as the
+    ``conf`` field of the wire response.
+    """
+
+    __slots__ = ("conf",)
+
+    @classmethod
+    def adopt(cls, relation: Relation, summary: Dict[str, Any]) -> "ConfidenceAnswer":
+        answer = cls.from_trusted(relation.schema, relation.rows)
+        answer.conf = dict(summary)
+        return answer

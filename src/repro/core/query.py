@@ -18,7 +18,11 @@ Query nodes:
   (normally inserted automatically by the translator),
 * :class:`Poss` — the "possible" operation closing the world semantics,
 * :class:`Certain` — certain answers (Section 4; evaluated via the
-  normalization + Lemma 4.3 pipeline in :mod:`repro.core.certain`).
+  normalization + Lemma 4.3 pipeline in :mod:`repro.core.certain`),
+* :class:`Conf` — tuple confidence over the probabilistic extension
+  (Section 7): possible tuples with their probability of occurring,
+  computed by the vectorized `Confidence` physical operator with an
+  exact / bounded-error approximate / auto method choice.
 
 Each node computes its logical output attributes eagerly, and
 :func:`evaluate_in_world` provides the per-world semantics used as the
@@ -43,6 +47,7 @@ __all__ = [
     "UMerge",
     "Poss",
     "Certain",
+    "Conf",
     "evaluate_in_world",
 ]
 
@@ -177,6 +182,51 @@ class Certain(UQuery):
     def __init__(self, child: UQuery):
         self.child = child
         self.attributes = child.attributes
+
+    @property
+    def children(self) -> Tuple[UQuery, ...]:
+        return (self.child,)
+
+
+class Conf(UQuery):
+    """Tuple confidences: possible tuples with ``P(t in answer)``.
+
+    Closes the world semantics like :class:`Poss` but over the
+    *probabilistic* extension (Section 7): the answer is a plain relation
+    of the child's possible value tuples plus a trailing ``conf`` column.
+    ``method`` picks the computation path — ``"exact"``, ``"approx"``
+    (bounded-error Karp–Luby sampling: within ``epsilon`` with probability
+    at least ``1 - delta``), or ``"auto"`` (exact while the touched
+    assignment space is small, sampling beyond it).  A ``Poss`` child is
+    redundant and unwrapped.
+    """
+
+    METHODS = ("exact", "approx", "auto")
+
+    def __init__(
+        self,
+        child: UQuery,
+        method: str = "auto",
+        epsilon: float = 0.01,
+        delta: float = 0.05,
+        seed: int = 0,
+    ):
+        if method not in self.METHODS:
+            raise ValueError(
+                f"unknown confidence method {method!r}; use one of {self.METHODS}"
+            )
+        while isinstance(child, Poss):
+            child = child.child
+        if isinstance(child, (Certain, Conf)):
+            raise ValueError(
+                f"conf cannot wrap {type(child).__name__.lower()} queries"
+            )
+        self.child = child
+        self.method = method
+        self.epsilon = float(epsilon)
+        self.delta = float(delta)
+        self.seed = int(seed)
+        self.attributes = child.attributes + ("conf",)
 
     @property
     def children(self) -> Tuple[UQuery, ...]:

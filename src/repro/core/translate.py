@@ -39,6 +39,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..relational.algebra import (
+    ConfCompute,
     Distinct,
     Extend,
     Join,
@@ -63,6 +64,7 @@ from ..relational.relation import Relation
 from .descriptor import descriptor_columns
 from .query import (
     Certain,
+    Conf,
     Poss,
     Rel,
     UJoin,
@@ -473,6 +475,15 @@ def query_structure_key(query: UQuery) -> Tuple:
         return ("poss", query_structure_key(query.child))
     if isinstance(query, Certain):
         return ("certain", query_structure_key(query.child))
+    if isinstance(query, Conf):
+        return (
+            "conf",
+            query_structure_key(query.child),
+            query.method,
+            query.epsilon,
+            query.delta,
+            query.seed,
+        )
     raise TypeError(f"no plan-cache key for {type(query).__name__}")
 
 
@@ -557,9 +568,15 @@ def _cached_physical(
             return cached, True, key
         sp.set(cached=False)
         started = time.perf_counter()
+        conf: Optional[Conf] = None
         if isinstance(query, Poss):
             inner = translate(query.child, udb)
             plan: Plan = Distinct(Project(inner.plan, list(inner.value_names)))
+            wrap = None
+        elif isinstance(query, Conf):
+            conf = query
+            inner = translate(query.child, udb)
+            plan = inner.plan
             wrap = None
         else:
             inner = translate(query, udb)
@@ -573,6 +590,23 @@ def _cached_physical(
         deps = plan_relations(plan)
         if optimize:
             plan = optimize_plan(plan)
+        if conf is not None:
+            # inserted above the *optimized* child: the rewrite rules never
+            # see (and could not soundly move through) a confidence
+            # computation, while the child still gets the full optimizer.
+            # Positions stay canonical — optimize() re-projects to the
+            # original column order.
+            plan = ConfCompute(
+                plan,
+                inner.d_width,
+                len(inner.tid_names),
+                list(inner.value_names),
+                udb.world_table,
+                conf.method,
+                conf.epsilon,
+                conf.delta,
+                conf.seed,
+            )
         physical = plan_physical(
             plan,
             prefer_merge_join=prefer_merge_join,
@@ -610,7 +644,9 @@ def execute_query(
     """Translate and run a query against a U-relational database.
 
     Returns a plain :class:`Relation` for top-level ``Poss``/``Certain``
-    queries, and a :class:`URelation` otherwise.  ``mode`` selects the
+    queries, a :class:`~repro.core.probability.ConfidenceAnswer` (a
+    relation plus the computation summary) for ``Conf``, and a
+    :class:`URelation` otherwise.  ``mode`` selects the
     executor: ``"columns"`` (columnar batches over a fused plan, the
     default), ``"blocks"`` (row-batch vectorized, the PR 1/2 baseline), or
     ``"rows"`` (legacy tuple-at-a-time); ``use_indexes=False`` disables
@@ -621,7 +657,7 @@ def execute_query(
     executions skip translate → optimize → plan entirely.
     """
     from ..obs import counter, current_span, current_trace
-    from ..relational.physical import BATCH_SIZE, execute
+    from ..relational.physical import BATCH_SIZE, Confidence, execute
     from ..relational.plancache import cost_class_of, record_observed_rows
 
     if isinstance(query, Certain):
@@ -656,6 +692,10 @@ def execute_query(
         trace.root.attrs.setdefault("cost_class", cost_class)
         current_span().set(operators=physical.actuals())
     if wrap is None:
+        if isinstance(physical, Confidence) and physical.last_summary is not None:
+            from .probability import ConfidenceAnswer
+
+            return ConfidenceAnswer.adopt(relation, physical.last_summary)
         return relation
     d_width, tid_names, value_names, canonical = wrap
     # normalize output column names to the canonical U-relation layout

@@ -15,9 +15,12 @@ Nodes
 ``Difference``  − — set difference
 ``Distinct``    δ — duplicate elimination
 ``Rename``      ρ — attribute renaming / requalification
+``ConfCompute`` conf — per-value-tuple confidence over a U-relation plan
 
 The U-relations translation of the paper (Figure 4) produces exactly these
-operators; the ``possible`` operation maps to ``Distinct(Project(...))``.
+operators; the ``possible`` operation maps to ``Distinct(Project(...))``,
+and the probabilistic ``conf`` operation (Section 7) maps to
+``ConfCompute`` over the translated child.
 """
 
 from __future__ import annotations
@@ -42,6 +45,7 @@ __all__ = [
     "Difference",
     "Distinct",
     "Rename",
+    "ConfCompute",
 ]
 
 
@@ -345,6 +349,73 @@ class Rename(Plan):
     def node_label(self) -> str:
         pairs = ", ".join(f"{old}->{new}" for old, new in self.mapping.items())
         return f"Rename: {pairs}"
+
+
+class ConfCompute(Plan):
+    """Tuple-confidence computation over a translated U-relation plan.
+
+    The child produces rows in the canonical U-relation column order —
+    ``d_width`` ws-descriptor pairs, then ``tid_count`` tuple-id columns,
+    then the value columns (positions matter; names may be alias-qualified).
+    The operator groups rows by value tuple and emits one row per distinct
+    value tuple with a trailing ``conf`` column: the probability of the
+    union of the group's descriptor world-sets against ``world_table``.
+
+    Inserted *above* the optimized child plan by the query translator
+    (never seen by the rewrite rules — pushing selections or projections
+    through a confidence computation would change the probability).
+    """
+
+    def __init__(
+        self,
+        child: Plan,
+        d_width: int,
+        tid_count: int,
+        value_names: Sequence[str],
+        world_table,
+        method: str = "auto",
+        epsilon: float = 0.01,
+        delta: float = 0.05,
+        seed: int = 0,
+    ):
+        self.child = child
+        self.d_width = int(d_width)
+        self.tid_count = int(tid_count)
+        self.value_names = list(value_names)
+        self.world_table = world_table
+        self.method = method
+        self.epsilon = float(epsilon)
+        self.delta = float(delta)
+        self.seed = int(seed)
+        expected = 2 * self.d_width + self.tid_count + len(self.value_names)
+        if len(child.schema) != expected:
+            raise SchemaError(
+                f"conf child has {len(child.schema)} columns; expected "
+                f"{expected} (d_width={self.d_width}, tids={self.tid_count}, "
+                f"values={len(self.value_names)})"
+            )
+        self.schema = Schema(self.value_names + ["conf"])
+
+    @property
+    def children(self) -> Tuple[Plan, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[Plan]) -> "ConfCompute":
+        (child,) = children
+        return ConfCompute(
+            child,
+            self.d_width,
+            self.tid_count,
+            self.value_names,
+            self.world_table,
+            self.method,
+            self.epsilon,
+            self.delta,
+            self.seed,
+        )
+
+    def node_label(self) -> str:
+        return f"Confidence: method={self.method}"
 
 
 def select_all(child: Plan, predicates: Sequence[Expression]) -> Plan:

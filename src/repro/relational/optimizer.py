@@ -327,10 +327,14 @@ def _estimate_rows(plan: Plan) -> float:
         return estimate_rows(left) + estimate_rows(right)
     if isinstance(plan, Difference):
         return estimate_rows(plan.children[0])
+    from .algebra import ConfCompute as _ConfCompute
     from .algebra import SemiJoin as _SemiJoin
 
     if isinstance(plan, _SemiJoin):
         return max(estimate_rows(plan.children[0]) * 0.5, 0.1)
+    if isinstance(plan, _ConfCompute):
+        # one output row per distinct value tuple of the input U-relation
+        return max(estimate_rows(plan.children[0]) * 0.5, 1.0)
     return 1000.0
 
 

@@ -15,6 +15,7 @@ Physical plans mirror the logical nodes but carry concrete algorithms:
 * ``Except``         — set difference
 * ``Sort``           — explicit sort (used under MergeJoin)
 * ``Materialize``    — caches child output (inner of nested loops)
+* ``Confidence``     — per-value-tuple confidence over a U-relation input
 
 Execution model
 ---------------
@@ -99,6 +100,7 @@ __all__ = [
     "Except",
     "Sort",
     "Materialize",
+    "Confidence",
     "execute",
 ]
 
@@ -2366,6 +2368,190 @@ class Except(PhysicalPlan):
 
     def explain_label(self) -> str:
         return "SetOp Except"
+
+
+class Confidence(PhysicalPlan):
+    """Per-value-tuple confidence over a translated U-relation input.
+
+    The child produces rows in the canonical U-relation column order:
+    ``d_width`` ws-descriptor pairs, ``tid_count`` tuple-id columns, then
+    the value columns.  The operator groups rows by value tuple
+    batch-at-a-time (columnar batches are grouped natively, without
+    materializing a :class:`~repro.core.urelation.URelation` or even row
+    tuples beyond the group keys), deduplicates encoded descriptor
+    prefixes per group, and computes each group's confidence — the
+    probability of the union of its descriptors' world-sets — through the
+    world table's shared memoized
+    :class:`~repro.core.probability.ConfidenceEngine`.
+
+    ``method`` selects exact enumeration, the bounded-error ``(epsilon,
+    delta)`` sampler, or per-component auto selection; the method actually
+    used, group counts, and error budget are recorded in ``last_summary``
+    (the serving layer returns it as the ``conf`` wire field) and in the
+    ``conf_groups_total`` / ``conf_method`` / ``conf_seconds`` metrics.
+
+    Output rows are ``value columns + conf``, sorted by descending
+    confidence (ties by value repr), matching
+    :func:`~repro.core.probability.confidence_relation`.
+    """
+
+    def __init__(
+        self,
+        child: PhysicalPlan,
+        d_width: int,
+        tid_count: int,
+        value_names: Sequence[str],
+        world_table,
+        method: str = "auto",
+        epsilon: float = 0.01,
+        delta: float = 0.05,
+        seed: int = 0,
+    ):
+        self.child = child
+        self.d_width = int(d_width)
+        self.tid_count = int(tid_count)
+        self.value_names = list(value_names)
+        self.world_table = world_table
+        self.method = method
+        self.epsilon = float(epsilon)
+        self.delta = float(delta)
+        self.seed = int(seed)
+        self.schema = Schema(self.value_names + ["conf"])
+        # distinct value tuples are a fraction of the input U-relation rows
+        self.estimated_rows = max(child.estimated_rows * 0.5, 1.0)
+        #: encoded descriptor prefix -> Descriptor, shared across executions
+        #: of this (plan-cached) operator
+        self._decode_cache: Dict[Tuple[Any, ...], Any] = {}
+        #: summary of the most recent execution (wire/trace metadata)
+        self.last_summary: Optional[Dict[str, Any]] = None
+
+    @property
+    def children(self) -> Tuple[PhysicalPlan, ...]:
+        return (self.child,)
+
+    # -- grouping ------------------------------------------------------
+    def _grouped_rows(self, size: int) -> Dict[Row, set]:
+        """values tuple -> set of encoded descriptor prefixes (row path)."""
+        dend = 2 * self.d_width
+        vstart = dend + self.tid_count
+        groups: Dict[Row, set] = {}
+        for batch in self.child.batches(size):
+            for row in batch:
+                group = groups.get(row[vstart:])
+                if group is None:
+                    groups[row[vstart:]] = {row[:dend]}
+                else:
+                    group.add(row[:dend])
+        return groups
+
+    def _grouped_columns(self, size: int) -> Dict[Row, set]:
+        """Native columnar grouping: zip only the needed column slices."""
+        dend = 2 * self.d_width
+        vstart = dend + self.tid_count
+        groups: Dict[Row, set] = {}
+        for batch in self.child.column_batches(size):
+            columns = batch.columns
+            if vstart < len(columns):
+                values_iter = zip(*columns[vstart:])
+            else:
+                values_iter = (() for _ in range(batch.length))
+            if dend:
+                descs_iter = zip(*columns[:dend])
+            else:
+                descs_iter = (() for _ in range(batch.length))
+            for values, enc in zip(values_iter, descs_iter):
+                group = groups.get(values)
+                if group is None:
+                    groups[values] = {enc}
+                else:
+                    group.add(enc)
+        return groups
+
+    # -- confidence computation ----------------------------------------
+    def _compute(self, groups: Dict[Row, set]) -> List[Row]:
+        import time
+
+        from ..core.descriptor import decode_descriptor
+        from ..core.probability import confidence_engine
+        from ..obs import counter, histogram
+
+        started = time.perf_counter()
+        engine = confidence_engine(self.world_table)
+        decode = self._decode_cache
+        exact = approx = 0
+        out: List[Row] = []
+        for values, encs in groups.items():
+            descriptors = []
+            for enc in encs:
+                descriptor = decode.get(enc)
+                if descriptor is None:
+                    descriptor = decode_descriptor(enc)
+                    decode[enc] = descriptor
+                descriptors.append(descriptor)
+            conf, used = engine.confidence_detail(
+                descriptors, self.method, self.epsilon, self.delta, self.seed
+            )
+            if used == "approx":
+                approx += 1
+            else:
+                exact += 1
+            out.append(values + (conf,))
+        out.sort(key=lambda row: (-row[-1], tuple(map(repr, row[:-1]))))
+        elapsed = time.perf_counter() - started
+        counter("conf_groups_total", "Value groups confidence-computed").inc(
+            len(groups)
+        )
+        method_counter = counter(
+            "conf_method", "Confidence computations by method actually used"
+        )
+        if exact:
+            method_counter.inc(exact, method="exact")
+        if approx:
+            method_counter.inc(approx, method="approx")
+        histogram("conf_seconds", "Confidence kernel wall time").observe(elapsed)
+        self.last_summary = {
+            "method": self.method,
+            "epsilon": self.epsilon,
+            "delta": self.delta,
+            "seed": self.seed,
+            "groups": len(groups),
+            "exact_groups": exact,
+            "approx_groups": approx,
+            "seconds": elapsed,
+        }
+        return out
+
+    # -- execution modes -----------------------------------------------
+    def rows(self) -> Iterator[Row]:
+        yield from self._compute(self._grouped_rows(BATCH_SIZE))
+
+    def _batches(self, size: int) -> Iterator[Batch]:
+        yield from _chunks(self._compute(self._grouped_rows(size)), size)
+
+    def _column_batches(self, size: int) -> Iterator[ColumnBatch]:
+        width = len(self.schema)
+        for batch in _chunks(self._compute(self._grouped_columns(size)), size):
+            yield ColumnBatch.from_rows(batch, width)
+
+    def column_nullable(self, position: int) -> bool:
+        if position == len(self.schema) - 1:
+            return False  # conf is always a float
+        return self.child.column_nullable(2 * self.d_width + self.tid_count + position)
+
+    def explain_label(self) -> str:
+        return "Confidence"
+
+    def explain_details(self) -> List[str]:
+        details = [
+            f"Group Key: {', '.join(self.value_names) or '(none)'}",
+            f"Method: {self.method}",
+        ]
+        if self.method != "exact":
+            details.append(
+                f"Error Budget: epsilon={self.epsilon}, delta={self.delta}, "
+                f"seed={self.seed}"
+            )
+        return details
 
 
 def execute(

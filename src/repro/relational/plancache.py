@@ -70,6 +70,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 from weakref import WeakSet
 
 from .algebra import (
+    ConfCompute,
     Difference,
     Distinct,
     Extend,
@@ -127,8 +128,9 @@ _HOT_PIN_CAP = _PLAN_CACHE_LIMIT // 2
 #: replan cost picks the victim inside it).
 _EVICT_WINDOW = 8
 
-#: The admission-relevant cost classes, cheapest first.
-COST_CLASSES = ("point", "scan", "join", "heavy")
+#: The admission-relevant cost classes, cheapest first (``conf`` —
+#: confidence computation, potentially #P-hard — is ordered last).
+COST_CLASSES = ("point", "scan", "join", "heavy", "conf")
 
 #: A root estimate at or below this (with no joins) counts as a point
 #: lookup even without an index-point access path.
@@ -583,13 +585,17 @@ def cost_class_of(physical: Any) -> str:
     * ``join``  — up to :data:`_HEAVY_JOIN_COUNT` joins with a moderate
       estimate (the partition-merge shape of translated U-queries),
     * ``heavy`` — deeper join trees or large estimates (the cold six-way
-      join a server must not admit unboundedly).
+      join a server must not admit unboundedly),
+    * ``conf``  — any plan containing a confidence computation: #P-hard in
+      the worst case, so admission limits it separately from everything
+      else regardless of the shape underneath.
 
     Derived from the plan alone (operator shapes + the optimizer's
     ``estimate_rows`` results attached to the nodes), so the class is
     stable across executions and safe to cache on the entry.
     """
     from .physical import (
+        Confidence,
         HashJoin,
         IndexNestedLoopJoin,
         IndexScan,
@@ -599,6 +605,8 @@ def cost_class_of(physical: Any) -> str:
         _NO_POINT,
     )
 
+    if isinstance(physical, Confidence):
+        return "conf"
     joins = 0
     indexed_access = False
     stack = [physical]
@@ -679,6 +687,19 @@ def logical_plan_key(plan: Plan) -> Tuple:
             "rename",
             logical_plan_key(plan.child),
             tuple(sorted(plan.mapping.items())),
+        )
+    if isinstance(plan, ConfCompute):
+        return (
+            "conf",
+            logical_plan_key(plan.child),
+            plan.d_width,
+            plan.tid_count,
+            tuple(plan.value_names),
+            id(plan.world_table),
+            plan.method,
+            plan.epsilon,
+            plan.delta,
+            plan.seed,
         )
     raise TypeError(f"no plan-cache key for {type(plan).__name__}")
 

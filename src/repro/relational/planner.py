@@ -34,6 +34,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from .algebra import (
+    ConfCompute,
     Difference,
     Distinct,
     Extend,
@@ -64,6 +65,7 @@ from .optimizer import estimate_rows, scan_stats
 from .physical import (
     BATCH_SIZE,
     Append,
+    Confidence,
     Except,
     ExtendOp,
     Filter,
@@ -211,6 +213,18 @@ class Planner:
             node = HashDistinct(self._compile(plan.child))
         elif isinstance(plan, Rename):
             node = _RenameOp(self._compile(plan.child), plan)
+        elif isinstance(plan, ConfCompute):
+            node = Confidence(
+                self._compile(plan.child),
+                plan.d_width,
+                plan.tid_count,
+                plan.value_names,
+                plan.world_table,
+                plan.method,
+                plan.epsilon,
+                plan.delta,
+                plan.seed,
+            )
         else:
             raise TypeError(f"cannot compile logical node {type(plan).__name__}")
         node.estimated_rows = estimate_rows(plan)
@@ -664,7 +678,8 @@ _FOLDABLE_JOINS = (HashJoin, IndexNestedLoopJoin, MergeJoin)
 def _fuse_children(node: PhysicalPlan) -> None:
     """Recursively fuse every child subtree (replacing child references)."""
     if isinstance(
-        node, (Filter, Projection, ProjectionAs, ExtendOp, HashDistinct, _RenameOp)
+        node,
+        (Filter, Projection, ProjectionAs, ExtendOp, HashDistinct, _RenameOp, Confidence),
     ):
         node.child = _fuse_tree(node.child)
     elif isinstance(node, MergeJoin):
@@ -771,7 +786,16 @@ def _parallelize_tree(node: PhysicalPlan, workers: int) -> PhysicalPlan:
         return wrapped
     if isinstance(
         node,
-        (Filter, Projection, ProjectionAs, ExtendOp, HashDistinct, _RenameOp, Materialize),
+        (
+            Filter,
+            Projection,
+            ProjectionAs,
+            ExtendOp,
+            HashDistinct,
+            _RenameOp,
+            Materialize,
+            Confidence,
+        ),
     ):
         node.child = _parallelize_tree(node.child, workers)
     elif isinstance(node, MergeJoin):

@@ -43,12 +43,16 @@ __all__ = ["AdmissionPolicy", "AdmissionController", "Overloaded", "DEFAULT_LIMI
 #: are effectively unthrottled; cold planning and heavy joins are scarce.
 #: DML has its own class (writers serialize on the database's write lock,
 #: so admitting many would only deepen the lock queue — bound it early
-#: and keep write bursts from occupying read slots).
+#: and keep write bursts from occupying read slots).  Confidence queries
+#: (``conf``) are the #P-hard tail of the workload: two at a time keeps
+#: them from starving everything else while still overlapping an exact
+#: computation with an approximate one.
 DEFAULT_LIMITS: Mapping[str, int] = {
     "point": 64,
     "scan": 16,
     "join": 8,
     "heavy": 2,
+    "conf": 2,
     "cold": 4,
     "dml": 4,
 }

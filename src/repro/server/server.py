@@ -51,7 +51,8 @@ from typing import Any, Dict, Optional, Sequence, Tuple
 
 from ..core.dml import DMLResult
 from ..core.prepared import PreparedDML, PreparedQuery
-from ..core.query import Certain
+from ..core.probability import ConfidenceAnswer
+from ..core.query import Certain, Conf
 from ..core.translate import query_cache_key
 from ..core.udatabase import UDatabase
 from ..core.urelation import URelation
@@ -180,7 +181,13 @@ class QueryServer:
             use_indexes=use_indexes,
             parallel=parallel,
         )
-        cost_class = cached_cost_class(class_key) or "cold"
+        # a conf query's class is known from its shape alone, so even the
+        # first (uncached) execution admits under the conf limit — the
+        # #P-hard tail must never slip in through the cold class
+        if isinstance(classify_query, Conf):
+            cost_class = "conf"
+        else:
+            cost_class = cached_cost_class(class_key) or "cold"
         # coalescing keys the *full* tree (a certain(q) answer is not the
         # answer of its core — the two must never share one flight)
         key = (
@@ -355,6 +362,13 @@ def _result_payload(result: Any) -> Dict[str, Any]:
             "columns": list(relation.schema.names),
             "rows": [list(row) for row in relation.rows],
             "urelation": True,
+        }
+    if isinstance(result, ConfidenceAnswer):
+        return {
+            "ok": True,
+            "columns": list(result.schema.names),
+            "rows": [list(row) for row in result.rows],
+            "conf": dict(result.conf),
         }
     if isinstance(result, Relation):
         return {

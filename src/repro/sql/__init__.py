@@ -103,6 +103,8 @@ def execute_sql(
 
     Returns a plain :class:`~repro.relational.relation.Relation` for
     ``possible``/``certain`` statements, a
+    :class:`~repro.core.probability.ConfidenceAnswer` (tuples + ``conf``
+    column + computation summary) for ``conf (...)`` statements, a
     :class:`~repro.core.urelation.URelation` for bare queries, and a
     :class:`~repro.core.dml.DMLResult` for INSERT/UPDATE/DELETE (which
     re-execute on every call — the statement cache skips only their

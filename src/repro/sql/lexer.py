@@ -31,7 +31,7 @@ class TokenKind:
 
 KEYWORDS = {
     "select", "from", "where", "and", "or", "not", "between", "in", "is",
-    "null", "as", "possible", "certain", "union", "date", "distinct",
+    "null", "as", "possible", "certain", "conf", "union", "date", "distinct",
     # index DDL
     "create", "drop", "index", "on", "using",
     # DML

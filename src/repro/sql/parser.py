@@ -5,6 +5,7 @@ select-project-join queries with ``possible``), plus ``certain`` and
 ``union``, plus index DDL over the representation relations:
 
     statement  := [POSSIBLE | CERTAIN] '(' select ')'
+                | CONF '(' select ')' [conf_option*]
                 | select
                 | CREATE INDEX name ON table '(' column (',' column)* ')'
                   [USING (HASH | SORTED)]
@@ -18,6 +19,8 @@ select-project-join queries with ``possible``), plus ``certain`` and
                 | '{' literal (',' literal)* '}'   -- uncertain alternatives
     select     := SELECT [DISTINCT] targets FROM tables [WHERE condition]
                   [UNION select]
+    conf_option:= METHOD (exact | approx | auto)
+                | EPSILON number | DELTA number | SEED number
     targets    := '*' | column (',' column)*
     tables     := name [alias] (',' name [alias])*
     condition  := disjunction of conjunctions of predicates
@@ -51,7 +54,17 @@ from __future__ import annotations
 import re
 from typing import Any, List, NamedTuple, Optional, Tuple
 
-from ..core.query import Certain, Poss, Rel, UJoin, UProject, UQuery, USelect, UUnion
+from ..core.query import (
+    Certain,
+    Conf,
+    Poss,
+    Rel,
+    UJoin,
+    UProject,
+    UQuery,
+    USelect,
+    UUnion,
+)
 from ..relational.expressions import (
     Between,
     Comparison,
@@ -187,7 +200,61 @@ class _Parser:
             return Poss(self._wrapped_select())
         if self.accept_keyword("certain"):
             return Certain(self._wrapped_select())
+        if self.accept_keyword("conf"):
+            return self._conf()
         return self.select()
+
+    # -- confidence queries ---------------------------------------------
+    _CONF_OPTIONS = ("method", "epsilon", "delta", "seed")
+
+    def _conf(self) -> Conf:
+        """``CONF (select ...) [METHOD m] [EPSILON e] [DELTA d] [SEED s]``.
+
+        The options are plain identifiers, not reserved words — columns
+        named ``method`` etc. stay usable everywhere else.  With an
+        unparenthesized select the first option word would parse as a
+        table alias, so options effectively require the parenthesized
+        form (the grammar above shows it that way).
+        """
+        query = self._wrapped_select()
+        options: dict = {}
+        while (
+            self.current.kind == TokenKind.IDENT
+            and self.current.text.lower() in self._CONF_OPTIONS
+        ):
+            name = self.advance().text.lower()
+            if name in options:
+                raise SqlSyntaxError(
+                    f"duplicate {name.upper()} option at position "
+                    f"{self.current.position}"
+                )
+            if name == "method":
+                token = self.current
+                method = self._name("a confidence method").lower()
+                if method not in Conf.METHODS:
+                    raise SqlSyntaxError(
+                        f"unknown confidence method {method!r} at position "
+                        f"{token.position} (use EXACT, APPROX, or AUTO)"
+                    )
+                options["method"] = method
+            else:
+                token = self.current
+                if token.kind != TokenKind.NUMBER:
+                    raise SqlSyntaxError(
+                        f"expected a number after {name.upper()}, found "
+                        f"{token.text!r} at position {token.position}"
+                    )
+                self.advance()
+                if name == "seed":
+                    if "." in token.text:
+                        raise SqlSyntaxError(
+                            f"SEED takes an integer, found {token.text!r} at "
+                            f"position {token.position}"
+                        )
+                    options[name] = int(token.text)
+                else:
+                    options[name] = float(token.text)
+        return Conf(query, **options)
 
     # -- index DDL ------------------------------------------------------
     def _name(self, what: str) -> str:

@@ -1,0 +1,283 @@
+"""The memoized confidence engine: exact, approximate, and auto paths.
+
+The oracle throughout is full world enumeration: the probability of a
+descriptor union is the total weight of the valuations satisfying at
+least one descriptor.  The engine must match it exactly on the exact
+path, within (epsilon, delta) on the sampled path, and the memoization
+layer must actually share work across groups.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    ConfidenceEngine,
+    Descriptor,
+    WorldTable,
+    approx_confidence,
+    assignment_space_size,
+    confidence_engine,
+    exact_confidence,
+    monte_carlo_confidence,
+)
+from repro.core.probability import EXACT_SPACE_LIMIT
+
+
+def oracle_confidence(descriptors, world):
+    """Union probability by full world enumeration."""
+    if not descriptors:
+        return 0.0
+    total = 0.0
+    for valuation in world.valuations():
+        if any(d.extended_by(valuation) for d in descriptors):
+            total += world.valuation_probability(valuation)
+    return total
+
+
+# -- strategies ---------------------------------------------------------
+@st.composite
+def prob_worlds(draw):
+    """2-3 variables, domain sizes 2-3, random (normalized) probabilities."""
+    n_vars = draw(st.integers(min_value=2, max_value=3))
+    domains = {}
+    probabilities = {}
+    for i in range(n_vars):
+        var = f"v{i}"
+        size = draw(st.integers(min_value=2, max_value=3))
+        weights = [
+            draw(st.integers(min_value=1, max_value=5)) for _ in range(size)
+        ]
+        total = sum(weights)
+        domains[var] = list(range(1, size + 1))
+        probabilities[var] = [w / total for w in weights]
+    return WorldTable(domains, probabilities=probabilities)
+
+
+@st.composite
+def descriptor_lists(draw, world):
+    variables = sorted(world.variables())
+    n = draw(st.integers(min_value=0, max_value=5))
+    out = []
+    for _ in range(n):
+        width = draw(st.integers(min_value=0, max_value=2))
+        chosen = draw(
+            st.lists(
+                st.sampled_from(variables),
+                min_size=width,
+                max_size=width,
+                unique=True,
+            )
+        )
+        out.append(
+            Descriptor(
+                {var: draw(st.sampled_from(world.domain(var))) for var in chosen}
+            )
+        )
+    return out
+
+
+@st.composite
+def worlds_and_descriptors(draw):
+    world = draw(prob_worlds())
+    return world, draw(descriptor_lists(world))
+
+
+# -- exact path ---------------------------------------------------------
+@given(worlds_and_descriptors())
+@settings(max_examples=120, deadline=None)
+def test_exact_matches_world_enumeration(case):
+    world, descriptors = case
+    assert exact_confidence(descriptors, world) == pytest.approx(
+        oracle_confidence(descriptors, world)
+    )
+
+
+@given(worlds_and_descriptors())
+@settings(max_examples=60, deadline=None)
+def test_auto_matches_exact_on_small_spaces(case):
+    world, descriptors = case
+    engine = confidence_engine(world)
+    assert engine.confidence(descriptors, method="auto") == pytest.approx(
+        engine.confidence(descriptors, method="exact")
+    )
+
+
+@given(worlds_and_descriptors())
+@settings(max_examples=40, deadline=None)
+def test_streaming_exact_matches_indexed(case):
+    """Forcing the streaming fallback (tiny exact_limit) changes nothing."""
+    world, descriptors = case
+    tight = ConfidenceEngine(world, exact_limit=1)
+    assert tight.confidence(descriptors, method="exact") == pytest.approx(
+        oracle_confidence(descriptors, world)
+    )
+
+
+def test_component_factorization_on_disjoint_variables():
+    """Descriptors over disjoint variables multiply: 1 - prod(1 - p_i)."""
+    world = WorldTable(
+        {"a": [1, 2], "b": [1, 2], "c": [1, 2]},
+        probabilities={"a": [0.2, 0.8], "b": [0.4, 0.6], "c": [0.5, 0.5]},
+    )
+    descriptors = [Descriptor(a=1), Descriptor(b=1), Descriptor(c=1)]
+    expected = 1.0 - (1 - 0.2) * (1 - 0.4) * (1 - 0.5)
+    assert exact_confidence(descriptors, world) == pytest.approx(expected)
+
+
+def test_engine_is_shared_and_memoizes_across_groups():
+    world = WorldTable(
+        {"x": [1, 2], "y": [1, 2]}, probabilities={"x": [0.3, 0.7], "y": [0.5, 0.5]}
+    )
+    engine = confidence_engine(world)
+    assert confidence_engine(world) is engine  # one engine per table
+    # singleton components go through the descriptor-probability cache
+    engine.confidence([Descriptor(x=1), Descriptor(y=1)])
+    # a connected component (shared x) exercises the indexed exact path
+    descriptors = [Descriptor(x=1), Descriptor(x=2, y=1)]
+    first = engine.confidence(descriptors)
+    hits_before = engine.stats()["cache_hits"]
+    second = engine.confidence(list(reversed(descriptors)))  # same set
+    assert second == first
+    stats = engine.stats()
+    assert stats["cache_hits"] == hits_before + 1
+    assert stats["cached_descriptors"] >= 2
+    assert stats["cached_variable_sets"] >= 1
+
+
+def test_memoized_vectors_survive_append_only_growth():
+    """add_variable never invalidates cached vectors (append-only table)."""
+    world = WorldTable({"x": [1, 2]}, probabilities={"x": [0.25, 0.75]})
+    engine = confidence_engine(world)
+    assert engine.confidence([Descriptor(x=1)]) == pytest.approx(0.25)
+    world.add_variable("y", [1, 2], probabilities=[0.5, 0.5])
+    assert engine.confidence([Descriptor(x=1), Descriptor(y=1)]) == pytest.approx(
+        1 - 0.75 * 0.5
+    )
+
+
+def test_edge_cases():
+    world = WorldTable({"x": [1, 2]}, probabilities={"x": [0.5, 0.5]})
+    engine = confidence_engine(world)
+    assert engine.confidence([]) == 0.0
+    assert engine.confidence([Descriptor()]) == 1.0
+    assert engine.confidence([Descriptor(), Descriptor(x=1)]) == 1.0
+
+
+def test_invalid_inputs_rejected():
+    world = WorldTable({"x": [1, 2]}, probabilities={"x": [0.5, 0.5]})
+    engine = confidence_engine(world)
+    with pytest.raises(ValueError):
+        engine.confidence([Descriptor(x=1)], method="magic")
+    with pytest.raises(ValueError):
+        engine.confidence([Descriptor(x=1)], method="approx", epsilon=0.0)
+    with pytest.raises(ValueError):
+        engine.confidence([Descriptor(x=1)], method="approx", delta=1.5)
+
+
+# -- assignment-space helper --------------------------------------------
+def test_assignment_space_size():
+    world = WorldTable({"x": [1, 2], "y": [1, 2, 3]})
+    assert assignment_space_size([], world) == 1
+    assert assignment_space_size(["x"], world) == 2
+    assert assignment_space_size(["x", "y"], world) == 6
+    assert assignment_space_size(["x", "y"], world, limit=5) is None
+    assert assignment_space_size(["x", "y"], world, limit=6) == 6
+    assert EXACT_SPACE_LIMIT == 1 << 16
+
+
+# -- approximate path ---------------------------------------------------
+@given(worlds_and_descriptors(), st.integers(min_value=0, max_value=5))
+@settings(max_examples=30, deadline=None)
+def test_approx_within_epsilon_on_small_cases(case, seed):
+    world, descriptors = case
+    exact = oracle_confidence(descriptors, world)
+    estimate = approx_confidence(
+        descriptors, world, epsilon=0.05, delta=0.02, seed=seed
+    )
+    # delta=0.02 over 30 examples x 6 seeds makes a miss vanishingly rare;
+    # the small slack absorbs it entirely
+    assert abs(estimate - exact) <= 0.05 + 1e-9
+
+
+def test_approx_epsilon_delta_bound_over_seeds():
+    """>= 95% of seeds land within epsilon (the advertised delta=0.05)."""
+    world = WorldTable(
+        {"x": [1, 2, 3], "y": [1, 2, 3], "z": [1, 2]},
+        probabilities={
+            "x": [0.2, 0.3, 0.5],
+            "y": [0.6, 0.3, 0.1],
+            "z": [0.45, 0.55],
+        },
+    )
+    descriptors = [
+        Descriptor(x=1, y=1),
+        Descriptor(y=1, z=1),
+        Descriptor(x=2, z=2),
+        Descriptor(x=3, y=2),
+    ]
+    exact = oracle_confidence(descriptors, world)
+    epsilon = 0.05
+    within = sum(
+        abs(approx_confidence(descriptors, world, epsilon=epsilon, delta=0.05, seed=s) - exact)
+        <= epsilon
+        for s in range(40)
+    )
+    assert within >= 38  # 95% of 40
+
+
+def test_approx_deterministic_given_seed():
+    world = WorldTable(
+        {"x": [1, 2], "y": [1, 2]}, probabilities={"x": [0.3, 0.7], "y": [0.5, 0.5]}
+    )
+    a = approx_confidence(
+        [Descriptor(x=1), Descriptor(y=1)], world, epsilon=0.05, delta=0.1, seed=11
+    )
+    b = approx_confidence(
+        [Descriptor(x=1), Descriptor(y=1)], world, epsilon=0.05, delta=0.1, seed=11
+    )
+    assert a == b
+
+
+def test_approx_estimate_stays_in_feasible_interval():
+    """Estimates are clamped to [max p_i, min(1, sum p_i)]."""
+    world = WorldTable(
+        {"x": [1, 2], "y": [1, 2]}, probabilities={"x": [0.9, 0.1], "y": [0.8, 0.2]}
+    )
+    descriptors = [Descriptor(x=1), Descriptor(y=1)]
+    for seed in range(10):
+        estimate = approx_confidence(
+            descriptors, world, epsilon=0.01, delta=0.2, seed=seed
+        )
+        assert 0.9 - 1e-12 <= estimate <= 1.0
+
+
+def test_auto_switches_to_sampling_beyond_the_space_limit():
+    """A connected component too large to enumerate is sampled under auto."""
+    world = WorldTable(
+        {"x": [1, 2], "y": [1, 2]}, probabilities={"x": [0.3, 0.7], "y": [0.5, 0.5]}
+    )
+    engine = ConfidenceEngine(world, exact_limit=2)  # 2x2 space > limit
+    descriptors = [Descriptor(x=1), Descriptor(x=2, y=1)]
+    value, used = engine.confidence_detail(
+        descriptors, method="auto", epsilon=0.02, delta=0.05, seed=0
+    )
+    assert used == "approx"
+    exact = oracle_confidence(descriptors, world)
+    assert value == pytest.approx(exact, abs=0.02 + 1e-9)
+    # singleton components never sample, even under forced approx
+    _p, used_single = engine.confidence_detail(
+        [Descriptor(x=1)], method="approx", epsilon=0.02, delta=0.05, seed=0
+    )
+    assert used_single == "exact"
+
+
+# -- the direct sampler (hoisted-domain rewrite) ------------------------
+@given(worlds_and_descriptors())
+@settings(max_examples=20, deadline=None)
+def test_monte_carlo_still_converges(case):
+    world, descriptors = case
+    exact = oracle_confidence(descriptors, world)
+    estimate = monte_carlo_confidence(descriptors, world, samples=20_000, seed=5)
+    assert estimate == pytest.approx(exact, abs=0.03)

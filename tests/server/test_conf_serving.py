@@ -1,0 +1,105 @@
+"""Serving confidence queries: wire payload, cost class, admission, trace."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.server import QueryServer
+
+from tests.conftest import build_vehicles_udb
+from tests.server.test_tcp import Client
+from tests.server.test_obs_e2e import _find, _operator_nodes
+
+CONF_SQL = "conf (select id from r where type = 'Tank') method exact"
+
+
+@pytest.fixture()
+def served():
+    udb = build_vehicles_udb()
+    server = QueryServer(udb, workers=4)
+    handle = server.serve_tcp()
+    yield server, handle.address
+    handle.close()
+    server.close()
+
+
+def test_query_op_returns_conf_payload(served):
+    _server, address = served
+    client = Client(address)
+    try:
+        answer = client.rpc(op="query", sql=CONF_SQL)
+        assert answer["ok"]
+        assert answer["columns"] == ["id", "conf"]
+        by_id = dict(map(tuple, answer["rows"]))
+        assert by_id[1] == pytest.approx(1.0)
+        assert by_id[2] == pytest.approx(0.5)
+        # the computation summary rides along on the wire
+        summary = answer["conf"]
+        assert summary["method"] == "exact"
+        assert summary["groups"] == len(answer["rows"])
+        assert summary["exact_groups"] == summary["groups"]
+        assert summary["epsilon"] == 0.01 and summary["delta"] == 0.05
+    finally:
+        client.close()
+
+
+def test_conf_queries_admit_under_their_own_class(served):
+    server, address = served
+    client = Client(address)
+    try:
+        # even a never-seen conf query classifies as "conf" (the statement
+        # shape is visible before planning), not "cold"
+        traced = client.rpc(op="trace", sql=CONF_SQL)
+        assert traced["ok"]
+        trace = traced["trace"]
+        assert trace["attrs"]["cost_class"] == "conf"
+        admission = _find(trace, "admission")
+        assert admission["attrs"]["cost_class"] == "conf"
+
+        stats = client.rpc(op="stats")
+        admission_stats = stats["stats"]["admission"]
+        assert admission_stats["conf"]["admitted"] >= 1
+        assert admission_stats["conf"]["shed"] == 0
+    finally:
+        client.close()
+
+
+def test_trace_shows_confidence_operator_actuals(served):
+    _server, address = served
+    client = Client(address)
+    try:
+        traced = client.rpc(op="trace", sql=CONF_SQL)
+        assert traced["ok"]
+        execute = _find(traced["trace"], "execute")
+        operators = execute["attrs"]["operators"]
+        assert operators["operator"] == "Confidence"
+        assert operators["actual_rows"] == len(traced["rows"])
+        # the translated child pipeline sits underneath with its own actuals
+        nodes = list(_operator_nodes(operators))
+        assert len(nodes) > 1
+    finally:
+        client.close()
+
+
+def test_approx_options_flow_through_the_wire(served):
+    _server, address = served
+    client = Client(address)
+    try:
+        answer = client.rpc(
+            op="query",
+            sql="conf (select id from r where type = 'Tank') "
+            "method approx epsilon 0.02 delta 0.1 seed 9",
+        )
+        assert answer["ok"]
+        summary = answer["conf"]
+        assert summary["method"] == "approx"
+        assert summary["epsilon"] == 0.02
+        assert summary["delta"] == 0.1
+        assert summary["seed"] == 9
+        # Figure 1 groups are singleton components: computed exactly even
+        # under forced sampling, and still within epsilon of the truth
+        by_id = dict(map(tuple, answer["rows"]))
+        assert by_id[1] == pytest.approx(1.0, abs=0.02)
+        assert by_id[4] == pytest.approx(0.5, abs=0.02)
+    finally:
+        client.close()

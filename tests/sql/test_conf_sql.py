@@ -1,0 +1,107 @@
+"""The ``conf (...)`` SQL surface: parsing, options, end-to-end execution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Conf
+from repro.core.probability import ConfidenceAnswer
+from repro.sql import SqlSyntaxError, execute_sql, parse, prepare
+from tests.conftest import build_vehicles_udb
+
+
+class TestParsing:
+    def test_defaults(self):
+        statement = parse("conf (select type from r)")
+        assert isinstance(statement, Conf)
+        assert statement.method == "auto"
+        assert statement.epsilon == 0.01
+        assert statement.delta == 0.05
+        assert statement.seed == 0
+        assert statement.attributes[-1] == "conf"
+
+    def test_all_options(self):
+        statement = parse(
+            "conf (select type from r) method approx epsilon 0.02 delta 0.1 seed 7"
+        )
+        assert statement.method == "approx"
+        assert statement.epsilon == 0.02
+        assert statement.delta == 0.1
+        assert statement.seed == 7
+
+    def test_option_order_is_free(self):
+        statement = parse("conf (select type from r) seed 3 method exact")
+        assert statement.method == "exact"
+        assert statement.seed == 3
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises((SqlSyntaxError, ValueError)):
+            parse("conf (select type from r) method magic")
+
+    def test_duplicate_option_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("conf (select type from r) seed 1 seed 2")
+
+    def test_fractional_seed_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("conf (select type from r) seed 1.5")
+
+    def test_conf_of_certain_rejected(self):
+        with pytest.raises(ValueError):
+            parse("conf (certain (select type from r))")
+
+    def test_conf_wraps_a_bare_select_only(self):
+        # the grammar is CONF '(' select ')': modality nesting happens at
+        # the query level (Conf unwraps Poss), not in SQL text
+        with pytest.raises(SqlSyntaxError):
+            parse("conf (possible (select type from r))")
+
+
+class TestExecution:
+    @pytest.fixture()
+    def udb(self):
+        return build_vehicles_udb()
+
+    def test_end_to_end(self, udb):
+        answer = execute_sql(
+            "conf (select id from r where type = 'Tank') method exact", udb
+        )
+        assert isinstance(answer, ConfidenceAnswer)
+        assert answer.schema.names == ["id", "conf"]
+        # Figure 1: vehicle a (id 1) is certainly a Tank; ids 2 and 3 are
+        # Tanks in the x=2 / x=1 halves, and id 4 in the y=1 half
+        by_id = dict(answer.rows)
+        assert by_id[1] == pytest.approx(1.0)
+        assert by_id[2] == pytest.approx(0.5)
+        assert by_id[3] == pytest.approx(0.5)
+        assert by_id[4] == pytest.approx(0.5)
+        confs = [row[-1] for row in answer.rows]
+        assert confs == sorted(confs, reverse=True)
+        assert answer.conf["method"] == "exact"
+        assert answer.conf["groups"] == len(answer.rows)
+
+    def test_statement_cache_reuses_parse_and_plan(self, udb):
+        sql = "conf (select type from r) method exact"
+        first = execute_sql(sql, udb)
+        assert sql in udb._statements
+        second = execute_sql(sql, udb)
+        assert list(first.rows) == list(second.rows)
+
+    def test_prepared_conf_query(self, udb):
+        sql = "conf (select id from r where type = $1) method exact"
+        prepared = prepare(sql, udb)
+        tanks = prepared.run("Tank")
+        assert isinstance(tanks, ConfidenceAnswer)
+        assert list(tanks.rows) == [
+            (1, pytest.approx(1.0)),
+            (2, pytest.approx(0.5)),
+            (3, pytest.approx(0.5)),
+            (4, pytest.approx(0.5)),
+        ]
+        missing = prepared.run("Submarine")
+        assert list(missing.rows) == []
+
+    def test_auto_matches_exact_here(self, udb):
+        auto = execute_sql("conf (select type from r)", udb)
+        exact = execute_sql("conf (select type from r) method exact", udb)
+        assert list(auto.rows) == list(exact.rows)
