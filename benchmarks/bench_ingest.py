@@ -219,6 +219,122 @@ def test_ingest_mixed_throughput():
     print("\ningest throughput:", json.dumps(payload["rps"], indent=2))
 
 
+"""Compaction phase: 5k statements of churn, then VACUUM, then the gate —
+post-compaction point lookups must be within 1.2x of a fresh load of the
+same logical content.  A compacted stack that stays slower than a rebuilt
+one would mean compaction is not actually reclaiming the read path."""
+
+CHURN_STATEMENTS = 5_000
+LOOKUP_TRIALS = 5
+LOOKUPS_PER_TRIAL = 300
+
+
+def _median_lookup_seconds(udb, keys) -> float:
+    """Best-of-trials median latency of one prepared point lookup."""
+    from repro.sql import prepare
+
+    prepared = prepare(LOOKUP_SQL, udb)
+    prepared.run(keys[0])  # warm: plan once, fault in indexes
+    best = float("inf")
+    for _ in range(LOOKUP_TRIALS):
+        samples = []
+        for i in range(LOOKUPS_PER_TRIAL):
+            key = keys[i % len(keys)]
+            started = time.perf_counter()
+            prepared.run(key)
+            samples.append(time.perf_counter() - started)
+        samples.sort()
+        best = min(best, samples[len(samples) // 2])
+    return best
+
+
+def test_compaction_restores_point_lookup_latency():
+    """Churn -> VACUUM returns every partition to one clean segment, and
+    point lookups on the compacted store run within 1.2x of a fresh load
+    of identical content."""
+    from repro.sql import execute_sql, prepare
+
+    udb = _items_udb()
+    add = prepare(INSERT_SQL, udb)
+    bump = prepare("update items set grp = $2 where id = $1", udb)
+    drop = prepare("delete from items where id = $1", udb)
+    next_id = SEED_ROWS
+    live_churn: list = []
+    for i in range(CHURN_STATEMENTS):
+        step = i % 5
+        if step == 3 and live_churn:
+            bump.run(live_churn[i % len(live_churn)], f"g{i % 17}")
+        elif step == 4 and len(live_churn) > 1:
+            drop.run(live_churn.pop(i % len(live_churn)))
+        else:
+            add.run(next_id, f"g{next_id % 17}")
+            live_churn.append(next_id)
+            next_id += 1
+
+    health = udb.segment_health(publish=False)
+    segments_before = sum(h["segment_count"] for h in health.values())
+    assert segments_before > len(health), "churn produced no segment stacks"
+
+    started = time.perf_counter()
+    result = udb.compact()
+    vacuum_seconds = time.perf_counter() - started
+    for name, h in udb.segment_health(publish=False).items():
+        assert h["segment_count"] == 1, f"{name} still stacked: {h}"
+        assert h["deleted_ratio"] == 0.0, f"{name} still carries dead rows: {h}"
+
+    # the fresh-load twin: identical logical content, built in one shot
+    rows = execute_sql("possible (select id, grp from items)", udb).rows
+    fresh = UDatabase()
+    tid = tid_column("items")
+    fresh.add_relation(
+        "items",
+        ["id", "grp"],
+        [
+            URelation.build(
+                [(Descriptor(), t, (row[0],)) for t, row in enumerate(rows)],
+                tid,
+                ["id"],
+            ),
+            URelation.build(
+                [(Descriptor(), t, (row[1],)) for t, row in enumerate(rows)],
+                tid,
+                ["grp"],
+            ),
+        ],
+    )
+    fresh.build_indexes()
+
+    keys = [row[0] for row in rows[:: max(1, len(rows) // 97)]]
+    for key in keys[:5]:  # same answers before timing anything
+        compacted_answer = sorted(map(tuple, execute_sql(LOOKUP_SQL, udb, params=[key]).rows))
+        fresh_answer = sorted(map(tuple, execute_sql(LOOKUP_SQL, fresh, params=[key]).rows))
+        assert compacted_answer == fresh_answer, key
+
+    compacted_s = _median_lookup_seconds(udb, keys)
+    fresh_s = _median_lookup_seconds(fresh, keys)
+    ratio = compacted_s / max(fresh_s, 1e-9)
+    assert ratio <= 1.2, (
+        f"post-compaction lookups are {ratio:.2f}x a fresh load "
+        f"({compacted_s * 1e6:.1f}us vs {fresh_s * 1e6:.1f}us)"
+    )
+
+    payload = {
+        "phase": "compaction",
+        "churn_statements": CHURN_STATEMENTS,
+        "segments_before_vacuum": segments_before,
+        "rows_dropped": result.rows_dropped,
+        "vacuum_seconds": round(vacuum_seconds, 4),
+        "lookup_median_us": {
+            "compacted": round(compacted_s * 1e6, 2),
+            "fresh_load": round(fresh_s * 1e6, 2),
+        },
+        "latency_ratio": round(ratio, 3),
+        "gate": "<= 1.2x fresh load",
+    }
+    append_ingest_run(payload)
+    print("\ncompaction gate:", json.dumps(payload, indent=2))
+
+
 def test_read_only_serving_numbers_did_not_regress():
     """No-regression gate on the read-only numbers: the latest
     ``BENCH_serve.json`` run (refreshed by ``make bench-serve`` earlier in

@@ -53,6 +53,7 @@ __all__ = [
     "Update",
     "Delete",
     "insert_rows",
+    "copy_rows",
     "update_where",
     "delete_where",
     "execute_dml",
@@ -233,11 +234,36 @@ def insert_rows(udb, name: str, value_rows: Sequence[Sequence[Any]]) -> DMLResul
     alternative lists.  Every vertical partition receives the sub-row for
     its value columns under one fresh shared tuple id, so inserted tuples
     are complete in every world that picks an alternative.
+
+    A multi-row ``VALUES`` list is one batch: per partition the whole
+    statement appends ONE segment and the publish is one
+    ``replace_partitions`` swap — exactly one ``bump_relation`` per
+    touched partition relation, however many rows the statement carries.
     """
+    return _stage_insert(udb, name, value_rows, "insert")
+
+
+@_counted
+def copy_rows(udb, name: str, rows) -> DMLResult:
+    """Bulk-ingest an iterable of logical tuples as one batch (``COPY``).
+
+    The streaming sibling of a multi-row INSERT: ``rows`` (any iterable,
+    materialized here) lands as one appended segment per partition and
+    one catalog publish, metered under ``op="copy"``.  Rows follow INSERT
+    cell rules, uncertain alternative lists included.
+    """
+    with udb._write_lock:
+        return _stage_insert(udb, name, list(rows), "copy")
+
+
+def _stage_insert(
+    udb, name: str, value_rows: Sequence[Sequence[Any]], op: str
+) -> DMLResult:
+    """The shared INSERT/COPY body: stage one segment per partition, swap once."""
     schema = udb.logical_schema(name)
     parts = udb.partitions(name)
     if not value_rows:
-        return DMLResult("insert", 0)
+        return DMLResult(op, 0)
     width = len(schema.attributes)
     tid = udb.allocate_tids(name, len(value_rows))
     minted: List[Tuple[str, UncertainValue]] = []
@@ -299,7 +325,7 @@ def insert_rows(udb, name: str, value_rows: Sequence[Sequence[Any]]) -> DMLResul
     for var, value in minted:
         udb.world_table.add_variable(var, tuple(range(len(value.alternatives))))
     udb.replace_partitions(name, new_parts)
-    return DMLResult("insert", len(value_rows), tuple(var for var, _ in minted))
+    return DMLResult(op, len(value_rows), tuple(var for var, _ in minted))
 
 
 def _matching_tids(udb, name: str, condition: Optional[Expression]) -> set:

@@ -1,47 +1,65 @@
-"""Saving and loading U-relational databases (log-structured).
+"""Saving and loading U-relational databases (log-structured, crash-safe).
 
 A :class:`~repro.core.udatabase.UDatabase` persists to a directory whose
 layout mirrors the in-memory write path: every vertical partition is a
 list of **immutable segments** plus a **delete vector**, so saving after
-DML appends new segment files and rewrites vectors — it never rewrites a
-base segment.
+DML appends new segment files and rewrites the manifest — it never
+rewrites a base segment.
 
-Segment-log layout (manifest format v2)::
+Segment-log layout (manifest format v3)::
 
     <dir>/
       manifest.csv                  relation, attributes, partition_values,
-                                    part, d_width, segments ("id:rows|...")
+                                    part, d_width, segments ("id:rows|..."),
+                                    deleted ("ordinal|..." — the delete
+                                    vector, inline since v3)
       indexes.csv                   secondary-index definitions
       w.csv                         the world table (Var, Rng[, P])
       u_<relation>_<attributes>/    one directory per partition
         seg_000000.csv              the base segment (typed CSV)
         seg_000001.csv              one file per appended segment
-        deleted.csv                 global ordinals marked deleted (absent
-                                    when the delete vector is empty)
 
 Write-path contract:
 
 * **Segments are immutable**: a ``seg_<id>.csv`` whose row count matches
   the manifest entry is never rewritten — save after N inserts leaves
   every base segment file byte-identical and writes only the new
-  appended-segment files.  A save directory therefore belongs to one
-  database *lineage* (load → DML → save back); to save an unrelated
-  database under the same path, start from an empty directory.
-* **Delete vectors are tiny and rewritten every save** (``deleted.csv``
-  holds one global ordinal per row, over the concatenation of all
-  segment rows in segment order; the file is removed when no tuple is
-  deleted).
-* **The manifest is versioned by its header**: v2 rows carry a ``part``
-  directory and a ``segments`` column (``"<id>:<rows>|..."``).  v1
-  directories — written before the segment log existed, one whole-CSV
-  ``file`` per partition — are detected by their ``file`` column and
-  load unchanged (each becomes a single base segment in memory, so the
-  *next* save upgrades them to the v2 layout in a fresh directory or
-  in place with the whole old CSV left behind as dead weight).
+  appended-segment files.  Segment ids are never reused within a lineage
+  (compaction's fresh base takes an id past every existing one), so a
+  new save never overwrites a file an older manifest still references.
+  A save directory therefore belongs to one database *lineage* (load →
+  DML → save back); to save an unrelated database under the same path,
+  start from an empty directory.
+* **The manifest rename is the commit point.**  A save proceeds in three
+  phases: (1) write every new segment file — the current manifest does
+  not reference them, so a crash here leaves the directory loading at
+  exactly its pre-save state; (2) write ``manifest.csv`` (and ``w.csv``
+  / ``indexes.csv``) to a temporary sibling and ``os.replace`` it into
+  place — POSIX-atomic, so :func:`load_udatabase` only ever sees the
+  complete old manifest or the complete new one, never a torn file;
+  (3) **garbage-collect**: delete segment files the *new* manifest no
+  longer references (compacted-away stacks) and stale v2 ``deleted.csv``
+  files — only after the rename, so a crash any time before phase 3
+  leaves every file the committed manifest needs, and a crash during
+  phase 3 merely leaves unreferenced files for the next save to sweep.
+* **Delete vectors live inside the manifest** (v3): the ``deleted``
+  column holds the global ordinals (over the concatenation of all
+  segment rows in segment order) marked dead.  Inline storage is what
+  makes the rename atomic for UPDATE/DELETE too — the new segment list
+  and the new delete vector commit in the same ``os.replace``, so no
+  intermediate "rows appended but predecessors not yet deleted" state is
+  ever visible on disk.
+* **Older formats load unchanged.**  The manifest is versioned by its
+  header: v2 rows lack the ``deleted`` column and read their vector from
+  the partition's ``deleted.csv``; v1 directories — written before the
+  segment log existed, one whole-CSV ``file`` per partition — are
+  detected by their ``file`` column and load as single-base-segment
+  relations.  The next save upgrades either format to v3 in place
+  (sweeping ``deleted.csv`` files in its GC phase).
 
 ``indexes.csv`` records every secondary index *definition* — built or
 still pending from lazy auto-indexing — keyed by partition directory
-(v2) or partition file (v1), plus the definitions on the ``w``
+(v2+) or partition file (v1), plus the definitions on the ``w``
 world-table snapshot (recorded under ``w.csv``).  Saving never forces a
 deferred index build, and loading defers every recorded definition
 again, so a save/load round trip costs no index construction at all.
@@ -53,8 +71,9 @@ both world-table growth and the round trip.
 from __future__ import annotations
 
 import csv
+import os
 import pathlib
-from typing import Dict, List, Tuple, Union
+from typing import Dict, List, Set, Tuple, Union
 
 from ..relational.csvio import read_csv, write_csv
 from ..relational.index import attached_index_defs, defer_index
@@ -68,14 +87,19 @@ __all__ = ["save_udatabase", "load_udatabase"]
 
 PathLike = Union[str, pathlib.Path]
 
-_MANIFEST_HEADER_V2 = [
+_MANIFEST_HEADER_V3 = [
     "relation",
     "attributes",
     "partition_values",
     "part",
     "d_width",
     "segments",
+    "deleted",
 ]
+
+#: Seam for the atomic-rename commit (fault-injection tests monkeypatch
+#: this to crash a save between phases).
+_rename = os.replace
 
 
 def _segment_filename(segment_id: int) -> str:
@@ -97,52 +121,52 @@ def _csv_data_rows(path: pathlib.Path) -> int:
     return max(0, count - 1)
 
 
+def _commit_rows(path: pathlib.Path, header: List[str], rows: List[Tuple]) -> None:
+    """Write a CSV to a temporary sibling and atomically rename into place."""
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+    _rename(tmp, path)
+
+
 def save_udatabase(udb: UDatabase, directory: PathLike) -> None:
     """Write a U-relational database as a segment log (see module doc).
 
-    Idempotent and incremental: re-saving into the directory of an
-    earlier save of the same database lineage rewrites the manifest, the
-    world table, and the delete vectors, but skips every segment file
-    already present with the expected row count — base segments stay
-    byte-identical across saves.
+    Idempotent, incremental, and crash-safe: new segment files land
+    first, the manifest rename commits them (with the delete vectors
+    inline), and only then are segment files the new manifest dropped —
+    compacted-away stacks — garbage-collected.  Re-saving skips every
+    segment file already present with the expected row count, so base
+    segments stay byte-identical across saves.
     """
     directory = pathlib.Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
 
-    has_probabilities = _has_nonuniform_probabilities(udb.world_table)
-    write_csv(
-        udb.world_table.relation(with_probabilities=has_probabilities),
-        directory / "w.csv",
-    )
-
-    manifest_rows: List[Tuple[str, str, str, str, int, str]] = []
+    manifest_rows: List[Tuple[str, str, str, str, int, str, str]] = []
     index_rows: List[Tuple[str, str, str, str]] = []
+    referenced: Dict[pathlib.Path, Set[str]] = {}
     for name in udb.relation_names():
         schema = udb.logical_schema(name)
         for part in udb.partitions(name):
             part_key = f"u_{name}_" + "_".join(part.value_names)
             part_dir = directory / part_key
             part_dir.mkdir(exist_ok=True)
+            keep = referenced.setdefault(part_dir, set())
             relation = part.relation
             entries: List[str] = []
             for segment in relation.segments():
                 entries.append(f"{segment.segment_id}:{len(segment.rows)}")
-                target = part_dir / _segment_filename(segment.segment_id)
+                filename = _segment_filename(segment.segment_id)
+                keep.add(filename)
+                target = part_dir / filename
                 if target.exists() and _csv_data_rows(target) == len(segment.rows):
                     continue  # immutable segment already persisted
                 write_csv(
                     Relation.from_trusted(relation.schema, list(segment.rows)),
                     target,
                 )
-            deleted = sorted(relation.deleted_ordinals())
-            deleted_path = part_dir / "deleted.csv"
-            if deleted:
-                write_csv(
-                    Relation(Schema(("ordinal",)), [(o,) for o in deleted]),
-                    deleted_path,
-                )
-            elif deleted_path.exists():
-                deleted_path.unlink()
             manifest_rows.append(
                 (
                     name,
@@ -151,6 +175,7 @@ def save_udatabase(udb: UDatabase, directory: PathLike) -> None:
                     part_key,
                     part.d_width,
                     "|".join(entries),
+                    "|".join(str(o) for o in sorted(relation.deleted_ordinals())),
                 )
             )
             for columns, kind, idx_name in attached_index_defs(relation):
@@ -167,19 +192,35 @@ def save_udatabase(udb: UDatabase, directory: PathLike) -> None:
         if row not in index_rows:
             index_rows.append(row)
 
-    with open(directory / "manifest.csv", "w", newline="", encoding="utf-8") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(_MANIFEST_HEADER_V2)
-        writer.writerows(manifest_rows)
+    # -- commit phase: each file lands whole via temp-write + atomic
+    # rename; the manifest rename is THE commit point for segment state
+    has_probabilities = _has_nonuniform_probabilities(udb.world_table)
+    world = udb.world_table.relation(with_probabilities=has_probabilities)
+    world_tmp = directory / "w.csv.tmp"
+    write_csv(world, world_tmp)
+    _rename(world_tmp, directory / "w.csv")
 
-    with open(directory / "indexes.csv", "w", newline="", encoding="utf-8") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(["file", "index", "columns", "kind"])
-        writer.writerows(index_rows)
+    _commit_rows(directory / "manifest.csv", _MANIFEST_HEADER_V3, manifest_rows)
+    _commit_rows(
+        directory / "indexes.csv", ["file", "index", "columns", "kind"], index_rows
+    )
+
+    # -- GC phase: only now drop what the committed manifest no longer
+    # references (old segment stacks replaced by a compacted base, and
+    # v2 deleted.csv files superseded by the inline vectors)
+    for part_dir, keep in referenced.items():
+        for child in part_dir.glob("seg_*.csv"):
+            if child.name not in keep:
+                child.unlink()
+        stale = part_dir / "deleted.csv"
+        if stale.exists():
+            stale.unlink()
 
 
-def _load_partition_v2(directory: pathlib.Path, entry: Dict[str, str]) -> Relation:
-    """Assemble one partition relation from its segment directory."""
+def _load_partition_segmented(
+    directory: pathlib.Path, entry: Dict[str, str]
+) -> Relation:
+    """Assemble one partition relation from its segment directory (v2/v3)."""
     part_dir = directory / entry["part"]
     segments: List[Segment] = []
     schema = None
@@ -196,19 +237,25 @@ def _load_partition_v2(directory: pathlib.Path, entry: Dict[str, str]) -> Relati
         segments.append(Segment(int(segment_id), tuple(loaded.rows)))
     if schema is None:
         raise ValueError(f"{part_dir}: manifest lists no segments")
-    deleted_path = part_dir / "deleted.csv"
-    deleted: List[int] = []
-    if deleted_path.exists():
-        deleted = [row[0] for row in read_csv(deleted_path).rows]
+    if "deleted" in entry:  # v3: the delete vector is inline
+        spec = entry["deleted"]
+        deleted = [int(o) for o in spec.split("|")] if spec else []
+    else:  # v2: a sidecar file per partition
+        deleted_path = part_dir / "deleted.csv"
+        deleted = (
+            [row[0] for row in read_csv(deleted_path).rows]
+            if deleted_path.exists()
+            else []
+        )
     return Relation.from_segments(schema, segments, deleted)
 
 
 def load_udatabase(directory: PathLike) -> UDatabase:
     """Load a U-relational database saved by :func:`save_udatabase`.
 
-    Reads both manifest formats: v2 segment-log directories and the
-    pre-segment v1 layout (one whole CSV per partition), which loads as
-    single-base-segment relations.
+    Reads all three manifest formats: v3 (inline delete vectors), v2
+    (``deleted.csv`` sidecars), and the pre-segment v1 layout (one whole
+    CSV per partition), which loads as single-base-segment relations.
     """
     directory = pathlib.Path(directory)
     world_relation = read_csv(directory / "w.csv")
@@ -220,7 +267,7 @@ def load_udatabase(directory: PathLike) -> UDatabase:
         header = next(reader)
         entries = [dict(zip(header, row)) for row in reader]
 
-    segmented = "segments" in header  # v2; v1 has a whole-CSV "file" column
+    segmented = "segments" in header  # v2/v3; v1 has a whole-CSV "file" column
     grouped: Dict[str, Tuple[List[str], List[URelation]]] = {}
     by_key: Dict[str, Relation] = {}
     for entry in entries:
@@ -229,7 +276,7 @@ def load_udatabase(directory: PathLike) -> UDatabase:
         values = entry["partition_values"].split("|")
         if segmented:
             key = entry["part"]
-            relation = _load_partition_v2(directory, entry)
+            relation = _load_partition_segmented(directory, entry)
         else:
             key = entry["file"]
             relation = read_csv(directory / key)

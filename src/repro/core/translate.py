@@ -561,6 +561,11 @@ def _cached_physical(
     key = query_cache_key(
         query, udb, optimize, prefer_merge_join, mode, use_indexes, parallel
     )
+    # captured before translation resolves any relation: the store below
+    # only commits if no catalog *swap* landed in between (see cache_store).
+    # Identity, not version: this planning's own lazy index builds bump the
+    # version in place without making the plan stale, and must still store
+    catalog_before = udb.catalog_identity()
     with obs_span("plan") as sp:
         cached = cache_lookup(key)
         if cached is not None:
@@ -624,6 +629,7 @@ def _cached_physical(
             pins=(udb, query),
             cost_class=cost_class_of(physical),
             plan_cost=time.perf_counter() - started,
+            guard=lambda: udb.catalog_identity() == catalog_before,
         )
     return payload, False, key
 

@@ -15,13 +15,27 @@ from __future__ import annotations
 
 import itertools
 import threading
-from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+import time
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..relational.database import Database
 from ..relational.index import (
     attach_index,
     build_index,
     built_indexes_on,
+    carry_index_defs,
     defer_index,
     ensure_index,
     indexes_on,
@@ -33,7 +47,70 @@ from .descriptor import Descriptor
 from .urelation import URelation, tid_column
 from .worldtable import WorldTable
 
-__all__ = ["UDatabase", "LogicalSchema"]
+__all__ = ["UDatabase", "LogicalSchema", "CompactionPolicy", "CompactionResult"]
+
+
+class CompactionPolicy:
+    """The configurable bar a partition must cross to be worth compacting.
+
+    A partition is *due* when its segment stack has grown past
+    ``segment_limit`` appended segments, or when at least ``min_deleted``
+    rows are dead and they make up ``deleted_ratio`` or more of everything
+    ever appended.  The inputs are exactly what
+    :meth:`UDatabase.segment_health` publishes, so a trigger (the server's
+    background hook, a cron, an operator reading the gauges) needs no
+    other state.
+    """
+
+    __slots__ = ("segment_limit", "deleted_ratio", "min_deleted")
+
+    def __init__(
+        self,
+        segment_limit: int = 8,
+        deleted_ratio: float = 0.3,
+        min_deleted: int = 1,
+    ):
+        if segment_limit < 1:
+            raise ValueError("segment_limit must be at least 1")
+        self.segment_limit = int(segment_limit)
+        self.deleted_ratio = float(deleted_ratio)
+        self.min_deleted = int(min_deleted)
+
+    def due(self, health: Mapping[str, Any]) -> bool:
+        """Whether one partition's health record crosses the bar."""
+        if health["segment_count"] > self.segment_limit:
+            return True
+        return (
+            health["deleted_rows"] >= self.min_deleted
+            and health["deleted_ratio"] >= self.deleted_ratio
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CompactionPolicy(segment_limit={self.segment_limit}, "
+            f"deleted_ratio={self.deleted_ratio}, min_deleted={self.min_deleted})"
+        )
+
+
+class CompactionResult(NamedTuple):
+    """What one :meth:`UDatabase.compact` run (a ``VACUUM``) accomplished.
+
+    ``relations`` names the logical relations that had at least one
+    partition rewritten; ``partitions`` counts rewritten partitions,
+    ``segments_before`` how many segments they held going in (each comes
+    out holding one), and ``rows_dropped`` how many dead rows the rewrite
+    reclaimed.  An all-compact database yields the zero result.
+    """
+
+    relations: Tuple[str, ...]
+    partitions: int
+    segments_before: int
+    rows_dropped: int
+    seconds: float
+
+    @property
+    def changed(self) -> bool:
+        return self.partitions > 0
 
 
 class LogicalSchema:
@@ -166,6 +243,10 @@ class UDatabase:
         #: relation objects).  RLock because UPDATE/DELETE matching runs a
         #: translated query while the statement holds the lock.
         self._write_lock = threading.RLock()
+        #: The database-level open :class:`~repro.core.txn.Transaction`
+        #: serving direct ``execute_sql`` BEGIN/COMMIT/ROLLBACK callers;
+        #: server sessions carry their own per-connection transaction.
+        self._active_txn = None
 
     @property
     def catalog_version(self) -> int:
@@ -320,6 +401,121 @@ class UDatabase:
         with self._write_lock:
             return insert_rows(self, name, rows)
 
+    def copy_rows(self, name: str, rows: Iterable[Sequence[Any]]):
+        """Bulk-ingest many logical tuples as ONE appended segment.
+
+        The streaming-ingest funnel: semantically identical to inserting
+        every row of ``rows`` one statement at a time, but the whole batch
+        builds a single segment per partition and publishes with a single
+        :meth:`replace_partitions` swap — exactly one ``bump_relation``
+        per touched partition relation, so the plan cache invalidates
+        once per batch instead of once per row.  Metered under the
+        ``copy`` DML op.  See :func:`repro.core.dml.copy_rows`.
+        """
+        from .dml import copy_rows
+
+        with self._write_lock:
+            return copy_rows(self, name, rows)
+
+    def compact(self, table: Optional[str] = None) -> CompactionResult:
+        """Rewrite segment stacks into single base segments (``VACUUM``).
+
+        For every partition of ``table`` (or of every relation when
+        ``None``) that holds more than one segment or any deleted rows,
+        build a replacement relation whose live rows sit in one fresh base
+        segment (:meth:`~repro.relational.relation.Relation.compacted`)
+        and swap it in through :meth:`replace_partitions` under the write
+        lock.  Readers and pinned snapshots keep the old immutable
+        relation objects; the swap is one catalog bump per rewritten
+        partition, indistinguishable from any other write.  Index
+        definitions carry over (re-deferred — compaction renumbers
+        ordinals, so structures rebuild lazily on next planner access) and
+        statistics recompute lazily for the new relation objects.  The
+        world table is never touched.
+
+        Emits ``compactions_total`` (per rewritten relation) and observes
+        ``compaction_seconds``.
+        """
+        from ..obs import counter, histogram
+
+        if table is not None:
+            self.logical_schema(table)  # unknown table: raise before locking
+        started = time.perf_counter()
+        names = [table] if table is not None else self.relation_names()
+        compacted: List[str] = []
+        partitions_rewritten = 0
+        segments_before = 0
+        rows_dropped = 0
+        with self._write_lock:
+            for name in names:
+                parts = self.partitions(name)
+                replacements: List[URelation] = []
+                changed = False
+                for part in parts:
+                    relation = part.relation
+                    rewritten = relation.compacted()
+                    if rewritten is relation:
+                        replacements.append(part)
+                        continue
+                    segments_before += len(relation.segments())
+                    rows_dropped += len(relation.deleted_ordinals())
+                    # ordinals changed wholesale: carry the definitions,
+                    # rebuild the structures lazily on first planner access
+                    carry_index_defs(relation, rewritten)
+                    replacements.append(
+                        URelation(
+                            rewritten, part.d_width, part.tid_names, part.value_names
+                        )
+                    )
+                    partitions_rewritten += 1
+                    changed = True
+                if changed:
+                    self.replace_partitions(name, replacements)
+                    compacted.append(name)
+        seconds = time.perf_counter() - started
+        if compacted:
+            total = counter(
+                "compactions_total", "Partition-stack rewrites, by relation"
+            )
+            for name in compacted:
+                total.inc(relation=name)
+            histogram(
+                "compaction_seconds", "Wall seconds per compaction run"
+            ).observe(seconds)
+        return CompactionResult(
+            tuple(compacted), partitions_rewritten, segments_before, rows_dropped,
+            seconds,
+        )
+
+    def maybe_compact(
+        self, policy: Optional[CompactionPolicy] = None
+    ) -> CompactionResult:
+        """Compact exactly the relations whose health crosses ``policy``.
+
+        The threshold half of the compaction story: reads
+        :meth:`segment_health` (without republishing gauges), asks the
+        :class:`CompactionPolicy` which partitions are due, and compacts
+        the owning relations.  Cheap when nothing is due — no lock taken,
+        the zero :class:`CompactionResult` returned.
+        """
+        policy = policy or CompactionPolicy()
+        due: List[str] = []
+        for key, health in self.segment_health(publish=False).items():
+            name = key.rsplit("/part", 1)[0]
+            if name not in due and policy.due(health):
+                due.append(name)
+        if not due:
+            return CompactionResult((), 0, 0, 0, 0.0)
+        started = time.perf_counter()
+        results = [self.compact(name) for name in due]
+        return CompactionResult(
+            tuple(n for r in results for n in r.relations),
+            sum(r.partitions for r in results),
+            sum(r.segments_before for r in results),
+            sum(r.rows_dropped for r in results),
+            time.perf_counter() - started,
+        )
+
     @classmethod
     def from_certain(
         cls, relations: Mapping[str, Relation], world_table: Optional[WorldTable] = None
@@ -349,6 +545,22 @@ class UDatabase:
     def partitions(self, name: str) -> List[URelation]:
         self.logical_schema(name)
         return list(self._partitions[name])
+
+    def catalog_identity(self) -> Dict[str, Tuple[int, ...]]:
+        """The identity map of every partition relation object.
+
+        Answer-changing catalog mutations (DML publishes, compaction,
+        table replacement) swap relation *objects*; access-path mutations
+        (lazy index builds, statistics refreshes) mutate the same objects
+        in place.  The identity map therefore moves exactly when answers
+        may move — the discriminator :attr:`catalog_version` (bumped by
+        both kinds) cannot be.  Consumed by the planner's cache-store
+        guard and by session snapshot validation.
+        """
+        return {
+            name: tuple(id(part.relation) for part in parts)
+            for name, parts in self._partitions.items()
+        }
 
     def segment_health(self, publish: bool = True) -> Dict[str, Dict[str, Any]]:
         """Per-partition write-path health, optionally published as gauges.

@@ -426,6 +426,7 @@ def cache_store(
     pins: Tuple = (),
     cost_class: str = "scan",
     plan_cost: float = 0.0,
+    guard: Optional[Callable[[], bool]] = None,
 ) -> None:
     """Insert a planned payload under ``key`` (``None`` key: not cached).
 
@@ -434,6 +435,17 @@ def cache_store(
     (a lazy index build, say) self-describes correctly.  ``plan_cost``
     (seconds spent planning) weights eviction; ``cost_class`` is the
     admission classification served back by :func:`cached_cost_class`.
+
+    ``guard`` closes the catalog-resolution race: a planner that resolved
+    its relations from a live catalog, then lost the CPU while a writer
+    swapped that catalog, would otherwise store a plan over the *old*
+    relation objects — recording their already-bumped epochs, so the
+    entry self-describes as valid and serves stale answers forever.
+    The guard (e.g. ``catalog_version`` unchanged since before planning)
+    runs under the cache lock — the same lock :func:`bump_relation` holds
+    across its epoch bump, version bump, and eviction sweep — so either
+    the swap committed first and the guard refuses the insert, or the
+    insert lands first and the swap's sweep evicts it.
     """
     if key is None:
         return
@@ -442,6 +454,8 @@ def cache_store(
         cost_class, plan_cost,
     )
     with _lock:
+        if guard is not None and not guard():
+            return  # the catalog moved mid-planning: unsafe to cache
         old = _entries.get(key)
         if old is not None:
             _remove(old)

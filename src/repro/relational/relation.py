@@ -225,6 +225,30 @@ class Relation:
             self.deleted_ordinals(),
         )
 
+    def compacted(self) -> "Relation":
+        """A new relation value with every live row in one fresh base segment.
+
+        The write path's merge step: the segment stack and delete vector
+        collapse into a single segment holding exactly ``rows``.  Returns
+        ``self`` when already compact (one segment, nothing deleted), so
+        callers can detect no-ops by identity.
+
+        The base segment takes a *fresh* id (one past the highest existing
+        id) rather than restarting at 0: persistence names segment files by
+        id, so the compacted base never collides with an old segment file
+        on disk — the save writes it alongside the old files and commits by
+        swapping the manifest atomically (see :mod:`repro.core.persist`).
+        """
+        segments = self.segments()
+        if len(segments) == 1 and not self.deleted_ordinals():
+            return self
+        base = Segment(max(s.segment_id for s in segments) + 1, tuple(self.rows))
+        cached = getattr(self, "_columns", None)
+        if cached is not None:
+            # the live-row column vectors ARE the new base's columns
+            base._columns = cached
+        return Relation.from_segments(self.schema, (base,), ())
+
     def with_deleted(self, live_positions: Iterable[int]) -> "Relation":
         """A new relation value with the given live rows marked deleted.
 

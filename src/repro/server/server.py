@@ -34,10 +34,27 @@ DML (INSERT/UPDATE/DELETE) rides the same ``query``/``prepare``/
 *never* coalesced — two identical INSERTs are two writes, not one shared
 flight.
 
-A shed request answers ``{"ok": false, "kind": "overloaded", ...}``
+Transaction control and maintenance ride the ``query`` op too::
+
+    -> {"op": "query", "sql": "begin"}
+    <- {"ok": true, "txn": {"status": "open", "statements": 0, ...}}
+    -> {"op": "query", "sql": "commit"}
+    <- {"ok": true, "txn": {"status": "committed", "statements": 2,
+                             "relations": ["r"], "variables": []}}
+    -> {"op": "query", "sql": "vacuum r"}
+    <- {"ok": true, "vacuum": {"relations": ["r"], "partitions": 1, ...}}
+
+A commit that loses the first-updater race answers ``{"ok": false,
+"kind": "conflict", ...}`` (the transaction is rolled back).  A shed
+request answers ``{"ok": false, "kind": "overloaded", ...}``
 immediately — load shedding is a *response*, not a dropped connection.
 Values without a JSON representation (dates, decimals) are serialized
 through ``str``.
+
+Constructing the server with ``auto_compact=True`` (or a
+:class:`~repro.core.udatabase.CompactionPolicy`) starts a background
+thread that wakes after each completed write and compacts any partition
+whose segment health crosses the policy thresholds.
 """
 
 from __future__ import annotations
@@ -54,7 +71,8 @@ from ..core.prepared import PreparedDML, PreparedQuery
 from ..core.probability import ConfidenceAnswer
 from ..core.query import Certain, Conf
 from ..core.translate import query_cache_key
-from ..core.udatabase import UDatabase
+from ..core.txn import TransactionConflict, TxnResult
+from ..core.udatabase import CompactionPolicy, CompactionResult, UDatabase
 from ..core.urelation import URelation
 from ..obs import (
     activate,
@@ -89,6 +107,7 @@ class QueryServer:
         mode: str = "columns",
         use_indexes: bool = True,
         parallel: int = 0,
+        auto_compact: Any = None,
     ):
         self.udb = udb
         self.mode = mode
@@ -102,6 +121,23 @@ class QueryServer:
         # RLock: ``query`` opens its default session while holding the lock
         self._lock = threading.RLock()
         self._default_session: Optional[Session] = None
+        #: Background compaction: ``auto_compact=True`` uses the default
+        #: :class:`~repro.core.udatabase.CompactionPolicy`; a policy
+        #: instance tunes the thresholds; None/False disables the thread.
+        self._compact_policy: Optional[CompactionPolicy] = None
+        self._compact_wake = threading.Event()
+        self._compact_stop = threading.Event()
+        self._compact_thread: Optional[threading.Thread] = None
+        if auto_compact:
+            self._compact_policy = (
+                auto_compact
+                if isinstance(auto_compact, CompactionPolicy)
+                else CompactionPolicy()
+            )
+            self._compact_thread = threading.Thread(
+                target=self._compact_loop, name="repro-auto-compact", daemon=True
+            )
+            self._compact_thread.start()
         #: Rendered-response cache for the TCP frontend: result object ->
         #: serialized JSON line.  Coalesced requests share one immutable
         #: result; serializing it once per *result* instead of once per
@@ -164,10 +200,15 @@ class QueryServer:
                 trace.root.set(cost_class="dml")
             with self.admission.admit("dml"):
                 with obs_span("execute") as exec_span:
-                    return self.executor.run(
+                    result = self.executor.run(
                         self._bridged(lambda: prepared.run(*params), trace, exec_span),
                         key=None,
                     )
+            # each completed write nudges the background compactor — the
+            # trigger is a cheap event set; the thread re-checks thresholds
+            if self._compact_thread is not None:
+                self._compact_wake.set()
+            return result
         # classification peeks at the plan cache under the key the
         # execution path actually stores: execute_query strips Certain
         # wrappers and plans (and caches) their relational core
@@ -233,6 +274,52 @@ class QueryServer:
                 return self.executor.run(
                     self._bridged(work, trace, exec_span), key=coalesce_key
                 )
+
+    # ------------------------------------------------------------------
+    # compaction
+    # ------------------------------------------------------------------
+    def vacuum(self, table: Optional[str] = None) -> CompactionResult:
+        """Compact segment stacks now (the server-side face of ``VACUUM``).
+
+        Admits under the dedicated ``vacuum`` class (limit 1: a second
+        VACUUM could only queue behind the first on the write lock) and
+        runs on the caller's thread — compaction serializes on the
+        database write lock, so a pool slot would buy nothing.
+        """
+        trace = current_trace()
+        if trace is not None:
+            trace.root.set(cost_class="vacuum")
+        with self.admission.admit("vacuum"):
+            with obs_span("execute"):
+                return self.udb.compact(table)
+
+    def maybe_compact(
+        self, policy: Optional[CompactionPolicy] = None
+    ) -> CompactionResult:
+        """Threshold-gated compaction: only partitions whose health is due."""
+        with self.admission.admit("vacuum"):
+            return self.udb.maybe_compact(policy or self._compact_policy)
+
+    def _compact_loop(self) -> None:
+        """Background trigger: wake after writes, compact what is due.
+
+        Waits on ``_compact_wake`` (set by every completed DML) with a
+        periodic timeout so externally applied churn (direct ``udb`` DML)
+        is also eventually reclaimed.  Failures are swallowed — a broken
+        compaction pass must never take the serving loop down with it.
+        """
+        while not self._compact_stop.is_set():
+            self._compact_wake.wait(timeout=1.0)
+            if self._compact_stop.is_set():
+                return
+            self._compact_wake.clear()
+            try:
+                self.maybe_compact()
+            except Exception:
+                obs_counter(
+                    "compaction_errors_total",
+                    "Background compaction passes that raised",
+                ).inc()
 
     @staticmethod
     def _bridged(work, trace, exec_span):
@@ -300,6 +387,11 @@ class QueryServer:
         }
 
     def close(self) -> None:
+        if self._compact_thread is not None:
+            self._compact_stop.set()
+            self._compact_wake.set()
+            self._compact_thread.join(timeout=5)
+            self._compact_thread = None
         self.executor.shutdown()
 
     def __enter__(self) -> "QueryServer":
@@ -383,6 +475,27 @@ def _result_payload(result: Any) -> Dict[str, Any]:
             "count": result.count,
             "variables": list(result.variables),
         }
+    if isinstance(result, TxnResult):
+        return {
+            "ok": True,
+            "txn": {
+                "status": result.status,
+                "statements": result.statements,
+                "relations": list(result.relations),
+                "variables": list(result.variables),
+            },
+        }
+    if isinstance(result, CompactionResult):
+        return {
+            "ok": True,
+            "vacuum": {
+                "relations": list(result.relations),
+                "partitions": result.partitions,
+                "segments_before": result.segments_before,
+                "rows_dropped": result.rows_dropped,
+                "seconds": result.seconds,
+            },
+        }
     # index DDL returns the Index (CREATE) or None (DROP); an Index must
     # not be mistaken for a result set (it carries a .relation too)
     return {"ok": True, "result": None if result is None else str(result)}
@@ -410,6 +523,8 @@ class _ConnectionHandler(socketserver.StreamRequestHandler):
                 }
             except SnapshotChanged as error:
                 response = {"ok": False, "kind": "snapshot", "error": str(error)}
+            except TransactionConflict as error:
+                response = {"ok": False, "kind": "conflict", "error": str(error)}
             except Exception as error:  # protocol survives bad statements
                 response = {"ok": False, "kind": "error", "error": str(error)}
             if response is None:  # close requested

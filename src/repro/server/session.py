@@ -13,15 +13,24 @@ A :class:`Session` is the unit of client state on a shared
   statements — structural keys are equal — while parameterized statements
   plan once per session, keyed by store identity, and then go
   executor-only for every binding.)
-* **read consistency via catalog-version snapshots** — there is no
-  ``BEGIN``: within one statement, consistency is automatic (a plan
-  embeds the immutable relation objects it was planned over, so a
-  concurrent table replacement cannot tear a running query).  *Across*
-  statements, :meth:`Session.snapshot` gives optimistic repeatable reads:
-  it records the catalog version, and every statement in the block
-  verifies the version is unchanged before executing, raising
-  :class:`SnapshotChanged` when concurrent DDL moved the catalog under
-  the session.
+* **read consistency via catalog-version snapshots** — within one
+  statement, consistency is automatic (a plan embeds the immutable
+  relation objects it was planned over, so a concurrent table
+  replacement cannot tear a running query).  *Across* statements,
+  :meth:`Session.snapshot` gives optimistic repeatable reads: it records
+  the catalog version, and every statement in the block verifies the
+  version is unchanged before executing, raising :class:`SnapshotChanged`
+  when concurrent DDL moved the catalog under the session.
+* **multi-statement write atomicity** — ``BEGIN``/``COMMIT``/``ROLLBACK``
+  (or :meth:`Session.begin` / :meth:`Session.commit` /
+  :meth:`Session.rollback`) group this connection's DML into one
+  :class:`~repro.core.txn.Transaction`: statements stage against a
+  private overlay (invisible to every other session) and COMMIT
+  publishes them as one atomic partition swap, refusing with
+  :class:`~repro.core.txn.TransactionConflict` if a concurrent writer
+  touched the same relations.  Queries inside a transaction read the
+  committed base state; staged DML is applied inline on the calling
+  thread (publication, at COMMIT, is the only catalog mutation).
 
 Sessions serialize their own statements (one client speaks one protocol
 connection); different sessions run fully in parallel through the
@@ -34,6 +43,7 @@ import threading
 from typing import Any, Dict, Optional, Sequence, Tuple
 
 from ..core.prepared import PreparedDML, PreparedQuery
+from ..core.txn import Transaction, TxnResult
 from ..core.udatabase import UDatabase
 from ..obs import counter as obs_counter
 from ..obs import current_trace, request_trace
@@ -91,6 +101,11 @@ class Session:
         #: connection; its requests are a sequence, not a pool).
         self._lock = threading.RLock()
         self._snapshot_version: Optional[int] = None
+        self._snapshot_identity: Optional[dict] = None
+        #: The open per-connection :class:`Transaction`, if any: while set,
+        #: the session's DML stages against the transaction's overlay and
+        #: publishes in one swap at COMMIT (see :mod:`repro.core.txn`).
+        self._txn: Optional[Transaction] = None
         self.statements_run = 0
 
     # ------------------------------------------------------------------
@@ -104,11 +119,17 @@ class Session:
         binding ``$n`` slots of identical texts never share state.
         """
         from ..core.dml import Delete, Insert, Update
-        from ..sql.parser import CreateIndex, DropIndex, parse
+        from ..core.txn import Begin, Commit, Rollback
+        from ..sql.parser import CreateIndex, DropIndex, Vacuum, parse
 
         statement = parse(sql)
         if isinstance(statement, (CreateIndex, DropIndex)):
             raise ValueError("cannot prepare DDL; use Session.execute_ddl")
+        if isinstance(statement, (Vacuum, Begin, Commit, Rollback)):
+            raise ValueError(
+                "cannot prepare VACUUM or transaction control; "
+                "pass it to Session.execute"
+            )
         if isinstance(statement, (Insert, Update, Delete)):
             return PreparedDML(statement, self.udb, sql=sql)
         return PreparedQuery(statement, self.udb, sql=sql)
@@ -174,6 +195,83 @@ class Session:
             if current != expected:
                 raise SnapshotChanged(expected, current)
 
+    def _catalog_identity(self):
+        """The relation-object identity map snapshot validation compares.
+
+        Swaps (DML publishes, compaction) replace relation objects;
+        in-place access-path work (lazy index builds, statistics) does
+        not — so the identity map moves exactly when answers may move.
+        See :meth:`~repro.core.udatabase.UDatabase.catalog_identity`.
+        """
+        return self.udb.catalog_identity()
+
+    # ------------------------------------------------------------------
+    # transactions
+    # ------------------------------------------------------------------
+    def begin(self) -> TxnResult:
+        """Open a multi-statement transaction on this session (``BEGIN``).
+
+        Refused inside a snapshot block (a write would break the
+        snapshot's guarantee, exactly like plain DML) and when a
+        transaction is already open (they do not nest).
+        """
+        with self._lock:
+            if self._snapshot_version is not None:
+                raise SnapshotChanged(
+                    self._snapshot_version, self.udb.catalog_version
+                )
+            if self._txn is not None and self._txn.status == "open":
+                raise ValueError(
+                    "a transaction is already open on this session; "
+                    "COMMIT or ROLLBACK it first"
+                )
+            self._txn = Transaction(self.udb)
+            return TxnResult("open")
+
+    def commit(self) -> TxnResult:
+        """Publish the open transaction atomically (``COMMIT``).
+
+        Raises :class:`~repro.core.txn.TransactionConflict` — with
+        nothing published and the transaction rolled back — when a
+        concurrent writer replaced a touched relation's partitions.
+        """
+        with self._lock:
+            txn = self._require_txn("COMMIT")
+            self._txn = None
+            return txn.commit()
+
+    def rollback(self) -> TxnResult:
+        """Discard the open transaction's staged statements (``ROLLBACK``)."""
+        with self._lock:
+            txn = self._require_txn("ROLLBACK")
+            self._txn = None
+            return txn.rollback()
+
+    def _require_txn(self, verb: str) -> Transaction:
+        txn = self._txn
+        if txn is None or txn.status != "open":
+            raise ValueError(f"{verb} without an open transaction")
+        return txn
+
+    def _apply_vacuum(self, table: Optional[str]):
+        """Run ``VACUUM [table]`` (caller holds the session lock).
+
+        Refused inside snapshots (compaction moves the catalog version)
+        and transactions (its swap would conflict with the transaction's
+        own publish).  Server-bound sessions route through the server so
+        compaction admits under the ``vacuum`` cost class.
+        """
+        if self._snapshot_version is not None:
+            raise SnapshotChanged(self._snapshot_version, self.udb.catalog_version)
+        if self._txn is not None and self._txn.status == "open":
+            raise ValueError(
+                "VACUUM cannot run inside a transaction (its swap would "
+                "conflict with the transaction's own publish)"
+            )
+        if self.server is not None:
+            return self.server.vacuum(table)
+        return self.udb.compact(table)
+
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
@@ -185,20 +283,42 @@ class Session:
         layers when the session is server-bound.  DDL executes inline;
         DDL and DML are rejected inside a snapshot block (the session's
         own write would break the snapshot's guarantee).
+
+        ``VACUUM [table]`` compacts segment stacks (through the server's
+        ``vacuum`` admission class when server-bound), and
+        ``BEGIN``/``COMMIT``/``ROLLBACK`` manage this session's
+        multi-statement transaction — while one is open, DML stages
+        privately and publishes atomically at COMMIT.
         """
         from ..sql.parser import CreateIndex, DropIndex, parse
+
+        from ..core.txn import Begin, Commit, Rollback
+        from ..sql.parser import Vacuum
 
         with self._lock:
             self._check_snapshot()
             with request_trace(sql=sql):
                 head = sql.lstrip().lower()
-                if head.startswith(("create", "drop")):
+                word = head.split(None, 1)[0] if head else ""
+                if word in ("create", "drop", "vacuum", "begin", "commit", "rollback"):
                     statement = parse(sql)
+                    trace = current_trace()
                     if isinstance(statement, (CreateIndex, DropIndex)):
-                        trace = current_trace()
                         if trace is not None:
                             trace.root.set(cost_class="ddl")
                         return self._apply_ddl(statement)
+                    if isinstance(statement, Vacuum):
+                        if trace is not None:
+                            trace.root.set(cost_class="vacuum")
+                        return self._apply_vacuum(statement.table)
+                    if isinstance(statement, (Begin, Commit, Rollback)):
+                        if trace is not None:
+                            trace.root.set(cost_class="txn")
+                        if isinstance(statement, Begin):
+                            return self.begin()
+                        if isinstance(statement, Commit):
+                            return self.commit()
+                        return self.rollback()
                 prepared = self._by_text_statement(sql)
                 return self._run(prepared, tuple(params))
 
@@ -240,6 +360,10 @@ class Session:
 
         if self._snapshot_version is not None:
             raise SnapshotChanged(self._snapshot_version, self.udb.catalog_version)
+        if self._txn is not None and self._txn.status == "open":
+            raise ValueError(
+                "DDL cannot run inside a transaction; COMMIT or ROLLBACK first"
+            )
         db = self.udb.to_database()
         if isinstance(statement, CreateIndex):
             return db.create_index(
@@ -257,14 +381,36 @@ class Session:
             # reading under — same contract as DDL
             raise SnapshotChanged(self._snapshot_version, self.udb.catalog_version)
         self.statements_run += 1
+        if isinstance(prepared, PreparedDML) and self._txn is not None:
+            if self._txn.status == "open":
+                # stage against the transaction's private overlay, inline
+                # (nothing publishes until COMMIT, so there is no shared
+                # mutation for the server's executor to serialize)
+                return self._txn.run(prepared, params)
         if self.server is not None:
-            return self.server.execute(prepared, params, session=self)
-        return prepared.run(
-            *params,
-            mode=self.mode,
-            use_indexes=self.use_indexes,
-            parallel=self.parallel,
-        )
+            result = self.server.execute(prepared, params, session=self)
+        else:
+            result = prepared.run(
+                *params,
+                mode=self.mode,
+                use_indexes=self.use_indexes,
+                parallel=self.parallel,
+            )
+        # optimistic validation closes on both sides: the version pre-check
+        # alone leaves a window where a swap lands after it but before the
+        # plan resolves its relations, silently answering from the new
+        # catalog inside a "repeatable" block.  The post-check compares
+        # relation *identities* — a read's own lazy index builds bump the
+        # version without moving answers, and must not conflict the
+        # snapshot that triggered them.
+        if (
+            self._snapshot_identity is not None
+            and self._catalog_identity() != self._snapshot_identity
+        ):
+            raise SnapshotChanged(
+                self._snapshot_version, self.udb.catalog_version
+            )
+        return result
 
     def __repr__(self) -> str:
         bound = "server-bound" if self.server is not None else "standalone"
@@ -286,8 +432,10 @@ class _Snapshot:
             if session._snapshot_version is not None:
                 raise RuntimeError("session snapshots do not nest")
             session._snapshot_version = session.udb.catalog_version
+            session._snapshot_identity = session._catalog_identity()
         return session
 
     def __exit__(self, *exc: Any) -> None:
         with self._session._lock:
             self._session._snapshot_version = None
+            self._session._snapshot_identity = None

@@ -25,11 +25,12 @@ from typing import Optional, Sequence, Union
 from ..core.dml import Delete, DMLResult, Insert, UncertainValue, Update
 from ..core.prepared import PreparedDML, PreparedQuery
 from ..core.translate import execute_query
+from ..core.txn import Begin, Commit, Rollback, Transaction, TransactionConflict, TxnResult
 from ..core.udatabase import UDatabase
 from ..obs import request_trace
 from ..obs import span as obs_span
 from .lexer import SqlSyntaxError, tokenize
-from .parser import CreateIndex, DropIndex, parse
+from .parser import CreateIndex, DropIndex, Vacuum, parse
 
 __all__ = [
     "parse",
@@ -39,9 +40,16 @@ __all__ = [
     "SqlSyntaxError",
     "CreateIndex",
     "DropIndex",
+    "Vacuum",
     "Insert",
     "Update",
     "Delete",
+    "Begin",
+    "Commit",
+    "Rollback",
+    "Transaction",
+    "TransactionConflict",
+    "TxnResult",
     "UncertainValue",
     "DMLResult",
     "PreparedQuery",
@@ -50,6 +58,9 @@ __all__ = [
 
 #: Statement records the write path executes (rather than the query path).
 _DML_TYPES = (Insert, Update, Delete)
+
+#: Statement records applied immediately (parsed every time, never cached).
+_IMMEDIATE_TYPES = (CreateIndex, DropIndex, Vacuum, Begin, Commit, Rollback)
 
 #: Per-database prepared-statement cap.  Ad-hoc workloads that inline
 #: literals produce a distinct text per query; bounding the per-udb map by
@@ -81,8 +92,11 @@ def prepare(sql: str, udb: UDatabase) -> Union[PreparedQuery, PreparedDML]:
     if cached is not None:
         return cached
     statement = parse(sql)
-    if isinstance(statement, (CreateIndex, DropIndex)):
-        raise ValueError("cannot prepare DDL; pass it to execute_sql instead")
+    if isinstance(statement, _IMMEDIATE_TYPES):
+        raise ValueError(
+            "cannot prepare DDL, VACUUM, or transaction control; "
+            "pass it to execute_sql instead"
+        )
     if isinstance(statement, _DML_TYPES):
         prepared: Union[PreparedQuery, PreparedDML] = PreparedDML(
             statement, udb, sql=sql
@@ -124,6 +138,15 @@ def execute_sql(
     sees the new access path on the next query.  ``CREATE INDEX`` returns
     the built :class:`~repro.relational.index.Index`; ``DROP INDEX``
     returns ``None``.
+
+    ``VACUUM [table]`` compacts partition segment stacks (returns a
+    :class:`~repro.core.udatabase.CompactionResult`), and
+    ``BEGIN``/``COMMIT``/``ROLLBACK`` open/end a database-level
+    multi-statement transaction (returning a
+    :class:`~repro.core.txn.TxnResult`): while one is open, DML issued
+    through ``execute_sql`` stages privately and publishes atomically at
+    COMMIT — see :mod:`repro.core.txn`.  Like DDL, these are applied
+    immediately and never cached.
     """
     with request_trace(sql=sql):
         with obs_span("parse") as sp:
@@ -131,7 +154,7 @@ def execute_sql(
             sp.set(cached=prepared is not None)
             if prepared is None:
                 statement = parse(sql)
-                if isinstance(statement, (CreateIndex, DropIndex)):
+                if isinstance(statement, _IMMEDIATE_TYPES):
                     prepared = None
                 elif isinstance(statement, _DML_TYPES):
                     prepared = PreparedDML(statement, udb, sql=sql)
@@ -139,25 +162,75 @@ def execute_sql(
                     prepared = PreparedQuery(statement, udb, sql=sql)
                 if prepared is not None:
                     _cache_statement(udb, sql, prepared)
-        if prepared is None:  # DDL: applied immediately, never cached
-            from ..obs import current_trace
-
-            trace = current_trace()
-            if trace is not None:
-                trace.root.set(cost_class="ddl")
-            if isinstance(statement, CreateIndex):
-                db = udb.to_database()
-                # no replace: re-issuing an identical definition is
-                # idempotent, but a name collision with a *different*
-                # definition (e.g. a typo hitting an auto-created tid
-                # index) errors instead of silently destroying the
-                # existing access path
-                return db.create_index(
-                    statement.name,
-                    statement.table,
-                    list(statement.columns),
-                    kind=statement.kind,
-                )
-            udb.to_database().drop_index(statement.name)
-            return None
+        if prepared is None:  # DDL & friends: applied immediately, never cached
+            return _execute_immediate(statement, udb)
+        if isinstance(prepared, PreparedDML):
+            txn = udb._active_txn
+            if txn is not None and txn.status == "open":
+                # an open database-level transaction: stage, don't publish
+                return txn.run(prepared, tuple(params or ()))
         return prepared.run(*(params or ()), optimize=optimize)
+
+
+def _execute_immediate(statement, udb: UDatabase):
+    """Apply a DDL / VACUUM / transaction-control statement right now.
+
+    The transaction here is the *database-level* one (``udb._active_txn``)
+    serving direct ``execute_sql`` callers; server sessions carry their
+    own per-connection transaction instead (see
+    :meth:`repro.server.session.Session.execute`).
+    """
+    from ..obs import current_trace
+
+    trace = current_trace()
+    if isinstance(statement, Begin):
+        if trace is not None:
+            trace.root.set(cost_class="txn")
+        active = udb._active_txn
+        if active is not None and active.status == "open":
+            raise ValueError("a transaction is already open; COMMIT or ROLLBACK it")
+        udb._active_txn = Transaction(udb)
+        return TxnResult("open")
+    if isinstance(statement, Commit):
+        if trace is not None:
+            trace.root.set(cost_class="txn")
+        txn = udb._active_txn
+        if txn is None or txn.status != "open":
+            raise ValueError("COMMIT without an open transaction")
+        udb._active_txn = None
+        return txn.commit()
+    if isinstance(statement, Rollback):
+        if trace is not None:
+            trace.root.set(cost_class="txn")
+        txn = udb._active_txn
+        if txn is None or txn.status != "open":
+            raise ValueError("ROLLBACK without an open transaction")
+        udb._active_txn = None
+        return txn.rollback()
+    if isinstance(statement, Vacuum):
+        if trace is not None:
+            trace.root.set(cost_class="vacuum")
+        active = udb._active_txn
+        if active is not None and active.status == "open":
+            raise ValueError(
+                "VACUUM cannot run inside a transaction (its swap would "
+                "conflict with the transaction's own publish)"
+            )
+        return udb.compact(statement.table)
+    if trace is not None:
+        trace.root.set(cost_class="ddl")
+    if isinstance(statement, CreateIndex):
+        db = udb.to_database()
+        # no replace: re-issuing an identical definition is
+        # idempotent, but a name collision with a *different*
+        # definition (e.g. a typo hitting an auto-created tid
+        # index) errors instead of silently destroying the
+        # existing access path
+        return db.create_index(
+            statement.name,
+            statement.table,
+            list(statement.columns),
+            kind=statement.kind,
+        )
+    udb.to_database().drop_index(statement.name)
+    return None

@@ -36,6 +36,8 @@ KEYWORDS = {
     "create", "drop", "index", "on", "using",
     # DML
     "insert", "into", "values", "update", "set", "delete",
+    # maintenance + transaction control
+    "vacuum", "begin", "commit", "rollback",
 }
 
 _TOKEN_RE = re.compile(

@@ -14,6 +14,8 @@ select-project-join queries with ``possible``), plus ``certain`` and
                 | UPDATE table SET column '=' cell (',' column '=' cell)*
                   [WHERE condition]
                 | DELETE FROM table [WHERE condition]
+                | VACUUM [table]
+                | (BEGIN | COMMIT | ROLLBACK) [TRANSACTION | WORK]
     row        := '(' cell (',' cell)* ')'
     cell       := literal | parameter
                 | '{' literal (',' literal)* '}'   -- uncertain alternatives
@@ -80,6 +82,7 @@ from ..relational.expressions import (
     lit,
 )
 from ..core.dml import Delete, Insert, UncertainValue, Update
+from ..core.txn import Begin, Commit, Rollback
 from ..relational.types import Date
 from .lexer import SqlSyntaxError, Token, TokenKind, tokenize
 
@@ -88,9 +91,13 @@ __all__ = [
     "SqlSyntaxError",
     "CreateIndex",
     "DropIndex",
+    "Vacuum",
     "Insert",
     "Update",
     "Delete",
+    "Begin",
+    "Commit",
+    "Rollback",
 ]
 
 _DATE_RE = re.compile(r"^\d{4}-\d{2}-\d{2}$")
@@ -114,6 +121,17 @@ class DropIndex(NamedTuple):
     """Parsed ``DROP INDEX name``."""
 
     name: str
+
+
+class Vacuum(NamedTuple):
+    """Parsed ``VACUUM [table]``.
+
+    ``table`` names a *logical* relation (``None`` compacts everything):
+    vacuuming rewrites every partition's segment stack into one base
+    segment — see :meth:`repro.core.udatabase.UDatabase.compact`.
+    """
+
+    table: Optional[str] = None
 
 
 def parse(sql: str):
@@ -196,6 +214,20 @@ class _Parser:
             return self._update()
         if self.accept_keyword("delete"):
             return self._delete()
+        if self.accept_keyword("vacuum"):
+            table = None
+            if self.current.kind == TokenKind.IDENT:
+                table = self._name("a table name")
+            return Vacuum(table)
+        if self.accept_keyword("begin"):
+            self._txn_noise_word()
+            return Begin()
+        if self.accept_keyword("commit"):
+            self._txn_noise_word()
+            return Commit()
+        if self.accept_keyword("rollback"):
+            self._txn_noise_word()
+            return Rollback()
         if self.accept_keyword("possible"):
             return Poss(self._wrapped_select())
         if self.accept_keyword("certain"):
@@ -203,6 +235,18 @@ class _Parser:
         if self.accept_keyword("conf"):
             return self._conf()
         return self.select()
+
+    def _txn_noise_word(self) -> None:
+        """Swallow the optional TRANSACTION / WORK after BEGIN/COMMIT/ROLLBACK.
+
+        Plain identifiers, not reserved words — tables and columns named
+        ``transaction`` or ``work`` stay usable everywhere else.
+        """
+        if (
+            self.current.kind == TokenKind.IDENT
+            and self.current.text.lower() in ("transaction", "work")
+        ):
+            self.advance()
 
     # -- confidence queries ---------------------------------------------
     _CONF_OPTIONS = ("method", "epsilon", "delta", "seed")

@@ -1,0 +1,187 @@
+"""Exact catalog-bump accounting for the batched write path.
+
+The regression these tests pin down: a 100-row batched ``INSERT`` (or a
+committed multi-statement transaction, or a ``copy_rows`` bulk load) must
+reach the plan cache as *exactly one* :func:`bump_relation` per touched
+partition relation — not one per row, not one per statement.  Anything
+more evicts cached plans a hundred times over; anything fewer leaves a
+stale plan alive.  The bump count is observed directly (by wrapping the
+``bump_relation`` the publish path imports), and cross-checked against
+the two externally visible ledgers it drives: ``catalog_version`` deltas
+and ``plan_cache_stats()["invalidations"]``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.core import execute_query
+from repro.core.descriptor import Descriptor
+from repro.core.query import Poss, Rel, UProject
+from repro.core.udatabase import UDatabase
+from repro.core.urelation import URelation, tid_column
+from repro.relational import plan_cache_stats
+from repro.server.session import Session
+from repro.sql import execute_sql
+
+import repro.core.udatabase as udatabase_module
+
+
+@contextmanager
+def counting_bumps(monkeypatch):
+    """Wrap the ``bump_relation`` the publish path calls; yield the log.
+
+    Every publish (``replace_partitions`` from DML, transaction commit,
+    or compaction) goes through :mod:`repro.core.udatabase`'s module-level
+    import, so wrapping that one name sees every catalog bump.
+    """
+    calls = []
+    real = udatabase_module.bump_relation
+
+    def counted(relation):
+        calls.append(relation)
+        return real(relation)
+
+    monkeypatch.setattr(udatabase_module, "bump_relation", counted)
+    try:
+        yield calls
+    finally:
+        monkeypatch.setattr(udatabase_module, "bump_relation", real)
+
+
+def _two_partition_udb() -> UDatabase:
+    """``r`` split vertically into an ``id`` and a ``type`` partition,
+    plus an unrelated single-partition ``s`` whose plans must survive."""
+    udb = UDatabase(auto_index=False)
+    initial = [(Descriptor(), i, (i,)) for i in range(3)]
+    udb.add_relation(
+        "r",
+        ["id", "type"],
+        [
+            URelation.build(initial, tid_column("r"), ["id"]),
+            URelation.build(
+                [(Descriptor(), i, (f"t{i}",)) for i in range(3)],
+                tid_column("r"),
+                ["type"],
+            ),
+        ],
+    )
+    udb.add_relation(
+        "s",
+        ["k"],
+        [URelation.build([(Descriptor(), 0, (0,))], tid_column("s"), ["k"])],
+    )
+    return udb
+
+
+def q_r():
+    return Poss(UProject(Rel("r"), ["id", "type"]))
+
+
+def q_s():
+    return Poss(UProject(Rel("s"), ["k"]))
+
+
+def _warm(udb, query):
+    """Run twice; the second run must be planning-free (a cache hit)."""
+    answer = execute_query(query, udb)
+    misses = plan_cache_stats()["misses"]
+    assert execute_query(query, udb) == answer
+    assert plan_cache_stats()["misses"] == misses, "second run re-planned"
+    return answer
+
+
+def _rows(udb):
+    return set(map(tuple, execute_sql("possible (select id, type from r)", udb).rows))
+
+
+def test_batched_insert_bumps_once_per_partition(monkeypatch):
+    udb = _two_partition_udb()
+    _warm(udb, q_r())
+    survivor = _warm(udb, q_s())
+    before = udb.catalog_version
+    invalidations = plan_cache_stats()["invalidations"]
+
+    values = ", ".join(f"({100 + i}, 'bulk')" for i in range(100))
+    with counting_bumps(monkeypatch) as calls:
+        result = execute_sql(f"insert into r values {values}", udb)
+
+    assert result.count == 100
+    # one bump per touched partition relation — NOT one per row
+    assert len(calls) == 2
+    assert len({id(rel) for rel in calls}) == 2
+    # each bump moves the catalog version once (certain rows: no
+    # world-table bumps), and the one dependent entry is evicted once
+    assert udb.catalog_version - before == 2
+    assert plan_cache_stats()["invalidations"] - invalidations == 1
+    # the unrelated relation's plan is untouched: still a hit
+    hits = plan_cache_stats()["hits"]
+    assert execute_query(q_s(), udb) == survivor
+    assert plan_cache_stats()["hits"] == hits + 1
+    assert len(_rows(udb)) == 103
+
+
+def test_copy_rows_bumps_once_per_partition(monkeypatch):
+    udb = _two_partition_udb()
+    _warm(udb, q_r())
+    before = udb.catalog_version
+    segments = {
+        i: len(part.relation.segments()) for i, part in enumerate(udb.partitions("r"))
+    }
+
+    with counting_bumps(monkeypatch) as calls:
+        result = udb.copy_rows("r", [(200 + i, "copy") for i in range(100)])
+
+    assert result.count == 100
+    assert len(calls) == 2
+    assert udb.catalog_version - before == 2
+    # the whole batch lands as ONE appended segment per partition
+    for i, part in enumerate(udb.partitions("r")):
+        assert len(part.relation.segments()) == segments[i] + 1
+    assert len(_rows(udb)) == 103
+
+
+def test_committed_txn_bumps_once_per_partition_at_commit(monkeypatch):
+    udb = _two_partition_udb()
+    _warm(udb, q_r())
+    session = Session(udb)
+    before = udb.catalog_version
+    invalidations = plan_cache_stats()["invalidations"]
+
+    with counting_bumps(monkeypatch) as calls:
+        session.execute("begin")
+        for i in range(50):
+            session.execute(f"insert into r values ({300 + i}, 'txn')")
+        session.execute("update r set type = 'staged' where id = 300")
+        # nothing published yet: zero bumps, zero catalog movement
+        assert calls == []
+        assert udb.catalog_version == before
+        session.execute("commit")
+
+    # 51 statements, one publish: exactly one bump per touched partition
+    assert len(calls) == 2
+    assert udb.catalog_version - before == 2
+    assert plan_cache_stats()["invalidations"] - invalidations == 1
+    rows = _rows(udb)
+    assert len(rows) == 53
+    assert (300, "staged") in rows
+
+
+def test_rolled_back_txn_bumps_nothing(monkeypatch):
+    udb = _two_partition_udb()
+    baseline = _warm(udb, q_r())
+    session = Session(udb)
+    before = udb.catalog_version
+
+    with counting_bumps(monkeypatch) as calls:
+        session.execute("begin")
+        for i in range(20):
+            session.execute(f"insert into r values ({400 + i}, 'doomed')")
+        session.execute("rollback")
+
+    assert calls == []
+    assert udb.catalog_version == before
+    # the cached plan is still warm and still right
+    hits = plan_cache_stats()["hits"]
+    assert execute_query(q_r(), udb) == baseline
+    assert plan_cache_stats()["hits"] == hits + 1

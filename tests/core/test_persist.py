@@ -1,5 +1,8 @@
 """Tests for UDatabase save/load."""
 
+import csv
+import os
+
 import pytest
 
 from repro.core import Descriptor, UDatabase, URelation, WorldTable
@@ -9,6 +12,26 @@ from repro.core.urelation import tid_column
 
 def worldset(udb, name):
     return frozenset(frozenset(i[name].rows) for _, i in udb.worlds())
+
+
+def _sql_udb():
+    """A certain two-partition relation whose tids are ints, like SQL's.
+
+    The vehicles fixture uses string tids; SQL DML allocates integer
+    tids.  Both coexist as separate segment *files*, but compaction
+    merges segments into one CSV column — which, like any relation
+    column, must stay type-homogeneous to round-trip.
+    """
+    udb = UDatabase(auto_index=False)
+    tid = tid_column("r")
+    p_id = URelation.build(
+        [(Descriptor(), i, (i,)) for i in range(3)], tid, ["id"]
+    )
+    p_type = URelation.build(
+        [(Descriptor(), i, ("Tank",)) for i in range(3)], tid, ["type"]
+    )
+    udb.add_relation("r", ["id", "type"], [p_id, p_type])
+    return udb
 
 
 class TestRoundTrip:
@@ -120,7 +143,7 @@ class TestSegmentLog:
             ]
             assert len(new) == 3, part
 
-    def test_save_after_delete_touches_only_delete_vectors(
+    def test_save_after_delete_touches_only_the_manifest(
         self, vehicles_udb, tmp_path
     ):
         from repro.sql import execute_sql
@@ -134,7 +157,31 @@ class TestSegmentLog:
         for path, payload in before.items():
             if path.name.startswith("seg_"):
                 assert after[path] == payload, path
-        assert any(path.name == "deleted.csv" for path in after)
+        # v3 carries the delete vector inline: no sidecar, non-empty column
+        assert not any(path.name == "deleted.csv" for path in after)
+        manifest = (target / "manifest.csv").read_text()
+        rows = manifest.strip().splitlines()
+        assert rows[0].split(",")[-1] == "deleted"
+        assert any(line.rsplit(",", 1)[1] for line in rows[1:])
+
+    def test_compaction_save_collapses_and_collects(self, tmp_path):
+        from repro.sql import execute_sql
+
+        udb = _sql_udb()
+        target = tmp_path / "db"
+        for i in range(6):
+            execute_sql(f"insert into r values ({50 + i}, 'Tank')", udb)
+        execute_sql("delete from r where id = 2", udb)
+        save_udatabase(udb, target)
+        stacked = sum(1 for p in target.rglob("seg_*.csv"))
+        assert stacked > 3  # one per partition per statement plus bases
+        udb.compact()
+        save_udatabase(udb, target)
+        # GC swept every superseded segment file: one base per partition
+        for part_dir in (d for d in target.iterdir() if d.is_dir()):
+            assert len(list(part_dir.glob("seg_*.csv"))) == 1, part_dir
+        back = load_udatabase(target)
+        assert _poss_rows(back, ("id", "type")) == _poss_rows(udb, ("id", "type"))
 
     def test_dml_roundtrip_preserves_answers_and_segments(
         self, vehicles_udb, tmp_path
@@ -161,3 +208,195 @@ class TestSegmentLog:
         assert set(execute_query(query, back).rows) == set(
             execute_query(query, vehicles_udb).rows
         )
+
+
+def _poss_rows(udb, attributes=("id", "type", "faction")):
+    from repro.core import Poss, Rel, UProject, execute_query
+
+    query = Poss(UProject(Rel("r"), list(attributes)))
+    return set(map(tuple, execute_query(query, udb).rows))
+
+
+class TestCrashRecovery:
+    """Fault injection: a save killed at any phase leaves the directory
+    loading at exactly its last committed state."""
+
+    def _churn(self, udb):
+        from repro.sql import execute_sql
+
+        for i in range(4):
+            execute_sql(
+                f"insert into r values ({70 + i}, 'Tank', 'Friend')", udb
+            )
+        execute_sql("delete from r where id = 3", udb)
+
+    def test_crash_while_writing_segments(self, vehicles_udb, tmp_path, monkeypatch):
+        from repro.core import persist
+
+        target = tmp_path / "db"
+        save_udatabase(vehicles_udb, target)
+        committed = _poss_rows(load_udatabase(target))
+        self._churn(vehicles_udb)
+
+        real = persist.write_csv
+        calls = {"n": 0}
+
+        def flaky(relation, path):
+            calls["n"] += 1
+            if calls["n"] == 2:  # die mid-way through phase 1
+                raise OSError("disk died while appending segments")
+            return real(relation, path)
+
+        monkeypatch.setattr(persist, "write_csv", flaky)
+        with pytest.raises(OSError):
+            save_udatabase(vehicles_udb, target)
+        # the old manifest never saw the partial segments: old state loads
+        assert _poss_rows(load_udatabase(target)) == committed
+
+    def test_crash_at_manifest_rename(self, vehicles_udb, tmp_path, monkeypatch):
+        from repro.core import persist
+
+        target = tmp_path / "db"
+        save_udatabase(vehicles_udb, target)
+        committed = _poss_rows(load_udatabase(target))
+        self._churn(vehicles_udb)
+
+        def flaky(src, dst):
+            if str(dst).endswith("manifest.csv"):
+                raise OSError("power lost at the commit point")
+            return os.replace(src, dst)
+
+        monkeypatch.setattr(persist, "_rename", flaky)
+        with pytest.raises(OSError):
+            save_udatabase(vehicles_udb, target)
+        assert _poss_rows(load_udatabase(target)) == committed
+        # the recovery path: the same save, un-faulted, commits cleanly
+        monkeypatch.setattr(persist, "_rename", os.replace)
+        save_udatabase(vehicles_udb, target)
+        assert _poss_rows(load_udatabase(target)) == _poss_rows(vehicles_udb)
+
+    def test_crash_during_compaction_save(self, tmp_path, monkeypatch):
+        from repro.core import persist
+        from repro.sql import execute_sql
+
+        udb = _sql_udb()
+        target = tmp_path / "db"
+        for i in range(4):
+            execute_sql(f"insert into r values ({70 + i}, 'Tank')", udb)
+        execute_sql("delete from r where id = 0", udb)
+        save_udatabase(udb, target)
+        committed = _poss_rows(load_udatabase(target), ("id", "type"))
+        segment_files = sorted(p.name for p in target.rglob("seg_*.csv"))
+
+        udb.compact()
+
+        def flaky(src, dst):
+            if str(dst).endswith("manifest.csv"):
+                raise OSError("power lost committing the compacted manifest")
+            return os.replace(src, dst)
+
+        monkeypatch.setattr(persist, "_rename", flaky)
+        with pytest.raises(OSError):
+            save_udatabase(udb, target)
+        # GC never ran: every file the committed manifest references is
+        # still there, and the pre-compaction version loads bit-for-bit
+        survivors = sorted(p.name for p in target.rglob("seg_*.csv"))
+        assert set(segment_files) <= set(survivors)
+        assert _poss_rows(load_udatabase(target), ("id", "type")) == committed
+        monkeypatch.setattr(persist, "_rename", os.replace)
+        save_udatabase(udb, target)
+        back = load_udatabase(target)
+        assert _poss_rows(back, ("id", "type")) == committed
+        for part in back.partitions("r"):
+            assert len(part.relation.segments()) == 1
+
+
+class TestFormatBackCompat:
+    """v1 (whole-CSV) and v2 (deleted.csv sidecar) directories still load."""
+
+    def _downgrade_to_v2(self, target):
+        """Rewrite a v3 directory in the v2 layout it superseded."""
+        with open(target / "manifest.csv", newline="", encoding="utf-8") as handle:
+            reader = csv.reader(handle)
+            header = next(reader)
+            entries = [dict(zip(header, row)) for row in reader]
+        for entry in entries:
+            spec = entry.pop("deleted", "")
+            if spec:
+                with open(
+                    target / entry["part"] / "deleted.csv",
+                    "w",
+                    newline="",
+                    encoding="utf-8",
+                ) as handle:
+                    writer = csv.writer(handle)
+                    writer.writerow(["ordinal"])
+                    writer.writerows([o] for o in spec.split("|"))
+        v2_header = [c for c in header if c != "deleted"]
+        with open(
+            target / "manifest.csv", "w", newline="", encoding="utf-8"
+        ) as handle:
+            writer = csv.writer(handle)
+            writer.writerow(v2_header)
+            writer.writerows([e[c] for c in v2_header] for e in entries)
+
+    def _downgrade_to_v1(self, target):
+        """Rewrite a single-segment v3 directory in the pre-segment layout."""
+        import shutil
+
+        with open(target / "manifest.csv", newline="", encoding="utf-8") as handle:
+            reader = csv.reader(handle)
+            header = next(reader)
+            entries = [dict(zip(header, row)) for row in reader]
+        v1_rows = []
+        for entry in entries:
+            (segment_file,) = list((target / entry["part"]).glob("seg_*.csv"))
+            flat = entry["part"] + ".csv"
+            shutil.copy(segment_file, target / flat)
+            shutil.rmtree(target / entry["part"])
+            v1_rows.append(
+                (
+                    entry["relation"],
+                    entry["attributes"],
+                    entry["partition_values"],
+                    flat,
+                    entry["d_width"],
+                )
+            )
+        with open(
+            target / "manifest.csv", "w", newline="", encoding="utf-8"
+        ) as handle:
+            writer = csv.writer(handle)
+            writer.writerow(
+                ["relation", "attributes", "partition_values", "file", "d_width"]
+            )
+            writer.writerows(v1_rows)
+        (target / "indexes.csv").unlink(missing_ok=True)
+
+    def test_v2_directory_loads(self, vehicles_udb, tmp_path):
+        from repro.sql import execute_sql
+
+        execute_sql("insert into r values (9, 'Tank', 'Friend')", vehicles_udb)
+        execute_sql("delete from r where id = 1", vehicles_udb)
+        target = tmp_path / "v2"
+        save_udatabase(vehicles_udb, target)
+        self._downgrade_to_v2(target)
+        back = load_udatabase(target)
+        assert _poss_rows(back) == _poss_rows(vehicles_udb)
+        for a, b in zip(
+            sorted(vehicles_udb.partitions("r"), key=lambda p: p.value_names),
+            sorted(back.partitions("r"), key=lambda p: p.value_names),
+        ):
+            assert a.relation.deleted_ordinals() == b.relation.deleted_ordinals()
+        # the next save upgrades in place: sidecars swept, vector inline
+        save_udatabase(back, target)
+        assert not list(target.rglob("deleted.csv"))
+        assert _poss_rows(load_udatabase(target)) == _poss_rows(vehicles_udb)
+
+    def test_v1_directory_loads(self, vehicles_udb, tmp_path):
+        target = tmp_path / "v1"
+        save_udatabase(vehicles_udb, target)
+        self._downgrade_to_v1(target)
+        back = load_udatabase(target)
+        assert _poss_rows(back) == _poss_rows(vehicles_udb)
+        assert back.world_count() == vehicles_udb.world_count()
