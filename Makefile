@@ -21,6 +21,10 @@
 #                      within epsilon on >= 95% of seeds, and a heavy
 #                      lineage answered under the admission deadline
 #                      (appends to benchmarks/results/BENCH_conf.json)
+#   make bench-obs   - the workload-intelligence overhead gate: the full
+#                      obs pipeline (trace + metrics + fingerprint history
+#                      + accounting) vs REPRO_OBS=off on Figure 12 Q1/Q2,
+#                      <= 5% (appends to benchmarks/results/BENCH_obs.json)
 #   make coverage    - the tier-1 suite under coverage with the CI ratchet
 #                      (needs pytest-cov: pip install -r requirements-dev.txt)
 #   make bench       - the full benchmark suite (slow)
@@ -32,7 +36,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 #: Measured ~91% today; raise as coverage grows, never lower.
 COVERAGE_FLOOR ?= 85
 
-.PHONY: test coverage bench-smoke bench-serve bench-ingest bench-conf bench
+.PHONY: test coverage bench-smoke bench-serve bench-ingest bench-conf bench-obs bench
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -51,6 +55,9 @@ bench-ingest:
 
 bench-conf:
 	$(PYTHON) -m pytest benchmarks/bench_conf.py -q
+
+bench-obs:
+	$(PYTHON) -m pytest benchmarks/bench_obs.py -q --benchmark-disable-gc
 
 # bench_*.py does not match pytest's default test-file pattern, so the
 # files must be passed explicitly (directory collection finds nothing)

@@ -84,6 +84,7 @@ __all__ = [
     "explain_query",
     "query_structure_key",
     "query_cache_key",
+    "query_fingerprint",
     "psi_condition",
     "alpha_condition",
 ]
@@ -487,6 +488,262 @@ def query_structure_key(query: UQuery) -> Tuple:
     raise TypeError(f"no plan-cache key for {type(query).__name__}")
 
 
+# ----------------------------------------------------------------------
+# workload fingerprints (for the obs workload history)
+# ----------------------------------------------------------------------
+def _fingerprint_expression_key(expression) -> Tuple:
+    """Like :func:`~repro.relational.expressions.structural_key`, but with
+    literal values and ``$n`` parameter identity erased: ``x = 5``,
+    ``x = 7``, and ``x = $1`` all key identically.  Raises ``TypeError``
+    for unknown expression shapes (callers treat as "no fingerprint").
+    """
+    from ..relational.expressions import (
+        And,
+        Arithmetic,
+        Between,
+        Col,
+        Comparison,
+        InList,
+        IsNull,
+        Not,
+        Or,
+        Param,
+    )
+
+    e = expression
+    if isinstance(e, Col):
+        return ("col", e.name)
+    if isinstance(e, (Lit, Param)):
+        return ("?",)
+    if isinstance(e, Comparison):
+        return (
+            "cmp",
+            e.op,
+            _fingerprint_expression_key(e.left),
+            _fingerprint_expression_key(e.right),
+        )
+    if isinstance(e, Arithmetic):
+        return (
+            "arith",
+            e.op,
+            _fingerprint_expression_key(e.left),
+            _fingerprint_expression_key(e.right),
+        )
+    if isinstance(e, And):
+        return ("and",) + tuple(_fingerprint_expression_key(op) for op in e.operands)
+    if isinstance(e, Or):
+        return ("or",) + tuple(_fingerprint_expression_key(op) for op in e.operands)
+    if isinstance(e, Not):
+        return ("not", _fingerprint_expression_key(e.operand))
+    if isinstance(e, IsNull):
+        return ("isnull", _fingerprint_expression_key(e.operand))
+    if isinstance(e, InList):
+        return ("in", _fingerprint_expression_key(e.operand), "?")
+    if isinstance(e, Between):
+        return ("between", _fingerprint_expression_key(e.operand), "?", "?")
+    raise TypeError(f"no fingerprint for {type(e).__name__}")
+
+
+def _fingerprint_query_key(query: UQuery) -> Tuple:
+    """The normalized structural key a fingerprint digests.
+
+    Mirrors :func:`query_structure_key`, with predicates normalized by
+    :func:`_fingerprint_expression_key` and confidence knobs
+    (``epsilon``/``delta``/``seed``) treated as bindings.
+    """
+    if isinstance(query, Rel):
+        return ("rel", query.name, query.alias)
+    if isinstance(query, USelect):
+        return (
+            "uselect",
+            _fingerprint_query_key(query.child),
+            _fingerprint_expression_key(query.predicate),
+        )
+    if isinstance(query, UProject):
+        return ("uproject", _fingerprint_query_key(query.child), query.attributes)
+    if isinstance(query, UJoin):
+        return (
+            "ujoin",
+            _fingerprint_query_key(query.left),
+            _fingerprint_query_key(query.right),
+            _fingerprint_expression_key(query.predicate),
+        )
+    if isinstance(query, (UUnion, UMerge)):
+        tag = "uunion" if isinstance(query, UUnion) else "umerge"
+        return (
+            tag,
+            _fingerprint_query_key(query.left),
+            _fingerprint_query_key(query.right),
+        )
+    if isinstance(query, Poss):
+        return ("poss", _fingerprint_query_key(query.child))
+    if isinstance(query, Certain):
+        return ("certain", _fingerprint_query_key(query.child))
+    if isinstance(query, Conf):
+        return ("conf", _fingerprint_query_key(query.child), query.method)
+    raise TypeError(f"no fingerprint for {type(query).__name__}")
+
+
+def key_digest(key) -> str:
+    """A short stable hex digest of a (repr-stable) key tuple."""
+    import hashlib
+
+    return hashlib.blake2b(repr(key).encode(), digest_size=8).hexdigest()
+
+
+def query_fingerprint(query: UQuery) -> Optional[str]:
+    """The workload fingerprint of a logical query tree, or ``None``.
+
+    Stable across literal values and ``$n`` bindings, stable across
+    processes (no object identity involved), computed once per plan-cache
+    entry and threaded through sessions, the worker pool, and slowlog
+    entries.  ``None`` means the shape is unfingerprintable (an unknown
+    node or expression subclass) — such queries simply stay out of the
+    workload history.
+    """
+    try:
+        return key_digest(_fingerprint_query_key(query))
+    except TypeError:
+        return None
+
+
+def _indexable_shape(conjunct) -> Optional[Tuple[str, str]]:
+    """``(column, op)`` when a conjunct has an index-servable shape.
+
+    Mirrors the planner's ``_classify_conjuncts``: a column compared to a
+    literal or parameter with ``= < <= > >=``, ``BETWEEN``, or ``IN``.
+    """
+    from ..relational.expressions import Between, Col, InList, Param
+
+    if isinstance(conjunct, Comparison) and conjunct.op in ("=", "<", "<=", ">", ">="):
+        left, right = conjunct.left, conjunct.right
+        if isinstance(left, Col) and isinstance(right, (Lit, Param)):
+            return (left.name, conjunct.op)
+        if isinstance(right, Col) and isinstance(left, (Lit, Param)):
+            flipped = {"=": "=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+            return (right.name, flipped[conjunct.op])
+    if isinstance(conjunct, Between):
+        if isinstance(conjunct.operand, Col):
+            return (conjunct.operand.name, "between")
+    if isinstance(conjunct, InList) and isinstance(conjunct.operand, Col):
+        return (conjunct.operand.name, "in")
+    return None
+
+
+def _scans_under(plan) -> List:
+    out = []
+    stack = [plan]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Scan):
+            out.append(node)
+        else:
+            stack.extend(node.children)
+    return out
+
+
+def _attribute_column(scans, reference: str) -> Optional[Tuple[str, str]]:
+    """``(relation_name, base_column)`` of the scan a reference resolves on."""
+    for scan in scans:
+        try:
+            position = scan.schema.resolve(reference)
+        except Exception:
+            continue
+        return (scan.name, scan.relation.schema.names[position])
+    return None
+
+
+def _plan_predicates(plan) -> List[Tuple[str, str, str]]:
+    """The ``(relation, column, op)`` shapes the planner saw in a plan.
+
+    Walks the optimized logical plan: selection conjuncts in indexable
+    shapes attribute to the representation relation (the ``u_*``
+    partition) whose scan schema resolves the column — exactly the
+    relations ``CREATE INDEX`` addresses — and join equi-conjuncts
+    attribute each side to its input subtree.
+    """
+    from ..relational.algebra import SemiJoin
+    from ..relational.expressions import Col, split_conjuncts
+
+    out: List[Tuple[str, str, str]] = []
+    stack = [plan]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Select):
+            scans = _scans_under(node.child)
+            for conjunct in split_conjuncts(node.predicate):
+                shape = _indexable_shape(conjunct)
+                if shape is None:
+                    continue
+                owner = _attribute_column(scans, shape[0])
+                if owner is not None:
+                    out.append((owner[0], owner[1], shape[1]))
+        elif isinstance(node, (Join, SemiJoin)):
+            sides = (_scans_under(node.left), _scans_under(node.right))
+            for conjunct in split_conjuncts(node.predicate):
+                if (
+                    isinstance(conjunct, Comparison)
+                    and conjunct.op == "="
+                    and isinstance(conjunct.left, Col)
+                    and isinstance(conjunct.right, Col)
+                ):
+                    for ref in (conjunct.left.name, conjunct.right.name):
+                        for scans in sides:
+                            owner = _attribute_column(scans, ref)
+                            if owner is not None:
+                                out.append((owner[0], owner[1], "="))
+                                break
+        stack.extend(node.children)
+    # dedupe, stable order
+    return sorted(set(out))
+
+
+#: Physical operator -> access-path label for the workload history.
+_ACCESS_PATH_LABELS = {
+    "SeqScan": "seq_scan",
+    "IndexScan": "index_scan",
+    "IndexNestedLoopJoin": "index_join",
+    "HashJoin": "hash_join",
+    "MergeJoin": "merge_join",
+    "NestedLoopJoin": "nested_loop",
+}
+
+
+def _physical_access_paths(physical) -> Dict[str, int]:
+    """Counts of index-vs-scan (and join) operators in a physical tree."""
+    counts: Dict[str, int] = {}
+    stack = [physical]
+    while stack:
+        node = stack.pop()
+        label = _ACCESS_PATH_LABELS.get(type(node).__name__)
+        if label is not None:
+            counts[label] = counts.get(label, 0) + 1
+        stack.extend(node.children)
+    return counts
+
+
+def _workload_profile(query: UQuery, plan, physical, key, cost_class: str):
+    """The plan-time workload shape that rides a plan-cache payload.
+
+    Computed once at plan-cache-entry creation; every later execution of
+    the cached plan folds this (plus its per-run numbers) into the
+    workload history with one dict merge.  ``None`` when the query has no
+    fingerprint.
+    """
+    fingerprint = query_fingerprint(query)
+    if fingerprint is None:
+        return None
+    scans = _scans_under(plan)
+    return {
+        "fingerprint": fingerprint,
+        "plan_key": key_digest(key) if key is not None else None,
+        "cost_class": cost_class,
+        "relations": tuple(sorted({scan.name for scan in scans})),
+        "predicates": tuple(_plan_predicates(plan)),
+        "access_paths": _physical_access_paths(physical),
+    }
+
+
 def query_cache_key(
     query: UQuery,
     udb: UDatabase,
@@ -531,10 +788,13 @@ def _cached_physical(
 ):
     """The fully planned physical tree for a logical query, via the cache.
 
-    Returns ``((physical, wrap), was_cached)`` where ``wrap`` is ``None``
-    for a top-level ``Poss`` (the plan's output is the answer relation)
-    and otherwise the ``(d_width, tid_names, value_names, canonical)``
-    U-relation column structure needed to wrap the result.
+    Returns ``((physical, wrap, profile), was_cached, key)`` where
+    ``wrap`` is ``None`` for a top-level ``Poss`` (the plan's output is
+    the answer relation) and otherwise the ``(d_width, tid_names,
+    value_names, canonical)`` U-relation column structure needed to wrap
+    the result, and ``profile`` is the plan-time workload shape
+    (fingerprint, predicate columns, access paths — see
+    :func:`_workload_profile`; ``None`` for unfingerprintable queries).
 
     A hit skips translation, optimization, and physical planning — the
     repeated-query path is executor-only.  The cache key is the normalized
@@ -619,7 +879,9 @@ def _cached_physical(
             fuse=fuse,
             parallel=parallel,
         )
-        payload = (physical, wrap)
+        cost_class = cost_class_of(physical)
+        profile = _workload_profile(query, plan, physical, key, cost_class)
+        payload = (physical, wrap, profile)
         # pin the query tree (it holds any $n parameter stores) and the udb
         # (id-keyed owners must outlive their entries)
         cache_store(
@@ -627,9 +889,10 @@ def _cached_physical(
             payload,
             deps,
             pins=(udb, query),
-            cost_class=cost_class_of(physical),
+            cost_class=cost_class,
             plan_cost=time.perf_counter() - started,
             guard=lambda: udb.catalog_identity() == catalog_before,
+            fingerprint=profile["fingerprint"] if profile else None,
         )
     return payload, False, key
 
@@ -662,7 +925,10 @@ def execute_query(
     query structure ran before against an unchanged catalog, so repeated
     executions skip translate → optimize → plan entirely.
     """
+    import time
+
     from ..obs import counter, current_span, current_trace
+    from ..obs import workload as obs_workload
     from ..relational.physical import BATCH_SIZE, Confidence, execute
     from ..relational.plancache import cost_class_of, record_observed_rows
 
@@ -680,12 +946,14 @@ def execute_query(
             parallel,
         )
         return certain_answers(inner, udb.world_table)
-    (physical, wrap), was_cached, key = _cached_physical(
+    (physical, wrap, profile), was_cached, key = _cached_physical(
         query, udb, optimize, prefer_merge_join, mode, use_indexes, parallel
     )
+    started = time.perf_counter()
     relation = execute(
         physical, mode=mode, batch_size=BATCH_SIZE if batch_size is None else batch_size
     )
+    elapsed = time.perf_counter() - started
     # feed the estimate-vs-actual loop and the trace from the accounting
     # the batch iterators already did — no re-run, no extra measurement
     record_observed_rows(key, physical.estimated_rows, physical.actual_rows)
@@ -696,7 +964,21 @@ def execute_query(
     trace = current_trace()
     if trace is not None:
         trace.root.attrs.setdefault("cost_class", cost_class)
+        if profile is not None:
+            # threads the fingerprint through the session, the worker
+            # pool (the trace is shared across it), and slowlog payloads
+            trace.root.attrs.setdefault("fingerprint", profile["fingerprint"])
+            trace.root.attrs.setdefault("plan_key", profile["plan_key"])
         current_span().set(operators=physical.actuals())
+    obs_workload.record_execution(
+        profile,
+        seconds=elapsed,
+        rows=len(relation),
+        cached=was_cached,
+        estimated=physical.estimated_rows,
+        actual=physical.actual_rows,
+        sql=trace.root.attrs.get("sql") if trace is not None else None,
+    )
     if wrap is None:
         if isinstance(physical, Confidence) and physical.last_summary is not None:
             from .probability import ConfidenceAnswer
@@ -750,7 +1032,7 @@ def explain_query(
             parallel,
             trace,
         )
-    (physical, _wrap), was_cached, _key = _cached_physical(
+    (physical, _wrap, _profile), was_cached, _key = _cached_physical(
         query, udb, optimize, prefer_merge_join, mode, use_indexes, parallel
     )
     if analyze and trace:

@@ -18,14 +18,30 @@ segment log):
 * :mod:`repro.obs.slowlog` — a **slow-query log**: a bounded buffer of
   the N slowest traces plus a threshold-triggered structured log line on
   the ``repro.obs.slowlog`` logger.
+* :mod:`repro.obs.workload` — a **workload history**: bounded
+  per-fingerprint aggregates (calls, latency, rows, estimate drift,
+  predicate shapes, access paths) across requests, feeding the
+  :mod:`repro.obs.report` advisory index analyzer.
+* :mod:`repro.obs.accounting` — **resource accounting**: queries, rows,
+  bytes rendered, and queue/execution time tallied per session and per
+  admission cost class, surfaced through ``QueryServer.stats()``.
 
 The escape hatch: ``REPRO_OBS=off`` in the environment (or
-:func:`set_enabled` at runtime) turns every metric update and implicit
-trace into a no-op; explicit ``{"op": "trace"}`` requests still trace
-(the caller asked).  The ``make bench-smoke`` gate holds the enabled-mode
+:func:`set_enabled` at runtime) turns every metric update, workload/
+accounting record, and implicit trace into a no-op; explicit
+``{"op": "trace"}`` requests still trace (the caller asked).  The
+``make bench-smoke`` and ``make bench-obs`` gates hold the enabled-mode
 overhead on the Figure 12 queries to <= 5%.
 """
 
+from .accounting import (
+    accounting_snapshot,
+    record_render,
+    record_statement,
+    record_wait,
+    register_session,
+    reset_accounting,
+)
 from .metrics import (
     MetricsRegistry,
     counter,
@@ -50,6 +66,13 @@ from .trace import (
     span,
     start_trace,
 )
+from .workload import (
+    configure_workload,
+    record_execution,
+    reset_workload,
+    workload_size,
+    workload_snapshot,
+)
 
 __all__ = [
     "MetricsRegistry",
@@ -73,4 +96,15 @@ __all__ = [
     "record_finished",
     "slow_queries",
     "reset_slow_queries",
+    "record_execution",
+    "workload_snapshot",
+    "workload_size",
+    "configure_workload",
+    "reset_workload",
+    "register_session",
+    "record_statement",
+    "record_wait",
+    "record_render",
+    "accounting_snapshot",
+    "reset_accounting",
 ]

@@ -101,6 +101,7 @@ __all__ = [
     "cached_cost_class",
     "record_observed_rows",
     "plan_cache_entries",
+    "publish_plan_cache_metrics",
     "cost_class_of",
     "build_key",
     "mark_cached",
@@ -236,7 +237,7 @@ class LruHotCache:
 class _Entry:
     __slots__ = (
         "key", "payload", "deps", "pins", "cost_class", "plan_cost", "hits", "hot",
-        "estimated_rows", "observed_rows", "observed_runs",
+        "estimated_rows", "observed_rows", "observed_runs", "fingerprint",
     )
 
     def __init__(
@@ -247,6 +248,7 @@ class _Entry:
         pins: Tuple,
         cost_class: str,
         plan_cost: float,
+        fingerprint: Optional[str] = None,
     ):
         self.key = key
         self.payload = payload
@@ -273,6 +275,10 @@ class _Entry:
         self.estimated_rows: Optional[float] = None
         self.observed_rows: Optional[int] = None
         self.observed_runs = 0
+        #: Workload fingerprint (literals/bindings normalized out) computed
+        #: once at entry creation; joins this entry against the obs
+        #: workload history and slowlog lines.
+        self.fingerprint = fingerprint
 
 
 #: One lock for all cache state.  RLock: ``bump_relation`` can re-enter
@@ -427,6 +433,7 @@ def cache_store(
     cost_class: str = "scan",
     plan_cost: float = 0.0,
     guard: Optional[Callable[[], bool]] = None,
+    fingerprint: Optional[str] = None,
 ) -> None:
     """Insert a planned payload under ``key`` (``None`` key: not cached).
 
@@ -451,7 +458,7 @@ def cache_store(
         return
     entry = _Entry(
         key, payload, [(dep, relation_epoch(dep)) for dep in deps], pins,
-        cost_class, plan_cost,
+        cost_class, plan_cost, fingerprint,
     )
     with _lock:
         if guard is not None and not guard():
@@ -528,6 +535,7 @@ def plan_cache_entries() -> List[dict]:
                     "estimated_rows": entry.estimated_rows,
                     "observed_rows": entry.observed_rows,
                     "observed_runs": entry.observed_runs,
+                    "fingerprint": entry.fingerprint,
                 }
             )
         return out
@@ -544,6 +552,37 @@ def plan_cache_stats() -> dict:
             "pinned": _pinned,
             "size": len(_entries),
         }
+
+
+def publish_plan_cache_metrics() -> None:
+    """Export the cache internals as registry gauges.
+
+    Mirrors ``segment_health(publish=True)``: counters that already exist
+    in :func:`plan_cache_stats` — hits, misses, invalidations, evictions,
+    pinned, size — plus per-cost-class entry counts become gauges, so the
+    ``metrics`` Prometheus/JSON exposition carries the cache state, not
+    only the ``stats`` wire op.  Called by the server's stats/metrics
+    paths; a no-op while ``REPRO_OBS=off``.
+    """
+    from ..obs import gauge
+
+    with _lock:
+        stats = {
+            "hits": _hits,
+            "misses": _misses,
+            "invalidations": _invalidations,
+            "evictions": _evictions,
+            "pinned": _pinned,
+            "size": len(_entries),
+        }
+        per_class: Dict[str, int] = {}
+        for entry in _entries.values():
+            per_class[entry.cost_class] = per_class.get(entry.cost_class, 0) + 1
+    for name, value in stats.items():
+        gauge(f"plan_cache_{name}", f"Plan cache {name}").set(value)
+    entries_gauge = gauge("plan_cache_entries", "Plan-cache entries by cost class")
+    for cost_class in COST_CLASSES + ("cold",):
+        entries_gauge.set(per_class.get(cost_class, 0), cls=cost_class)
 
 
 def reset_plan_cache() -> None:

@@ -34,6 +34,7 @@ from typing import Dict, Mapping, Optional
 
 from ..obs import counter as obs_counter
 from ..obs import histogram as obs_histogram
+from ..obs import record_wait
 from ..obs import span as obs_span
 
 __all__ = ["AdmissionPolicy", "AdmissionController", "Overloaded", "DEFAULT_LIMITS"]
@@ -154,12 +155,14 @@ class AdmissionController:
                         timeout=self.policy.queue_timeout
                     )
                 finally:
+                    waited = time.perf_counter() - started
                     with gate.lock:
                         gate.waiting -= 1
                     obs_histogram(
                         "admission_wait_seconds",
                         "Seconds queued requests waited for a slot",
-                    ).observe(time.perf_counter() - started, cls=cost_class)
+                    ).observe(waited, cls=cost_class)
+                    record_wait(cost_class, waited)
                 if not acquired:
                     with gate.lock:
                         gate.shed += 1

@@ -75,18 +75,26 @@ from ..core.txn import TransactionConflict, TxnResult
 from ..core.udatabase import CompactionPolicy, CompactionResult, UDatabase
 from ..core.urelation import URelation
 from ..obs import (
+    accounting_snapshot,
     activate,
     counter as obs_counter,
     current_trace,
     metrics_snapshot,
     record_finished,
+    record_render,
     render_prometheus,
     request_trace,
     slow_queries,
     span as obs_span,
     start_trace,
+    workload_snapshot,
 )
-from ..relational.plancache import cached_cost_class, plan_cache_stats
+from ..obs.report import advisory_report
+from ..relational.plancache import (
+    cached_cost_class,
+    plan_cache_stats,
+    publish_plan_cache_metrics,
+)
 from ..relational.relation import Relation
 from .admission import AdmissionController, AdmissionPolicy, Overloaded
 from .executor import ConcurrentExecutor
@@ -373,8 +381,10 @@ class QueryServer:
         unchanged) plus ``metrics`` (the registry snapshot with
         p50/p95/p99 per histogram series), ``segment_log`` (per-partition
         write-path health, refreshed by this call), and ``slow_queries``
-        (the slowest traces, slowest first).
+        (the slowest traces, slowest first), plus ``accounting``
+        (per-session and per-cost-class resource tallies).
         """
+        publish_plan_cache_metrics()  # refresh the plan_cache_* gauges
         return {
             "sessions_opened": self._sessions_opened,
             "admission": self.admission.stats(),
@@ -384,6 +394,7 @@ class QueryServer:
             "metrics": metrics_snapshot(),
             "segment_log": self.udb.segment_health(),
             "slow_queries": slow_queries(limit=5),
+            "accounting": accounting_snapshot(),
         }
 
     def close(self) -> None:
@@ -545,7 +556,15 @@ class _ConnectionHandler(socketserver.StreamRequestHandler):
         if op == "stats":
             return {"ok": True, "stats": server.stats()}
         if op == "metrics":
+            publish_plan_cache_metrics()  # plan_cache_* gauges in exposition
             return {"ok": True, "metrics": render_prometheus()}
+        if op == "workload":
+            return {
+                "ok": True,
+                "workload": workload_snapshot(limit=request.get("limit")),
+            }
+        if op == "report":
+            return {"ok": True, "report": advisory_report()}
         if op == "prepare":
             prepared = session.prepare(request["name"], request["sql"])
             return {
@@ -560,13 +579,13 @@ class _ConnectionHandler(socketserver.StreamRequestHandler):
                 result = session.execute_prepared(
                     request["name"], *tuple(request.get("params", ()))
                 )
-                return self._render(server, result)
+                return self._render(server, session, result)
         if op == "query":
             with request_trace(sql=request["sql"]):
                 result = session.execute(
                     request["sql"], tuple(request.get("params", ()))
                 )
-                return self._render(server, result)
+                return self._render(server, session, result)
         if op == "trace":
             # an explicit trace request: runs the statement like "query"
             # but returns the span tree alongside the result.  force=True
@@ -590,9 +609,15 @@ class _ConnectionHandler(socketserver.StreamRequestHandler):
         return {"ok": False, "kind": "error", "error": f"unknown op {op!r}"}
 
     @staticmethod
-    def _render(server: QueryServer, result: Any) -> bytes:
+    def _render(server: QueryServer, session: Session, result: Any) -> bytes:
         """Serialize a result under a ``render`` span on the active trace."""
         with obs_span("render") as sp:
             line = server.render_result(result)
             sp.set(bytes=len(line))
+        trace = current_trace()
+        record_render(
+            session.accounting_id,
+            len(line),
+            trace.root.attrs.get("cost_class") if trace is not None else None,
+        )
         return line

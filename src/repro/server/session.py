@@ -40,13 +40,14 @@ server's executor.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Any, Dict, Optional, Sequence, Tuple
 
 from ..core.prepared import PreparedDML, PreparedQuery
 from ..core.txn import Transaction, TxnResult
 from ..core.udatabase import UDatabase
 from ..obs import counter as obs_counter
-from ..obs import current_trace, request_trace
+from ..obs import current_trace, record_statement, register_session, request_trace
 from ..obs import span as obs_span
 
 __all__ = ["Session", "SnapshotChanged"]
@@ -55,6 +56,25 @@ __all__ = ["Session", "SnapshotChanged"]
 #: :mod:`repro.sql`): ad-hoc texts with inline literals must not grow the
 #: namespace without bound.
 _SESSION_STATEMENT_LIMIT = 256
+
+
+def _result_rows(result: Any) -> int:
+    """Row count of a statement result, for resource accounting.
+
+    Duck-typed over the three result shapes a session can return:
+    relations (certain or uncertain), DML results (rows written), and
+    scalars (confidence values — zero rows).
+    """
+    rows = getattr(result, "rows", None)
+    if rows is not None:
+        return len(rows)
+    inner = getattr(result, "relation", None)
+    if inner is not None and getattr(inner, "rows", None) is not None:
+        return len(inner.rows)
+    count = getattr(result, "count", None)
+    if isinstance(count, int):
+        return count
+    return 0
 
 
 class SnapshotChanged(RuntimeError):
@@ -107,6 +127,9 @@ class Session:
         #: publishes in one swap at COMMIT (see :mod:`repro.core.txn`).
         self._txn: Optional[Transaction] = None
         self.statements_run = 0
+        #: Key into the obs per-session resource accounting (see
+        #: :mod:`repro.obs.accounting`; surfaced by ``server.stats()``).
+        self.accounting_id = register_session()
 
     # ------------------------------------------------------------------
     # statement namespace
@@ -387,6 +410,7 @@ class Session:
                 # (nothing publishes until COMMIT, so there is no shared
                 # mutation for the server's executor to serialize)
                 return self._txn.run(prepared, params)
+        started = time.perf_counter()
         if self.server is not None:
             result = self.server.execute(prepared, params, session=self)
         else:
@@ -396,6 +420,13 @@ class Session:
                 use_indexes=self.use_indexes,
                 parallel=self.parallel,
             )
+        trace = current_trace()
+        record_statement(
+            self.accounting_id,
+            trace.root.attrs.get("cost_class") if trace is not None else None,
+            rows=_result_rows(result),
+            seconds=time.perf_counter() - started,
+        )
         # optimistic validation closes on both sides: the version pre-check
         # alone leaves a window where a swap lands after it but before the
         # plan resolves its relations, silently answering from the new

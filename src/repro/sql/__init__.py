@@ -36,6 +36,7 @@ __all__ = [
     "parse",
     "prepare",
     "execute_sql",
+    "fingerprint_sql",
     "tokenize",
     "SqlSyntaxError",
     "CreateIndex",
@@ -73,6 +74,24 @@ def _cache_statement(udb: UDatabase, sql: str, prepared: PreparedQuery) -> None:
     if len(udb._statements) >= _STATEMENT_CACHE_LIMIT:
         udb._statements.clear()
     udb._statements[sql] = prepared
+
+
+def fingerprint_sql(sql: str) -> Optional[str]:
+    """The workload fingerprint of a SQL query text, or ``None``.
+
+    Parses ``sql`` and digests its structure with literals and ``$n``
+    bindings normalized out (see
+    :func:`repro.core.translate.query_fingerprint`), so
+    ``... where x = 5``, ``... where x = 7``, and ``... where x = $1``
+    all share one fingerprint.  DML, DDL, VACUUM, and transaction control
+    return ``None`` — the workload history tracks queries only.
+    """
+    from ..core.translate import query_fingerprint
+
+    statement = parse(sql)
+    if isinstance(statement, _IMMEDIATE_TYPES + _DML_TYPES):
+        return None
+    return query_fingerprint(statement)
 
 
 def prepare(sql: str, udb: UDatabase) -> Union[PreparedQuery, PreparedDML]:

@@ -24,7 +24,12 @@ from repro.core import (
     WorldTable,
     evaluate_in_world,
 )
-from repro.obs import reset_metrics, reset_slow_queries
+from repro.obs import (
+    reset_accounting,
+    reset_metrics,
+    reset_slow_queries,
+    reset_workload,
+)
 from repro.relational import reset_compile_cache, reset_plan_cache
 
 __all__ = ["vehicles_udb", "brute_force_poss", "brute_force_certain"]
@@ -34,7 +39,7 @@ __all__ = ["vehicles_udb", "brute_force_poss", "brute_force_certain"]
 def _fresh_caches():
     """Empty the compile/plan caches and the obs state before every test.
 
-    All four stores are process-wide; without the reset, any test
+    All of these stores are process-wide; without the reset, any test
     asserting on their counters (or on cold-path behaviour like "the
     first run plans, the second doesn't") would depend on which tests
     happened to run earlier in the collection order.
@@ -43,6 +48,8 @@ def _fresh_caches():
     reset_plan_cache()
     reset_metrics()
     reset_slow_queries()
+    reset_workload()
+    reset_accounting()
     yield
 
 

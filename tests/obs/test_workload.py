@@ -1,0 +1,304 @@
+"""Workload intelligence: fingerprints, bounded history, advisory report.
+
+The contract under test, end to end:
+
+* queries that differ only in literals / ``$n`` bindings share one
+  fingerprint and aggregate into one history entry;
+* ``REPRO_OBS=off`` (``set_enabled(False)``) fully disables the pipeline
+  — the history does not grow, accounting does not move;
+* the history is LRU-bounded under randomized fingerprint churn;
+* the advisory report's top recommendation, built manually via its own
+  ``CREATE INDEX`` statement, measurably speeds the repeated query it
+  was derived from (access path flips to an index scan *and* warm
+  latency improves).
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+
+import pytest
+
+from repro.core.udatabase import UDatabase, tid_column
+from repro.core.urelation import URelation
+from repro.obs import (
+    accounting_snapshot,
+    configure_workload,
+    record_execution,
+    set_enabled,
+    workload_size,
+    workload_snapshot,
+)
+from repro.obs.report import advisory_report, render_text
+from repro.relational.relation import Relation
+from repro.sql import execute_sql, fingerprint_sql
+
+
+def _certain_udb(rows, auto_index=True) -> UDatabase:
+    udb = UDatabase(auto_index=auto_index)
+    part = URelation.from_certain_rows(rows, tid_column("r"), ["a", "b"])
+    udb.add_relation("r", ["a", "b"], [part])
+    return udb
+
+
+def _profile(fingerprint: str, **overrides):
+    profile = {
+        "fingerprint": fingerprint,
+        "plan_key": f"pk_{fingerprint}",
+        "cost_class": "scan",
+        "relations": ("u_r_a_b",),
+        "predicates": (("u_r_a_b", "b", "="),),
+        "access_paths": {"seq_scan": 1},
+    }
+    profile.update(overrides)
+    return profile
+
+
+# ----------------------------------------------------------------------
+# fingerprinting
+# ----------------------------------------------------------------------
+def test_literal_variants_and_params_share_one_fingerprint():
+    udb = _certain_udb([(i, i % 7) for i in range(60)])
+    for v in (1, 2, 3):
+        execute_sql(f"possible (select a from r where b = {v})", udb)
+    execute_sql("possible (select a from r where b = $1)", udb, params=[4])
+
+    history = workload_snapshot()
+    assert len(history) == 1
+    entry = history[0]
+    assert entry["calls"] == 4
+    assert entry["fingerprint"] == fingerprint_sql(
+        "possible (select a from r where b = 99)"
+    )
+    assert entry["predicates"] == [
+        {"relation": "u_r_a_b", "column": "b", "op": "=", "count": 4}
+    ]
+    assert sum(entry["access_paths"].values()) == 4
+
+
+def test_distinct_structure_distinct_fingerprint():
+    a = fingerprint_sql("possible (select a from r where b = 1)")
+    b = fingerprint_sql("possible (select a from r where a = 1)")
+    c = fingerprint_sql("possible (select a from r where b < 1)")
+    assert len({a, b, c}) == 3
+    assert all(len(f) == 16 for f in (a, b, c))
+
+
+def test_fingerprint_sql_is_none_for_non_queries():
+    assert fingerprint_sql("insert into r values (1, 2)") is None
+    assert fingerprint_sql("vacuum") is None
+    assert fingerprint_sql("begin") is None
+
+
+def test_history_tracks_latency_and_rows():
+    udb = _certain_udb([(i, i % 5) for i in range(50)])
+    for _ in range(3):
+        execute_sql("possible (select a from r where b = 2)", udb)
+    entry = workload_snapshot()[0]
+    assert entry["rows_out"] == 30  # 10 rows x 3 calls
+    assert entry["mean_ms"] >= 0
+    assert entry["p95_ms"] >= entry["p50_ms"] >= 0
+    assert entry["cached_hits"] == 2  # first call planned, rest hit the cache
+
+
+# ----------------------------------------------------------------------
+# the off switch
+# ----------------------------------------------------------------------
+def test_obs_off_freezes_history_and_accounting():
+    udb = _certain_udb([(i, i % 3) for i in range(30)])
+    set_enabled(False)
+    try:
+        for v in (0, 1, 2, 0, 1):
+            execute_sql(f"possible (select a from r where b = {v})", udb)
+        assert workload_size() == 0
+        assert workload_snapshot() == []
+        snapshot = accounting_snapshot()
+        assert snapshot["by_class"] == {}
+        assert snapshot["sessions"] == {}
+    finally:
+        set_enabled(True)
+    # re-enabled: the same pipeline records again immediately
+    execute_sql("possible (select a from r where b = 1)", udb)
+    assert workload_size() == 1
+
+
+# ----------------------------------------------------------------------
+# bounded history
+# ----------------------------------------------------------------------
+def test_history_is_lru_bounded_under_fingerprint_churn():
+    previous = configure_workload(16)
+    try:
+        import random
+
+        rng = random.Random(1234)
+        fingerprints = [f"fp{i:04d}" for i in range(200)]
+        rng.shuffle(fingerprints)
+        for fp in fingerprints:
+            for _ in range(rng.randrange(1, 4)):
+                record_execution(_profile(fp), seconds=0.001, rows=1, cached=True)
+            assert workload_size() <= 16
+        assert workload_size() == 16
+        # the survivors are exactly the 16 most recently touched
+        surviving = {entry["fingerprint"] for entry in workload_snapshot()}
+        assert surviving == set(fingerprints[-16:])
+    finally:
+        configure_workload(previous)
+
+
+def test_hot_fingerprint_survives_churn():
+    previous = configure_workload(8)
+    try:
+        hot = _profile("fp_hot")
+        for i in range(100):
+            record_execution(hot, seconds=0.001, rows=1, cached=True)
+            record_execution(_profile(f"fp{i:04d}"), seconds=0.001, rows=1, cached=True)
+        surviving = {entry["fingerprint"] for entry in workload_snapshot()}
+        assert "fp_hot" in surviving
+        assert workload_size() == 8
+    finally:
+        configure_workload(previous)
+
+
+# ----------------------------------------------------------------------
+# the advisory report
+# ----------------------------------------------------------------------
+def test_advisory_report_recommends_index_that_speeds_the_query():
+    # auto-indexing off: the repeated point filter must actually seq-scan
+    rows = [(i, i % 97) for i in range(4000)]
+    udb = _certain_udb(rows, auto_index=False)
+    sql = "possible (select a from r where b = 13)"
+    for _ in range(3):
+        execute_sql(sql, udb)
+
+    report = advisory_report()
+    assert report["recommendations"], "a repeated seq-scanned filter must advise"
+    top = report["recommendations"][0]
+    assert top["rank"] == 1
+    assert top["relation"] == "u_r_a_b"
+    assert top["columns"] == ["b"]
+    assert top["kind"] == "hash"
+    evidence = top["evidence"]
+    assert evidence["calls"] == 3
+    assert evidence["access_paths"].get("seq_scan")
+    assert {"relation": "u_r_a_b", "column": "b", "op": "=", "count": 3} in evidence[
+        "predicates"
+    ]
+
+    def median_warm_ms(runs=5):
+        times = []
+        for _ in range(runs):
+            started = time.perf_counter()
+            execute_sql(sql, udb)
+            times.append((time.perf_counter() - started) * 1e3)
+        return statistics.median(times)
+
+    before = median_warm_ms()
+    # recommend-only: the report emits the statement, the operator runs it
+    execute_sql(top["statement"], udb)
+    after = median_warm_ms()
+
+    entry = workload_snapshot()[0]
+    assert entry["access_paths"].get("index_scan"), "plan must flip to the new index"
+    assert after < before, f"index made it slower? {after:.3f}ms vs {before:.3f}ms"
+
+
+def test_advisory_report_flags_estimate_drift():
+    drifting = _profile("fp_drift")
+    for _ in range(3):
+        record_execution(
+            drifting, seconds=0.001, rows=500, cached=True, estimated=10, actual=500
+        )
+    report = advisory_report()
+    flagged = [d for d in report["drifting_plans"] if d["fingerprint"] == "fp_drift"]
+    assert flagged and flagged[0]["drift"] == pytest.approx(50.0)
+    assert flagged[0]["drift_runs"] == 3
+
+
+def test_advisory_report_merges_supporting_fingerprints():
+    for fp in ("fp_one", "fp_two"):
+        for _ in range(2):
+            record_execution(_profile(fp), seconds=0.002, rows=5, cached=True)
+    report = advisory_report()
+    assert len(report["recommendations"]) == 1
+    rec = report["recommendations"][0]
+    assert sorted(rec["supporting_fingerprints"]) == ["fp_one", "fp_two"]
+    assert report["history"] == {"fingerprints": 2, "executions": 4}
+
+
+def test_one_off_queries_never_advise():
+    record_execution(_profile("fp_once"), seconds=0.5, rows=1000, cached=False)
+    assert advisory_report()["recommendations"] == []
+
+
+def test_render_text_and_cli_roundtrip(tmp_path, capsys):
+    for _ in range(3):
+        record_execution(_profile("fp_cli"), seconds=0.002, rows=5, cached=True)
+    report = advisory_report()
+    text = render_text(report)
+    assert "Index recommendations (1):" in text
+    assert "CREATE INDEX" in text
+    assert "fp_cli" in text
+
+    from repro.obs.report import main
+
+    path = tmp_path / "report.json"
+    path.write_text(json.dumps({"ok": True, "report": report}))
+    assert main(["--input", str(path)]) == 0
+    assert "CREATE INDEX" in capsys.readouterr().out
+    assert main(["--input", str(path), "--json"]) == 0
+    assert json.loads(capsys.readouterr().out)["recommendations"]
+
+
+# ----------------------------------------------------------------------
+# wire ops
+# ----------------------------------------------------------------------
+def test_workload_and_report_wire_ops():
+    import socket
+
+    from repro.server import QueryServer
+
+    udb = _certain_udb([(i, i % 11) for i in range(300)], auto_index=False)
+    server = QueryServer(udb, workers=2)
+    handle = server.serve_tcp()
+    try:
+        with socket.create_connection(handle.address, timeout=10) as sock:
+            stream = sock.makefile("rwb")
+
+            def rpc(**request):
+                stream.write(json.dumps(request).encode() + b"\n")
+                stream.flush()
+                return json.loads(stream.readline())
+
+            for v in (3, 4, 3):
+                answer = rpc(op="query", sql=f"possible (select a from r where b = {v})")
+                assert answer["ok"]
+
+            workload = rpc(op="workload")
+            assert workload["ok"]
+            assert workload["workload"][0]["calls"] == 3
+            assert rpc(op="workload", limit=0)["workload"] == []
+
+            report = rpc(op="report")
+            assert report["ok"]
+            recommendations = report["report"]["recommendations"]
+            assert recommendations and recommendations[0]["statement"].startswith(
+                "CREATE INDEX"
+            )
+    finally:
+        handle.close()
+        server.close()
+
+
+def test_slowlog_entries_carry_fingerprint_and_plan_key():
+    from repro.obs import slow_queries
+
+    udb = _certain_udb([(i, i % 7) for i in range(50)])
+    sql = "possible (select a from r where b = 5)"
+    execute_sql(sql, udb)
+    entries = [e for e in slow_queries() if e.get("attrs", {}).get("sql") == sql]
+    assert entries, "the slowlog ring must keep the query's trace"
+    attrs = entries[0]["attrs"]
+    assert attrs["fingerprint"] == fingerprint_sql(sql)
+    assert attrs["plan_key"]
